@@ -1,0 +1,389 @@
+/* SwitchV2P reference data plane, P4_16 (v1model).
+ *
+ * Reference implementation of the §3 pipeline matching the OCaml
+ * simulator's `Switchv2p.Dataplane` semantics: a direct-mapped V2P
+ * cache in three register arrays (keys / values / access bits),
+ * role-dependent learning (Table 1), misdelivery tagging at ToRs, and
+ * option headers for the spillover / promotion / invalidation riders.
+ *
+ * The paper's prototype targets Tofino (TNA); this file uses the
+ * portable v1model architecture so it can be compiled with the open
+ * source p4c bmv2 backend. Packet generation (learning packets,
+ * invalidation packets) is done with clone/recirculate primitives as
+ * the paper describes using mirroring on Tofino. This artifact is not
+ * exercised by the OCaml test suite — it documents the hardware
+ * mapping of the protocol; the simulator is the executable
+ * specification.
+ */
+
+#include <core.p4>
+#include <v1model.p4>
+
+/* ------------------------------------------------------------------ */
+/* Configuration                                                       */
+/* ------------------------------------------------------------------ */
+
+#define CACHE_SLOTS      65536      /* per-switch lines (2^16)          */
+#define CACHE_IDX_BITS   16
+#define P_LEARN_SHIFT    8          /* P(learning pkt) = 2^-8 ~ 0.4%    */
+
+typedef bit<32> vip_t;
+typedef bit<32> pip_t;
+typedef bit<16> switch_id_t;
+
+/* Switch categories (Table 1). Installed by the control plane; a
+ * gateway migration rewrites this one register (see
+ * Dataplane.reassign_role in the simulator). */
+const bit<3> ROLE_GW_TOR    = 0;
+const bit<3> ROLE_GW_SPINE  = 1;
+const bit<3> ROLE_TOR       = 2;
+const bit<3> ROLE_SPINE     = 3;
+const bit<3> ROLE_CORE      = 4;
+
+/* ------------------------------------------------------------------ */
+/* Headers                                                             */
+/* ------------------------------------------------------------------ */
+
+header ipv4_h {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  dscp_ecn;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> flags_frag;
+    bit<8>  ttl;
+    bit<8>  protocol;        /* 4 = IP-in-IP */
+    bit<16> checksum;
+    pip_t   src;             /* physical addresses in the outer header */
+    pip_t   dst;
+}
+
+/* SwitchV2P option block, carried between the outer and inner IPv4
+ * headers (the simulator's Netcore.Wire layout). */
+header v2p_option_h {
+    bit<1>  resolved;
+    bit<1>  misdelivery;
+    bit<1>  gw_visited;
+    bit<1>  has_spill;
+    bit<1>  has_promo;
+    bit<1>  has_mapping;     /* learning / invalidation payload        */
+    bit<2>  kind;            /* 0 data, 1 ack, 2 learning, 3 inval     */
+    switch_id_t hit_switch;  /* 0xffff = none                          */
+    pip_t   stale_pip;       /* valid when misdelivery = 1             */
+    vip_t   spill_vip;       /* valid when has_spill                   */
+    pip_t   spill_pip;
+    vip_t   promo_vip;       /* valid when has_promo                   */
+    pip_t   promo_pip;
+    vip_t   map_vip;         /* valid when has_mapping                 */
+    pip_t   map_pip;
+}
+
+header inner_ipv4_h {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  dscp_ecn;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> flags_frag;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> checksum;
+    vip_t   src;             /* virtual addresses in the inner header  */
+    vip_t   dst;
+}
+
+struct headers_t {
+    ipv4_h       outer;
+    v2p_option_h opt;
+    inner_ipv4_h inner;
+}
+
+struct metadata_t {
+    bit<3>       role;           /* this switch's Table-1 category     */
+    switch_id_t  self_id;
+    pip_t        self_pip;
+    bit<1>       from_attached_server;   /* ingress-port front panel   */
+    pip_t        attached_pip;           /* PIP of that server         */
+    bit<CACHE_IDX_BITS> slot;
+    bit<1>       cache_hit;
+    bit<1>       access_was_set;
+    pip_t        cache_value;
+    bit<1>       dst_is_local_pod;
+}
+
+/* ------------------------------------------------------------------ */
+/* Parser                                                              */
+/* ------------------------------------------------------------------ */
+
+parser SwitchV2PParser(packet_in pkt, out headers_t hdr,
+                       inout metadata_t meta,
+                       inout standard_metadata_t std) {
+    state start {
+        pkt.extract(hdr.outer);
+        transition select(hdr.outer.protocol) {
+            4: parse_opt;            /* IP-in-IP tunnel */
+            default: accept;
+        }
+    }
+    state parse_opt {
+        pkt.extract(hdr.opt);
+        pkt.extract(hdr.inner);
+        transition accept;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Ingress                                                             */
+/* ------------------------------------------------------------------ */
+
+control SwitchV2PIngress(inout headers_t hdr, inout metadata_t meta,
+                         inout standard_metadata_t std) {
+
+    /* The in-switch cache: one register array per field, exactly the
+     * three-array layout the paper reports (§3.4). */
+    register<vip_t>(CACHE_SLOTS) cache_keys;
+    register<pip_t>(CACHE_SLOTS) cache_values;
+    register<bit<1>>(CACHE_SLOTS) cache_access;
+
+    /* Per-target-switch timestamp vector for invalidation
+     * rate-limiting (§3.3); indexed by switch id. */
+    register<bit<48>>(1024) ts_vector;
+
+    /* Role/self configuration, written by the control plane. */
+    register<bit<3>>(1)  cfg_role;
+    register<bit<16>>(1) cfg_self_id;
+    register<bit<32>>(1) cfg_self_pip;
+
+    /* Front-panel port -> attached server PIP (ToRs only, §3.3). */
+    action set_attached(pip_t server_pip) {
+        meta.from_attached_server = 1;
+        meta.attached_pip = server_pip;
+    }
+    table front_panel {
+        key = { std.ingress_port : exact; }
+        actions = { set_attached; NoAction; }
+        default_action = NoAction();
+        size = 64;
+    }
+
+    /* L3 next hop on the (unchanged) underlay routing. */
+    action fwd(bit<9> port) { std.egress_spec = port; }
+    table ipv4_lpm {
+        key = { hdr.outer.dst : lpm; }
+        actions = { fwd; NoAction; }
+        default_action = NoAction();
+        size = 4096;
+    }
+
+    bit<CACHE_IDX_BITS> slot_of(in vip_t v) {
+        bit<32> h;
+        hash(h, HashAlgorithm.crc32, 32w0, { v }, 32w0xffffffff);
+        return h[CACHE_IDX_BITS-1:0];
+    }
+
+    /* Lookup with the paper's access-bit semantics: hit sets the bit,
+     * conflicting occupant loses it. */
+    action cache_lookup(in vip_t key) {
+        meta.slot = slot_of(key);
+        vip_t k; pip_t v; bit<1> a;
+        cache_keys.read(k, (bit<32>)meta.slot);
+        cache_values.read(v, (bit<32>)meta.slot);
+        cache_access.read(a, (bit<32>)meta.slot);
+        meta.access_was_set = a;
+        if (k == key) {
+            meta.cache_hit = 1;
+            meta.cache_value = v;
+            cache_access.write((bit<32>)meta.slot, 1);
+        } else {
+            meta.cache_hit = 0;
+            cache_access.write((bit<32>)meta.slot, 0);
+        }
+    }
+
+    /* Insert honoring the role's admission policy (`All at ToRs,
+     * A-bit-clear elsewhere); the evicted entry becomes the spill
+     * rider when the option block has room. */
+    action cache_insert(in vip_t key, in pip_t val, in bit<1> admit_all) {
+        bit<CACHE_IDX_BITS> s = slot_of(key);
+        vip_t k; pip_t v; bit<1> a;
+        cache_keys.read(k, (bit<32>)s);
+        cache_values.read(v, (bit<32>)s);
+        cache_access.read(a, (bit<32>)s);
+        if (k == key) {
+            cache_values.write((bit<32>)s, val);
+        } else if (k == 0 || admit_all == 1 || a == 0) {
+            if (k != 0 && hdr.opt.has_spill == 0) {
+                hdr.opt.has_spill = 1;       /* spillover (§3.2.2) */
+                hdr.opt.spill_vip = k;
+                hdr.opt.spill_pip = v;
+            }
+            cache_keys.write((bit<32>)s, key);
+            cache_values.write((bit<32>)s, val);
+            cache_access.write((bit<32>)s, 0);
+        }
+    }
+
+    apply {
+        cfg_role.read(meta.role, 0);
+        cfg_self_id.read(meta.self_id, 0);
+        cfg_self_pip.read(meta.self_pip, 0);
+        front_panel.apply();
+
+        if (!hdr.opt.isValid()) { ipv4_lpm.apply(); return; }
+
+        /* Control packets addressed to this switch. */
+        if (hdr.outer.dst == meta.self_pip) {
+            if (hdr.opt.kind == 2 /* learning */) {
+                cache_insert(hdr.opt.map_vip, hdr.opt.map_pip, 1);
+                mark_to_drop(std);            /* consumed */
+                return;
+            }
+            if (hdr.opt.kind == 3 /* invalidation */) {
+                bit<CACHE_IDX_BITS> s = slot_of(hdr.opt.map_vip);
+                vip_t k; pip_t v;
+                cache_keys.read(k, (bit<32>)s);
+                cache_values.read(v, (bit<32>)s);
+                if (k == hdr.opt.map_vip && v == hdr.opt.map_pip) {
+                    cache_keys.write((bit<32>)s, 0);
+                }
+                mark_to_drop(std);
+                return;
+            }
+        }
+        /* Invalidation packets also clean caches en route. */
+        if (hdr.opt.kind == 3) {
+            bit<CACHE_IDX_BITS> s = slot_of(hdr.opt.map_vip);
+            vip_t k; pip_t v;
+            cache_keys.read(k, (bit<32>)s);
+            cache_values.read(v, (bit<32>)s);
+            if (k == hdr.opt.map_vip && v == hdr.opt.map_pip) {
+                cache_keys.write((bit<32>)s, 0);
+            }
+            ipv4_lpm.apply();
+            return;
+        }
+
+        /* 1. Misdelivery tagging at ToRs (§3.3): a packet entering
+         *    from an attached server whose outer source is another
+         *    host was re-forwarded by the hypervisor. */
+        if ((meta.role == ROLE_TOR || meta.role == ROLE_GW_TOR)
+            && meta.from_attached_server == 1
+            && hdr.outer.src != meta.attached_pip
+            && hdr.opt.misdelivery == 0) {
+            hdr.opt.misdelivery = 1;
+            hdr.opt.stale_pip = meta.attached_pip;
+            if (hdr.opt.hit_switch != 0xffff) {
+                bit<48> last; bit<48> now = std.ingress_global_timestamp;
+                ts_vector.read(last, (bit<32>)hdr.opt.hit_switch);
+                if (now - last > 12000 /* base RTT, us-scale ticks */) {
+                    ts_vector.write((bit<32>)hdr.opt.hit_switch, now);
+                    /* clone -> egress builds the invalidation packet
+                     * addressed to hit_switch (mirror session 2). */
+                    clone(CloneType.I2E, 2);
+                }
+                hdr.opt.hit_switch = 0xffff;
+            }
+        }
+
+        /* 2. Lookup for unresolved packets. */
+        if (hdr.opt.resolved == 0) {
+            cache_lookup(hdr.inner.dst);
+            if (meta.cache_hit == 1) {
+                if (hdr.opt.misdelivery == 1
+                    && meta.cache_value == hdr.opt.stale_pip) {
+                    /* stale entry: invalidate instead of using it */
+                    cache_keys.write((bit<32>)meta.slot, 0);
+                } else {
+                    hdr.outer.dst = meta.cache_value;
+                    hdr.opt.resolved = 1;
+                    hdr.opt.hit_switch = meta.self_id;
+                    /* Promotion (§3.2.2): popular entry, packet
+                     * leaving the pod, regular spine only. */
+                    if (meta.role == ROLE_SPINE
+                        && meta.access_was_set == 1
+                        && meta.dst_is_local_pod == 0
+                        && hdr.opt.has_promo == 0) {
+                        hdr.opt.has_promo = 1;
+                        hdr.opt.promo_vip = hdr.inner.dst;
+                        hdr.opt.promo_pip = meta.cache_value;
+                    }
+                }
+            }
+        }
+
+        /* 3. Spillover absorption. */
+        if (hdr.opt.has_spill == 1) {
+            cache_insert(hdr.opt.spill_vip, hdr.opt.spill_pip,
+                         (bit<1>)(meta.role == ROLE_TOR
+                                  || meta.role == ROLE_GW_TOR));
+            hdr.opt.has_spill = 0;
+        }
+
+        /* 4. Role-dependent learning (Table 1). */
+        if (meta.role == ROLE_GW_TOR && hdr.opt.resolved == 1) {
+            cache_insert(hdr.inner.dst, hdr.outer.dst, 1);
+            /* Learning packet toward the sender's ToR with
+             * probability 2^-P_LEARN_SHIFT (mirror session 1). */
+            bit<32> r;
+            random(r, 0, (bit<32>)((1 << P_LEARN_SHIFT) - 1));
+            if (r == 0) { clone(CloneType.I2E, 1); }
+        } else if ((meta.role == ROLE_GW_SPINE || meta.role == ROLE_SPINE)
+                   && hdr.opt.resolved == 1) {
+            cache_insert(hdr.inner.dst, hdr.outer.dst, 0);
+        } else if (meta.role == ROLE_TOR) {
+            cache_insert(hdr.inner.src, hdr.outer.src, 1);
+        } else if (meta.role == ROLE_CORE && hdr.opt.has_promo == 1) {
+            cache_insert(hdr.opt.promo_vip, hdr.opt.promo_pip, 0);
+            hdr.opt.has_promo = 0;
+        }
+
+        ipv4_lpm.apply();
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Egress: materialize cloned control packets                          */
+/* ------------------------------------------------------------------ */
+
+control SwitchV2PEgress(inout headers_t hdr, inout metadata_t meta,
+                        inout standard_metadata_t std) {
+    apply {
+        if (std.instance_type == 1 /* ingress clone */) {
+            if (std.egress_rid == 1) {
+                /* learning packet: mapping = resolved destination,
+                 * addressed to the sender's ToR (set by the mirror
+                 * session's truncation/rewrite config). */
+                hdr.opt.kind = 2;
+                hdr.opt.has_mapping = 1;
+                hdr.opt.map_vip = hdr.inner.dst;
+                hdr.opt.map_pip = hdr.outer.dst;
+            } else if (std.egress_rid == 2) {
+                /* invalidation packet toward opt.hit_switch */
+                hdr.opt.kind = 3;
+                hdr.opt.has_mapping = 1;
+                hdr.opt.map_vip = hdr.inner.dst;
+                hdr.opt.map_pip = hdr.opt.stale_pip;
+            }
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+
+control SwitchV2PVerifyChecksum(inout headers_t hdr, inout metadata_t meta) {
+    apply { }
+}
+control SwitchV2PComputeChecksum(inout headers_t hdr, inout metadata_t meta) {
+    apply { }
+}
+control SwitchV2PDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.outer);
+        pkt.emit(hdr.opt);
+        pkt.emit(hdr.inner);
+    }
+}
+
+V1Switch(SwitchV2PParser(), SwitchV2PVerifyChecksum(),
+         SwitchV2PIngress(), SwitchV2PEgress(),
+         SwitchV2PComputeChecksum(), SwitchV2PDeparser()) main;
