@@ -1,0 +1,196 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (on the scaled-down default topology; pass `--paper` for the full
+   Table 3 sizes) and runs Bechamel micro-benchmarks of the core
+   primitives.
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe fig5a tab4 # selected targets
+     dune exec bench/main.exe micro      # primitive benchmarks only *)
+
+module Fig5 = Experiments.Fig5
+
+let scale : Experiments.Setup.scale ref = ref `Small
+
+let time_it name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "\n[%s finished in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
+
+let fig5 kind () = Fig5.print (Fig5.run ~scale:!scale kind)
+
+let fig5c_with_controller () =
+  (* The paper evaluates the Controller on WebSearch only. *)
+  Fig5.print
+    (Fig5.run ~scale:!scale ~cache_pcts:[ 1; 10; 50; 200 ] ~with_controller:true
+       Fig5.Websearch)
+
+let fig7_8 () = Experiments.Fig7_8.print (Experiments.Fig7_8.run ~scale:!scale ())
+let fig9 () = Experiments.Fig9.print (Experiments.Fig9.run ~scale:!scale ())
+let fig10 () = Experiments.Fig10.print (Experiments.Fig10.run ())
+let tab4 () = Experiments.Tab4.print (Experiments.Tab4.run ~scale:!scale ())
+let tab5 () = Experiments.Tab5.print (Experiments.Tab5.run ~scale:!scale ())
+let tab6 () = Experiments.Tab6.print (Experiments.Tab6.run ())
+let app_a2 () = Experiments.App_a2.print (Experiments.App_a2.run ~scale:!scale ())
+
+let ablation () =
+  Experiments.Ablation.print (Experiments.Ablation.run ~scale:!scale ())
+
+let multitenant () =
+  Experiments.Multitenant.print (Experiments.Multitenant.run ~scale:!scale ())
+
+let datasets () =
+  Experiments.Datasets.print (Experiments.Datasets.run ~scale:!scale ())
+
+let resilience () =
+  Experiments.Resilience.print (Experiments.Resilience.run ~scale:!scale ())
+
+let dht () = Experiments.Dht_compare.print (Experiments.Dht_compare.run ~scale:!scale ())
+
+let cachegeo () =
+  Experiments.Cache_geometry.print (Experiments.Cache_geometry.run ~scale:!scale ())
+
+(* --- Bechamel micro-benchmarks of the primitives ------------------- *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let cache_lookup =
+    let cache = Switchv2p.Cache.create ~slots:4096 in
+    for i = 0 to 4095 do
+      ignore
+        (Switchv2p.Cache.insert cache ~admission:`All
+           (Netcore.Addr.Vip.of_int i)
+           (Netcore.Addr.Pip.of_int i))
+    done;
+    let i = ref 0 in
+    Test.make ~name:"cache lookup"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore
+             (Switchv2p.Cache.lookup cache
+                (Netcore.Addr.Vip.of_int (!i land 4095)))))
+  in
+  let cache_insert =
+    let cache = Switchv2p.Cache.create ~slots:4096 in
+    let i = ref 0 in
+    Test.make ~name:"cache insert"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore
+             (Switchv2p.Cache.insert cache ~admission:`All
+                (Netcore.Addr.Vip.of_int (!i land 16383))
+                (Netcore.Addr.Pip.of_int !i))))
+  in
+  let heap_ops =
+    let h = Dessim.Heap.create () in
+    let rng = Dessim.Rng.create 5 in
+    for _ = 1 to 1024 do
+      Dessim.Heap.push h (Dessim.Rng.int rng 1_000_000) ()
+    done;
+    Test.make ~name:"heap push+pop"
+      (Staged.stage (fun () ->
+           Dessim.Heap.push h (Dessim.Rng.int rng 1_000_000) ();
+           ignore (Dessim.Heap.pop h)))
+  in
+  let ecmp =
+    let t =
+      Topo.Topology.build
+        (Topo.Params.scaled ~pods:8 ~racks_per_pod:4 ~hosts_per_rack:2
+           ~vms_per_host:2 ())
+    in
+    let hosts = Topo.Topology.hosts t in
+    let i = ref 0 in
+    Test.make ~name:"ecmp full path"
+      (Staged.stage (fun () ->
+           incr i;
+           let src = hosts.(!i mod Array.length hosts) in
+           let dst = hosts.(((!i * 7) + 13) mod Array.length hosts) in
+           if src <> dst then ignore (Topo.Routing.path t ~src ~dst ~salt:!i)))
+  in
+  let rng_bench =
+    let rng = Dessim.Rng.create 7 in
+    Test.make ~name:"rng int"
+      (Staged.stage (fun () -> ignore (Dessim.Rng.int rng 1_000_000)))
+  in
+  let tests =
+    Test.make_grouped ~name:"primitives"
+      [ cache_lookup; cache_insert; heap_ops; ecmp; rng_bench ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_newline ();
+  print_endline "== micro: primitive costs (ns/op) ==";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Printf.printf "  %-36s %8.1f ns/op\n" name est
+      | Some _ | None -> Printf.printf "  %-36s (no estimate)\n" name)
+    results;
+  flush stdout
+
+let targets =
+  [
+    ("fig5a", ("Figure 5a (Hadoop)", fig5 Fig5.Hadoop));
+    ("fig5b", ("Figure 5b (Microbursts)", fig5 Fig5.Microbursts));
+    ("fig5c", ("Figure 5c (WebSearch + Controller)", fig5c_with_controller));
+    ("fig5d", ("Figure 5d (Video)", fig5 Fig5.Video));
+    ("fig6", ("Figure 6 (Alibaba, FT16)", fig5 Fig5.Alibaba));
+    ("fig7", ("Figures 7/8 (bandwidth heatmaps)", fig7_8));
+    ("fig8", ("Figures 7/8 (bandwidth heatmaps)", fig7_8));
+    ("fig9", ("Figure 9 (fewer gateways)", fig9));
+    ("fig10", ("Figure 10 (topology scaling)", fig10));
+    ("tab4", ("Table 4 (VM migration)", tab4));
+    ("tab5", ("Table 5 (hit distribution)", tab5));
+    ("tab6", ("Table 6 (switch resources)", tab6));
+    ("appA2", ("Appendix A.2 (Controller)", app_a2));
+    ("ablation", ("Ablation (design features)", ablation));
+    ("multitenant", ("Multitenant partitions (§4)", multitenant));
+    ("datasets", ("Dataset characterization (§5)", datasets));
+    ("resilience", ("Switch-failure resilience (§2)", resilience));
+    ("dht", ("DHT-store alternative (§2.4)", dht));
+    ("cachegeo", ("Cache geometry study (§3.2)", cachegeo));
+    ("micro", ("Micro-benchmarks", micro));
+  ]
+
+(* fig7 and fig8 share one runner; run it once in the full sweep. *)
+let default_order =
+  [
+    "datasets"; "fig5a"; "fig5b"; "fig5c"; "fig5d"; "fig6"; "fig7"; "fig9";
+    "fig10"; "tab4"; "tab5"; "tab6"; "appA2"; "ablation"; "multitenant";
+    "resilience"; "dht"; "cachegeo"; "micro";
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec strip_flags acc = function
+    | [] -> List.rev acc
+    | "--paper" :: rest ->
+        scale := `Paper;
+        strip_flags acc rest
+    | "--tiny" :: rest ->
+        scale := `Tiny;
+        strip_flags acc rest
+    | "--csv" :: dir :: rest ->
+        Experiments.Report.set_csv_dir (Some dir);
+        strip_flags acc rest
+    | a :: rest -> strip_flags (a :: acc) rest
+  in
+  let args = strip_flags [] args in
+  let selected = if args = [] then default_order else args in
+  List.iter
+    (fun key ->
+      match List.assoc_opt key targets with
+      | Some (title, f) -> time_it title f
+      | None ->
+          Printf.eprintf "unknown target %S; available: %s\n" key
+            (String.concat ", " (List.map fst targets));
+          exit 1)
+    selected

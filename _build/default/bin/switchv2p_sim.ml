@@ -1,0 +1,198 @@
+(* switchv2p-sim: command-line front end for the SwitchV2P simulator.
+
+   Subcommands either reproduce a specific paper artifact (fig5a..tab6)
+   or run a single custom simulation with a chosen scheme, trace and
+   cache size, printing the standard metric row. *)
+
+open Cmdliner
+
+let scale_conv =
+  let parse = function
+    | "tiny" -> Ok `Tiny
+    | "small" -> Ok `Small
+    | "paper" -> Ok `Paper
+    | s -> Error (`Msg (Printf.sprintf "unknown scale %S (tiny|small|paper)" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with `Tiny -> "tiny" | `Small -> "small" | `Paper -> "paper")
+  in
+  Arg.conv (parse, print)
+
+let scale_arg =
+  let doc = "Topology scale: tiny (tests), small (default), paper (Table 3)." in
+  Arg.(value & opt scale_conv `Small & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let cache_pct_arg =
+  let doc = "Aggregate cache size as a percentage of the VIP space." in
+  Arg.(value & opt int 50 & info [ "cache-pct" ] ~docv:"PCT" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (runs are bit-reproducible per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* --- run: a single simulation --- *)
+
+let scheme_conv =
+  let names =
+    [ "nocache"; "direct"; "ondemand"; "hoverboard"; "locallearning";
+      "gwcache"; "bluebird"; "dht"; "switchv2p"; "controller" ]
+  in
+  let parse s =
+    if List.mem s names then Ok s
+    else
+      Error
+        (`Msg (Printf.sprintf "unknown scheme %S (%s)" s (String.concat "|" names)))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let scheme_arg =
+  let doc = "Translation scheme to simulate." in
+  Arg.(value & opt scheme_conv "switchv2p" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+
+let trace_conv =
+  let names = [ "hadoop"; "websearch"; "alibaba"; "microbursts"; "video" ] in
+  let parse s =
+    if List.mem s names then Ok s
+    else
+      Error
+        (`Msg (Printf.sprintf "unknown trace %S (%s)" s (String.concat "|" names)))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let trace_arg =
+  let doc = "Workload trace." in
+  Arg.(value & opt trace_conv "hadoop" & info [ "trace" ] ~docv:"TRACE" ~doc)
+
+let gateways_arg =
+  let doc = "Restrict load balancing to the first K gateways." in
+  Arg.(value & opt (some int) None & info [ "gateways" ] ~docv:"K" ~doc)
+
+let make_scheme name topo ~slots =
+  match name with
+  | "nocache" -> Schemes.Baselines.nocache ()
+  | "direct" -> Schemes.Baselines.direct ()
+  | "ondemand" -> Schemes.Baselines.ondemand ()
+  | "hoverboard" -> Schemes.Baselines.hoverboard ()
+  | "dht" -> Schemes.Dht_store.make topo
+  | "locallearning" -> Schemes.Baselines.locallearning ~topo ~total_slots:slots
+  | "gwcache" -> Schemes.Baselines.gwcache ~topo ~total_slots:slots
+  | "bluebird" -> Schemes.Baselines.bluebird ~topo ~total_slots:slots ()
+  | "switchv2p" -> Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots
+  | "controller" ->
+      Schemes.Controller.make ~topo ~total_slots:slots
+        ~interval:(Dessim.Time_ns.of_us 300) ()
+  | _ -> assert false
+
+let make_trace name setup =
+  match name with
+  | "hadoop" -> Experiments.Setup.hadoop_trace setup
+  | "websearch" -> Experiments.Setup.websearch_trace setup
+  | "alibaba" -> Experiments.Setup.alibaba_trace setup
+  | "microbursts" -> Experiments.Setup.microbursts_trace setup
+  | "video" -> Experiments.Setup.video_trace setup
+  | _ -> assert false
+
+let run_cmd =
+  let run scale cache_pct seed scheme_name trace_name gateways =
+    let setup =
+      if trace_name = "alibaba" then Experiments.Setup.ft16 ~seed scale
+      else Experiments.Setup.ft8 ~seed scale
+    in
+    let topo = setup.Experiments.Setup.topo in
+    let slots = Experiments.Setup.cache_slots setup ~pct:cache_pct in
+    let flows = make_trace trace_name setup in
+    let scheme = make_scheme scheme_name topo ~slots in
+    let net_config =
+      { Netsim.Network.default_config with seed; gateways_used = gateways }
+    in
+    let r =
+      Experiments.Runner.run ~net_config setup ~scheme ~flows ~migrations:[]
+        ~until:(Experiments.Setup.horizon flows)
+    in
+    let core, spine, tor, gw, host = r.Experiments.Runner.layer_hits in
+    Printf.printf "scheme          %s\n" r.Experiments.Runner.scheme;
+    Printf.printf "trace           %s (%d flows, %d VMs)\n" trace_name
+      (List.length flows) setup.Experiments.Setup.num_vms;
+    Printf.printf "cache           %d%% of VIP space (%d entries total)\n"
+      cache_pct slots;
+    Printf.printf "flows completed %d / %d\n" r.Experiments.Runner.flows_completed
+      r.Experiments.Runner.flows_started;
+    Printf.printf "hit rate        %.2f%%\n" (100.0 *. r.Experiments.Runner.hit_rate);
+    Printf.printf "mean FCT        %.1f us\n" (r.Experiments.Runner.mean_fct *. 1e6);
+    Printf.printf "mean FP latency %.1f us\n" (r.Experiments.Runner.mean_fpl *. 1e6);
+    Printf.printf "packet stretch  %.2f switches\n" r.Experiments.Runner.stretch;
+    Printf.printf "gateway packets %d / %d sent\n" r.Experiments.Runner.gw_packets
+      r.Experiments.Runner.packets_sent;
+    Printf.printf "drops           %d\n" r.Experiments.Runner.packets_dropped;
+    Printf.printf "hit layers      core=%d spine=%d tor=%d gateway=%d host=%d\n"
+      core spine tor gw host;
+    List.iter
+      (fun (k, v) -> Printf.printf "%-15s %.0f\n" k v)
+      r.Experiments.Runner.extra
+  in
+  let doc = "Run one simulation and print the standard metrics." in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      const run $ scale_arg $ cache_pct_arg $ seed_arg $ scheme_arg $ trace_arg
+      $ gateways_arg)
+
+(* --- reproduce: paper artifacts --- *)
+
+let artifact_cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_arg $ cache_pct_arg)
+
+let fig5_cmd key kind doc =
+  let f scale _pct = Experiments.Fig5.print (Experiments.Fig5.run ~scale kind) in
+  artifact_cmd key doc f
+
+let cmds =
+  [
+    run_cmd;
+    fig5_cmd "fig5a" Experiments.Fig5.Hadoop "Figure 5a: Hadoop cache sweep.";
+    fig5_cmd "fig5b" Experiments.Fig5.Microbursts "Figure 5b: Microbursts cache sweep.";
+    fig5_cmd "fig5c" Experiments.Fig5.Websearch "Figure 5c: WebSearch cache sweep.";
+    fig5_cmd "fig5d" Experiments.Fig5.Video "Figure 5d: Video cache sweep.";
+    fig5_cmd "fig6" Experiments.Fig5.Alibaba "Figure 6: Alibaba on FT16.";
+    artifact_cmd "fig7" "Figures 7/8: per-pod and per-switch bytes." (fun scale pct ->
+        Experiments.Fig7_8.print (Experiments.Fig7_8.run ~scale ~cache_pct:pct ()));
+    artifact_cmd "fig9" "Figure 9: shrinking the gateway fleet." (fun scale pct ->
+        Experiments.Fig9.print (Experiments.Fig9.run ~scale ~cache_pct:pct ()));
+    artifact_cmd "fig10" "Figure 10: topology scaling." (fun _scale pct ->
+        Experiments.Fig10.print (Experiments.Fig10.run ~cache_pct:pct ()));
+    artifact_cmd "tab4" "Table 4: VM migration." (fun scale pct ->
+        Experiments.Tab4.print (Experiments.Tab4.run ~scale ~cache_pct:pct ()));
+    artifact_cmd "tab5" "Table 5: hit distribution by layer." (fun scale pct ->
+        Experiments.Tab5.print (Experiments.Tab5.run ~scale ~cache_pct:pct ()));
+    artifact_cmd "tab6" "Table 6: switch resource model." (fun _scale _pct ->
+        Experiments.Tab6.print (Experiments.Tab6.run ()));
+    artifact_cmd "appA2" "Appendix A.2: Controller baseline." (fun scale _pct ->
+        Experiments.App_a2.print (Experiments.App_a2.run ~scale ()));
+    artifact_cmd "ablation" "Ablation of SwitchV2P features." (fun scale pct ->
+        Experiments.Ablation.print (Experiments.Ablation.run ~scale ~cache_pct:pct ()));
+    artifact_cmd "multitenant" "Per-VPC cache partitions (paper section 4)."
+      (fun scale pct ->
+        Experiments.Multitenant.print
+          (Experiments.Multitenant.run ~scale ~cache_pct:pct ()));
+    artifact_cmd "datasets" "Address-reuse characteristics of the traces."
+      (fun scale _pct ->
+        Experiments.Datasets.print (Experiments.Datasets.run ~scale ()));
+    artifact_cmd "resilience" "Cache-wipe resilience (paper section 2)."
+      (fun scale pct ->
+        Experiments.Resilience.print
+          (Experiments.Resilience.run ~scale ~cache_pct:pct ()));
+    artifact_cmd "dht" "DHT-store alternative (paper section 2.4)."
+      (fun scale pct ->
+        Experiments.Dht_compare.print
+          (Experiments.Dht_compare.run ~scale ~cache_pct:pct ()));
+    artifact_cmd "cachegeo" "Cache geometry study (paper section 3.2)."
+      (fun scale _pct ->
+        Experiments.Cache_geometry.print
+          (Experiments.Cache_geometry.run ~scale ()));
+  ]
+
+let () =
+  let doc = "SwitchV2P: in-network address caching simulator" in
+  let info = Cmd.info "switchv2p-sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info cmds))

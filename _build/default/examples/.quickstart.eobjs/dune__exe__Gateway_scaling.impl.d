@@ -1,0 +1,1 @@
+examples/gateway_scaling.ml: Array Experiments List Netsim Printf Schemes Topo

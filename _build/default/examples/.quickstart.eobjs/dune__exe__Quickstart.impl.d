@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dessim Format Netcore Netsim Printf Schemes Switchv2p Topo

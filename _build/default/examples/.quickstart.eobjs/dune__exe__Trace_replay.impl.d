@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Array Experiments List Printf Schemes Topo

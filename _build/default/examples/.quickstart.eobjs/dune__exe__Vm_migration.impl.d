@@ -1,0 +1,1 @@
+examples/vm_migration.ml: Array Dessim Experiments List Netcore Netsim Printf Schemes Topo Workloads

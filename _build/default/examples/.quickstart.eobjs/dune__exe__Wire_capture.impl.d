@@ -1,0 +1,1 @@
+examples/wire_capture.ml: Bytes Char Dessim Format List Netcore Printf String Workloads

@@ -1,0 +1,1 @@
+lib/core/assoc_cache.ml: Array Int64 Netcore

@@ -1,0 +1,1 @@
+lib/core/cache.ml: Array Bytes Int64 Netcore

@@ -1,0 +1,1 @@
+lib/core/dataplane.ml: Array Cache Config Dessim Hashtbl Netcore Partition Topo Ts_vector

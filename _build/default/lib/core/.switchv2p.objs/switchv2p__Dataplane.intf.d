@@ -1,0 +1,1 @@
+lib/core/dataplane.mli: Cache Config Dessim Netcore Partition Topo

@@ -1,0 +1,1 @@
+lib/core/ts_vector.ml: Array Dessim

@@ -1,0 +1,1 @@
+lib/core/ts_vector.mli: Dessim

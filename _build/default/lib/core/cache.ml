@@ -1,0 +1,143 @@
+module Vip = Netcore.Addr.Vip
+module Pip = Netcore.Addr.Pip
+
+type t = {
+  keys : int array; (* -1 = empty *)
+  values : int array;
+  access : Bytes.t;
+  n : int;
+  mutable occupancy : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+}
+
+type admission = [ `All | `A_bit_clear ]
+
+type insert_result =
+  | Inserted of (Vip.t * Pip.t) option
+  | Updated
+  | Rejected
+
+let create ~slots =
+  if slots < 0 then invalid_arg "Cache.create: negative slots";
+  {
+    keys = Array.make slots (-1);
+    values = Array.make slots (-1);
+    access = Bytes.make slots '\000';
+    n = slots;
+    occupancy = 0;
+    hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+  }
+
+let slots t = t.n
+
+(* Fixed hash shared by all switches, standing in for the hardware CRC. *)
+let slot_of t vip =
+  let v = Vip.to_int vip in
+  let z = Int64.of_int (v * 0x9E3779B9) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let h = Int64.to_int (Int64.shift_right_logical z 33) in
+  h mod t.n
+
+let lookup t vip =
+  if t.n = 0 then begin
+    t.misses <- t.misses + 1;
+    None
+  end
+  else begin
+    let i = slot_of t vip in
+    let key = t.keys.(i) in
+    if key = Vip.to_int vip then begin
+      t.hits <- t.hits + 1;
+      let was_set = Bytes.get t.access i = '\001' in
+      Bytes.set t.access i '\001';
+      Some (Pip.of_int t.values.(i), was_set)
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      (* A conflicting occupant loses its access bit: it was consulted
+         and was not useful. *)
+      if key >= 0 then Bytes.set t.access i '\000';
+      None
+    end
+  end
+
+let peek t vip =
+  if t.n = 0 then None
+  else
+    let i = slot_of t vip in
+    if t.keys.(i) = Vip.to_int vip then Some (Pip.of_int t.values.(i)) else None
+
+let access_bit t vip =
+  if t.n = 0 then None
+  else
+    let i = slot_of t vip in
+    if t.keys.(i) = Vip.to_int vip then Some (Bytes.get t.access i = '\001')
+    else None
+
+let insert t ~admission vip pip =
+  if t.n = 0 then Rejected
+  else begin
+    let i = slot_of t vip in
+    let key = t.keys.(i) in
+    if key = Vip.to_int vip then begin
+      t.values.(i) <- Pip.to_int pip;
+      Updated
+    end
+    else if key < 0 then begin
+      t.keys.(i) <- Vip.to_int vip;
+      t.values.(i) <- Pip.to_int pip;
+      Bytes.set t.access i '\000';
+      t.occupancy <- t.occupancy + 1;
+      t.insertions <- t.insertions + 1;
+      Inserted None
+    end
+    else begin
+      let admit =
+        match admission with
+        | `All -> true
+        | `A_bit_clear -> Bytes.get t.access i = '\000'
+      in
+      if not admit then Rejected
+      else begin
+        let evicted = (Vip.of_int key, Pip.of_int t.values.(i)) in
+        t.keys.(i) <- Vip.to_int vip;
+        t.values.(i) <- Pip.to_int pip;
+        Bytes.set t.access i '\000';
+        t.insertions <- t.insertions + 1;
+        t.evictions <- t.evictions + 1;
+        Inserted (Some evicted)
+      end
+    end
+  end
+
+let invalidate t vip ~stale =
+  if t.n = 0 then false
+  else begin
+    let i = slot_of t vip in
+    if t.keys.(i) = Vip.to_int vip && t.values.(i) = Pip.to_int stale then begin
+      t.keys.(i) <- -1;
+      t.values.(i) <- -1;
+      Bytes.set t.access i '\000';
+      t.occupancy <- t.occupancy - 1;
+      true
+    end
+    else false
+  end
+
+let clear t =
+  Array.fill t.keys 0 t.n (-1);
+  Array.fill t.values 0 t.n (-1);
+  Bytes.fill t.access 0 t.n '\000';
+  t.occupancy <- 0
+
+let occupancy t = t.occupancy
+let hits t = t.hits
+let misses t = t.misses
+let insertions t = t.insertions
+let evictions t = t.evictions

@@ -1,0 +1,70 @@
+(** Direct-mapped V2P cache with per-line access bits (§3.2).
+
+    The cache mirrors the paper's P4 register-array layout: one array
+    of keys (VIPs), one of values (PIPs), and one of access bits. The
+    slot for a VIP is a fixed hash of the key, so an insertion can only
+    evict the current occupant of that one slot — no LRU, no chaining.
+
+    Access-bit semantics (paper §3.2, "Cache structure"):
+    - a lookup that hits sets the line's access bit;
+    - a lookup that lands on the line but finds a different key (a
+      conflict miss) {e clears} the access bit, marking the entry as
+      not-recently-useful so conservative admission can replace it. *)
+
+type t
+
+(** Admission policies from Table 1. [`All] always admits (evicting
+    the occupant if needed); [`A_bit_clear] admits only when the
+    occupied slot's access bit is clear (an empty slot always
+    admits). *)
+type admission = [ `All | `A_bit_clear ]
+
+type insert_result =
+  | Inserted of (Netcore.Addr.Vip.t * Netcore.Addr.Pip.t) option
+      (** admitted; payload is the evicted valid entry, if any — the
+          candidate for spillover *)
+  | Updated  (** key already present; value refreshed *)
+  | Rejected  (** admission policy kept the occupant *)
+
+(** [create ~slots] is an empty cache with [slots] lines. [slots = 0]
+    is a legal degenerate cache on which every lookup misses and every
+    insert is rejected. Raises [Invalid_argument] if [slots < 0]. *)
+val create : slots:int -> t
+
+val slots : t -> int
+
+(** [lookup t vip] applies the access-bit side effects described
+    above. On a hit it returns the mapped PIP together with the value
+    the access bit had {e before} this lookup — spine switches promote
+    an entry to the core tier only when a hit finds the bit already
+    set (§3.2.2). *)
+val lookup : t -> Netcore.Addr.Vip.t -> (Netcore.Addr.Pip.t * bool) option
+
+(** [peek t vip] is a side-effect-free lookup (for tests and metrics). *)
+val peek : t -> Netcore.Addr.Vip.t -> Netcore.Addr.Pip.t option
+
+(** [access_bit t vip] is the line's access bit if [vip] is cached. *)
+val access_bit : t -> Netcore.Addr.Vip.t -> bool option
+
+(** [insert t ~admission vip pip] attempts to install the mapping.
+    A freshly admitted entry has its access bit clear. *)
+val insert : t -> admission:admission -> Netcore.Addr.Vip.t -> Netcore.Addr.Pip.t -> insert_result
+
+(** [invalidate t vip ~stale] removes the entry for [vip] if its
+    current value equals [stale]; returns whether an entry was
+    removed. *)
+val invalidate : t -> Netcore.Addr.Vip.t -> stale:Netcore.Addr.Pip.t -> bool
+
+(** [clear t] drops every entry (a switch reboot / failure losing its
+    data-plane state). Statistics counters are preserved. *)
+val clear : t -> unit
+
+(** [occupancy t] is the number of valid entries. *)
+val occupancy : t -> int
+
+(** Cumulative statistics since creation. *)
+val hits : t -> int
+
+val misses : t -> int
+val insertions : t -> int
+val evictions : t -> int

@@ -1,0 +1,418 @@
+module Time_ns = Dessim.Time_ns
+module Rng = Dessim.Rng
+module Packet = Netcore.Packet
+module Pip = Netcore.Addr.Pip
+module Vip = Netcore.Addr.Vip
+
+type env = {
+  now : unit -> Time_ns.t;
+  emit : src_switch:int -> Packet.t -> unit;
+  fresh_packet_id : unit -> int;
+  rng : Rng.t;
+}
+
+type switch_state = {
+  sw_id : int;
+  mutable role : Topo.Node.role;
+      (* mutable: gateway migration reassigns ToR/spine roles (§4) *)
+  caches : Cache.t array; (* one private partition per tenant *)
+  ts_vector : Ts_vector.t option; (* ToRs only *)
+  attached_hosts : (int, unit) Hashtbl.t;
+      (* front-panel table: node ids of attached non-gateway servers *)
+}
+
+type t = {
+  cfg : Config.t;
+  topo : Topo.Topology.t;
+  partition : Partition.t;
+  states : switch_state option array; (* indexed by node id *)
+  mutable learning_packets_sent : int;
+  mutable invalidation_packets_sent : int;
+  mutable promotions : int;
+  mutable spills_attached : int;
+  mutable spills_absorbed : int;
+  mutable entries_invalidated : int;
+  mutable misdelivery_tags : int;
+}
+
+type verdict = Forward | Consume
+
+let config t = t.cfg
+
+let role_weight (alloc : Config.allocation) (role : Topo.Node.role) =
+  match alloc with
+  | Config.Uniform -> 1.0
+  | Config.Tor_only -> (
+      match role with
+      | Topo.Node.Regular_tor | Topo.Node.Gateway_tor -> 1.0
+      | Topo.Node.Regular_spine | Topo.Node.Gateway_spine
+      | Topo.Node.Core_switch ->
+          0.0)
+  | Config.Weighted w -> (
+      match role with
+      | Topo.Node.Regular_tor -> w.tor
+      | Topo.Node.Gateway_tor -> w.gw_tor
+      | Topo.Node.Regular_spine -> w.spine
+      | Topo.Node.Gateway_spine -> w.gw_spine
+      | Topo.Node.Core_switch -> w.core)
+
+(* Split [total] slots proportionally to per-switch weights; floor each
+   share and hand the remainder out round-robin among positive-weight
+   switches so the total is conserved exactly. *)
+let distribute_slots cfg topo ~total =
+  let switches = Topo.Topology.switches topo in
+  let weights =
+    Array.map
+      (fun sw ->
+        let w = role_weight cfg.Config.allocation (Topo.Topology.role topo sw) in
+        if w < 0.0 then invalid_arg "Dataplane.create: negative role weight";
+        w)
+      switches
+  in
+  let sum = Array.fold_left ( +. ) 0.0 weights in
+  let slots_for = Hashtbl.create (Array.length switches) in
+  if sum <= 0.0 then
+    Array.iter (fun sw -> Hashtbl.replace slots_for sw 0) switches
+  else begin
+    let assigned = ref 0 in
+    Array.iteri
+      (fun i sw ->
+        let share =
+          int_of_float (float_of_int total *. weights.(i) /. sum)
+        in
+        assigned := !assigned + share;
+        Hashtbl.replace slots_for sw share)
+      switches;
+    let leftover = ref (total - !assigned) in
+    let i = ref 0 in
+    while !leftover > 0 do
+      if weights.(!i mod Array.length switches) > 0.0 then begin
+        let sw = switches.(!i mod Array.length switches) in
+        Hashtbl.replace slots_for sw (1 + Hashtbl.find slots_for sw);
+        decr leftover
+      end;
+      incr i
+    done
+  end;
+  slots_for
+
+let create ?(partition = Partition.single) cfg topo ~total_cache_slots =
+  if total_cache_slots < 0 then
+    invalid_arg "Dataplane.create: negative cache size";
+  let slots_for = distribute_slots cfg topo ~total:total_cache_slots in
+  let num_nodes = Topo.Topology.num_nodes topo in
+  let base_rtt = Topo.Params.base_rtt (Topo.Topology.params topo) in
+  let states = Array.make num_nodes None in
+  Array.iter
+    (fun sw ->
+      let role = Topo.Topology.role topo sw in
+      let slots = match Hashtbl.find_opt slots_for sw with Some s -> s | None -> 0 in
+      let ts_vector =
+        match role with
+        | Topo.Node.Regular_tor | Topo.Node.Gateway_tor ->
+            Some (Ts_vector.create ~num_switches:num_nodes ~base_rtt)
+        | Topo.Node.Regular_spine | Topo.Node.Gateway_spine | Topo.Node.Core_switch
+          ->
+            None
+      in
+      let attached_hosts = Hashtbl.create 8 in
+      (match role with
+      | Topo.Node.Regular_tor | Topo.Node.Gateway_tor ->
+          Array.iter
+            (fun ep ->
+              match Topo.Topology.kind topo ep with
+              | Topo.Node.Host _ -> Hashtbl.replace attached_hosts ep ()
+              | Topo.Node.Gateway _ -> ()
+              | Topo.Node.Tor _ | Topo.Node.Spine _ | Topo.Node.Core _ ->
+                  assert false)
+            (Topo.Topology.endpoints_of_tor topo sw)
+      | Topo.Node.Regular_spine | Topo.Node.Gateway_spine | Topo.Node.Core_switch
+        ->
+          ());
+      let caches =
+        Array.map
+          (fun tenant_slots -> Cache.create ~slots:tenant_slots)
+          (Partition.split_slots partition ~slots)
+      in
+      states.(sw) <-
+        Some { sw_id = sw; role; caches; ts_vector; attached_hosts })
+    (Topo.Topology.switches topo);
+  {
+    cfg;
+    topo;
+    partition;
+    states;
+    learning_packets_sent = 0;
+    invalidation_packets_sent = 0;
+    promotions = 0;
+    spills_attached = 0;
+    spills_absorbed = 0;
+    entries_invalidated = 0;
+    misdelivery_tags = 0;
+  }
+
+let state t switch =
+  match t.states.(switch) with
+  | Some s -> s
+  | None -> invalid_arg "Dataplane: node is not a switch"
+
+(* The cache partition owning [vip] at this switch. *)
+let cache_for t st vip = st.caches.(Partition.tenant_of t.partition vip)
+
+let cache t ~switch = (state t switch).caches.(0)
+
+let cache_of_tenant t ~switch ~tenant =
+  let st = state t switch in
+  if tenant < 0 || tenant >= Array.length st.caches then
+    invalid_arg "Dataplane.cache_of_tenant: tenant out of range";
+  st.caches.(tenant)
+
+let slots_of t ~switch =
+  Array.fold_left (fun acc c -> acc + Cache.slots c) 0 (state t switch).caches
+let learning_packets_sent t = t.learning_packets_sent
+let invalidation_packets_sent t = t.invalidation_packets_sent
+
+let invalidations_suppressed t =
+  Array.fold_left
+    (fun acc st ->
+      match st with
+      | Some { ts_vector = Some v; _ } -> acc + Ts_vector.suppressed v
+      | Some _ | None -> acc)
+    0 t.states
+
+let promotions t = t.promotions
+let spills_attached t = t.spills_attached
+let spills_absorbed t = t.spills_absorbed
+let entries_invalidated t = t.entries_invalidated
+let misdelivery_tags t = t.misdelivery_tags
+
+let admission_of_role = function
+  | Topo.Node.Gateway_tor | Topo.Node.Regular_tor -> `All
+  | Topo.Node.Gateway_spine | Topo.Node.Regular_spine | Topo.Node.Core_switch ->
+      `A_bit_clear
+
+(* Insert a mapping and, when enabled and the packet has room, turn the
+   evicted occupant into a spillover rider. *)
+let insert_with_spill t st (pkt : Packet.t option) ~admission vip pip =
+  match Cache.insert (cache_for t st vip) ~admission vip pip with
+  | Cache.Inserted (Some evicted) ->
+      if t.cfg.Config.spillover then begin
+        match pkt with
+        | Some p when p.Packet.spill = None ->
+            p.Packet.spill <- Some evicted;
+            t.spills_attached <- t.spills_attached + 1
+        | Some _ | None -> ()
+      end
+  | Cache.Inserted None | Cache.Updated | Cache.Rejected -> ()
+
+let rewrite_to st (pkt : Packet.t) pip =
+  pkt.Packet.dst_pip <- pip;
+  pkt.Packet.resolved <- true;
+  pkt.Packet.hit_switch <- st.sw_id
+
+(* §3.3: on assigning a misdelivery tag the ToR targets an invalidation
+   packet at the switch that served the stale mapping. *)
+let send_invalidation t env st ~target ~vip ~stale =
+  if target >= 0 && target <> st.sw_id && t.cfg.Config.invalidations then begin
+    let allowed =
+      if not t.cfg.Config.ts_vector then true
+      else
+        match st.ts_vector with
+        | Some v -> Ts_vector.should_send v ~switch:target ~now:(env.now ())
+        | None -> true
+    in
+    if allowed then begin
+      let pkt =
+        Packet.make_control ~id:(env.fresh_packet_id ()) ~kind:Packet.Invalidation
+          ~mapping:(vip, stale)
+          ~src_pip:(Topo.Topology.pip t.topo st.sw_id)
+          ~dst_pip:(Topo.Topology.pip t.topo target)
+          ~now:(env.now ())
+      in
+      t.invalidation_packets_sent <- t.invalidation_packets_sent + 1;
+      env.emit ~src_switch:st.sw_id pkt
+    end
+  end
+
+let maybe_send_learning_packet t env st (pkt : Packet.t) =
+  if
+    t.cfg.Config.learning_packets
+    && Rng.bernoulli env.rng t.cfg.Config.p_learn
+  then begin
+    let sender = Topo.Topology.node_of_pip t.topo pkt.Packet.src_pip in
+    if
+      sender < Topo.Topology.num_nodes t.topo
+      && Topo.Node.is_endpoint (Topo.Topology.kind t.topo sender)
+    then begin
+      let sender_tor = Topo.Topology.tor_of t.topo sender in
+      if sender_tor <> st.sw_id then begin
+        let lp =
+          Packet.make_control ~id:(env.fresh_packet_id ())
+            ~kind:Packet.Learning
+            ~mapping:(pkt.Packet.dst_vip, pkt.Packet.dst_pip)
+            ~src_pip:(Topo.Topology.pip t.topo st.sw_id)
+            ~dst_pip:(Topo.Topology.pip t.topo sender_tor)
+            ~now:(env.now ())
+        in
+        t.learning_packets_sent <- t.learning_packets_sent + 1;
+        env.emit ~src_switch:st.sw_id lp
+      end
+    end
+  end
+
+(* Tagged packets re-check the cache specially: a cached value equal to
+   the stale PIP is invalidated; a different cached value is trusted
+   (the switch already learned the new location). *)
+let handle_tagged t st (pkt : Packet.t) ~stale =
+  let cache = cache_for t st pkt.Packet.dst_vip in
+  match Cache.peek cache pkt.Packet.dst_vip with
+  | Some cached when Pip.equal cached stale ->
+      if Cache.invalidate cache pkt.Packet.dst_vip ~stale then
+        t.entries_invalidated <- t.entries_invalidated + 1
+  | Some _ -> (
+      match Cache.lookup cache pkt.Packet.dst_vip with
+      | Some (fresh, _) -> rewrite_to st pkt fresh
+      | None -> ())
+  | None -> ()
+
+let regular_lookup t env st (pkt : Packet.t) =
+  match Cache.lookup (cache_for t st pkt.Packet.dst_vip) pkt.Packet.dst_vip with
+  | Some (pip, bit_was_set) ->
+      rewrite_to st pkt pip;
+      (* Promotion: a popular entry hit at a regular spine by a packet
+         leaving the pod rides to the core tier. *)
+      if
+        t.cfg.Config.promotion && st.role = Topo.Node.Regular_spine
+        && bit_was_set
+        && pkt.Packet.promo = None
+      then begin
+        let dst_node = Topo.Topology.node_of_pip t.topo pip in
+        let own_pod = Topo.Node.pod_of (Topo.Topology.kind t.topo st.sw_id) in
+        let dst_pod = Topo.Node.pod_of (Topo.Topology.kind t.topo dst_node) in
+        if dst_pod <> own_pod then begin
+          pkt.Packet.promo <- Some (pkt.Packet.dst_vip, pip);
+          t.promotions <- t.promotions + 1
+        end
+      end;
+      ignore env
+  | None -> ()
+
+let absorb_spill t st (pkt : Packet.t) =
+  match pkt.Packet.spill with
+  | Some (vip, pip) when t.cfg.Config.spillover -> (
+      let cache = cache_for t st vip in
+      if Cache.slots cache = 0 then ()
+      else
+        match Cache.insert cache ~admission:(admission_of_role st.role) vip pip with
+        | Cache.Inserted _ | Cache.Updated ->
+            pkt.Packet.spill <- None;
+            t.spills_absorbed <- t.spills_absorbed + 1
+        | Cache.Rejected -> ())
+  | Some _ | None -> ()
+
+let learn t env st (pkt : Packet.t) =
+  match st.role with
+  | Topo.Node.Gateway_tor ->
+      if pkt.Packet.resolved then begin
+        insert_with_spill t st (Some pkt) ~admission:`All pkt.Packet.dst_vip
+          pkt.Packet.dst_pip;
+        maybe_send_learning_packet t env st pkt
+      end
+  | Topo.Node.Gateway_spine ->
+      if pkt.Packet.resolved then
+        insert_with_spill t st (Some pkt) ~admission:`A_bit_clear
+          pkt.Packet.dst_vip pkt.Packet.dst_pip
+  | Topo.Node.Regular_tor ->
+      if t.cfg.Config.source_learning then
+        insert_with_spill t st (Some pkt) ~admission:`All pkt.Packet.src_vip
+          pkt.Packet.src_pip
+  | Topo.Node.Regular_spine ->
+      if pkt.Packet.resolved then
+        insert_with_spill t st (Some pkt) ~admission:`A_bit_clear
+          pkt.Packet.dst_vip pkt.Packet.dst_pip
+  | Topo.Node.Core_switch -> (
+      match pkt.Packet.promo with
+      | Some (vip, pip) when t.cfg.Config.promotion ->
+          insert_with_spill t st (Some pkt) ~admission:`A_bit_clear vip pip;
+          pkt.Packet.promo <- None
+      | Some _ | None -> ())
+
+let is_tor st =
+  match st.role with
+  | Topo.Node.Regular_tor | Topo.Node.Gateway_tor -> true
+  | Topo.Node.Regular_spine | Topo.Node.Gateway_spine | Topo.Node.Core_switch ->
+      false
+
+let process t env ~switch ~from (pkt : Packet.t) =
+  let st = state t switch in
+  let own_pip = Topo.Topology.pip t.topo switch in
+  match pkt.Packet.kind with
+  | Packet.Learning ->
+      if Pip.equal pkt.Packet.dst_pip own_pip then begin
+        (match pkt.Packet.mapping_payload with
+        | Some (vip, pip) -> insert_with_spill t st None ~admission:`All vip pip
+        | None -> ());
+        Consume
+      end
+      else Forward
+  | Packet.Invalidation ->
+      (match pkt.Packet.mapping_payload with
+      | Some (vip, stale) ->
+          if Cache.invalidate (cache_for t st vip) vip ~stale then
+            t.entries_invalidated <- t.entries_invalidated + 1
+      | None -> ());
+      if Pip.equal pkt.Packet.dst_pip own_pip then Consume else Forward
+  | Packet.Data | Packet.Ack ->
+      (* 1. Misdelivery tagging: a packet entering from an attached
+         server whose outer source is not that server was re-forwarded
+         by the hypervisor after a misdelivery. *)
+      if
+        is_tor st
+        && Hashtbl.mem st.attached_hosts from
+        && not (Pip.equal pkt.Packet.src_pip (Topo.Topology.pip t.topo from))
+        && pkt.Packet.misdelivery = None
+      then begin
+        let stale = Topo.Topology.pip t.topo from in
+        pkt.Packet.misdelivery <- Some stale;
+        t.misdelivery_tags <- t.misdelivery_tags + 1;
+        let target = pkt.Packet.hit_switch in
+        pkt.Packet.hit_switch <- -1;
+        send_invalidation t env st ~target ~vip:pkt.Packet.dst_vip ~stale
+      end;
+      (* 2. Lookup (tagged packets use the conservative variant). *)
+      if not pkt.Packet.resolved then begin
+        match pkt.Packet.misdelivery with
+        | Some stale -> handle_tagged t st pkt ~stale
+        | None -> regular_lookup t env st pkt
+      end;
+      (* 3. Spillover absorption. *)
+      absorb_spill t st pkt;
+      (* 4. Role-dependent learning (Table 1). *)
+      learn t env st pkt;
+      Forward
+
+let reassign_role t ~switch role =
+  let st = state t switch in
+  let compatible =
+    match (st.role, role) with
+    | (Topo.Node.Regular_tor | Topo.Node.Gateway_tor),
+      (Topo.Node.Regular_tor | Topo.Node.Gateway_tor) ->
+        true
+    | (Topo.Node.Regular_spine | Topo.Node.Gateway_spine),
+      (Topo.Node.Regular_spine | Topo.Node.Gateway_spine) ->
+        true
+    | Topo.Node.Core_switch, Topo.Node.Core_switch -> true
+    | ( ( Topo.Node.Regular_tor | Topo.Node.Gateway_tor
+        | Topo.Node.Regular_spine | Topo.Node.Gateway_spine
+        | Topo.Node.Core_switch ),
+        _ ) ->
+        false
+  in
+  if not compatible then
+    invalid_arg "Dataplane.reassign_role: incompatible tier";
+  st.role <- role
+
+let role_of t ~switch = (state t switch).role
+
+let fail_switch t ~switch =
+  Array.iter Cache.clear (state t switch).caches

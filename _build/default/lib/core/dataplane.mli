@@ -1,0 +1,95 @@
+(** The SwitchV2P data plane: per-switch caches plus the full §3
+    pipeline — lookup/rewrite, role-dependent learning (Table 1),
+    learning packets, spillover, promotion, misdelivery tagging and
+    the invalidation protocol.
+
+    This module is engine-agnostic: the host simulator supplies an
+    {!env} with a clock, a packet injector and an id allocator, and
+    calls {!process} for every packet a switch receives. *)
+
+(** Capabilities the surrounding simulator provides. *)
+type env = {
+  now : unit -> Dessim.Time_ns.t;
+  emit : src_switch:int -> Netcore.Packet.t -> unit;
+      (** inject a freshly generated control packet at a switch *)
+  fresh_packet_id : unit -> int;
+  rng : Dessim.Rng.t;
+}
+
+type t
+
+(** What {!process} tells the simulator to do with the packet. *)
+type verdict =
+  | Forward  (** keep routing toward [dst_pip] (possibly rewritten) *)
+  | Consume  (** the packet terminated at this switch *)
+
+(** [create ?partition config topo ~total_cache_slots] builds
+    per-switch caches. [total_cache_slots] is the aggregate cache size
+    over all switches, divided according to [config.allocation]
+    (uniform by default, remainder round-robin). Each switch's share
+    is further split into private per-tenant partitions when
+    [partition] is given (§4 multitenancy); the default is a single
+    tenant owning the whole VIP space. *)
+val create :
+  ?partition:Partition.t ->
+  Config.t ->
+  Topo.Topology.t ->
+  total_cache_slots:int ->
+  t
+
+val config : t -> Config.t
+
+(** [process t env ~switch ~from pkt] runs the pipeline for [pkt]
+    arriving at [switch] from neighbor [from] (endpoint or switch).
+    Mutates [pkt] in place (resolution, tags, spill/promo options). *)
+val process : t -> env -> switch:int -> from:int -> Netcore.Packet.t -> verdict
+
+(** [cache t ~switch] is the switch's tenant-0 cache — the whole cache
+    in the default single-tenant configuration (tests, metrics).
+    Raises [Invalid_argument] if [switch] is not a switch node. *)
+val cache : t -> switch:int -> Cache.t
+
+(** [cache_of_tenant t ~switch ~tenant] is one tenant's private
+    partition. Raises [Invalid_argument] on bad indices. *)
+val cache_of_tenant : t -> switch:int -> tenant:int -> Cache.t
+
+(** [slots_of t ~switch] is that switch's total cache capacity across
+    tenants. *)
+val slots_of : t -> switch:int -> int
+
+(** [role_of t ~switch] is the switch's current protocol role. *)
+val role_of : t -> switch:int -> Topo.Node.role
+
+(** [reassign_role t ~switch role] implements the §4 gateway-migration
+    control-plane operation: a ToR may switch between gateway-ToR and
+    regular-ToR behavior (and spines likewise) without touching cache
+    state. Cross-tier reassignment raises [Invalid_argument]. *)
+val reassign_role : t -> switch:int -> Topo.Node.role -> unit
+
+(** [fail_switch t ~switch] models a switch reboot losing its
+    data-plane state: every cache partition is wiped. Forwarding
+    correctness is unaffected — subsequent packets just miss to the
+    gateways (the paper's §2 resilience argument). *)
+val fail_switch : t -> switch:int -> unit
+
+(** Aggregate protocol counters. *)
+
+val learning_packets_sent : t -> int
+val invalidation_packets_sent : t -> int
+val invalidations_suppressed : t -> int
+
+(** [promotions t] counts promotions attached by spines. *)
+val promotions : t -> int
+
+(** [spills_attached t] / [spills_absorbed t] track the spillover
+    mechanism. *)
+val spills_attached : t -> int
+
+val spills_absorbed : t -> int
+
+(** [entries_invalidated t] counts cache lines removed by the
+    invalidation machinery (tagged packets and invalidation packets). *)
+val entries_invalidated : t -> int
+
+(** [misdelivery_tags t] counts tags assigned by ToRs. *)
+val misdelivery_tags : t -> int

@@ -1,0 +1,70 @@
+type assign = Ranges of int array | Fn of (Netcore.Addr.Vip.t -> int)
+
+type t = { assign : assign; shares : float array }
+
+let single = { assign = Ranges [| max_int |]; shares = [| 1.0 |] }
+
+let create ~bounds ~shares =
+  let n = Array.length bounds in
+  if n = 0 then invalid_arg "Partition.create: no tenants";
+  if Array.length shares <> n then
+    invalid_arg "Partition.create: bounds/shares length mismatch";
+  Array.iteri
+    (fun i b ->
+      if b <= 0 then invalid_arg "Partition.create: non-positive bound";
+      if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg "Partition.create: bounds not strictly increasing")
+    bounds;
+  Array.iter
+    (fun s -> if s <= 0.0 then invalid_arg "Partition.create: non-positive share")
+    shares;
+  { assign = Ranges bounds; shares }
+
+let create_fn ~num_tenants ~shares f =
+  if num_tenants <= 0 then invalid_arg "Partition.create_fn: no tenants";
+  if Array.length shares <> num_tenants then
+    invalid_arg "Partition.create_fn: shares length mismatch";
+  Array.iter
+    (fun s ->
+      if s <= 0.0 then invalid_arg "Partition.create_fn: non-positive share")
+    shares;
+  { assign = Fn f; shares }
+
+let num_tenants t = Array.length t.shares
+
+let tenant_of t vip =
+  match t.assign with
+  | Fn f ->
+      let i = f vip in
+      if i < 0 || i >= Array.length t.shares then
+        invalid_arg "Partition.tenant_of: assignment out of range";
+      i
+  | Ranges bounds ->
+      let v = Netcore.Addr.Vip.to_int vip in
+      let n = Array.length bounds in
+      (* Linear scan: tenant counts are tiny (the paper's partitioning
+         is per-VPC-enabled-on-demand, not per-VPC-everywhere). *)
+      let rec go i =
+        if i >= n - 1 then n - 1 else if v < bounds.(i) then i else go (i + 1)
+      in
+      go 0
+
+let split_slots t ~slots =
+  if slots < 0 then invalid_arg "Partition.split_slots: negative slots";
+  let n = Array.length t.shares in
+  let sum = Array.fold_left ( +. ) 0.0 t.shares in
+  let out = Array.make n 0 in
+  let assigned = ref 0 in
+  for i = 0 to n - 1 do
+    out.(i) <- int_of_float (float_of_int slots *. t.shares.(i) /. sum);
+    assigned := !assigned + out.(i)
+  done;
+  (* Remainder round-robin. *)
+  let leftover = ref (slots - !assigned) in
+  let i = ref 0 in
+  while !leftover > 0 do
+    out.(!i mod n) <- out.(!i mod n) + 1;
+    decr leftover;
+    incr i
+  done;
+  out

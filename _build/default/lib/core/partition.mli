@@ -1,0 +1,35 @@
+(** Per-tenant (VPC) cache partitioning (§4, "Multitenancy support").
+
+    Tenants own disjoint VIP ranges — VPC address spaces do not
+    overlap, so a mapping's tenant is derivable from its VIP. Each
+    switch then maintains one private cache partition per tenant,
+    sized by the tenant's share of the switch's memory, so tenants
+    cannot evict each other's entries. *)
+
+type t
+
+(** [single] is the default: one tenant owning the whole VIP space. *)
+val single : t
+
+(** [create ~bounds ~shares] — tenant [i] owns VIPs in
+    [[b_(i-1), b_i)] where [bounds] are the exclusive upper bounds
+    (strictly increasing); [shares] are relative memory weights
+    (positive). VIPs at or above the last bound belong to the last
+    tenant. Raises [Invalid_argument] on inconsistent inputs. *)
+val create : bounds:int array -> shares:float array -> t
+
+(** [create_fn ~num_tenants ~shares f] — arbitrary VIP-to-tenant
+    assignment (e.g. interleaved VPCs colocated on every server).
+    [f] must return values in [0, num_tenants); out-of-range values
+    raise at lookup time. *)
+val create_fn :
+  num_tenants:int -> shares:float array -> (Netcore.Addr.Vip.t -> int) -> t
+
+val num_tenants : t -> int
+
+(** [tenant_of t vip] — the owning tenant index. *)
+val tenant_of : t -> Netcore.Addr.Vip.t -> int
+
+(** [split_slots t ~slots] — per-tenant slot counts for a switch with
+    [slots] lines, proportional to shares, total conserved. *)
+val split_slots : t -> slots:int -> int array

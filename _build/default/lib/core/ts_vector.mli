@@ -1,0 +1,21 @@
+(** Per-ToR timestamp vector rate-limiting invalidation packets (§3.3).
+
+    Before a ToR sends an invalidation packet to switch [s], it checks
+    the time elapsed since it last sent one to [s]; if less than the
+    base network RTT, the packet is suppressed (a previous one is
+    still in flight). Only local timestamps are kept — no clock
+    synchronization is needed. *)
+
+type t
+
+(** [create ~num_switches ~base_rtt] is a vector of [num_switches]
+    entries, all "long ago". Switch ids index the vector. *)
+val create : num_switches:int -> base_rtt:Dessim.Time_ns.t -> t
+
+(** [should_send t ~switch ~now] decides whether an invalidation to
+    [switch] may be sent now; when it returns [true] the timestamp is
+    updated (the caller is expected to send). *)
+val should_send : t -> switch:int -> now:Dessim.Time_ns.t -> bool
+
+(** [suppressed t] counts the invalidations the vector absorbed. *)
+val suppressed : t -> int

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: List Report Runner Schemes Setup Switchv2p

@@ -1,0 +1,1 @@
+lib/experiments/cache_geometry.ml: Array Dessim Hashtbl List Netcore Option Report Setup Switchv2p Topo

@@ -1,0 +1,1 @@
+lib/experiments/cache_geometry.mli: Setup

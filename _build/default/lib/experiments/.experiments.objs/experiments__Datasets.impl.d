@@ -1,0 +1,1 @@
+lib/experiments/datasets.ml: Fig5 List Printf Report Setup Workloads

@@ -1,0 +1,1 @@
+lib/experiments/datasets.mli: Setup Workloads

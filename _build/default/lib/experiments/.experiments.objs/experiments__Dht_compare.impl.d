@@ -1,0 +1,1 @@
+lib/experiments/dht_compare.ml: Array Dessim List Netcore Netsim Printf Report Runner Schemes Setup Switchv2p Topo

@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Array List Report Runner Schemes Setup Topo

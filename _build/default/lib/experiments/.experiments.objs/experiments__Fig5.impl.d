@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Dessim List Report Runner Schemes Setup

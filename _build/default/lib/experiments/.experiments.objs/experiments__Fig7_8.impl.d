@@ -1,0 +1,1 @@
+lib/experiments/fig7_8.ml: Array List Printf Report Runner Schemes Setup Topo

@@ -1,0 +1,1 @@
+lib/experiments/fig7_8.mli: Runner Setup

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Array List Netsim Report Runner Schemes Setup Topo

@@ -1,0 +1,1 @@
+lib/experiments/multitenant.ml: Dessim List Netcore Netsim Report Schemes Setup Switchv2p Workloads

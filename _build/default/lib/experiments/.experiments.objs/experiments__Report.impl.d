@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Buffer Char Filename Fun List Printf String Sys

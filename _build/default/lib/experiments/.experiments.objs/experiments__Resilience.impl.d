@@ -1,0 +1,1 @@
+lib/experiments/resilience.ml: Array Dessim List Netcore Netsim Printf Report Runner Schemes Setup Switchv2p Topo

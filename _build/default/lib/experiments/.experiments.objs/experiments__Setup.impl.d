@@ -1,0 +1,1 @@
+lib/experiments/setup.ml: Array Dessim List Netcore Topo Workloads

@@ -1,0 +1,1 @@
+lib/experiments/tab4.ml: Array Dessim Fun List Netcore Netsim Printf Report Runner Schemes Setup Switchv2p Topo

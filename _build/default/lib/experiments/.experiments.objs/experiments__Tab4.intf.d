@@ -1,0 +1,1 @@
+lib/experiments/tab4.mli: Setup

@@ -1,0 +1,1 @@
+lib/experiments/tab5.ml: Fig5 List Report Runner Schemes Setup

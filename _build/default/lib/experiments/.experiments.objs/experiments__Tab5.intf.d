@@ -1,0 +1,1 @@
+lib/experiments/tab5.mli: Setup

@@ -1,0 +1,1 @@
+lib/experiments/tab6.ml: List P4model Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/tab6.mli: P4model

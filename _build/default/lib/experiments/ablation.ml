@@ -1,0 +1,50 @@
+type row = { variant : string; hit : float; fct_x : float; fpl_x : float }
+type t = { rows : row list }
+
+let run ?(scale = `Small) ?(cache_pct = 50) () =
+  let setup = Setup.ft8 scale in
+  let topo = setup.Setup.topo in
+  let slots = Setup.cache_slots setup ~pct:cache_pct in
+  let flows = Setup.hadoop_trace setup in
+  let until = Setup.horizon flows in
+  let exec scheme = Runner.run setup ~scheme ~flows ~migrations:[] ~until in
+  let base = exec (Schemes.Baselines.nocache ()) in
+  let variants =
+    [
+      ("full", Switchv2p.Config.default);
+      ("no learning packets", Switchv2p.Config.make ~learning_packets:false ());
+      ("no spillover", Switchv2p.Config.make ~spillover:false ());
+      ("no promotion", Switchv2p.Config.make ~promotion:false ());
+      ("no source learning", Switchv2p.Config.make ~source_learning:false ());
+      ("ToR-only cache", Switchv2p.Config.make ~tor_only:true ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun (variant, cfg) ->
+        let r =
+          exec
+            (Schemes.Switchv2p_scheme.make ~config:cfg topo
+               ~total_cache_slots:slots)
+        in
+        {
+          variant;
+          hit = r.Runner.hit_rate;
+          fct_x =
+            Runner.improvement ~baseline:base.Runner.mean_fct
+              ~v:r.Runner.mean_fct;
+          fpl_x =
+            Runner.improvement ~baseline:base.Runner.mean_fpl
+              ~v:r.Runner.mean_fpl;
+        })
+      variants
+  in
+  { rows }
+
+let print t =
+  Report.table ~title:"Ablation: SwitchV2P feature contributions (Hadoop)"
+    ~header:[ "variant"; "hit rate"; "FCT x"; "FPL x" ]
+    (List.map
+       (fun r ->
+         [ r.variant; Report.fpct r.hit; Report.fx r.fct_x; Report.fx r.fpl_x ])
+       t.rows)

@@ -1,0 +1,15 @@
+(** Ablation of SwitchV2P's design features (DESIGN.md §4): learning
+    packets, spillover, promotion, source learning, and the ToR-only
+    memory allocation mentioned in §4 of the paper. Hadoop trace. *)
+
+type row = {
+  variant : string;
+  hit : float;
+  fct_x : float;
+  fpl_x : float;
+}
+
+type t = { rows : row list }
+
+val run : ?scale:Setup.scale -> ?cache_pct:int -> unit -> t
+val print : t -> unit

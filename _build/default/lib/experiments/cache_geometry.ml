@@ -1,0 +1,147 @@
+module Flow = Netcore.Flow
+module Vip = Netcore.Addr.Vip
+module Pip = Netcore.Addr.Pip
+
+type row = { geometry : string; hit_rates : (int * float option) list }
+type t = { cache_pcts : int list; rows : row list }
+
+(* Reference stream per ToR: every flow generates [packet_count]
+   touches of its destination VIP at the sender's ToR. Packets of
+   concurrent flows interleave — each reference is stamped with an
+   approximate send time (flow start + one RTT-ish gap per packet) and
+   the per-ToR stream is replayed in time order, so the caches see the
+   realistic mix rather than one flow at a time. *)
+let packet_gap_ns = 12_000 (* ~ one base RTT between a flow's packets *)
+
+let streams_per_tor (setup : Setup.t) flows =
+  let topo = setup.Setup.topo in
+  let params = Topo.Topology.params topo in
+  let vms_per_host = params.Topo.Params.vms_per_host in
+  let hosts = Topo.Topology.hosts topo in
+  let per_tor : (int, (int * Vip.t) list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Flow.t) ->
+      let host = hosts.(Vip.to_int f.Flow.src_vip / vms_per_host) in
+      let tor = Topo.Topology.tor_of topo host in
+      let stream =
+        match Hashtbl.find_opt per_tor tor with
+        | Some s -> s
+        | None ->
+            let s = ref [] in
+            Hashtbl.add per_tor tor s;
+            s
+      in
+      let start = Dessim.Time_ns.to_ns f.Flow.start in
+      for k = 0 to Flow.packet_count f - 1 do
+        stream := (start + (k * packet_gap_ns), f.Flow.dst_vip) :: !stream
+      done)
+    flows;
+  Hashtbl.fold
+    (fun tor s acc ->
+      let ordered =
+        List.sort (fun (ta, _) (tb, _) -> compare ta tb) !s |> List.map snd
+      in
+      (tor, ordered) :: acc)
+    per_tor []
+
+type sim = {
+  name : string;
+  lookup : Vip.t -> bool; (* true = hit; miss inserts *)
+}
+
+let direct_sim ~slots =
+  let c = Switchv2p.Cache.create ~slots in
+  {
+    name = "direct-mapped";
+    lookup =
+      (fun vip ->
+        match Switchv2p.Cache.lookup c vip with
+        | Some _ -> true
+        | None ->
+            ignore (Switchv2p.Cache.insert c ~admission:`All vip (Pip.of_int 1));
+            false);
+  }
+
+let assoc_sim ~ways ~slots ~name =
+  (* Capacity rounded down to a multiple of the associativity; the
+     caller guarantees slots >= ways so capacities stay comparable. *)
+  let slots = slots - (slots mod ways) in
+  let c = Switchv2p.Assoc_cache.create ~ways ~slots in
+  {
+    name;
+    lookup =
+      (fun vip ->
+        match Switchv2p.Assoc_cache.lookup c vip with
+        | Some _ -> true
+        | None ->
+            Switchv2p.Assoc_cache.insert c vip (Pip.of_int 1);
+            false);
+  }
+
+(* [None] when the organization does not fit in [slots] lines (a 4-way
+   cache needs at least 4). *)
+let geometry ~slots = function
+  | "direct-mapped" -> Some (direct_sim ~slots)
+  | "2-way LRU" -> if slots < 2 then None else Some (assoc_sim ~ways:2 ~slots ~name:"2-way LRU")
+  | "4-way LRU" -> if slots < 4 then None else Some (assoc_sim ~ways:4 ~slots ~name:"4-way LRU")
+  | "fully-assoc LRU" -> Some (assoc_sim ~ways:(max 1 slots) ~slots ~name:"fully-assoc LRU")
+  | name -> invalid_arg ("Cache_geometry: unknown geometry " ^ name)
+
+let run ?(scale = `Small) ?(cache_pcts = [ 50; 200; 800 ]) () =
+  let setup = Setup.ft8 scale in
+  let flows = Setup.hadoop_trace setup in
+  let streams = streams_per_tor setup flows in
+  let num_tors = Array.length (Topo.Topology.tors setup.Setup.topo) in
+  let geometry_names =
+    [ "direct-mapped"; "2-way LRU"; "4-way LRU"; "fully-assoc LRU" ]
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let hit_rates =
+          List.map
+            (fun pct ->
+              (* Same per-ToR share as the network experiments. *)
+              let per_tor_slots =
+                max 1 (Setup.cache_slots setup ~pct / num_tors)
+              in
+              match geometry ~slots:per_tor_slots name with
+              | None -> (pct, None)
+              | Some _ ->
+                  let hits = ref 0 and total = ref 0 in
+                  List.iter
+                    (fun (_tor, stream) ->
+                      let g =
+                        Option.get (geometry ~slots:per_tor_slots name)
+                      in
+                      List.iter
+                        (fun vip ->
+                          incr total;
+                          if g.lookup vip then incr hits)
+                        stream)
+                    streams;
+                  ( pct,
+                    if !total = 0 then Some 0.0
+                    else Some (float_of_int !hits /. float_of_int !total) ))
+            cache_pcts
+        in
+        { geometry = name; hit_rates })
+      geometry_names
+  in
+  { cache_pcts; rows }
+
+let print t =
+  Report.table
+    ~title:
+      "Cache geometry: per-ToR destination stream hit rate (Hadoop), by \
+       organization"
+    ~header:
+      ("geometry" :: List.map (fun p -> string_of_int p ^ "%") t.cache_pcts)
+    (List.map
+       (fun r ->
+         r.geometry
+         :: List.map
+              (fun (_, rate) ->
+                match rate with Some v -> Report.fpct v | None -> "-")
+              r.hit_rates)
+       t.rows)

@@ -1,0 +1,19 @@
+(** Cache-geometry study: how much hit rate does the paper's
+    direct-mapped single-access-bit design (§3.2, citing Hill) give up
+    versus set-associative LRU organizations at the same capacity?
+
+    A per-ToR destination reference stream is derived from the Hadoop
+    trace (each flow contributes one reference per data packet at its
+    sender's ToR) and replayed through each geometry. *)
+
+type row = {
+  geometry : string;  (** "direct-mapped", "2-way LRU", ... *)
+  hit_rates : (int * float option) list;
+      (** (cache %, hit rate); [None] when the organization does not
+          fit in the per-ToR capacity at that size *)
+}
+
+type t = { cache_pcts : int list; rows : row list }
+
+val run : ?scale:Setup.scale -> ?cache_pcts:int list -> unit -> t
+val print : t -> unit

@@ -1,0 +1,58 @@
+type row = { trace : string; stats : Workloads.Trace_stats.t }
+type t = { rows : row list }
+
+let run ?(scale = `Small) () =
+  let kinds =
+    [
+      Fig5.Hadoop; Fig5.Websearch; Fig5.Alibaba; Fig5.Microbursts; Fig5.Video;
+    ]
+  in
+  let rows =
+    List.map
+      (fun kind ->
+        let setup =
+          match kind with
+          | Fig5.Alibaba -> Setup.ft16 scale
+          | _ -> Setup.ft8 scale
+        in
+        let flows =
+          match kind with
+          | Fig5.Hadoop -> Setup.hadoop_trace setup
+          | Fig5.Websearch -> Setup.websearch_trace setup
+          | Fig5.Alibaba -> Setup.alibaba_trace setup
+          | Fig5.Microbursts -> Setup.microbursts_trace setup
+          | Fig5.Video -> Setup.video_trace setup
+        in
+        { trace = Fig5.trace_name kind; stats = Workloads.Trace_stats.analyze flows })
+      kinds
+  in
+  { rows }
+
+let print t =
+  Report.table ~title:"Datasets: address-reuse characteristics (paper §5)"
+    ~header:
+      [
+        "trace";
+        "flows";
+        "dsts";
+        ">=2 flows";
+        ">=10 flows";
+        "reuse";
+        "reuse dist";
+        "mean size";
+      ]
+    (List.map
+       (fun r ->
+         let s = r.stats in
+         [
+           r.trace;
+           string_of_int s.Workloads.Trace_stats.flows;
+           string_of_int s.Workloads.Trace_stats.distinct_destinations;
+           string_of_int s.Workloads.Trace_stats.destinations_with_2_flows;
+           string_of_int s.Workloads.Trace_stats.destinations_with_10_flows;
+           Report.fpct (Workloads.Trace_stats.reuse_fraction s);
+           Printf.sprintf "%.2fms"
+             (s.Workloads.Trace_stats.mean_reuse_distance *. 1e3);
+           Printf.sprintf "%.0fB" s.Workloads.Trace_stats.mean_flow_bytes;
+         ])
+       t.rows)

@@ -1,0 +1,81 @@
+type point = { pods : int; fct_x : float; hit : float }
+type t = { series : (string * point array) list; pod_counts : int list }
+
+(* Configurations keep pods * racks * hosts_per_rack constant, like the
+   paper's rack-resizing methodology. *)
+let configs ~total_hosts =
+  List.filter_map
+    (fun pods ->
+      let racks = 4 in
+      let hosts_per_rack = total_hosts / (pods * racks) in
+      if hosts_per_rack >= 1 then Some (pods, racks, hosts_per_rack) else None)
+    [ 1; 2; 4; 8; 16 ]
+
+let run ?(cache_pct = 50) ?(total_hosts = 64) () =
+  let pod_configs = configs ~total_hosts in
+  let total_vms = total_hosts * 8 in
+  let per_config (pods, racks, hosts_per_rack) =
+    (* The gateway deployment stays constant across topology sizes (one
+       gateway pod, fixed replica count), as in the paper — GwCache's
+       per-switch cache size must not vary with the pod count. *)
+    let params =
+      {
+        (Topo.Params.scaled ~pods ~racks_per_pod:racks ~hosts_per_rack
+           ~vms_per_host:(max 1 (total_vms / (pods * racks * hosts_per_rack)))
+           ())
+        with
+        Topo.Params.gateway_pods = [ 0 ];
+        gateways_per_gateway_pod = 4;
+      }
+    in
+    let setup = Setup.custom params ~seed:42 in
+    let topo = setup.Setup.topo in
+    let slots = Setup.cache_slots setup ~pct:cache_pct in
+    let flows = Setup.hadoop_trace setup in
+    let until = Setup.horizon flows in
+    let exec scheme = Runner.run setup ~scheme ~flows ~migrations:[] ~until in
+    let base = exec (Schemes.Baselines.nocache ()) in
+    let point (r : Runner.result) =
+      {
+        pods;
+        fct_x =
+          Runner.improvement ~baseline:base.Runner.mean_fct ~v:r.Runner.mean_fct;
+        hit = r.Runner.hit_rate;
+      }
+    in
+    [
+      ( "LocalLearning",
+        point (exec (Schemes.Baselines.locallearning ~topo ~total_slots:slots))
+      );
+      ( "GwCache",
+        point (exec (Schemes.Baselines.gwcache ~topo ~total_slots:slots)) );
+      ( "SwitchV2P",
+        point
+          (exec (Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots))
+      );
+    ]
+  in
+  let per_pod = List.map per_config pod_configs in
+  let scheme_names = [ "LocalLearning"; "GwCache"; "SwitchV2P" ] in
+  let series =
+    List.map
+      (fun name ->
+        ( name,
+          Array.of_list (List.map (fun points -> List.assoc name points) per_pod)
+        ))
+      scheme_names
+  in
+  { series; pod_counts = List.map (fun (p, _, _) -> p) pod_configs }
+
+let print t =
+  let header =
+    "scheme" :: List.map (fun p -> string_of_int p ^ " pods") t.pod_counts
+  in
+  let metric title f =
+    Report.table ~title:("Fig 10: " ^ title ^ " vs topology size") ~header
+      (List.map
+         (fun (scheme, points) -> scheme :: Array.to_list (Array.map f points))
+         t.series)
+  in
+  metric "FCT improvement over NoCache" (fun p -> Report.fx p.fct_x);
+  metric "cache hit rate" (fun p -> Report.fpct p.hit)

@@ -1,0 +1,16 @@
+(** Figure 10: topology scaling — vary the pod count while keeping the
+    total server and VM population fixed (more pods = smaller racks).
+    SwitchV2P should improve or hold as the topology grows;
+    LocalLearning struggles to place learned entries in large
+    topologies; GwCache stays flat. *)
+
+type point = {
+  pods : int;
+  fct_x : float;  (** improvement over NoCache on the same topology *)
+  hit : float;
+}
+
+type t = { series : (string * point array) list; pod_counts : int list }
+
+val run : ?cache_pct:int -> ?total_hosts:int -> unit -> t
+val print : t -> unit

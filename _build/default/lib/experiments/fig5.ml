@@ -1,0 +1,120 @@
+module Time_ns = Dessim.Time_ns
+
+type trace_kind = Hadoop | Microbursts | Websearch | Video | Alibaba
+
+type cell = { hit : float; fct_x : float; fpl_x : float }
+
+type t = {
+  kind : trace_kind;
+  cache_pcts : int list;
+  nocache : Runner.result;
+  series : (string * cell array) list;
+}
+
+let trace_name = function
+  | Hadoop -> "Hadoop"
+  | Microbursts -> "Microbursts"
+  | Websearch -> "WebSearch"
+  | Video -> "Video"
+  | Alibaba -> "Alibaba"
+
+let trace_of setup = function
+  | Hadoop -> Setup.hadoop_trace setup
+  | Microbursts -> Setup.microbursts_trace setup
+  | Websearch -> Setup.websearch_trace setup
+  | Video -> Setup.video_trace setup
+  | Alibaba -> Setup.alibaba_trace setup
+
+(* UDP traces have no flow-completion semantics comparable to TCP's;
+   use mean packet latency as the paper's FCT proxy there. *)
+let fct_metric kind (r : Runner.result) =
+  match kind with
+  | Hadoop | Websearch | Alibaba -> r.Runner.mean_fct
+  | Microbursts | Video -> r.Runner.mean_pkt_latency
+
+let cell_of kind ~(nocache : Runner.result) (r : Runner.result) =
+  {
+    hit = r.Runner.hit_rate;
+    fct_x =
+      Runner.improvement
+        ~baseline:(fct_metric kind nocache)
+        ~v:(fct_metric kind r);
+    fpl_x =
+      Runner.improvement ~baseline:nocache.Runner.mean_fpl
+        ~v:r.Runner.mean_fpl;
+  }
+
+let run ?(scale = `Small) ?(cache_pcts = [ 1; 10; 50; 200; 1500 ])
+    ?(with_controller = false) kind =
+  let setup =
+    match kind with Alibaba -> Setup.ft16 scale | _ -> Setup.ft8 scale
+  in
+  let topo = setup.Setup.topo in
+  let flows = trace_of setup kind in
+  let until = Setup.horizon flows in
+  let exec scheme = Runner.run setup ~scheme ~flows ~migrations:[] ~until in
+  let nocache = exec (Schemes.Baselines.nocache ()) in
+  let fixed name scheme =
+    let r = exec scheme in
+    ( name,
+      Array.of_list
+        (List.map (fun _ -> cell_of kind ~nocache r) cache_pcts) )
+  in
+  let swept name make =
+    ( name,
+      Array.of_list
+        (List.map
+           (fun pct ->
+             let slots = Setup.cache_slots setup ~pct in
+             cell_of kind ~nocache (exec (make slots)))
+           cache_pcts) )
+  in
+  let series =
+    [
+      swept "LocalLearning" (fun slots ->
+          Schemes.Baselines.locallearning ~topo ~total_slots:slots);
+      swept "GwCache" (fun slots ->
+          Schemes.Baselines.gwcache ~topo ~total_slots:slots);
+      swept "Bluebird" (fun slots ->
+          Schemes.Baselines.bluebird ~topo ~total_slots:slots ());
+      fixed "OnDemand" (Schemes.Baselines.ondemand ());
+      fixed "Direct" (Schemes.Baselines.direct ());
+      swept "SwitchV2P" (fun slots ->
+          Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots);
+    ]
+  in
+  let series =
+    if with_controller then
+      series
+      @ [
+          swept "Controller" (fun slots ->
+              Schemes.Controller.make ~topo ~total_slots:slots
+                ~interval:(Time_ns.of_us 300) ());
+        ]
+    else series
+  in
+  { kind; cache_pcts; nocache; series }
+
+let print t =
+  let name = trace_name t.kind in
+  let header =
+    "scheme" :: List.map (fun p -> string_of_int p ^ "%") t.cache_pcts
+  in
+  let metric title f omit =
+    let rows =
+      List.filter_map
+        (fun (scheme, cells) ->
+          if List.mem scheme omit then None
+          else Some (scheme :: Array.to_list (Array.map f cells)))
+        t.series
+    in
+    Report.table ~title:(name ^ ": " ^ title ^ " vs cache size") ~header rows
+  in
+  (* The paper omits hit rates for schemes that never touch gateways. *)
+  metric "cache hit rate"
+    (fun c -> Report.fpct c.hit)
+    [ "Bluebird"; "Direct"; "OnDemand" ];
+  metric "FCT improvement over NoCache" (fun c -> Report.fx c.fct_x) [];
+  metric "first-packet latency improvement over NoCache"
+    (fun c -> Report.fx c.fpl_x)
+    []

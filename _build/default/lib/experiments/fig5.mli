@@ -1,0 +1,38 @@
+(** Figures 5a-5d and 6: hit rate, FCT improvement and first-packet
+    latency improvement versus cache size, per trace.
+
+    Each point runs the full packet simulation for every scheme; the
+    NoCache baseline normalizes the improvement factors, exactly as in
+    the paper. *)
+
+type trace_kind = Hadoop | Microbursts | Websearch | Video | Alibaba
+
+type cell = {
+  hit : float;  (** fraction of tenant packets that avoid the gateways *)
+  fct_x : float;  (** mean-FCT improvement over NoCache *)
+  fpl_x : float;  (** first-packet-latency improvement over NoCache *)
+}
+
+type t = {
+  kind : trace_kind;
+  cache_pcts : int list;
+  nocache : Runner.result;
+  (* (scheme, per-cache-size cells); cache-independent schemes carry
+     the same cell at every size *)
+  series : (string * cell array) list;
+}
+
+(** [run ?scale ?cache_pcts ?with_controller kind] executes the sweep.
+    [with_controller] adds the (expensive) Controller baseline, as the
+    paper does for WebSearch only. Alibaba uses the FT16 topology. *)
+val run :
+  ?scale:Setup.scale ->
+  ?cache_pcts:int list ->
+  ?with_controller:bool ->
+  trace_kind ->
+  t
+
+val trace_name : trace_kind -> string
+
+(** [print t] renders one table per metric (hit rate / FCT x / FPL x). *)
+val print : t -> unit

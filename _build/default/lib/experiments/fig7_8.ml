@@ -1,0 +1,131 @@
+type t = {
+  setup : Setup.t;
+  results : (string * Runner.result) list;
+  gateway_pod : int;
+}
+
+let run ?(scale = `Small) ?(cache_pct = 50) () =
+  let setup = Setup.ft8 scale in
+  let topo = setup.Setup.topo in
+  let slots = Setup.cache_slots setup ~pct:cache_pct in
+  let flows = Setup.hadoop_trace setup in
+  let until = Setup.horizon flows in
+  let exec scheme = Runner.run setup ~scheme ~flows ~migrations:[] ~until in
+  let results =
+    [
+      ("NoCache", exec (Schemes.Baselines.nocache ()));
+      ( "LocalLearning",
+        exec (Schemes.Baselines.locallearning ~topo ~total_slots:slots) );
+      ("GwCache", exec (Schemes.Baselines.gwcache ~topo ~total_slots:slots));
+      ( "SwitchV2P",
+        exec (Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots) );
+      ("Direct", exec (Schemes.Baselines.direct ()));
+    ]
+  in
+  let gateway_pod =
+    match (Topo.Topology.params topo).Topo.Params.gateway_pods with
+    | p :: _ -> p
+    | [] -> assert false
+  in
+  { setup; results; gateway_pod }
+
+let mb bytes = Printf.sprintf "%.1f" (float_of_int bytes /. 1e6)
+
+(* Figure 8 orders a pod's switches as: spines, regular ToRs, gateway
+   ToR last. *)
+let pod_switch_order topo pod =
+  let params = Topo.Topology.params topo in
+  let spines =
+    List.init params.Topo.Params.spines_per_pod (fun group ->
+        Topo.Topology.spine_id topo ~pod ~group)
+  in
+  let tors =
+    List.init params.Topo.Params.racks_per_pod (fun rack ->
+        Topo.Topology.tor_id topo ~pod ~rack)
+  in
+  let regular, gateway =
+    List.partition
+      (fun sw -> Topo.Topology.role topo sw = Topo.Node.Regular_tor)
+      tors
+  in
+  spines @ regular @ gateway
+
+let print t =
+  let topo = t.setup.Setup.topo in
+  let pods = (Topo.Topology.params topo).Topo.Params.pods in
+  let gw_pods = (Topo.Topology.params topo).Topo.Params.gateway_pods in
+  let header =
+    "scheme"
+    :: List.init pods (fun p ->
+           let tag = if List.mem p gw_pods then "*" else "" in
+           "pod" ^ string_of_int (p + 1) ^ tag)
+  in
+  let rows =
+    List.map
+      (fun (name, (r : Runner.result)) ->
+        name
+        :: Array.to_list (Array.map (fun (_, b) -> mb b) r.Runner.bytes_by_pod))
+      t.results
+  in
+  Report.table ~title:"Fig 7: processed MB per pod (* = gateway pod)" ~header
+    rows;
+  let order = pod_switch_order topo t.gateway_pod in
+  let label sw =
+    match Topo.Topology.role topo sw with
+    | Topo.Node.Regular_spine | Topo.Node.Gateway_spine -> "spine"
+    | Topo.Node.Regular_tor -> "tor"
+    | Topo.Node.Gateway_tor -> "gw-tor"
+    | Topo.Node.Core_switch -> "core"
+  in
+  let header8 =
+    "scheme" :: List.map (fun sw -> label sw ^ string_of_int sw) order
+  in
+  let rows8 =
+    List.map
+      (fun (name, (r : Runner.result)) ->
+        let by_switch =
+          Array.fold_left
+            (fun acc (sw, b) -> (sw, b) :: acc)
+            [] r.Runner.bytes_by_switch
+        in
+        name
+        :: List.map
+             (fun sw ->
+               match List.assoc_opt sw by_switch with
+               | Some b -> mb b
+               | None -> "0")
+             order)
+      t.results
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf "Fig 8: processed MB per switch in gateway pod %d"
+         (t.gateway_pod + 1))
+    ~header:header8 rows8;
+  (* §5.3 summary: bandwidth overhead vs Direct and packet stretch. *)
+  let direct_bytes =
+    match List.assoc_opt "Direct" t.results with
+    | Some r ->
+        Array.fold_left (fun acc (_, b) -> acc + b) 0 r.Runner.bytes_by_pod
+    | None -> 0
+  in
+  let rows_sum =
+    List.map
+      (fun (name, (r : Runner.result)) ->
+        let total =
+          Array.fold_left (fun acc (_, b) -> acc + b) 0 r.Runner.bytes_by_pod
+        in
+        [
+          name;
+          mb total;
+          (if direct_bytes > 0 then
+             Printf.sprintf "%.2fx"
+               (float_of_int total /. float_of_int direct_bytes)
+           else "-");
+          Printf.sprintf "%.2f" r.Runner.stretch;
+        ])
+      t.results
+  in
+  Report.table ~title:"§5.3: total processed bytes and packet stretch"
+    ~header:[ "scheme"; "total MB"; "vs Direct"; "stretch" ]
+    rows_sum

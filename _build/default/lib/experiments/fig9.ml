@@ -1,0 +1,79 @@
+type point = { gateways : int; fct_x : float; fpl_x : float; drops : int }
+
+type t = {
+  gateway_counts : int list;
+  series : (string * point array) list;
+}
+
+let run ?(scale = `Small) ?(cache_pct = 50) () =
+  let setup = Setup.ft8 scale in
+  let topo = setup.Setup.topo in
+  let slots = Setup.cache_slots setup ~pct:cache_pct in
+  let flows = Setup.hadoop_trace setup in
+  let until = Setup.horizon flows in
+  let total_gw = Array.length (Topo.Topology.gateways topo) in
+  let gateway_counts =
+    List.sort_uniq compare
+      (List.filter
+         (fun k -> k >= 1)
+         [ total_gw; total_gw / 2; total_gw / 4; max 1 (total_gw / 10) ])
+    |> List.rev
+  in
+  let exec ~k scheme =
+    let config =
+      { Netsim.Network.default_config with gateways_used = Some k }
+    in
+    Runner.run ~net_config:config setup ~scheme ~flows ~migrations:[] ~until
+  in
+  (* Baseline: NoCache with the full gateway fleet. *)
+  let base = exec ~k:total_gw (Schemes.Baselines.nocache ()) in
+  let series_of name make =
+    ( name,
+      Array.of_list
+        (List.map
+           (fun k ->
+             let r = exec ~k (make ()) in
+             {
+               gateways = k;
+               fct_x =
+                 Runner.improvement ~baseline:base.Runner.mean_fct
+                   ~v:r.Runner.mean_fct;
+               fpl_x =
+                 Runner.improvement ~baseline:base.Runner.mean_fpl
+                   ~v:r.Runner.mean_fpl;
+               drops = r.Runner.packets_dropped;
+             })
+           gateway_counts) )
+  in
+  let series =
+    [
+      series_of "NoCache" (fun () -> Schemes.Baselines.nocache ());
+      series_of "LocalLearning" (fun () ->
+          Schemes.Baselines.locallearning ~topo ~total_slots:slots);
+      series_of "GwCache" (fun () ->
+          Schemes.Baselines.gwcache ~topo ~total_slots:slots);
+      series_of "SwitchV2P" (fun () ->
+          Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots);
+    ]
+  in
+  { gateway_counts; series }
+
+let print t =
+  let header =
+    "scheme"
+    :: List.map (fun k -> string_of_int k ^ "gw") t.gateway_counts
+  in
+  let metric title f =
+    let rows =
+      List.map
+        (fun (scheme, points) ->
+          scheme :: Array.to_list (Array.map f points))
+        t.series
+    in
+    Report.table ~title:("Fig 9: " ^ title ^ " vs number of gateways") ~header
+      rows
+  in
+  metric "FCT improvement (vs NoCache, all gateways)" (fun p ->
+      Report.fx p.fct_x);
+  metric "first-packet latency improvement" (fun p -> Report.fx p.fpl_x);
+  metric "dropped packets" (fun p -> Report.fint p.drops)

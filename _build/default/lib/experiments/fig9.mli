@@ -1,0 +1,19 @@
+(** Figure 9: application performance with a shrinking gateway fleet
+    (Hadoop, 50% cache). SwitchV2P should hold its FCT and first-packet
+    latency with an order of magnitude fewer gateways, while NoCache
+    and LocalLearning degrade. *)
+
+type point = {
+  gateways : int;
+  fct_x : float;  (** improvement over NoCache-with-all-gateways *)
+  fpl_x : float;
+  drops : int;
+}
+
+type t = {
+  gateway_counts : int list;
+  series : (string * point array) list;
+}
+
+val run : ?scale:Setup.scale -> ?cache_pct:int -> unit -> t
+val print : t -> unit

@@ -1,0 +1,84 @@
+let csv_dir = ref None
+
+let set_csv_dir dir = csv_dir := dir
+
+let slug title =
+  let b = Buffer.create (String.length title) in
+  let last_dash = ref true in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' ->
+          Buffer.add_char b c;
+          last_dash := false
+      | 'A' .. 'Z' ->
+          Buffer.add_char b (Char.lowercase_ascii c);
+          last_dash := false
+      | _ ->
+          if not !last_dash then begin
+            Buffer.add_char b '-';
+            last_dash := true
+          end)
+    title;
+  let s = Buffer.contents b in
+  if String.length s > 0 && s.[String.length s - 1] = '-' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+let csv_field f =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') f then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' f) ^ "\""
+  else f
+
+let csv ~header rows =
+  String.concat "\n"
+    (List.map
+       (fun row -> String.concat "," (List.map csv_field row))
+       (header :: rows))
+  ^ "\n"
+
+let maybe_write_csv ~title ~header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (slug title ^ ".csv") in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (csv ~header rows))
+
+let fx v = Printf.sprintf "%.2fx" v
+let fpct v = Printf.sprintf "%.1f%%" (100.0 *. v)
+let fus v = Printf.sprintf "%.1fus" (v *. 1e6)
+let fint = string_of_int
+
+let table ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let w = List.nth widths i in
+          Printf.sprintf "%-*s" w cell)
+        row
+    in
+    print_endline ("  " ^ String.concat "  " cells)
+  in
+  print_newline ();
+  print_endline ("== " ^ title ^ " ==");
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows;
+  flush stdout;
+  maybe_write_csv ~title ~header rows

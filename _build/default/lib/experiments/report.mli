@@ -1,0 +1,31 @@
+(** Plain-text table rendering for experiment output, with optional
+    CSV capture for external plotting. *)
+
+(** [table ~title ~header rows] prints an aligned table to stdout.
+    When a CSV directory is set (see {!set_csv_dir}), the table is
+    also written to [<dir>/<slugified-title>.csv]. *)
+val table : title:string -> header:string list -> string list list -> unit
+
+(** [set_csv_dir dir] — every subsequent {!table} call also writes a
+    CSV file into [dir] (created if missing); [None] disables. *)
+val set_csv_dir : string option -> unit
+
+(** [csv ~header rows] renders CSV text (fields with commas or quotes
+    are quoted). *)
+val csv : header:string list -> string list list -> string
+
+(** [slug title] — the file-name-safe form used for CSV capture. *)
+val slug : string -> string
+
+(** Formatting helpers. *)
+
+val fx : float -> string
+(** improvement factor, e.g. ["3.21x"] *)
+
+val fpct : float -> string
+(** percentage with one decimal, e.g. ["97.3%"] *)
+
+val fus : float -> string
+(** seconds rendered as microseconds, e.g. ["41.2us"] *)
+
+val fint : int -> string

@@ -1,0 +1,65 @@
+module Time_ns = Dessim.Time_ns
+
+type t = {
+  flows_started : int;
+  flows_completed : int;
+  hit_before : float;
+  hit_with_failure : float;
+  recovered_occupancy : int;
+}
+
+let run ?(scale = `Small) ?(cache_pct = 100) () =
+  let setup = Setup.ft8 scale in
+  let topo = setup.Setup.topo in
+  let slots = Setup.cache_slots setup ~pct:cache_pct in
+  let flows = Setup.hadoop_trace setup in
+  let until = Setup.horizon flows in
+  (* Reference run, no failures. *)
+  let reference =
+    Runner.run setup
+      ~scheme:(Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots)
+      ~flows ~migrations:[] ~until
+  in
+  (* Disturbed run: wipe all spine and core caches at mid-trace. *)
+  let scheme, dp =
+    Schemes.Switchv2p_scheme.make_with_dataplane topo ~total_cache_slots:slots
+  in
+  let net = Netsim.Network.create topo ~scheme in
+  (* Fail mid-traffic: half of the last flow's start time. *)
+  let last_start =
+    List.fold_left
+      (fun acc (f : Netcore.Flow.t) -> max acc (Time_ns.to_ns f.Netcore.Flow.start))
+      0 flows
+  in
+  let half = Time_ns.of_ns (last_start / 2) in
+  Dessim.Engine.schedule (Netsim.Network.engine net) ~at:half (fun () ->
+      Array.iter
+        (fun sw -> Switchv2p.Dataplane.fail_switch dp ~switch:sw)
+        (Array.append (Topo.Topology.spines topo) (Topo.Topology.cores topo)));
+  Netsim.Network.run net flows ~migrations:[] ~until;
+  let m = Netsim.Network.metrics net in
+  let recovered =
+    Array.fold_left
+      (fun acc sw ->
+        acc + Switchv2p.Cache.occupancy (Switchv2p.Dataplane.cache dp ~switch:sw))
+      0
+      (Array.append (Topo.Topology.spines topo) (Topo.Topology.cores topo))
+  in
+  {
+    flows_started = Netsim.Metrics.flows_started m;
+    flows_completed = Netsim.Metrics.flows_completed m;
+    hit_before = reference.Runner.hit_rate;
+    hit_with_failure = Netsim.Metrics.hit_rate m;
+    recovered_occupancy = recovered;
+  }
+
+let print t =
+  Report.table
+    ~title:"Resilience: spine+core cache wipe at mid-trace (Hadoop)"
+    ~header:[ "metric"; "value" ]
+    [
+      [ "flows completed"; Printf.sprintf "%d / %d" t.flows_completed t.flows_started ];
+      [ "hit rate, undisturbed"; Report.fpct t.hit_before ];
+      [ "hit rate, with failure"; Report.fpct t.hit_with_failure ];
+      [ "entries relearned by end"; string_of_int t.recovered_occupancy ];
+    ]

@@ -1,0 +1,20 @@
+(** Switch-failure resilience (the §2 claim: SwitchV2P's caching is
+    opportunistic, so losing a switch's cache state never affects
+    forwarding correctness — it only costs hit rate until the traffic
+    re-teaches the fabric).
+
+    A steady Hadoop workload runs while every spine and core cache is
+    wiped mid-trace; we report hit rates before/after the failure and
+    verify every flow still completes. *)
+
+type t = {
+  flows_started : int;
+  flows_completed : int;
+  hit_before : float;  (** hit rate of the first (pre-failure) run *)
+  hit_with_failure : float;  (** whole-run hit rate with the mid-trace wipe *)
+  recovered_occupancy : int;
+      (** cache entries relearned by the end of the disturbed run *)
+}
+
+val run : ?scale:Setup.scale -> ?cache_pct:int -> unit -> t
+val print : t -> unit

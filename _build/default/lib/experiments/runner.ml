@@ -1,0 +1,59 @@
+module Time_ns = Dessim.Time_ns
+
+type result = {
+  scheme : string;
+  hit_rate : float;
+  mean_fct : float;
+  mean_fpl : float;
+  mean_pkt_latency : float;
+  gw_packets : int;
+  packets_sent : int;
+  packets_dropped : int;
+  misdelivered : int;
+  flows_started : int;
+  flows_completed : int;
+  stretch : float;
+  layer_hits : int * int * int * int * int;
+  fp_layer_hits : int * int * int * int * int;
+  last_misdelivered_arrival : Time_ns.t option;
+  reordering_events : int;
+  extra : (string * float) list;
+  bytes_by_pod : (int * int) array;
+  bytes_by_switch : (int * int) array;
+}
+
+let run ?net_config (setup : Setup.t) ~scheme ~flows ~migrations ~until =
+  let net = Netsim.Network.create ?config:net_config setup.Setup.topo ~scheme in
+  Netsim.Network.run net flows ~migrations ~until;
+  let m = Netsim.Network.metrics net in
+  let topo = setup.Setup.topo in
+  let pods = (Topo.Topology.params topo).Topo.Params.pods in
+  {
+    scheme = scheme.Netsim.Scheme.name;
+    hit_rate = Netsim.Metrics.hit_rate m;
+    mean_fct = Netsim.Metrics.mean_fct m;
+    mean_fpl = Netsim.Metrics.mean_first_packet_latency m;
+    mean_pkt_latency = Netsim.Metrics.mean_packet_latency m;
+    gw_packets = Netsim.Metrics.gateway_packets m;
+    packets_sent = Netsim.Metrics.packets_sent m;
+    packets_dropped = Netsim.Metrics.packets_dropped m;
+    misdelivered = Netsim.Metrics.misdelivered_packets m;
+    flows_started = Netsim.Metrics.flows_started m;
+    flows_completed = Netsim.Metrics.flows_completed m;
+    stretch = Netsim.Metrics.mean_stretch m;
+    layer_hits = Netsim.Metrics.layer_hits m;
+    fp_layer_hits = Netsim.Metrics.first_packet_layer_hits m;
+    last_misdelivered_arrival = Netsim.Metrics.last_misdelivered_arrival m;
+    reordering_events =
+      Netsim.Transport.reordering_events (Netsim.Network.transport net);
+    extra = scheme.Netsim.Scheme.stats ();
+    bytes_by_pod =
+      Array.init pods (fun pod -> (pod, Netsim.Metrics.bytes_of_pod m pod));
+    bytes_by_switch =
+      Array.map
+        (fun sw -> (sw, Netsim.Metrics.bytes_of_switch m sw))
+        (Topo.Topology.switches topo);
+  }
+
+let improvement ~baseline ~v =
+  if baseline <= 0.0 || v <= 0.0 then 1.0 else baseline /. v

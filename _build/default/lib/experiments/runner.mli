@@ -1,0 +1,41 @@
+(** One simulation run → one row of results. *)
+
+type result = {
+  scheme : string;
+  hit_rate : float;
+  mean_fct : float;  (** seconds; 0 when no flow completed *)
+  mean_fpl : float;  (** mean first-packet latency, seconds *)
+  mean_pkt_latency : float;
+  gw_packets : int;
+  packets_sent : int;
+  packets_dropped : int;
+  misdelivered : int;
+  flows_started : int;
+  flows_completed : int;
+  stretch : float;
+  layer_hits : int * int * int * int * int;  (** core/spine/tor/gw/host *)
+  fp_layer_hits : int * int * int * int * int;
+  last_misdelivered_arrival : Dessim.Time_ns.t option;
+  reordering_events : int;
+      (** data packets that arrived behind a higher sequence number
+          (§4: SwitchV2P can reorder when caches are small) *)
+  extra : (string * float) list;  (** scheme-specific counters *)
+  bytes_by_pod : (int * int) array;  (** (pod, bytes) *)
+  bytes_by_switch : (int * int) array;  (** (switch node id, bytes) *)
+}
+
+(** [run ?net_config setup ~scheme ~flows ~migrations ~until] builds a
+    fresh network and executes the trace. *)
+val run :
+  ?net_config:Netsim.Network.config ->
+  Setup.t ->
+  scheme:Netsim.Scheme.t ->
+  flows:Netcore.Flow.t list ->
+  migrations:Netsim.Network.migration list ->
+  until:Dessim.Time_ns.t ->
+  result
+
+(** [improvement ~baseline ~v] is [baseline /. v] guarded against
+    division by zero (returns 1.0 when either side is degenerate) —
+    the paper's "improvement factor normalized by NoCache". *)
+val improvement : baseline:float -> v:float -> float

@@ -1,0 +1,96 @@
+module Time_ns = Dessim.Time_ns
+module Rng = Dessim.Rng
+
+type scale = [ `Tiny | `Small | `Paper ]
+
+type t = {
+  topo : Topo.Topology.t;
+  num_vms : int;
+  agg_bps : float;
+  seed : int;
+}
+
+let wrap params seed =
+  let topo = Topo.Topology.build params in
+  {
+    topo;
+    num_vms = Topo.Params.num_vms params;
+    agg_bps =
+      float_of_int (Array.length (Topo.Topology.hosts topo))
+      *. params.Topo.Params.host_link_bps;
+    seed;
+  }
+
+let ft8 ?(seed = 42) = function
+  | `Paper -> wrap (Topo.Params.ft8_10k ()) seed
+  | `Small ->
+      wrap
+        (Topo.Params.scaled ~spines_per_pod:4 ~cores_per_group:4
+           ~gateways_per_gateway_pod:4 ~pods:8 ~racks_per_pod:4
+           ~hosts_per_rack:2 ~vms_per_host:12 ())
+        seed
+  | `Tiny ->
+      wrap
+        (Topo.Params.scaled ~pods:4 ~racks_per_pod:3 ~hosts_per_rack:2
+           ~vms_per_host:8 ())
+        seed
+
+let ft16 ?(seed = 42) = function
+  | `Paper -> wrap (Topo.Params.ft16_400k ()) seed
+  | `Small ->
+      wrap
+        (Topo.Params.scaled ~spines_per_pod:4 ~cores_per_group:4
+           ~gateways_per_gateway_pod:4 ~pods:8 ~racks_per_pod:8
+           ~hosts_per_rack:2 ~vms_per_host:8 ())
+        seed
+  | `Tiny ->
+      wrap
+        (Topo.Params.scaled ~pods:2 ~racks_per_pod:4 ~hosts_per_rack:2
+           ~vms_per_host:8 ())
+        seed
+
+let custom params ~seed = wrap params seed
+
+let cache_slots t ~pct =
+  if pct < 0 then invalid_arg "Setup.cache_slots: negative percentage";
+  t.num_vms * pct / 100
+
+let load = 0.3
+
+let hadoop_trace ?(flows_per_vm = 8.0) t =
+  let rng = Rng.create t.seed in
+  Workloads.Tracegen.hadoop rng ~num_vms:t.num_vms
+    ~num_flows:(int_of_float (flows_per_vm *. float_of_int t.num_vms))
+    ~load ~agg_bps:t.agg_bps
+
+let websearch_trace ?(flows_per_vm = 0.5) t =
+  let rng = Rng.create t.seed in
+  Workloads.Tracegen.websearch rng ~num_vms:t.num_vms
+    ~num_flows:(int_of_float (flows_per_vm *. float_of_int t.num_vms))
+    ~load ~agg_bps:t.agg_bps
+
+let alibaba_trace ?(rpcs_per_vm = 4.0) t =
+  let rng = Rng.create t.seed in
+  Workloads.Tracegen.alibaba rng ~num_vms:t.num_vms
+    ~num_rpcs:(int_of_float (rpcs_per_vm *. float_of_int t.num_vms))
+    ~load ~agg_bps:t.agg_bps
+
+let microbursts_trace ?(flows_per_vm = 8.0) t =
+  let rng = Rng.create t.seed in
+  Workloads.Tracegen.microbursts rng ~num_vms:t.num_vms
+    ~num_flows:(int_of_float (flows_per_vm *. float_of_int t.num_vms))
+    ~horizon:(Time_ns.of_ms 2)
+
+let video_trace ?(senders = 64) t =
+  let rng = Rng.create t.seed in
+  let senders = min senders (t.num_vms / 2) in
+  Workloads.Tracegen.video rng ~num_vms:t.num_vms ~senders
+    ~duration:(Time_ns.of_ms 5)
+
+let horizon flows =
+  let last =
+    List.fold_left
+      (fun acc (f : Netcore.Flow.t) -> max acc (Time_ns.to_ns f.Netcore.Flow.start))
+      0 flows
+  in
+  Time_ns.of_ns (last + Time_ns.to_ns (Time_ns.of_ms 40))

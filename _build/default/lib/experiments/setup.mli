@@ -1,0 +1,44 @@
+(** Experiment setups: topologies and trace sizes at several scales.
+
+    [`Tiny] is for unit tests (sub-second runs), [`Small] is the bench
+    default — the same FatTree shape as the paper's FT8-10K with fewer
+    hosts/VMs so the full suite finishes in minutes — and [`Paper]
+    builds the full Table 3 topologies. Shapes (who wins, crossovers)
+    are stable across scales; absolute numbers are not. *)
+
+type scale = [ `Tiny | `Small | `Paper ]
+
+type t = {
+  topo : Topo.Topology.t;
+  num_vms : int;
+  agg_bps : float;  (** aggregate host bandwidth, for load accounting *)
+  seed : int;
+}
+
+(** [ft8 scale] — the FT8-10K family (gateway pods on half the pods). *)
+val ft8 : ?seed:int -> scale -> t
+
+(** [ft16 scale] — the FT16-400K family (used with the Alibaba trace).
+    [`Paper] here is very large; [`Small] keeps 8 pods. *)
+val ft16 : ?seed:int -> scale -> t
+
+(** [custom params ~seed] wraps an arbitrary topology. *)
+val custom : Topo.Params.t -> seed:int -> t
+
+(** [cache_slots t ~pct] is the aggregate cache size equal to [pct]% of
+    the VIP space (the paper's cache-size axis). *)
+val cache_slots : t -> pct:int -> int
+
+(** Standard traces at a size proportional to the setup's VM count.
+    [flows_per_vm] controls the reuse density (the paper's Hadoop has
+    ~10 flows per destination VM). *)
+
+val hadoop_trace : ?flows_per_vm:float -> t -> Netcore.Flow.t list
+val websearch_trace : ?flows_per_vm:float -> t -> Netcore.Flow.t list
+val alibaba_trace : ?rpcs_per_vm:float -> t -> Netcore.Flow.t list
+val microbursts_trace : ?flows_per_vm:float -> t -> Netcore.Flow.t list
+val video_trace : ?senders:int -> t -> Netcore.Flow.t list
+
+(** [horizon flows] — a simulation end time comfortably after the last
+    flow start. *)
+val horizon : Netcore.Flow.t list -> Dessim.Time_ns.t

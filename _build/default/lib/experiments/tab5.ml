@@ -1,0 +1,78 @@
+type dist = { core : float; spine : float; tor : float }
+type row = { trace : string; total : dist; first : dist }
+type t = { rows : row list }
+
+let dist_of ~core ~spine ~tor =
+  let total = core + spine + tor in
+  if total = 0 then { core = 0.0; spine = 0.0; tor = 0.0 }
+  else
+    let f x = float_of_int x /. float_of_int total in
+    { core = f core; spine = f spine; tor = f tor }
+
+let run ?(scale = `Small) ?(cache_pct = 50) () =
+  let kinds =
+    [
+      Fig5.Hadoop; Fig5.Websearch; Fig5.Alibaba; Fig5.Microbursts; Fig5.Video;
+    ]
+  in
+  let rows =
+    List.map
+      (fun kind ->
+        let setup =
+          match kind with
+          | Fig5.Alibaba -> Setup.ft16 scale
+          | _ -> Setup.ft8 scale
+        in
+        let topo = setup.Setup.topo in
+        let flows =
+          match kind with
+          | Fig5.Hadoop -> Setup.hadoop_trace setup
+          | Fig5.Websearch -> Setup.websearch_trace setup
+          | Fig5.Alibaba -> Setup.alibaba_trace setup
+          | Fig5.Microbursts -> Setup.microbursts_trace setup
+          | Fig5.Video -> Setup.video_trace setup
+        in
+        let scheme =
+          Schemes.Switchv2p_scheme.make topo
+            ~total_cache_slots:(Setup.cache_slots setup ~pct:cache_pct)
+        in
+        let r =
+          Runner.run setup ~scheme ~flows ~migrations:[]
+            ~until:(Setup.horizon flows)
+        in
+        let core, spine, tor, _, _ = r.Runner.layer_hits in
+        let fcore, fspine, ftor, _, _ = r.Runner.fp_layer_hits in
+        {
+          trace = Fig5.trace_name kind;
+          total = dist_of ~core ~spine ~tor;
+          first = dist_of ~core:fcore ~spine:fspine ~tor:ftor;
+        })
+      kinds
+  in
+  { rows }
+
+let print t =
+  Report.table
+    ~title:"Table 5: SwitchV2P cache-hit distribution across the topology"
+    ~header:
+      [
+        "trace";
+        "core";
+        "spine";
+        "tor";
+        "fp core";
+        "fp spine";
+        "fp tor";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.trace;
+           Report.fpct r.total.core;
+           Report.fpct r.total.spine;
+           Report.fpct r.total.tor;
+           Report.fpct r.first.core;
+           Report.fpct r.first.spine;
+           Report.fpct r.first.tor;
+         ])
+       t.rows)

@@ -1,0 +1,18 @@
+type t = { entries : int; usage : P4model.Resources.usage }
+
+let run ?(entries_per_switch = P4model.Resources.paper_config_entries) () =
+  {
+    entries = entries_per_switch;
+    usage = P4model.Resources.estimate ~entries_per_switch;
+  }
+
+let print t =
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "Table 6: per-stage switch resource utilization (%d entries)"
+         t.entries)
+    ~header:[ "resource"; "utilization" ]
+    (List.map
+       (fun (name, pct) -> [ name; Printf.sprintf "%.1f%%" pct ])
+       (P4model.Resources.rows t.usage))

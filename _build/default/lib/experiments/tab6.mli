@@ -1,0 +1,9 @@
+(** Table 6: per-stage Tofino resource utilization of the SwitchV2P
+    pipeline, from the analytical {!P4model.Resources} model. *)
+
+type t = { entries : int; usage : P4model.Resources.usage }
+
+(** [run ()] evaluates the model at the paper's 50%-cache point. *)
+val run : ?entries_per_switch:int -> unit -> t
+
+val print : t -> unit

@@ -1,0 +1,1 @@
+lib/ilp/allocation.ml: Array Hashtbl List

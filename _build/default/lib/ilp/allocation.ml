@@ -1,0 +1,166 @@
+type demand = { src : int; dst : int; weight : float }
+
+type instance = {
+  num_items : int;
+  num_switches : int;
+  capacity : int array;
+  demands : demand array;
+  default_cost : demand -> float;
+  cached_cost : demand -> int -> float option;
+}
+
+type assignment = {
+  by_switch : (int, int list) Hashtbl.t;
+  members : (int * int, unit) Hashtbl.t; (* (switch, item) *)
+}
+
+let empty_assignment () =
+  { by_switch = Hashtbl.create 16; members = Hashtbl.create 64 }
+
+let add_entry a ~switch ~item =
+  if not (Hashtbl.mem a.members (switch, item)) then begin
+    Hashtbl.replace a.members (switch, item) ();
+    let cur =
+      match Hashtbl.find_opt a.by_switch switch with Some l -> l | None -> []
+    in
+    Hashtbl.replace a.by_switch switch (item :: cur)
+  end
+
+let items_of a ~switch =
+  match Hashtbl.find_opt a.by_switch switch with Some l -> l | None -> []
+
+let holds a ~switch ~item = Hashtbl.mem a.members (switch, item)
+
+let validate t =
+  let fail msg = invalid_arg ("Allocation.validate: " ^ msg) in
+  if t.num_items < 0 then fail "negative num_items";
+  if t.num_switches < 0 then fail "negative num_switches";
+  if Array.length t.capacity <> t.num_switches then
+    fail "capacity array length mismatch";
+  Array.iter (fun c -> if c < 0 then fail "negative capacity") t.capacity;
+  Array.iter
+    (fun d ->
+      if d.weight < 0.0 then fail "negative weight";
+      if d.dst < 0 || d.dst >= t.num_items then fail "item out of range")
+    t.demands
+
+let demand_cost t a d =
+  let best = ref (t.default_cost d) in
+  for s = 0 to t.num_switches - 1 do
+    if holds a ~switch:s ~item:d.dst then
+      match t.cached_cost d s with
+      | Some c when c < !best -> best := c
+      | Some _ | None -> ()
+  done;
+  !best
+
+let cost t a =
+  Array.fold_left (fun acc d -> acc +. (d.weight *. demand_cost t a d)) 0.0
+    t.demands
+
+let solve_greedy t =
+  validate t;
+  let a = empty_assignment () in
+  let used = Array.make t.num_switches 0 in
+  (* Current best cost per demand, updated as entries are installed. *)
+  let cur = Array.map (fun d -> t.default_cost d) t.demands in
+  (* Demands grouped by item to score candidates quickly. *)
+  let by_item = Array.make t.num_items [] in
+  Array.iteri
+    (fun idx d -> by_item.(d.dst) <- (idx, d) :: by_item.(d.dst))
+    t.demands;
+  let gain ~switch ~item =
+    List.fold_left
+      (fun acc (idx, d) ->
+        match t.cached_cost d switch with
+        | Some c when c < cur.(idx) -> acc +. (d.weight *. (cur.(idx) -. c))
+        | Some _ | None -> acc)
+      0.0 by_item.(item)
+  in
+  let continue = ref true in
+  while !continue do
+    let best = ref None in
+    for s = 0 to t.num_switches - 1 do
+      if used.(s) < t.capacity.(s) then
+        for item = 0 to t.num_items - 1 do
+          if not (holds a ~switch:s ~item) then begin
+            let g = gain ~switch:s ~item in
+            match !best with
+            | Some (_, _, bg) when bg >= g -> ()
+            | _ -> if g > 0.0 then best := Some (s, item, g)
+          end
+        done
+    done;
+    match !best with
+    | None -> continue := false
+    | Some (s, item, _) ->
+        add_entry a ~switch:s ~item;
+        used.(s) <- used.(s) + 1;
+        List.iter
+          (fun (idx, d) ->
+            match t.cached_cost d s with
+            | Some c when c < cur.(idx) -> cur.(idx) <- c
+            | Some _ | None -> ())
+          by_item.(item)
+  done;
+  a
+
+let solve_exact ?(max_vars = 24) t =
+  validate t;
+  (* Decision variables: useful (switch, item) pairs — those that help
+     at least one demand. *)
+  let useful = ref [] in
+  for s = 0 to t.num_switches - 1 do
+    for item = 0 to t.num_items - 1 do
+      let helps =
+        Array.exists
+          (fun d ->
+            d.dst = item
+            &&
+            match t.cached_cost d s with
+            | Some c -> c < t.default_cost d
+            | None -> false)
+          t.demands
+      in
+      if helps then useful := (s, item) :: !useful
+    done
+  done;
+  let vars = Array.of_list (List.rev !useful) in
+  let n = Array.length vars in
+  if n > max_vars then
+    invalid_arg "Allocation.solve_exact: instance too large";
+  let best_cost = ref infinity in
+  let best = ref (empty_assignment ()) in
+  let used = Array.make t.num_switches 0 in
+  let chosen = Array.make n false in
+  let copy_current () =
+    let a = empty_assignment () in
+    Array.iteri
+      (fun i (s, item) -> if chosen.(i) then add_entry a ~switch:s ~item)
+      vars;
+    a
+  in
+  let rec go i =
+    if i = n then begin
+      let a = copy_current () in
+      let c = cost t a in
+      if c < !best_cost then begin
+        best_cost := c;
+        best := a
+      end
+    end
+    else begin
+      let s, _ = vars.(i) in
+      (* Branch: include if capacity permits. *)
+      if used.(s) < t.capacity.(s) then begin
+        chosen.(i) <- true;
+        used.(s) <- used.(s) + 1;
+        go (i + 1);
+        used.(s) <- used.(s) - 1;
+        chosen.(i) <- false
+      end;
+      go (i + 1)
+    end
+  in
+  go 0;
+  !best

@@ -1,0 +1,56 @@
+(** Centralized cache-allocation optimization (Appendix A.1).
+
+    Decide which V2P mappings to install in which switches so that the
+    traffic-weighted per-packet latency is minimized, subject to
+    per-switch capacity. The paper solves this 0/1 program with Z3; we
+    provide an exact branch-and-bound for small instances (used by the
+    tests to validate the heuristic) and a greedy marginal-gain
+    heuristic with the classic (1 - 1/e) guarantee shape for the
+    simulation-scale instances.
+
+    Items are abstract integers (VIPs); switches are positions
+    [0 .. num_switches-1] in the instance arrays. *)
+
+type demand = {
+  src : int;  (** an opaque sender identifier (e.g. host node id) *)
+  dst : int;  (** item (VIP) requested *)
+  weight : float;  (** packet count over the measurement window *)
+}
+
+type instance = {
+  num_items : int;  (** items are [0 .. num_items-1] *)
+  num_switches : int;
+  capacity : int array;  (** per switch *)
+  demands : demand array;
+  default_cost : demand -> float;
+      (** latency when no switch on the path holds the mapping
+          (via-gateway path + gateway processing) *)
+  cached_cost : demand -> int -> float option;
+      (** latency when switch [s] holds the mapping; [None] when [s]
+          is not on the demand's path to the gateway *)
+}
+
+(** An assignment maps each switch to the set of items it caches. *)
+type assignment
+
+val items_of : assignment -> switch:int -> int list
+val holds : assignment -> switch:int -> item:int -> bool
+
+(** [cost instance assignment] is the objective value: each demand
+    contributes [weight * min(default, min over holding switches)]. *)
+val cost : instance -> assignment -> float
+
+(** [solve_greedy instance] repeatedly installs the
+    (switch, item) pair with the largest marginal gain until no
+    positive gain remains or capacity is exhausted. *)
+val solve_greedy : instance -> assignment
+
+(** [solve_exact instance] explores all feasible assignments with
+    branch-and-bound pruning. Exponential — intended for instances
+    with at most ~20 (switch, item) decision variables; raises
+    [Invalid_argument] beyond [max_vars] (default 24). *)
+val solve_exact : ?max_vars:int -> instance -> assignment
+
+(** [validate instance] raises [Invalid_argument] on negative
+    capacities/weights or out-of-range items. *)
+val validate : instance -> unit

@@ -1,0 +1,1 @@
+lib/netcore/addr.ml: Format Stdlib

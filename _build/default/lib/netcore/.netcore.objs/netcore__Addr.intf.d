@@ -1,0 +1,1 @@
+lib/netcore/addr.mli: Format

@@ -1,0 +1,1 @@
+lib/netcore/flow.ml: Addr Dessim Format Packet

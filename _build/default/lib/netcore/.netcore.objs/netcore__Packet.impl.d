@@ -1,0 +1,1 @@
+lib/netcore/packet.ml: Addr Dessim Format

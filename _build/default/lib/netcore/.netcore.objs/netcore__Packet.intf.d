@@ -1,0 +1,1 @@
+lib/netcore/packet.mli: Addr Dessim Format

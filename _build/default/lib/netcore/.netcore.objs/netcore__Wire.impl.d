@@ -1,0 +1,1 @@
+lib/netcore/wire.ml: Addr Buffer Bytes Char List Packet Printf

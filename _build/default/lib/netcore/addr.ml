@@ -1,0 +1,35 @@
+let pp_quad ~base ppf i =
+  Format.fprintf ppf "%d.%d.%d.%d" base
+    ((i lsr 16) land 0xff)
+    ((i lsr 8) land 0xff)
+    (i land 0xff)
+
+module Vip = struct
+  type t = int
+
+  let of_int i =
+    if i < 0 then invalid_arg "Vip.of_int: negative";
+    i
+
+  let to_int t = t
+  let equal (a : t) b = a = b
+  let compare (a : t) (b : t) = Stdlib.compare a b
+  let hash (t : t) = t
+  let pp = pp_quad ~base:10
+end
+
+module Pip = struct
+  type t = int
+
+  let of_int i =
+    if i < 0 then invalid_arg "Pip.of_int: negative";
+    i
+
+  let to_int t = t
+  let equal (a : t) b = a = b
+  let compare (a : t) (b : t) = Stdlib.compare a b
+  let hash (t : t) = t
+  let none = max_int
+  let is_none t = t = max_int
+  let pp ppf t = if is_none t then Format.pp_print_string ppf "<none>" else pp_quad ~base:192 ppf t
+end

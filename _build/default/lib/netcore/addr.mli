@@ -1,0 +1,41 @@
+(** Virtual and physical addresses.
+
+    A virtual IP (VIP) is a tenant-visible identifier with no location
+    information; a physical IP (PIP) identifies a physical endpoint
+    (server, gateway, or switch — switches are addressable so that
+    learning and invalidation packets can be delivered to them, cf.
+    §3.3 of the paper). Both are represented as dense integers so that
+    caches and routing tables are plain arrays. *)
+
+module Vip : sig
+  type t = private int
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+
+  (** [pp] renders as a dotted quad in 10.128.0.0/9 for readability. *)
+  val pp : Format.formatter -> t -> unit
+end
+
+module Pip : sig
+  type t = private int
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+
+  (** [none] is a sentinel for "no physical address yet" (packets not
+      yet resolved carry the gateway address instead; [none] is only
+      used for optional-free fast paths). *)
+  val none : t
+
+  val is_none : t -> bool
+
+  (** [pp] renders as a dotted quad in 192.0.0.0/8 for readability. *)
+  val pp : Format.formatter -> t -> unit
+end

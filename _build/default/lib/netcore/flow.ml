@@ -1,0 +1,23 @@
+type proto = Tcpish | Udp of { rate_bps : float }
+
+type t = {
+  id : int;
+  src_vip : Addr.Vip.t;
+  dst_vip : Addr.Vip.t;
+  size_bytes : int;
+  start : Dessim.Time_ns.t;
+  proto : proto;
+  pkt_bytes : int;
+}
+
+let make ?(pkt_bytes = Packet.mtu) ~id ~src_vip ~dst_vip ~size_bytes ~start
+    proto =
+  if size_bytes <= 0 then invalid_arg "Flow.make: size must be positive";
+  if pkt_bytes <= 0 then invalid_arg "Flow.make: pkt_bytes must be positive";
+  { id; src_vip; dst_vip; size_bytes; start; proto; pkt_bytes }
+
+let packet_count t = max 1 ((t.size_bytes + t.pkt_bytes - 1) / t.pkt_bytes)
+
+let pp ppf t =
+  Format.fprintf ppf "flow %d: %a -> %a, %dB @ %a" t.id Addr.Vip.pp t.src_vip
+    Addr.Vip.pp t.dst_vip t.size_bytes Dessim.Time_ns.pp t.start

@@ -1,0 +1,36 @@
+(** Flow descriptors produced by workload generators and consumed by
+    the transport layer. *)
+
+type proto =
+  | Tcpish  (** windowed reliable transport; FCT is measured *)
+  | Udp of { rate_bps : float }
+      (** constant-rate unreliable stream; per-packet latency is
+          measured *)
+
+type t = {
+  id : int;
+  src_vip : Addr.Vip.t;
+  dst_vip : Addr.Vip.t;
+  size_bytes : int;  (** total payload bytes to transfer *)
+  start : Dessim.Time_ns.t;
+  proto : proto;
+  pkt_bytes : int;  (** data packet size on the wire; default MTU *)
+}
+
+(** [make ... proto] — the protocol is the final positional argument
+    so that [?pkt_bytes] stays erasable. *)
+val make :
+  ?pkt_bytes:int ->
+  id:int ->
+  src_vip:Addr.Vip.t ->
+  dst_vip:Addr.Vip.t ->
+  size_bytes:int ->
+  start:Dessim.Time_ns.t ->
+  proto ->
+  t
+
+(** [packet_count t] is the number of [pkt_bytes]-sized data packets
+    needed (at least 1). *)
+val packet_count : t -> int
+
+val pp : Format.formatter -> t -> unit

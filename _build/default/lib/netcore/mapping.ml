@@ -1,0 +1,32 @@
+type entry = { mutable pip : Addr.Pip.t; mutable version : int }
+type t = (Addr.Vip.t, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 1024
+
+let install t vip pip =
+  match Hashtbl.find_opt t vip with
+  | Some e ->
+      e.pip <- pip;
+      e.version <- e.version + 1
+  | None -> Hashtbl.add t vip { pip; version = 1 }
+
+let lookup t vip =
+  match Hashtbl.find_opt t vip with
+  | Some e -> e.pip
+  | None -> raise Not_found
+
+let lookup_opt t vip =
+  match Hashtbl.find_opt t vip with Some e -> Some e.pip | None -> None
+
+let version t vip =
+  match Hashtbl.find_opt t vip with Some e -> e.version | None -> 0
+
+let migrate t vip pip =
+  match Hashtbl.find_opt t vip with
+  | Some e ->
+      e.pip <- pip;
+      e.version <- e.version + 1
+  | None -> raise Not_found
+
+let size t = Hashtbl.length t
+let iter t f = Hashtbl.iter (fun vip e -> f vip e.pip) t

@@ -1,0 +1,38 @@
+(** Ground-truth V2P mapping store.
+
+    This is the single-writer database held by the virtual-network
+    control plane and served by the translation gateways. Caches
+    anywhere else in the network may be stale; this store never is.
+    Each entry carries a monotonically increasing version so tests can
+    check that stale cached values predate the current one. *)
+
+type t
+
+(** [create ()] is an empty store. *)
+val create : unit -> t
+
+(** [install t vip pip] installs or overwrites the mapping (version is
+    bumped on overwrite). *)
+val install : t -> Addr.Vip.t -> Addr.Pip.t -> unit
+
+(** [lookup t vip] is the current physical location of [vip].
+    Raises [Not_found] for unknown VIPs. *)
+val lookup : t -> Addr.Vip.t -> Addr.Pip.t
+
+(** [lookup_opt t vip] is [Some pip] or [None]. *)
+val lookup_opt : t -> Addr.Vip.t -> Addr.Pip.t option
+
+(** [version t vip] is the number of times [vip] has been (re)mapped;
+    0 for unknown VIPs. *)
+val version : t -> Addr.Vip.t -> int
+
+(** [migrate t vip pip] atomically moves [vip]; equivalent to
+    [install] but raises [Not_found] if [vip] was never installed
+    (migration of an unknown VM is a logic error). *)
+val migrate : t -> Addr.Vip.t -> Addr.Pip.t -> unit
+
+(** [size t] is the number of installed mappings. *)
+val size : t -> int
+
+(** [iter t f] applies [f vip pip] to every installed mapping. *)
+val iter : t -> (Addr.Vip.t -> Addr.Pip.t -> unit) -> unit

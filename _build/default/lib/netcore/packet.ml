@@ -1,0 +1,91 @@
+type kind = Data | Ack | Learning | Invalidation
+
+type t = {
+  id : int;
+  flow_id : int;
+  kind : kind;
+  size : int;
+  seq : int;
+  src_vip : Addr.Vip.t;
+  dst_vip : Addr.Vip.t;
+  src_pip : Addr.Pip.t;
+  mutable dst_pip : Addr.Pip.t;
+  mutable resolved : bool;
+  mutable misdelivery : Addr.Pip.t option;
+  mutable hit_switch : int;
+  mutable spill : (Addr.Vip.t * Addr.Pip.t) option;
+  mutable promo : (Addr.Vip.t * Addr.Pip.t) option;
+  mapping_payload : (Addr.Vip.t * Addr.Pip.t) option;
+  mutable ecn : bool;
+  mutable hops : int;
+  mutable gw_visited : bool;
+  sent_at : Dessim.Time_ns.t;
+  mutable retransmit : bool;
+}
+
+let mtu = 1500
+let ack_size = 64
+let control_size = 64
+
+let base ~id ~flow_id ~kind ~size ~seq ~src_vip ~dst_vip ~src_pip ~dst_pip
+    ~mapping_payload ~now =
+  {
+    id;
+    flow_id;
+    kind;
+    size;
+    seq;
+    src_vip;
+    dst_vip;
+    src_pip;
+    dst_pip;
+    resolved = false;
+    misdelivery = None;
+    hit_switch = -1;
+    spill = None;
+    promo = None;
+    mapping_payload;
+    ecn = false;
+    hops = 0;
+    gw_visited = false;
+    sent_at = now;
+    retransmit = false;
+  }
+
+let make_data ~id ~flow_id ~seq ~size ~src_vip ~dst_vip ~src_pip ~dst_pip ~now
+    =
+  base ~id ~flow_id ~kind:Data ~size ~seq ~src_vip ~dst_vip ~src_pip ~dst_pip
+    ~mapping_payload:None ~now
+
+let make_ack ~id ~flow_id ~seq ~src_vip ~dst_vip ~src_pip ~dst_pip ~now =
+  base ~id ~flow_id ~kind:Ack ~size:ack_size ~seq ~src_vip ~dst_vip ~src_pip
+    ~dst_pip ~mapping_payload:None ~now
+
+let make_control ~id ~kind ~mapping ~src_pip ~dst_pip ~now =
+  (match kind with
+  | Learning | Invalidation -> ()
+  | Data | Ack -> invalid_arg "Packet.make_control: not a control kind");
+  let vip, _ = mapping in
+  let p =
+    base ~id ~flow_id:(-1) ~kind ~size:control_size ~seq:0 ~src_vip:vip
+      ~dst_vip:vip ~src_pip ~dst_pip ~mapping_payload:(Some mapping) ~now
+  in
+  (* Control packets travel on physical addresses only; they are
+     "resolved" so no cache ever rewrites them. *)
+  p.resolved <- true;
+  p
+
+let is_data t = match t.kind with Data -> true | Ack | Learning | Invalidation -> false
+
+let pp_kind ppf = function
+  | Data -> Format.pp_print_string ppf "data"
+  | Ack -> Format.pp_print_string ppf "ack"
+  | Learning -> Format.pp_print_string ppf "learn"
+  | Invalidation -> Format.pp_print_string ppf "inval"
+
+let pp ppf t =
+  Format.fprintf ppf "#%d %a flow=%d seq=%d %a->%a outer:%a->%a%s%s" t.id
+    pp_kind t.kind t.flow_id t.seq Addr.Vip.pp t.src_vip Addr.Vip.pp t.dst_vip
+    Addr.Pip.pp t.src_pip Addr.Pip.pp t.dst_pip
+    (if t.resolved then " R" else "")
+    (match t.misdelivery with Some _ -> " MD" | None -> "")

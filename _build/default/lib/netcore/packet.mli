@@ -1,0 +1,99 @@
+(** Tunneled packets.
+
+    Packets carry an inner (virtual) header and an outer (physical,
+    IP-in-IP) header. Until a packet is {e resolved}, its outer
+    destination is a translation gateway; a cache hit in the network
+    rewrites the outer destination to the true physical address and
+    marks the packet resolved.
+
+    The tunnel option fields model the Geneve option space the paper
+    uses for protocol metadata: spilled cache entries, promotions,
+    the misdelivery tag, and the identifier of the switch that served
+    a cache hit (used to target invalidations). *)
+
+type kind =
+  | Data  (** tenant payload *)
+  | Ack  (** transport acknowledgment *)
+  | Learning  (** gateway-ToR-generated learning packet (§3.2.2) *)
+  | Invalidation  (** ToR-generated invalidation packet (§3.3) *)
+
+type t = {
+  id : int;  (** unique per simulation *)
+  flow_id : int;
+  kind : kind;
+  size : int;  (** bytes on the wire *)
+  seq : int;  (** data/ack sequence number within the flow *)
+  src_vip : Addr.Vip.t;
+  dst_vip : Addr.Vip.t;
+  src_pip : Addr.Pip.t;
+  mutable dst_pip : Addr.Pip.t;
+  mutable resolved : bool;
+  mutable misdelivery : Addr.Pip.t option;
+      (** misdelivery tag (§3.3); carries the stale physical address
+          the packet was wrongly delivered to, so switches can tell
+          their cached entry is the stale one *)
+  mutable hit_switch : int;  (** node id of the switch that served the hit; -1 if none *)
+  mutable spill : (Addr.Vip.t * Addr.Pip.t) option;  (** spilled entry riding along *)
+  mutable promo : (Addr.Vip.t * Addr.Pip.t) option;  (** promotion riding along *)
+  mapping_payload : (Addr.Vip.t * Addr.Pip.t) option;
+      (** payload of [Learning]/[Invalidation] packets *)
+  mutable ecn : bool;
+      (** congestion-experienced mark (set by links past their ECN
+          threshold); on ACKs this is the echo bit the DCTCP sender
+          reads *)
+  mutable hops : int;  (** switches traversed so far (packet stretch) *)
+  mutable gw_visited : bool;
+  sent_at : Dessim.Time_ns.t;
+  mutable retransmit : bool;
+}
+
+(** [make_data ~id ~flow_id ~seq ~size ~src_vip ~dst_vip ~src_pip
+    ~dst_pip ~now] is a fresh unresolved data packet addressed (outer)
+    to [dst_pip] — normally a gateway. *)
+val make_data :
+  id:int ->
+  flow_id:int ->
+  seq:int ->
+  size:int ->
+  src_vip:Addr.Vip.t ->
+  dst_vip:Addr.Vip.t ->
+  src_pip:Addr.Pip.t ->
+  dst_pip:Addr.Pip.t ->
+  now:Dessim.Time_ns.t ->
+  t
+
+(** [make_ack ~id ~flow_id ~seq ~src_vip ~dst_vip ~src_pip ~dst_pip
+    ~now] is an unresolved transport ACK (ACKs are tunneled and
+    translated like any other packet). *)
+val make_ack :
+  id:int ->
+  flow_id:int ->
+  seq:int ->
+  src_vip:Addr.Vip.t ->
+  dst_vip:Addr.Vip.t ->
+  src_pip:Addr.Pip.t ->
+  dst_pip:Addr.Pip.t ->
+  now:Dessim.Time_ns.t ->
+  t
+
+(** [make_control ~id ~kind ~mapping ~src_pip ~dst_pip ~now] is a
+    switch-to-switch control packet ([Learning] or [Invalidation])
+    carrying [mapping], addressed to the target switch's PIP.
+    Raises [Invalid_argument] if [kind] is [Data] or [Ack]. *)
+val make_control :
+  id:int ->
+  kind:kind ->
+  mapping:Addr.Vip.t * Addr.Pip.t ->
+  src_pip:Addr.Pip.t ->
+  dst_pip:Addr.Pip.t ->
+  now:Dessim.Time_ns.t ->
+  t
+
+(** Wire sizes (bytes), matching the simulator's MTU conventions. *)
+val mtu : int
+
+val ack_size : int
+val control_size : int
+
+val is_data : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/netsim/metrics.ml: Array Dessim Float Hashtbl Netcore Topo

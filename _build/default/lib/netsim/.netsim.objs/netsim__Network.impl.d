@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Array Dessim Hashtbl List Metrics Netcore Scheme Topo Transport

@@ -1,0 +1,1 @@
+lib/netsim/network.mli: Dessim Metrics Netcore Scheme Topo Transport

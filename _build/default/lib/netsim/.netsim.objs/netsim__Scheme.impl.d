@@ -1,0 +1,1 @@
+lib/netsim/scheme.ml: Dessim Netcore Topo

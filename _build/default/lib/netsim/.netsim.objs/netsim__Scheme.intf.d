@@ -1,0 +1,1 @@
+lib/netsim/scheme.mli: Dessim Netcore Topo

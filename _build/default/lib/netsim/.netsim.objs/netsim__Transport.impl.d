@@ -1,0 +1,1 @@
+lib/netsim/transport.ml: Bytes Dessim Float Hashtbl Netcore

@@ -1,0 +1,192 @@
+module Time_ns = Dessim.Time_ns
+module Stats = Dessim.Stats
+module Packet = Netcore.Packet
+
+type t = {
+  topo : Topo.Topology.t;
+  classify : (Packet.t -> int) option;
+  class_sent : (int, int ref) Hashtbl.t;
+  class_gateway : (int, int ref) Hashtbl.t;
+  mutable flows_started : int;
+  mutable flows_completed : int;
+  mutable packets_sent : int;
+  mutable packets_dropped : int;
+  mutable gateway_packets : int;
+  fct : Stats.Reservoir.t;
+  fpl : Stats.Summary.t;
+  pkt_latency : Stats.Summary.t;
+  stretch : Stats.Summary.t;
+  mutable hits_core : int;
+  mutable hits_spine : int;
+  mutable hits_tor : int;
+  mutable resolved_gateway : int;
+  mutable resolved_host : int;
+  mutable fp_hits_core : int;
+  mutable fp_hits_spine : int;
+  mutable fp_hits_tor : int;
+  mutable fp_resolved_gateway : int;
+  mutable fp_resolved_host : int;
+  switch_bytes : int array;
+  mutable misdelivered : int;
+  mutable last_misdelivered_arrival : Time_ns.t option;
+}
+
+let create ?classify topo rng =
+  {
+    topo;
+    classify;
+    class_sent = Hashtbl.create 8;
+    class_gateway = Hashtbl.create 8;
+    flows_started = 0;
+    flows_completed = 0;
+    packets_sent = 0;
+    packets_dropped = 0;
+    gateway_packets = 0;
+    fct = Stats.Reservoir.create rng;
+    fpl = Stats.Summary.create ();
+    pkt_latency = Stats.Summary.create ();
+    stretch = Stats.Summary.create ();
+    hits_core = 0;
+    hits_spine = 0;
+    hits_tor = 0;
+    resolved_gateway = 0;
+    resolved_host = 0;
+    fp_hits_core = 0;
+    fp_hits_spine = 0;
+    fp_hits_tor = 0;
+    fp_resolved_gateway = 0;
+    fp_resolved_host = 0;
+    switch_bytes = Array.make (Topo.Topology.num_nodes topo) 0;
+    misdelivered = 0;
+    last_misdelivered_arrival = None;
+  }
+
+let tenant_packet (pkt : Packet.t) =
+  match pkt.Packet.kind with
+  | Packet.Data | Packet.Ack -> true
+  | Packet.Learning | Packet.Invalidation -> false
+
+let bump table key =
+  match Hashtbl.find_opt table key with
+  | Some r -> incr r
+  | None -> Hashtbl.add table key (ref 1)
+
+let classify_into t table pkt =
+  match t.classify with
+  | Some f -> bump table (f pkt)
+  | None -> ()
+
+let packet_sent t pkt =
+  if tenant_packet pkt then begin
+    t.packets_sent <- t.packets_sent + 1;
+    classify_into t t.class_sent pkt
+  end
+
+let packet_dropped t pkt = if tenant_packet pkt then t.packets_dropped <- t.packets_dropped + 1
+
+let gateway_arrival t pkt =
+  if tenant_packet pkt then begin
+    t.gateway_packets <- t.gateway_packets + 1;
+    classify_into t t.class_gateway pkt
+  end
+
+let switch_processed t ~switch (pkt : Packet.t) =
+  t.switch_bytes.(switch) <- t.switch_bytes.(switch) + pkt.Packet.size
+
+let delivered t (pkt : Packet.t) ~now ~first_of_flow =
+  if Packet.is_data pkt then begin
+    Stats.Summary.add t.stretch (float_of_int pkt.Packet.hops);
+    Stats.Summary.add t.pkt_latency
+      (Time_ns.to_sec (Time_ns.sub now pkt.Packet.sent_at));
+    if pkt.Packet.misdelivery <> None then
+      t.last_misdelivered_arrival <- Some now;
+    let layer =
+      if pkt.Packet.gw_visited then `Gateway
+      else if pkt.Packet.hit_switch >= 0 then
+        match Topo.Topology.role t.topo pkt.Packet.hit_switch with
+        | Topo.Node.Core_switch -> `Core
+        | Topo.Node.Regular_spine | Topo.Node.Gateway_spine -> `Spine
+        | Topo.Node.Regular_tor | Topo.Node.Gateway_tor -> `Tor
+      else `Host
+    in
+    (match layer with
+    | `Core -> t.hits_core <- t.hits_core + 1
+    | `Spine -> t.hits_spine <- t.hits_spine + 1
+    | `Tor -> t.hits_tor <- t.hits_tor + 1
+    | `Gateway -> t.resolved_gateway <- t.resolved_gateway + 1
+    | `Host -> t.resolved_host <- t.resolved_host + 1);
+    if first_of_flow then
+      match layer with
+      | `Core -> t.fp_hits_core <- t.fp_hits_core + 1
+      | `Spine -> t.fp_hits_spine <- t.fp_hits_spine + 1
+      | `Tor -> t.fp_hits_tor <- t.fp_hits_tor + 1
+      | `Gateway -> t.fp_resolved_gateway <- t.fp_resolved_gateway + 1
+      | `Host -> t.fp_resolved_host <- t.fp_resolved_host + 1
+  end
+
+let misdelivered t (pkt : Packet.t) =
+  if Packet.is_data pkt then t.misdelivered <- t.misdelivered + 1
+
+let flow_started t = t.flows_started <- t.flows_started + 1
+
+let flow_completed t ~fct =
+  t.flows_completed <- t.flows_completed + 1;
+  Stats.Reservoir.add t.fct (Time_ns.to_sec fct)
+
+let first_packet_latency t lat = Stats.Summary.add t.fpl (Time_ns.to_sec lat)
+let flows_started t = t.flows_started
+let flows_completed t = t.flows_completed
+
+let hit_rate t =
+  if t.packets_sent = 0 then 0.0
+  else
+    let r =
+      1.0 -. (float_of_int t.gateway_packets /. float_of_int t.packets_sent)
+    in
+    Float.max 0.0 (Float.min 1.0 r)
+
+let table_get table key =
+  match Hashtbl.find_opt table key with Some r -> !r | None -> 0
+
+let class_packets_sent t cls = table_get t.class_sent cls
+
+let class_hit_rate t cls =
+  let sent = table_get t.class_sent cls in
+  if sent = 0 then 0.0
+  else
+    let gw = table_get t.class_gateway cls in
+    Float.max 0.0 (Float.min 1.0 (1.0 -. (float_of_int gw /. float_of_int sent)))
+
+let gateway_packets t = t.gateway_packets
+let packets_sent t = t.packets_sent
+let packets_dropped t = t.packets_dropped
+let mean_fct t = Stats.Reservoir.mean t.fct
+let fct_percentile t p = Stats.Reservoir.percentile t.fct p
+let mean_first_packet_latency t = Stats.Summary.mean t.fpl
+let mean_packet_latency t = Stats.Summary.mean t.pkt_latency
+
+let layer_hits t =
+  (t.hits_core, t.hits_spine, t.hits_tor, t.resolved_gateway, t.resolved_host)
+
+let first_packet_layer_hits t =
+  ( t.fp_hits_core,
+    t.fp_hits_spine,
+    t.fp_hits_tor,
+    t.fp_resolved_gateway,
+    t.fp_resolved_host )
+
+let bytes_of_switch t switch = t.switch_bytes.(switch)
+
+let bytes_of_pod t pod =
+  let acc = ref 0 in
+  Array.iter
+    (fun sw ->
+      if Topo.Node.pod_of (Topo.Topology.kind t.topo sw) = pod then
+        acc := !acc + t.switch_bytes.(sw))
+    (Topo.Topology.switches t.topo);
+  !acc
+
+let total_switch_bytes t = Array.fold_left ( + ) 0 t.switch_bytes
+let mean_stretch t = Stats.Summary.mean t.stretch
+let misdelivered_packets t = t.misdelivered
+let last_misdelivered_arrival t = t.last_misdelivered_arrival

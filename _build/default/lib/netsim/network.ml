@@ -1,0 +1,322 @@
+module Engine = Dessim.Engine
+module Time_ns = Dessim.Time_ns
+module Rng = Dessim.Rng
+module Packet = Netcore.Packet
+module Flow = Netcore.Flow
+module Vip = Netcore.Addr.Vip
+module Pip = Netcore.Addr.Pip
+module Topology = Topo.Topology
+
+type migration = { at : Time_ns.t; vip : Vip.t; to_host : int }
+
+type config = {
+  seed : int;
+  gw_proc_delay : Time_ns.t;
+  host_fwd_delay : Time_ns.t;
+  window : int;
+  rto : Time_ns.t;
+  gateways_used : int option;
+  loopback_delay : Time_ns.t;
+  classify : (Packet.t -> int) option;
+  transport_mode : Transport.mode;
+}
+
+let default_config =
+  {
+    seed = 42;
+    gw_proc_delay = Time_ns.of_us 40;
+    host_fwd_delay = Time_ns.of_us 10;
+    window = 64;
+    rto = Time_ns.of_us 500;
+    gateways_used = None;
+    loopback_delay = Time_ns.of_us 1;
+    classify = None;
+    transport_mode = Transport.Windowed;
+  }
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  rng : Rng.t;
+  topo : Topology.t;
+  mapping : Netcore.Mapping.t;
+  metrics : Metrics.t;
+  scheme : Scheme.t;
+  mutable transport : Transport.t option;
+  vm_host : int array;
+  gateways : int array; (* the replicas actually used *)
+  mutable next_packet_id : int;
+  env : Scheme.env;
+  flows : (int, Flow.t) Hashtbl.t;
+}
+
+let fresh_packet_id t () =
+  let id = t.next_packet_id in
+  t.next_packet_id <- id + 1;
+  id
+
+let gateway_for_flow t flow_id =
+  let n = Array.length t.gateways in
+  t.gateways.(Topo.Routing.ecmp_hash ~salt:flow_id ~a:flow_id ~b:7 mod n)
+
+let transport_exn t =
+  match t.transport with Some tr -> tr | None -> assert false
+
+(* --- forwarding ------------------------------------------------------- *)
+
+let salt_of (pkt : Packet.t) =
+  if pkt.Packet.flow_id >= 0 then pkt.Packet.flow_id else pkt.Packet.id
+
+let rec transmit t ~from ~next (pkt : Packet.t) =
+  let link = Topology.link t.topo ~src:from ~dst:next in
+  match Topo.Link.transmit link ~now:(Engine.now t.engine) ~bytes:pkt.Packet.size with
+  | Some { Topo.Link.arrival; ce_marked } ->
+      if ce_marked then pkt.Packet.ecn <- true;
+      Engine.schedule t.engine ~at:arrival (fun () ->
+          Topo.Link.delivered link ~bytes:pkt.Packet.size;
+          arrive t ~node:next ~from pkt)
+  | None -> Metrics.packet_dropped t.metrics pkt
+
+and forward_from t ~node (pkt : Packet.t) =
+  let dst = Topology.node_of_pip t.topo pkt.Packet.dst_pip in
+  if dst = node then ()
+  else
+    let next = Topo.Routing.next_hop t.topo ~at:node ~dst ~salt:(salt_of pkt) in
+    transmit t ~from:node ~next pkt
+
+and arrive t ~node ~from (pkt : Packet.t) =
+  match Topology.kind t.topo node with
+  | Topo.Node.Tor _ | Topo.Node.Spine _ | Topo.Node.Core _ -> (
+      Metrics.switch_processed t.metrics ~switch:node pkt;
+      pkt.Packet.hops <- pkt.Packet.hops + 1;
+      match t.scheme.Scheme.on_switch t.env ~switch:node ~from pkt with
+      | Scheme.Forward -> forward_from t ~node pkt
+      | Scheme.Consume -> ()
+      | Scheme.Delay d ->
+          Engine.schedule_after t.engine ~delay:d (fun () ->
+              forward_from t ~node pkt)
+      | Scheme.Drop_pkt -> Metrics.packet_dropped t.metrics pkt)
+  | Topo.Node.Gateway _ -> gateway_receive t ~node pkt
+  | Topo.Node.Host _ -> host_receive t ~node pkt
+
+and gateway_receive t ~node (pkt : Packet.t) =
+  Metrics.gateway_arrival t.metrics pkt;
+  Engine.schedule_after t.engine ~delay:t.cfg.gw_proc_delay (fun () ->
+      match Netcore.Mapping.lookup_opt t.mapping pkt.Packet.dst_vip with
+      | Some pip ->
+          pkt.Packet.dst_pip <- pip;
+          pkt.Packet.resolved <- true;
+          pkt.Packet.gw_visited <- true;
+          forward_from t ~node pkt
+      | None -> Metrics.packet_dropped t.metrics pkt)
+
+and host_receive t ~node (pkt : Packet.t) =
+  match pkt.Packet.kind with
+  | Packet.Learning | Packet.Invalidation ->
+      (* Control packets are switch-addressed; one reaching a host is
+         a routing bug. *)
+      assert false
+  | Packet.Data | Packet.Ack ->
+      let vip_home = t.vm_host.(Vip.to_int pkt.Packet.dst_vip) in
+      if vip_home = node then deliver t pkt
+      else begin
+        Metrics.misdelivered t.metrics pkt;
+        let action = t.scheme.Scheme.on_misdelivery t.env ~host:node pkt in
+        Engine.schedule_after t.engine ~delay:t.cfg.host_fwd_delay (fun () ->
+            match action with
+            | Scheme.Reforward_to_gateway ->
+                pkt.Packet.resolved <- false;
+                pkt.Packet.gw_visited <- false;
+                pkt.Packet.dst_pip <-
+                  Topology.pip t.topo (gateway_for_flow t pkt.Packet.flow_id);
+                if t.scheme.Scheme.host_tags_misdelivery then begin
+                  pkt.Packet.misdelivery <- Some (Topology.pip t.topo node);
+                  pkt.Packet.hit_switch <- -1
+                end;
+                transmit t ~from:node ~next:(Topology.tor_of t.topo node) pkt
+            | Scheme.Follow_me -> (
+                match Netcore.Mapping.lookup_opt t.mapping pkt.Packet.dst_vip with
+                | Some pip ->
+                    pkt.Packet.dst_pip <- pip;
+                    pkt.Packet.resolved <- true;
+                    pkt.Packet.misdelivery <- Some (Topology.pip t.topo node);
+                    transmit t ~from:node ~next:(Topology.tor_of t.topo node) pkt
+                | None -> Metrics.packet_dropped t.metrics pkt))
+      end
+
+and deliver t (pkt : Packet.t) =
+  let first =
+    Packet.is_data pkt
+    && not
+         (Transport.has_received_any (transport_exn t)
+            ~flow_id:pkt.Packet.flow_id)
+  in
+  Metrics.delivered t.metrics pkt ~now:(Engine.now t.engine) ~first_of_flow:first;
+  match pkt.Packet.kind with
+  | Packet.Data -> Transport.on_data (transport_exn t) pkt
+  | Packet.Ack -> Transport.on_ack (transport_exn t) pkt
+  | Packet.Learning | Packet.Invalidation -> ()
+
+(* --- sending ---------------------------------------------------------- *)
+
+let send_tenant_packet t ~src_host (pkt : Packet.t) =
+  let dst_home = t.vm_host.(Vip.to_int pkt.Packet.dst_vip) in
+  if dst_home = src_host then begin
+    (* Hypervisor-local switching for co-located VMs: no network, no
+       translation. *)
+    pkt.Packet.resolved <- true;
+    pkt.Packet.dst_pip <- Topology.pip t.topo src_host;
+    Engine.schedule_after t.engine ~delay:t.cfg.loopback_delay (fun () ->
+        deliver t pkt)
+  end
+  else begin
+    (* Loopback packets are excluded from the hit-rate denominator:
+       they involve no translation at all. *)
+    Metrics.packet_sent t.metrics pkt;
+    let resolution =
+      t.scheme.Scheme.resolve_at_host t.env ~host:src_host
+        ~flow_id:pkt.Packet.flow_id ~dst_vip:pkt.Packet.dst_vip
+    in
+    let launch () =
+      transmit t ~from:src_host ~next:(Topology.tor_of t.topo src_host) pkt
+    in
+    match resolution with
+    | Scheme.Send_resolved pip ->
+        pkt.Packet.dst_pip <- pip;
+        pkt.Packet.resolved <- true;
+        launch ()
+    | Scheme.Send_via_gateway ->
+        pkt.Packet.dst_pip <-
+          Topology.pip t.topo (gateway_for_flow t pkt.Packet.flow_id);
+        launch ()
+    | Scheme.Send_after (delay, pip) ->
+        Engine.schedule_after t.engine ~delay (fun () ->
+            pkt.Packet.dst_pip <- pip;
+            pkt.Packet.resolved <- true;
+            launch ())
+  end
+
+let make_transport t =
+  let now () = Engine.now t.engine in
+  let schedule delay f = Engine.schedule_after t.engine ~delay f in
+  let send_data flow ~seq ~size ~retransmit =
+    let src_host = t.vm_host.(Vip.to_int flow.Flow.src_vip) in
+    let pkt =
+      Packet.make_data ~id:(fresh_packet_id t ()) ~flow_id:flow.Flow.id ~seq
+        ~size ~src_vip:flow.Flow.src_vip ~dst_vip:flow.Flow.dst_vip
+        ~src_pip:(Topology.pip t.topo src_host)
+        ~dst_pip:Pip.none ~now:(now ())
+    in
+    pkt.Packet.retransmit <- retransmit;
+    send_tenant_packet t ~src_host pkt
+  in
+  let send_ack flow ~seq ~ecn_echo =
+    let src_host = t.vm_host.(Vip.to_int flow.Flow.dst_vip) in
+    let pkt =
+      Packet.make_ack ~id:(fresh_packet_id t ()) ~flow_id:flow.Flow.id ~seq
+        ~src_vip:flow.Flow.dst_vip ~dst_vip:flow.Flow.src_vip
+        ~src_pip:(Topology.pip t.topo src_host)
+        ~dst_pip:Pip.none ~now:(now ())
+    in
+    pkt.Packet.ecn <- ecn_echo;
+    send_tenant_packet t ~src_host pkt
+  in
+  let flow_done _flow ~fct = Metrics.flow_completed t.metrics ~fct in
+  let first_packet _flow ~latency = Metrics.first_packet_latency t.metrics latency in
+  Transport.create ~mode:t.cfg.transport_mode ~window:t.cfg.window
+    ~rto:t.cfg.rto
+    { Transport.now; schedule; send_data; send_ack; flow_done; first_packet }
+
+(* --- construction ----------------------------------------------------- *)
+
+let create ?(config = default_config) topo ~scheme =
+  (* Topologies may be reused across runs; links carry per-run queue
+     state. *)
+  Topology.iter_links topo Topo.Link.reset;
+  let engine = Engine.create () in
+  let rng = Rng.create config.seed in
+  let mapping = Netcore.Mapping.create () in
+  let params = Topology.params topo in
+  let hosts = Topology.hosts topo in
+  let vms_per_host = params.Topo.Params.vms_per_host in
+  let num_vms = Array.length hosts * vms_per_host in
+  let vm_host =
+    Array.init num_vms (fun vip -> hosts.(vip / vms_per_host))
+  in
+  Array.iteri
+    (fun vip host ->
+      Netcore.Mapping.install mapping (Vip.of_int vip) (Topology.pip topo host))
+    vm_host;
+  let gateways =
+    match config.gateways_used with
+    | None -> Topology.gateways topo
+    | Some k ->
+        let all = Topology.gateways topo in
+        if k <= 0 || k > Array.length all then
+          invalid_arg "Network.create: gateways_used out of range";
+        Array.sub all 0 k
+  in
+  let rec t =
+    {
+      cfg = config;
+      engine;
+      rng;
+      topo;
+      mapping;
+      metrics = Metrics.create ?classify:config.classify topo (Rng.split rng);
+      scheme;
+      transport = None;
+      vm_host;
+      gateways;
+      next_packet_id = 0;
+      env;
+      flows = Hashtbl.create 1024;
+    }
+  and env =
+    {
+      Scheme.engine;
+      rng = Rng.create (config.seed + 1);
+      topo;
+      mapping;
+      base_rtt = Topo.Params.base_rtt params;
+      fresh_packet_id = (fun () -> fresh_packet_id t ());
+      emit_at_switch =
+        (fun ~src_switch pkt ->
+          Metrics.packet_sent t.metrics pkt;
+          forward_from t ~node:src_switch pkt);
+    }
+  in
+  t.transport <- Some (make_transport t);
+  t
+
+let metrics t = t.metrics
+
+let transport t =
+  match t.transport with Some tr -> tr | None -> assert false
+let topo t = t.topo
+let mapping t = t.mapping
+let engine t = t.engine
+let env t = t.env
+let vm_host t vip = t.vm_host.(Vip.to_int vip)
+let num_vms t = Array.length t.vm_host
+let host_of_vm_index t i = t.vm_host.(i)
+
+let run t flows ~migrations ~until =
+  List.iter
+    (fun (flow : Flow.t) ->
+      Hashtbl.replace t.flows flow.Flow.id flow;
+      Engine.schedule t.engine ~at:flow.Flow.start (fun () ->
+          Metrics.flow_started t.metrics;
+          Transport.start (transport_exn t) flow))
+    flows;
+  List.iter
+    (fun m ->
+      Engine.schedule t.engine ~at:m.at (fun () ->
+          let old_host = t.vm_host.(Vip.to_int m.vip) in
+          let old_pip = Topology.pip t.topo old_host in
+          let new_pip = Topology.pip t.topo m.to_host in
+          t.vm_host.(Vip.to_int m.vip) <- m.to_host;
+          Netcore.Mapping.migrate t.mapping m.vip new_pip;
+          t.scheme.Scheme.on_mapping_update t.env m.vip ~old_pip ~new_pip))
+    migrations;
+  Engine.run_until t.engine ~limit:until

@@ -1,0 +1,68 @@
+(** The packet-level network simulation: topology + scheme + transport
+    + gateways, wired to a discrete-event engine.
+
+    A [Network.t] owns the VM placement (VIP [i] lives on host
+    [hosts.(i / vms_per_host)]), the ground-truth mapping store, the
+    metric collectors, and the packet forwarding loop. Schemes plug in
+    via {!Scheme.t}. *)
+
+type migration = {
+  at : Dessim.Time_ns.t;
+  vip : Netcore.Addr.Vip.t;
+  to_host : int;  (** destination host node id *)
+}
+
+type config = {
+  seed : int;
+  gw_proc_delay : Dessim.Time_ns.t;  (** gateway translation latency *)
+  host_fwd_delay : Dessim.Time_ns.t;
+      (** old-host processing of a misdelivered packet *)
+  window : int;  (** transport window, packets *)
+  rto : Dessim.Time_ns.t;
+  gateways_used : int option;
+      (** restrict load balancing to the first [k] gateways (Figure 9);
+          [None] uses all *)
+  loopback_delay : Dessim.Time_ns.t;
+      (** hypervisor-local delivery for co-located VM pairs *)
+  classify : (Netcore.Packet.t -> int) option;
+      (** per-class (e.g. per-tenant) metric counters; see
+          {!Metrics.class_hit_rate} *)
+  transport_mode : Transport.mode;
+      (** congestion behavior of reliable flows; DCTCP reacts to the
+          fabric's ECN marks *)
+}
+
+val default_config : config
+
+type t
+
+(** [create ?config topo ~scheme] builds the network, places VMs and
+    installs the ground-truth mappings. *)
+val create : ?config:config -> Topo.Topology.t -> scheme:Scheme.t -> t
+
+(** [run t flows ~migrations ~until] schedules every flow and
+    migration and executes the event loop up to [until] (simulation
+    time). *)
+val run :
+  t -> Netcore.Flow.t list -> migrations:migration list -> until:Dessim.Time_ns.t -> unit
+
+val metrics : t -> Metrics.t
+val transport : t -> Transport.t
+val topo : t -> Topo.Topology.t
+val mapping : t -> Netcore.Mapping.t
+val engine : t -> Dessim.Engine.t
+val env : t -> Scheme.env
+
+(** [vm_host t vip] is the node id currently hosting [vip]. *)
+val vm_host : t -> Netcore.Addr.Vip.t -> int
+
+(** [num_vms t] is the size of the VIP space. *)
+val num_vms : t -> int
+
+(** [host_of_vm_index t i] is the host for dense VIP index [i]
+    (placement helper for workload generators). *)
+val host_of_vm_index : t -> int -> int
+
+(** [gateway_for_flow t flow_id] — the gateway replica serving a flow
+    (per-flow load balancing). *)
+val gateway_for_flow : t -> int -> int

@@ -1,0 +1,40 @@
+type env = {
+  engine : Dessim.Engine.t;
+  rng : Dessim.Rng.t;
+  topo : Topo.Topology.t;
+  mapping : Netcore.Mapping.t;
+  base_rtt : Dessim.Time_ns.t;
+  fresh_packet_id : unit -> int;
+  emit_at_switch : src_switch:int -> Netcore.Packet.t -> unit;
+}
+
+type host_resolution =
+  | Send_resolved of Netcore.Addr.Pip.t
+  | Send_via_gateway
+  | Send_after of Dessim.Time_ns.t * Netcore.Addr.Pip.t
+
+type switch_verdict = Forward | Consume | Delay of Dessim.Time_ns.t | Drop_pkt
+type misdelivery_action = Reforward_to_gateway | Follow_me
+
+type t = {
+  name : string;
+  resolve_at_host :
+    env ->
+    host:int ->
+    flow_id:int ->
+    dst_vip:Netcore.Addr.Vip.t ->
+    host_resolution;
+  on_switch :
+    env -> switch:int -> from:int -> Netcore.Packet.t -> switch_verdict;
+  on_misdelivery : env -> host:int -> Netcore.Packet.t -> misdelivery_action;
+  on_mapping_update :
+    env ->
+    Netcore.Addr.Vip.t ->
+    old_pip:Netcore.Addr.Pip.t ->
+    new_pip:Netcore.Addr.Pip.t ->
+    unit;
+  host_tags_misdelivery : bool;
+  stats : unit -> (string * float) list;
+}
+
+let no_stats () = []

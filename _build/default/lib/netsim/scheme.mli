@@ -1,0 +1,83 @@
+(** Pluggable V2P translation schemes.
+
+    The network engine is scheme-agnostic: every baseline from §5 of
+    the paper (and SwitchV2P itself) is a value of type {!t} — a
+    bundle of callbacks invoked at the three places where translation
+    logic lives: the sending host's hypervisor, every switch on the
+    path, and the receiving hypervisor on a misdelivery. *)
+
+(** Capabilities handed to scheme callbacks. *)
+type env = {
+  engine : Dessim.Engine.t;
+  rng : Dessim.Rng.t;
+  topo : Topo.Topology.t;
+  mapping : Netcore.Mapping.t;  (** gateway ground truth *)
+  base_rtt : Dessim.Time_ns.t;
+  fresh_packet_id : unit -> int;
+  emit_at_switch : src_switch:int -> Netcore.Packet.t -> unit;
+      (** inject a scheme-generated packet into the fabric at a switch *)
+}
+
+(** How the sending hypervisor addresses the outer header. *)
+type host_resolution =
+  | Send_resolved of Netcore.Addr.Pip.t
+      (** the host knows the mapping; send directly *)
+  | Send_via_gateway  (** tunnel to the flow's translation gateway *)
+  | Send_after of Dessim.Time_ns.t * Netcore.Addr.Pip.t
+      (** resolve after a fixed penalty (OnDemand's miss cost), then
+          send directly *)
+
+(** What a switch tells the engine to do with a processed packet. *)
+type switch_verdict =
+  | Forward  (** continue ECMP routing toward (possibly new) [dst_pip] *)
+  | Consume  (** packet terminated here (control packets) *)
+  | Delay of Dessim.Time_ns.t
+      (** forward after an extra processing delay (Bluebird's
+          data-to-control-plane detour) *)
+  | Drop_pkt  (** drop (e.g. control-plane queue overflow) *)
+
+(** Hypervisor reaction to receiving a packet for a VM it no longer
+    hosts. *)
+type misdelivery_action =
+  | Reforward_to_gateway
+      (** re-tunnel toward the gateway, keeping the original outer
+          source so ToRs can tag the packet (SwitchV2P, §3.3) *)
+  | Follow_me
+      (** forward straight to the VM's new location using the
+          follow-me rule installed before migration (Andromeda) *)
+
+type t = {
+  name : string;
+  resolve_at_host :
+    env ->
+    host:int ->
+    flow_id:int ->
+    dst_vip:Netcore.Addr.Vip.t ->
+    host_resolution;
+      (** called once per packet send at the source hypervisor (data
+          and ACK directions alike; [flow_id] keeps the gateway choice
+          stable per flow) *)
+  on_switch :
+    env -> switch:int -> from:int -> Netcore.Packet.t -> switch_verdict;
+      (** called for every packet arriving at a switch; may mutate the
+          packet (resolution, tags, riders) *)
+  on_misdelivery : env -> host:int -> Netcore.Packet.t -> misdelivery_action;
+  on_mapping_update :
+    env ->
+    Netcore.Addr.Vip.t ->
+    old_pip:Netcore.Addr.Pip.t ->
+    new_pip:Netcore.Addr.Pip.t ->
+    unit;
+      (** control-plane hook fired when a mapping changes (migration);
+          e.g. Direct refreshes host tables instantly, OnDemand leaves
+          them stale *)
+  host_tags_misdelivery : bool;
+      (** if set, the engine stamps the misdelivery tag when the old
+          host re-forwards a packet (hypervisor tagging); SwitchV2P
+          leaves this to its ToRs *)
+  stats : unit -> (string * float) list;
+      (** scheme-specific counters for reports *)
+}
+
+(** [no_stats] is an empty stats thunk for simple schemes. *)
+val no_stats : unit -> (string * float) list

@@ -1,0 +1,252 @@
+module Time_ns = Dessim.Time_ns
+module Flow = Netcore.Flow
+module Packet = Netcore.Packet
+
+type callbacks = {
+  now : unit -> Time_ns.t;
+  schedule : Time_ns.t -> (unit -> unit) -> unit;
+  send_data : Flow.t -> seq:int -> size:int -> retransmit:bool -> unit;
+  send_ack : Flow.t -> seq:int -> ecn_echo:bool -> unit;
+  flow_done : Flow.t -> fct:Time_ns.t -> unit;
+  first_packet : Flow.t -> latency:Time_ns.t -> unit;
+}
+
+type mode = Windowed | Dctcp
+
+type sender = {
+  s_flow : Flow.t;
+  total : int;
+  mutable next_seq : int;
+  acked : Bytes.t;
+  mutable n_acked : int;
+  mutable inflight : int;
+  mutable cwnd : float; (* congestion window (packets), capped at t.window *)
+  mutable in_slow_start : bool;
+  mutable alpha : float; (* DCTCP congestion estimate *)
+  mutable win_acks : int; (* acks in the current observation window *)
+  mutable win_marks : int; (* CE-echo acks in the window *)
+  mutable done_ : bool;
+  mutable progress_stamp : int; (* n_acked at last timeout check *)
+}
+
+type receiver = {
+  r_flow : Flow.t;
+  r_total : int;
+  received : Bytes.t;
+  mutable n_received : int;
+  mutable max_seq_seen : int;
+  mutable got_first : bool;
+  mutable r_done : bool;
+}
+
+type t = {
+  cb : callbacks;
+  mode : mode;
+  window : int;
+  rto : Time_ns.t;
+  senders : (int, sender) Hashtbl.t;
+  receivers : (int, receiver) Hashtbl.t;
+  mutable completed : int;
+  mutable reordering : int;
+}
+
+let initial_cwnd = 10.0 (* RFC 6928 IW10 *)
+let dctcp_g = 1.0 /. 16.0 (* alpha EWMA gain, RFC 8257 *)
+
+let create ?(mode = Windowed) ?(window = 64) ?(rto = Time_ns.of_us 500) cb =
+  {
+    cb;
+    mode;
+    window;
+    rto;
+    senders = Hashtbl.create 256;
+    receivers = Hashtbl.create 256;
+    completed = 0;
+    reordering = 0;
+  }
+
+let packet_size (flow : Flow.t) seq =
+  let total = Flow.packet_count flow in
+  if seq < total - 1 then flow.Flow.pkt_bytes
+  else
+    let rem = flow.Flow.size_bytes - ((total - 1) * flow.Flow.pkt_bytes) in
+    if rem <= 0 then flow.Flow.pkt_bytes else rem
+
+let flows_completed t = t.completed
+let reordering_events t = t.reordering
+
+let has_received_any t ~flow_id =
+  match Hashtbl.find_opt t.receivers flow_id with
+  | Some r -> r.got_first
+  | None -> false
+
+let effective_cwnd t s = max 1 (min t.window (int_of_float s.cwnd))
+
+(* Reliable sender: keep the congestion window full. *)
+let pump t s =
+  let w = effective_cwnd t s in
+  while (not s.done_) && s.inflight < w && s.next_seq < s.total do
+    let seq = s.next_seq in
+    s.next_seq <- seq + 1;
+    s.inflight <- s.inflight + 1;
+    t.cb.send_data s.s_flow ~seq ~size:(packet_size s.s_flow seq)
+      ~retransmit:false
+  done
+
+let rec arm_timeout t s =
+  t.cb.schedule t.rto (fun () ->
+      if not s.done_ then begin
+        if s.n_acked = s.progress_stamp then begin
+          (* No progress over a full RTO: go-back-N from the lowest
+             unacked sequence. *)
+          s.cwnd <- Float.min initial_cwnd (float_of_int t.window);
+          s.in_slow_start <- true;
+          let resent = ref 0 in
+          let seq = ref 0 in
+          while !resent < t.window && !seq < s.next_seq do
+            if Bytes.get s.acked !seq = '\000' then begin
+              incr resent;
+              t.cb.send_data s.s_flow ~seq:!seq
+                ~size:(packet_size s.s_flow !seq)
+                ~retransmit:true
+            end;
+            incr seq
+          done
+        end;
+        s.progress_stamp <- s.n_acked;
+        arm_timeout t s
+      end)
+
+let start_reliable t flow =
+  let total = Flow.packet_count flow in
+  let s =
+    {
+      s_flow = flow;
+      total;
+      next_seq = 0;
+      acked = Bytes.make total '\000';
+      n_acked = 0;
+      inflight = 0;
+      cwnd = Float.min initial_cwnd (float_of_int t.window);
+      in_slow_start = true;
+      alpha = 1.0;
+      win_acks = 0;
+      win_marks = 0;
+      done_ = false;
+      progress_stamp = 0;
+    }
+  in
+  Hashtbl.replace t.senders flow.Flow.id s;
+  pump t s;
+  arm_timeout t s
+
+let start_udp t flow rate_bps =
+  let total = Flow.packet_count flow in
+  let interval =
+    Time_ns.of_rate_bytes ~bits_per_sec:rate_bps flow.Flow.pkt_bytes
+  in
+  let rec send_next seq =
+    if seq < total then begin
+      t.cb.send_data flow ~seq ~size:(packet_size flow seq) ~retransmit:false;
+      t.cb.schedule interval (fun () -> send_next (seq + 1))
+    end
+  in
+  send_next 0
+
+let make_receiver flow =
+  let total = Flow.packet_count flow in
+  {
+    r_flow = flow;
+    r_total = total;
+    received = Bytes.make total '\000';
+    n_received = 0;
+    max_seq_seen = -1;
+    got_first = false;
+    r_done = false;
+  }
+
+let start t flow =
+  Hashtbl.replace t.receivers flow.Flow.id (make_receiver flow);
+  match flow.Flow.proto with
+  | Flow.Tcpish -> start_reliable t flow
+  | Flow.Udp { rate_bps } -> start_udp t flow rate_bps
+
+let on_data t (pkt : Packet.t) =
+  match Hashtbl.find_opt t.receivers pkt.Packet.flow_id with
+  | None -> ()
+  | Some r ->
+      let seq = pkt.Packet.seq in
+      if not r.got_first then begin
+        r.got_first <- true;
+        t.cb.first_packet r.r_flow
+          ~latency:(Time_ns.sub (t.cb.now ()) r.r_flow.Flow.start)
+      end;
+      let fresh = Bytes.get r.received seq = '\000' in
+      if fresh then begin
+        if seq < r.max_seq_seen then t.reordering <- t.reordering + 1;
+        if seq > r.max_seq_seen then r.max_seq_seen <- seq;
+        Bytes.set r.received seq '\001';
+        r.n_received <- r.n_received + 1
+      end;
+      (match r.r_flow.Flow.proto with
+      | Flow.Tcpish -> t.cb.send_ack r.r_flow ~seq ~ecn_echo:pkt.Packet.ecn
+      | Flow.Udp _ -> ());
+      if fresh && r.n_received = r.r_total && not r.r_done then begin
+        r.r_done <- true;
+        t.completed <- t.completed + 1;
+        t.cb.flow_done r.r_flow
+          ~fct:(Time_ns.sub (t.cb.now ()) r.r_flow.Flow.start)
+      end
+
+(* The DCTCP control law (RFC 8257): per observation window (one cwnd
+   of acks), alpha <- (1-g) alpha + g F where F is the marked-ack
+   fraction; a window containing marks cuts cwnd by alpha/2. *)
+let dctcp_on_ack t s ~marked =
+  s.win_acks <- s.win_acks + 1;
+  if marked then s.win_marks <- s.win_marks + 1;
+  if s.in_slow_start then begin
+    if marked then begin
+      s.in_slow_start <- false;
+      s.cwnd <- Float.max 2.0 (s.cwnd /. 2.0)
+    end
+    else s.cwnd <- Float.min (float_of_int t.window) (s.cwnd +. 1.0)
+  end;
+  if s.win_acks >= effective_cwnd t s then begin
+    let f = float_of_int s.win_marks /. float_of_int s.win_acks in
+    s.alpha <- ((1.0 -. dctcp_g) *. s.alpha) +. (dctcp_g *. f);
+    if not s.in_slow_start then begin
+      if s.win_marks > 0 then
+        s.cwnd <- Float.max 2.0 (s.cwnd *. (1.0 -. (s.alpha /. 2.0)))
+      else s.cwnd <- Float.min (float_of_int t.window) (s.cwnd +. 1.0)
+    end;
+    s.win_acks <- 0;
+    s.win_marks <- 0
+  end
+
+let windowed_on_ack t s =
+  if s.cwnd < float_of_int t.window then s.cwnd <- s.cwnd +. 1.0
+
+let on_ack t (pkt : Packet.t) =
+  match Hashtbl.find_opt t.senders pkt.Packet.flow_id with
+  | None -> ()
+  | Some s ->
+      let seq = pkt.Packet.seq in
+      if (not s.done_) && seq < s.total && Bytes.get s.acked seq = '\000' then begin
+        Bytes.set s.acked seq '\001';
+        s.n_acked <- s.n_acked + 1;
+        s.inflight <- s.inflight - 1;
+        (match t.mode with
+        | Windowed -> windowed_on_ack t s
+        | Dctcp -> dctcp_on_ack t s ~marked:pkt.Packet.ecn);
+        if s.n_acked = s.total then s.done_ <- true else pump t s
+      end
+
+let cwnd t ~flow_id =
+  match Hashtbl.find_opt t.senders flow_id with
+  | Some s -> Some (effective_cwnd t s)
+  | None -> None
+
+let alpha t ~flow_id =
+  match Hashtbl.find_opt t.senders flow_id with
+  | Some s -> Some s.alpha
+  | None -> None

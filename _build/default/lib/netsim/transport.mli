@@ -1,0 +1,64 @@
+(** End-host transport: a windowed reliable protocol and constant-rate
+    UDP.
+
+    The reliable protocol is deliberately simple — fixed window,
+    per-packet ACKs, go-back-N retransmission on timeout — because the
+    paper's metrics (FCT, first-packet latency) depend on delivery
+    times, not on congestion-control dynamics; the paper itself notes
+    that modern TCP absorbs the reordering SwitchV2P can introduce.
+    Reordering events are counted so tests can observe them. *)
+
+type callbacks = {
+  now : unit -> Dessim.Time_ns.t;
+  schedule : Dessim.Time_ns.t -> (unit -> unit) -> unit;  (** relative delay *)
+  send_data :
+    Netcore.Flow.t -> seq:int -> size:int -> retransmit:bool -> unit;
+  send_ack : Netcore.Flow.t -> seq:int -> ecn_echo:bool -> unit;
+      (** [ecn_echo] carries the data packet's CE mark back to the
+          sender (the ECE bit) *)
+  flow_done : Netcore.Flow.t -> fct:Dessim.Time_ns.t -> unit;
+      (** all payload bytes arrived at the receiver *)
+  first_packet : Netcore.Flow.t -> latency:Dessim.Time_ns.t -> unit;
+}
+
+(** Congestion behavior of reliable flows. [Windowed] grows the
+    congestion window by one per ACK up to the cap and ignores ECN;
+    [Dctcp] additionally runs the DCTCP control law — the fraction of
+    CE-marked ACKs per window drives the EWMA [alpha], and each marked
+    window multiplicatively cuts cwnd by [alpha/2]. *)
+type mode = Windowed | Dctcp
+
+type t
+
+(** [create ~mode ~window ~rto callbacks] — [window] caps the in-flight
+    packet budget; [rto] is the retransmission timeout. *)
+val create :
+  ?mode:mode -> ?window:int -> ?rto:Dessim.Time_ns.t -> callbacks -> t
+
+(** [start t flow] begins transmission at the current time. *)
+val start : t -> Netcore.Flow.t -> unit
+
+(** [on_data t pkt] — a data packet arrived at the correct receiving
+    host. Generates ACKs for reliable flows; records latency hooks. *)
+val on_data : t -> Netcore.Packet.t -> unit
+
+(** [on_ack t pkt] — an ACK arrived back at the sender. *)
+val on_ack : t -> Netcore.Packet.t -> unit
+
+val flows_completed : t -> int
+
+(** [has_received_any t ~flow_id] — whether the receiver already saw a
+    data packet of the flow (used to classify "first packet" hits). *)
+val has_received_any : t -> flow_id:int -> bool
+
+(** [reordering_events t] counts data arrivals with a sequence number
+    lower than one already received (per flow, first-arrival only). *)
+val reordering_events : t -> int
+
+(** [cwnd t ~flow_id] is the sender's current congestion window in
+    packets, or [None] for unknown/UDP flows (tests, debugging). *)
+val cwnd : t -> flow_id:int -> int option
+
+(** [alpha t ~flow_id] is the DCTCP congestion estimate for the flow;
+    meaningful only in [Dctcp] mode. *)
+val alpha : t -> flow_id:int -> float option

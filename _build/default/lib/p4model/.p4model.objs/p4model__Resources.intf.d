@@ -1,0 +1,1 @@
+lib/p4model/resources.mli: Format

@@ -1,0 +1,85 @@
+type usage = {
+  match_crossbar : float;
+  meter_alu : float;
+  gateway : float;
+  sram : float;
+  tcam : float;
+  vliw : float;
+  hash_bits : float;
+}
+
+let stages = 12
+let sram_bytes_per_stage = 80 * 16 * 1024 (* 80 blocks x 16 KB *)
+let hash_bits_per_stage = 104 (* calibrated: see module doc *)
+let max_entries = 192 * 1024
+let paper_config_entries = 96 * 1024
+
+(* Program-structure constants (cache-size independent): the pipeline
+   needs the same comparisons, branches and header rewrites no matter
+   how many lines the register arrays hold. These values are Table 6's
+   own numbers for the size-independent resources. *)
+let const_match_crossbar = 7.2
+let const_meter_alu = 17.5
+let const_gateway = 25.0
+let const_tcam = 1.7
+let const_vliw = 10.0
+
+(* SRAM floor for the non-register tables (role config, front-panel
+   port map, ECMP groups). *)
+let const_sram_bytes = 16 * 1024
+
+(* Register line cost: 4B VIP key + 2B server index (the PIP is
+   recovered from a small index table) + 1 bit access. *)
+let bytes_per_entry = 6.125
+
+let estimate ~entries_per_switch =
+  if entries_per_switch < 0 then
+    invalid_arg "Resources.estimate: negative entries";
+  if entries_per_switch > max_entries then
+    invalid_arg "Resources.estimate: exceeds per-switch capacity";
+  let total_sram = float_of_int (stages * sram_bytes_per_stage) in
+  let sram_bytes =
+    (float_of_int entries_per_switch *. bytes_per_entry)
+    +. float_of_int const_sram_bytes
+  in
+  let sram = 100.0 *. sram_bytes /. total_sram in
+  (* Hash bits: each of the three register arrays needs an index hash
+     of ceil(log2 n) bits, plus the fixed ECMP/selector hashes. *)
+  let index_bits =
+    if entries_per_switch <= 1 then 1
+    else
+      int_of_float
+        (Float.ceil (Float.log (float_of_int entries_per_switch) /. Float.log 2.0))
+  in
+  let fixed_hash_bits = 14 (* ECMP selection *) in
+  let used_hash = (3 * index_bits) + fixed_hash_bits in
+  let hash_bits =
+    Float.min 100.0
+      (100.0 *. float_of_int used_hash
+      /. float_of_int (stages * hash_bits_per_stage))
+  in
+  {
+    match_crossbar = const_match_crossbar;
+    meter_alu = const_meter_alu;
+    gateway = const_gateway;
+    sram = Float.min 100.0 sram;
+    tcam = const_tcam;
+    vliw = const_vliw;
+    hash_bits;
+  }
+
+let rows u =
+  [
+    ("Match Crossbar", u.match_crossbar);
+    ("Meter ALU", u.meter_alu);
+    ("Gateway", u.gateway);
+    ("SRAM", u.sram);
+    ("TCAM", u.tcam);
+    ("VLIW Instruction", u.vliw);
+    ("Hash Bits", u.hash_bits);
+  ]
+
+let pp ppf u =
+  List.iter
+    (fun (name, pct) -> Format.fprintf ppf "%-18s %5.1f%%@." name pct)
+    (rows u)

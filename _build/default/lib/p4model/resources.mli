@@ -1,0 +1,45 @@
+(** Analytical model of the Tofino resource footprint of the SwitchV2P
+    P4 program (§3.4, Table 6).
+
+    We have no Tofino compiler in this environment, so per-stage
+    utilization is computed from the program structure the paper
+    describes: three register arrays (keys, values, access bits), the
+    role/admission logic as if-else gateways, and the option-header
+    parsing. Program-structure costs (crossbar, ALUs, gateways, VLIW,
+    TCAM) are constants of the pipeline; SRAM and hash bits scale with
+    the per-switch entry count. Constants are calibrated so that the
+    paper's 50%-cache configuration (96K entries — half of the 192K a
+    switch can hold [Bluebird]) reproduces Table 6. *)
+
+type usage = {
+  match_crossbar : float;  (** percent, average per stage *)
+  meter_alu : float;
+  gateway : float;
+  sram : float;
+  tcam : float;
+  vliw : float;
+  hash_bits : float;
+}
+
+(** Tofino-1 per-stage capacities used by the model. *)
+val stages : int
+
+val sram_bytes_per_stage : int
+val hash_bits_per_stage : int
+
+(** [estimate ~entries_per_switch] — per-stage average utilization for
+    a direct-mapped cache of that many lines.
+    Raises [Invalid_argument] if negative or beyond the 192K capacity
+    the paper cites. *)
+val estimate : entries_per_switch:int -> usage
+
+(** [paper_config_entries] is 96K: the 50%-cache point of Table 6. *)
+val paper_config_entries : int
+
+(** [max_entries] is the 192K per-switch capacity from Bluebird. *)
+val max_entries : int
+
+val pp : Format.formatter -> usage -> unit
+
+(** [rows u] renders the Table 6 layout as (resource, percent) rows. *)
+val rows : usage -> (string * float) list

@@ -1,0 +1,1 @@
+lib/schemes/baselines.ml: Array Dessim Hashtbl Learning_cache List Netcore Netsim Switchv2p Topo

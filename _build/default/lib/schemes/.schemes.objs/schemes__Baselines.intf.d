@@ -1,0 +1,1 @@
+lib/schemes/baselines.mli: Dessim Netsim Topo

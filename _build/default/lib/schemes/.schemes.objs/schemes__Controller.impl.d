@@ -1,0 +1,1 @@
+lib/schemes/controller.ml: Array Dessim Hashtbl Ilp List Netcore Netsim Topo

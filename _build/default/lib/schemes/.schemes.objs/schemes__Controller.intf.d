@@ -1,0 +1,1 @@
+lib/schemes/controller.mli: Dessim Netsim Topo

@@ -1,0 +1,1 @@
+lib/schemes/dht_store.ml: Array Netcore Netsim Topo

@@ -1,0 +1,1 @@
+lib/schemes/dht_store.mli: Netcore Netsim Topo

@@ -1,0 +1,1 @@
+lib/schemes/learning_cache.ml: Array Netcore Switchv2p

@@ -1,0 +1,1 @@
+lib/schemes/learning_cache.mli: Netcore Switchv2p

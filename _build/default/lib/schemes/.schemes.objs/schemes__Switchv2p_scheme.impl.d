@@ -1,0 +1,1 @@
+lib/schemes/switchv2p_scheme.ml: Dessim Netsim Switchv2p

@@ -1,0 +1,1 @@
+lib/schemes/switchv2p_scheme.mli: Netsim Switchv2p Topo

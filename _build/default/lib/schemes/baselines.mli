@@ -1,0 +1,54 @@
+(** The gateway- and host-driven baselines from §5 of the paper.
+
+    Each function builds a fresh {!Netsim.Scheme.t} closed over its own
+    state; a scheme value must be used with exactly one
+    {!Netsim.Network.t}. *)
+
+(** NoCache — the pure gateway design (Andromeda's Hoverboard model
+    without offloading): every packet transits a translation gateway. *)
+val nocache : unit -> Netsim.Scheme.t
+
+(** Direct — the pure host-driven design: senders always know the
+    current mapping (update costs ignored, as in the paper). *)
+val direct : unit -> Netsim.Scheme.t
+
+(** OnDemand — host-driven with on-miss resolution: the first packet
+    to a destination pays [miss_penalty] (default 40 us) while the
+    mapping is fetched, after which it is cached at the host forever.
+    Host caches go stale on migration (rule installation is slower
+    than the experiment horizon, as in §5.2). *)
+val ondemand : ?miss_penalty:Dessim.Time_ns.t -> unit -> Netsim.Scheme.t
+
+(** Hoverboard — Andromeda's hybrid: traffic flows through the
+    gateways until a host has sent [offload_threshold] packets to a
+    destination (default 20, mimicking Zeta's rule-offload policy);
+    the controller then installs the mapping at the host and later
+    packets go direct. The paper notes its traces never cross such
+    thresholds (flows repeat at most twice), which NoCache models;
+    this scheme makes the threshold explicit and tunable. *)
+val hoverboard : ?offload_threshold:int -> unit -> Netsim.Scheme.t
+
+(** LocalLearning — the §3.1 strawman: every switch destination-learns
+    and admits everything. [total_slots] is the aggregate cache size
+    over all switches. *)
+val locallearning : topo:Topo.Topology.t -> total_slots:int -> Netsim.Scheme.t
+
+(** GwCache — Sailfish-like: caches only at gateway ToRs. *)
+val gwcache : topo:Topo.Topology.t -> total_slots:int -> Netsim.Scheme.t
+
+(** Bluebird — ToR route-caches backed by the switch-local control
+    plane (SFE): a miss detours the packet through a
+    bandwidth-limited data-to-control-plane channel
+    ([cp_rate_bps], default 20 Gb/s) with [cp_fwd_delay] (default
+    8.5 us) forwarding latency; cache insertion completes after
+    [cp_insert_delay] (default 2 ms). Packets are dropped when the
+    CP channel queue exceeds [cp_queue_bytes]. *)
+val bluebird :
+  ?cp_rate_bps:float ->
+  ?cp_fwd_delay:Dessim.Time_ns.t ->
+  ?cp_insert_delay:Dessim.Time_ns.t ->
+  ?cp_queue_bytes:int ->
+  topo:Topo.Topology.t ->
+  total_slots:int ->
+  unit ->
+  Netsim.Scheme.t

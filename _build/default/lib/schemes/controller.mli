@@ -1,0 +1,21 @@
+(** The Controller baseline (§5, Appendix A.2): a centralized
+    allocator that periodically collects the traffic matrix, solves
+    the cache-placement problem of Appendix A.1 and installs the
+    chosen mappings into the switches. Switches only look up — they
+    never learn.
+
+    The paper stresses this is {e not} a practical design (it assumes
+    an exact, instantaneous traffic matrix); it serves as a
+    theoretical reference point. *)
+
+(** [make topo ~total_slots ~interval ()] — [interval] is the
+    controller invocation period (the paper evaluates 150 and 300 us);
+    [gw_cost_hops] converts gateway processing time into path-hop
+    units for the objective (default 40.0, i.e. 40 us at 1 us/hop). *)
+val make :
+  ?gw_cost_hops:float ->
+  topo:Topo.Topology.t ->
+  total_slots:int ->
+  interval:Dessim.Time_ns.t ->
+  unit ->
+  Netsim.Scheme.t

@@ -1,0 +1,61 @@
+module Packet = Netcore.Packet
+module Cache = Switchv2p.Cache
+
+type t = { caches : Cache.t option array }
+
+let create ~switches ~total_slots ~num_nodes =
+  if total_slots < 0 then invalid_arg "Learning_cache.create: negative slots";
+  let caches = Array.make num_nodes None in
+  let n = Array.length switches in
+  if n > 0 then begin
+    let base = total_slots / n and remainder = total_slots mod n in
+    Array.iteri
+      (fun i sw ->
+        let slots = base + if i < remainder then 1 else 0 in
+        caches.(sw) <- Some (Cache.create ~slots))
+      switches
+  end;
+  { caches }
+
+let cache t ~switch = t.caches.(switch)
+
+let on_switch t ~switch (pkt : Packet.t) =
+  match t.caches.(switch) with
+  | None -> ()
+  | Some cache -> (
+      (match pkt.Packet.kind with
+      | Packet.Data | Packet.Ack -> (
+          match pkt.Packet.misdelivery with
+          | Some stale ->
+              (* Tagged packets only clean up; they are resolved by the
+                 gateway. *)
+              ignore (Cache.invalidate cache pkt.Packet.dst_vip ~stale)
+          | None ->
+              if not pkt.Packet.resolved then begin
+                match Cache.lookup cache pkt.Packet.dst_vip with
+                | Some (pip, _) ->
+                    pkt.Packet.dst_pip <- pip;
+                    pkt.Packet.resolved <- true;
+                    pkt.Packet.hit_switch <- switch
+                | None -> ()
+              end)
+      | Packet.Learning | Packet.Invalidation -> ());
+      (* Destination learning, admit-all (ACKs are tunneled tenant
+         packets and teach reverse-direction mappings too). *)
+      let tenant =
+        match pkt.Packet.kind with
+        | Packet.Data | Packet.Ack -> true
+        | Packet.Learning | Packet.Invalidation -> false
+      in
+      if pkt.Packet.resolved && tenant then
+        ignore
+          (Cache.insert cache ~admission:`All pkt.Packet.dst_vip
+             pkt.Packet.dst_pip))
+
+let fold_caches t f init =
+  Array.fold_left
+    (fun acc c -> match c with Some cache -> f acc cache | None -> acc)
+    init t.caches
+
+let total_hits t = fold_caches t (fun acc c -> acc + Cache.hits c) 0
+let total_misses t = fold_caches t (fun acc c -> acc + Cache.misses c) 0

@@ -1,0 +1,25 @@
+(** Shared skeleton for the "flat" caching baselines (LocalLearning and
+    GwCache): destination learning with admit-all at a designated set
+    of switches, lookup for unresolved packets, and conservative
+    handling of host-tagged misdelivered packets (invalidate matching
+    stale entries, never serve a tagged packet from cache). *)
+
+type t
+
+(** [create ~switches ~total_slots ~num_nodes] splits [total_slots]
+    equally (remainder round-robin) across [switches]. *)
+val create : switches:int array -> total_slots:int -> num_nodes:int -> t
+
+(** [on_switch t ~switch pkt] runs lookup + destination learning if
+    [switch] is one of the caching switches; otherwise does nothing.
+    Always forwards. *)
+val on_switch : t -> switch:int -> Netcore.Packet.t -> unit
+
+(** [cache t ~switch] — the switch's cache, or [None] for non-caching
+    switches. *)
+val cache : t -> switch:int -> Switchv2p.Cache.t option
+
+(** Aggregate hits/misses over all caches. *)
+val total_hits : t -> int
+
+val total_misses : t -> int

@@ -1,0 +1,50 @@
+module Scheme = Netsim.Scheme
+module Dataplane = Switchv2p.Dataplane
+
+let make_with_dataplane ?(config = Switchv2p.Config.default) ?partition topo
+    ~total_cache_slots =
+  let dp = Dataplane.create ?partition config topo ~total_cache_slots in
+  let dp_env_of (env : Scheme.env) =
+    {
+      Dataplane.now = (fun () -> Dessim.Engine.now env.Scheme.engine);
+      emit =
+        (fun ~src_switch pkt -> env.Scheme.emit_at_switch ~src_switch pkt);
+      fresh_packet_id = env.Scheme.fresh_packet_id;
+      rng = env.Scheme.rng;
+    }
+  in
+  let scheme =
+    {
+      Scheme.name = "SwitchV2P";
+      resolve_at_host =
+        (fun _env ~host:_ ~flow_id:_ ~dst_vip:_ -> Scheme.Send_via_gateway);
+      on_switch =
+        (fun env ~switch ~from pkt ->
+          match Dataplane.process dp (dp_env_of env) ~switch ~from pkt with
+          | Dataplane.Forward -> Scheme.Forward
+          | Dataplane.Consume -> Scheme.Consume);
+      on_misdelivery = (fun _env ~host:_ _pkt -> Scheme.Reforward_to_gateway);
+      on_mapping_update = (fun _env _vip ~old_pip:_ ~new_pip:_ -> ());
+      host_tags_misdelivery = false;
+      stats =
+        (fun () ->
+          [
+            ( "learning_packets",
+              float_of_int (Dataplane.learning_packets_sent dp) );
+            ( "invalidation_packets",
+              float_of_int (Dataplane.invalidation_packets_sent dp) );
+            ( "invalidations_suppressed",
+              float_of_int (Dataplane.invalidations_suppressed dp) );
+            ("promotions", float_of_int (Dataplane.promotions dp));
+            ("spills_attached", float_of_int (Dataplane.spills_attached dp));
+            ("spills_absorbed", float_of_int (Dataplane.spills_absorbed dp));
+            ( "entries_invalidated",
+              float_of_int (Dataplane.entries_invalidated dp) );
+            ("misdelivery_tags", float_of_int (Dataplane.misdelivery_tags dp));
+          ]);
+    }
+  in
+  (scheme, dp)
+
+let make ?config ?partition topo ~total_cache_slots =
+  fst (make_with_dataplane ?config ?partition topo ~total_cache_slots)

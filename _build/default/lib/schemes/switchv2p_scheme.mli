@@ -1,0 +1,23 @@
+(** SwitchV2P as a {!Netsim.Scheme.t}: wires the
+    {!Switchv2p.Dataplane} pipeline into the network engine. *)
+
+(** [make ?config ?partition topo ~total_cache_slots] —
+    [total_cache_slots] is the aggregate in-switch memory (the paper's
+    cache-size axis); [partition] enables per-tenant private cache
+    partitions (§4 multitenancy). *)
+val make :
+  ?config:Switchv2p.Config.t ->
+  ?partition:Switchv2p.Partition.t ->
+  Topo.Topology.t ->
+  total_cache_slots:int ->
+  Netsim.Scheme.t
+
+(** [make_with_dataplane ?config ?partition topo ~total_cache_slots]
+    also returns the dataplane for direct inspection (tests,
+    per-switch metrics). *)
+val make_with_dataplane :
+  ?config:Switchv2p.Config.t ->
+  ?partition:Switchv2p.Partition.t ->
+  Topo.Topology.t ->
+  total_cache_slots:int ->
+  Netsim.Scheme.t * Switchv2p.Dataplane.t

@@ -1,0 +1,75 @@
+let exponential rng ~mean =
+  let u = 1.0 -. Rng.float rng in
+  -.mean *. log u
+
+module Zipf = struct
+  type t = { cdf : float array }
+
+  let create ~n ~alpha =
+    if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+    let cdf = Array.make n 0.0 in
+    let total = ref 0.0 in
+    for i = 0 to n - 1 do
+      total := !total +. (1.0 /. Float.pow (float_of_int (i + 1)) alpha);
+      cdf.(i) <- !total
+    done;
+    for i = 0 to n - 1 do
+      cdf.(i) <- cdf.(i) /. !total
+    done;
+    { cdf }
+
+  let sample t rng =
+    let u = Rng.float rng in
+    (* Binary search for the first index with cdf >= u. *)
+    let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    !lo + 1
+end
+
+let zipf rng ~n ~alpha = Zipf.sample (Zipf.create ~n ~alpha) rng
+
+module Empirical = struct
+  type t = { values : float array; probs : float array }
+
+  let create knots =
+    if knots = [] then invalid_arg "Empirical.create: empty knots";
+    let values = Array.of_list (List.map fst knots) in
+    let probs = Array.of_list (List.map snd knots) in
+    let n = Array.length probs in
+    for i = 1 to n - 1 do
+      if probs.(i) < probs.(i - 1) then
+        invalid_arg "Empirical.create: probabilities not sorted"
+    done;
+    if Float.abs (probs.(n - 1) -. 1.0) > 1e-9 then
+      invalid_arg "Empirical.create: last probability must be 1.0";
+    { values; probs }
+
+  let sample t rng =
+    let u = Rng.float rng in
+    let n = Array.length t.probs in
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.probs.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    let i = !lo in
+    if i = 0 then t.values.(0)
+    else begin
+      let p0 = t.probs.(i - 1) and p1 = t.probs.(i) in
+      let v0 = t.values.(i - 1) and v1 = t.values.(i) in
+      if p1 -. p0 <= 0.0 then v1
+      else v0 +. ((v1 -. v0) *. (u -. p0) /. (p1 -. p0))
+    end
+
+  let mean t =
+    let n = Array.length t.probs in
+    let acc = ref (t.values.(0) *. t.probs.(0)) in
+    for i = 1 to n - 1 do
+      let w = t.probs.(i) -. t.probs.(i - 1) in
+      acc := !acc +. (w *. (t.values.(i) +. t.values.(i - 1)) /. 2.0)
+    done;
+    !acc
+end

@@ -1,0 +1,40 @@
+(** Random distributions used by the workload generators. *)
+
+(** [exponential rng ~mean] samples an exponential with the given mean.
+    Used for Poisson inter-arrival times. *)
+val exponential : Rng.t -> mean:float -> float
+
+(** [zipf rng ~n ~alpha] samples from a Zipf distribution over ranks
+    [1..n] with skew [alpha] (inverse-CDF over precomputed weights is
+    exposed through {!Zipf}). This direct form rebuilds the CDF per
+    call and is only for one-off draws; use {!Zipf.create} in loops. *)
+val zipf : Rng.t -> n:int -> alpha:float -> int
+
+module Zipf : sig
+  type t
+
+  (** [create ~n ~alpha] precomputes the CDF over ranks [1..n]. *)
+  val create : n:int -> alpha:float -> t
+
+  (** [sample t rng] draws a rank in [1..n], rank 1 most popular. *)
+  val sample : t -> Rng.t -> int
+end
+
+module Empirical : sig
+  (** Empirical CDF given as [(value, cumulative_probability)] knots,
+      sampled with linear interpolation between knots — the standard
+      way flow-size distributions from published papers are replayed. *)
+
+  type t
+
+  (** [create knots] builds the distribution. [knots] must be
+      non-empty, sorted by cumulative probability, and end at 1.0.
+      Raises [Invalid_argument] otherwise. *)
+  val create : (float * float) list -> t
+
+  (** [sample t rng] draws a value. *)
+  val sample : t -> Rng.t -> float
+
+  (** [mean t] is the analytic mean of the interpolated distribution. *)
+  val mean : t -> float
+end

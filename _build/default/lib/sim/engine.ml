@@ -1,0 +1,38 @@
+type t = {
+  queue : (unit -> unit) Heap.t;
+  mutable clock : Time_ns.t;
+  mutable executed : int;
+}
+
+let create () = { queue = Heap.create (); clock = Time_ns.zero; executed = 0 }
+let now t = t.clock
+
+let schedule t ~at f =
+  if Time_ns.compare at t.clock < 0 then
+    invalid_arg "Engine.schedule: event in the past";
+  Heap.push t.queue at f
+
+let schedule_after t ~delay f = schedule t ~at:(Time_ns.add t.clock delay) f
+
+let step t =
+  let at, f = Heap.pop t.queue in
+  t.clock <- at;
+  t.executed <- t.executed + 1;
+  f ()
+
+let run t =
+  while not (Heap.is_empty t.queue) do
+    step t
+  done
+
+let run_until t ~limit =
+  let continue = ref true in
+  while !continue do
+    if Heap.is_empty t.queue || Heap.peek_key t.queue > limit then
+      continue := false
+    else step t
+  done;
+  t.clock <- Time_ns.max t.clock limit
+
+let pending t = Heap.length t.queue
+let executed t = t.executed

@@ -1,0 +1,34 @@
+(** Discrete-event simulation engine.
+
+    Events are thunks scheduled at absolute {!Time_ns.t} timestamps and
+    executed in timestamp order (FIFO among ties). The engine is
+    single-threaded and deterministic. *)
+
+type t
+
+(** [create ()] is a fresh engine at time zero. *)
+val create : unit -> t
+
+(** [now t] is the current simulation time. *)
+val now : t -> Time_ns.t
+
+(** [schedule t ~at f] queues [f] to run at absolute time [at].
+    Scheduling in the past raises [Invalid_argument]. *)
+val schedule : t -> at:Time_ns.t -> (unit -> unit) -> unit
+
+(** [schedule_after t ~delay f] queues [f] to run [delay] from now. *)
+val schedule_after : t -> delay:Time_ns.t -> (unit -> unit) -> unit
+
+(** [run t] executes events until the queue is empty. *)
+val run : t -> unit
+
+(** [run_until t ~limit] executes events with timestamp [<= limit];
+    stops (leaving later events queued) once the next event would
+    exceed [limit], and advances the clock to [limit]. *)
+val run_until : t -> limit:Time_ns.t -> unit
+
+(** [pending t] is the number of queued events. *)
+val pending : t -> int
+
+(** [executed t] is the total number of events executed so far. *)
+val executed : t -> int

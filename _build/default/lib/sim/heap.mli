@@ -1,0 +1,31 @@
+(** Array-backed binary min-heap keyed by integer priority.
+
+    The simulator's event queue: [O(log n)] push/pop, amortized O(1)
+    peek. Ties are broken by insertion order (FIFO among equal keys) so
+    that simultaneous events execute deterministically in the order
+    they were scheduled. *)
+
+type 'a t
+
+(** [create ()] is an empty heap. *)
+val create : unit -> 'a t
+
+(** [length t] is the number of queued elements. *)
+val length : 'a t -> int
+
+(** [is_empty t] is [length t = 0]. *)
+val is_empty : 'a t -> bool
+
+(** [push t key v] queues [v] with priority [key]. *)
+val push : 'a t -> int -> 'a -> unit
+
+(** [pop t] removes and returns the minimum-key element as
+    [(key, v)]. Raises [Not_found] on an empty heap. *)
+val pop : 'a t -> int * 'a
+
+(** [peek_key t] is the minimum key without removing it.
+    Raises [Not_found] on an empty heap. *)
+val peek_key : 'a t -> int
+
+(** [clear t] removes all elements. *)
+val clear : 'a t -> unit

@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the simulator draws from an explicit
+    [Rng.t] so that experiments are reproducible from a single seed and
+    independent components can be given independent streams via
+    {!split}. *)
+
+type t
+
+(** [create seed] is a fresh generator. Equal seeds yield equal
+    streams. *)
+val create : int -> t
+
+(** [split t] is a new generator whose stream is statistically
+    independent of subsequent draws from [t]. *)
+val split : t -> t
+
+(** [copy t] duplicates the generator state. *)
+val copy : t -> t
+
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [int64 t] is a uniform 64-bit value. *)
+val int64 : t -> int64
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool
+
+(** [bernoulli t p] is [true] with probability [p]. *)
+val bernoulli : t -> float -> bool
+
+(** [shuffle t a] permutes [a] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [choose t a] is a uniformly random element of [a].
+    Requires [a] non-empty. *)
+val choose : t -> 'a array -> 'a

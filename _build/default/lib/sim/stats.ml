@@ -1,0 +1,94 @@
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable sum : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { count = 0; sum = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. x;
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+  let min t = if t.count = 0 then raise Not_found else t.min
+  let max t = if t.count = 0 then raise Not_found else t.max
+  let sum t = t.sum
+end
+
+module Reservoir = struct
+  type t = {
+    mutable data : float array;
+    mutable size : int;
+    mutable seen : int;
+    mutable sum : float;
+    capacity : int option;
+    rng : Rng.t;
+    mutable sorted : bool;
+  }
+
+  let create ?capacity rng =
+    { data = [||]; size = 0; seen = 0; sum = 0.0; capacity; rng; sorted = true }
+
+  let store t i x =
+    if i = t.size then begin
+      if t.size = Array.length t.data then begin
+        let ncap = if t.size = 0 then 256 else t.size * 2 in
+        let ndata = Array.make ncap 0.0 in
+        Array.blit t.data 0 ndata 0 t.size;
+        t.data <- ndata
+      end;
+      t.size <- t.size + 1
+    end;
+    t.data.(i) <- x;
+    t.sorted <- false
+
+  let add t x =
+    t.seen <- t.seen + 1;
+    t.sum <- t.sum +. x;
+    match t.capacity with
+    | None -> store t t.size x
+    | Some cap ->
+        if t.size < cap then store t t.size x
+        else begin
+          let j = Rng.int t.rng t.seen in
+          if j < cap then store t j x
+        end
+
+  let count t = t.seen
+  let mean t = if t.seen = 0 then 0.0 else t.sum /. float_of_int t.seen
+
+  let percentile t p =
+    if t.size = 0 then raise Not_found;
+    if not t.sorted then begin
+      let sub = Array.sub t.data 0 t.size in
+      Array.sort compare sub;
+      Array.blit sub 0 t.data 0 t.size;
+      t.sorted <- true
+    end;
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.size)) in
+    let idx = Stdlib.max 0 (Stdlib.min (t.size - 1) (rank - 1)) in
+    t.data.(idx)
+end
+
+module Counter = struct
+  type t = (string, int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let incr t key n =
+    match Hashtbl.find_opt t key with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add t key (ref n)
+
+  let get t key = match Hashtbl.find_opt t key with Some r -> !r | None -> 0
+
+  let to_list t =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+end

@@ -1,0 +1,46 @@
+(** Online statistics accumulators for experiment metrics. *)
+
+module Summary : sig
+  (** Streaming mean / min / max / count. O(1) memory. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  (** [min t] / [max t] raise [Not_found] when no samples were added. *)
+  val min : t -> float
+
+  val max : t -> float
+  val sum : t -> float
+end
+
+module Reservoir : sig
+  (** Sample store with exact percentiles. Keeps every sample by
+      default (our experiments produce at most a few hundred thousand
+      samples), or a uniform reservoir when [capacity] is given. *)
+
+  type t
+
+  val create : ?capacity:int -> Rng.t -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  (** [percentile t p] with [p] in [0,100]; exact over stored samples
+      (nearest-rank). Raises [Not_found] when empty. *)
+  val percentile : t -> float -> float
+end
+
+module Counter : sig
+  (** Named integer counters, e.g. per-switch byte counts. *)
+
+  type t
+
+  val create : unit -> t
+  val incr : t -> string -> int -> unit
+  val get : t -> string -> int
+  val to_list : t -> (string * int) list
+end

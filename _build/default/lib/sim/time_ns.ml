@@ -1,0 +1,26 @@
+type t = int
+
+let zero = 0
+let of_ns ns = ns
+let of_us us = us * 1_000
+let of_ms ms = ms * 1_000_000
+let of_sec s = int_of_float (s *. 1e9)
+let to_ns t = t
+let to_us t = float_of_int t /. 1e3
+let to_ms t = float_of_int t /. 1e6
+let to_sec t = float_of_int t /. 1e9
+let add = ( + )
+let sub = ( - )
+let max (a : t) b = if a >= b then a else b
+let min (a : t) b = if a <= b then a else b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let of_rate_bytes ~bits_per_sec bytes =
+  let ns = float_of_int (bytes * 8) /. bits_per_sec *. 1e9 in
+  Stdlib.max 1 (int_of_float (Float.ceil ns))
+
+let pp ppf t =
+  if t >= 1_000_000_000 then Format.fprintf ppf "%.3fs" (to_sec t)
+  else if t >= 1_000_000 then Format.fprintf ppf "%.3fms" (to_ms t)
+  else if t >= 1_000 then Format.fprintf ppf "%.3fus" (to_us t)
+  else Format.fprintf ppf "%dns" t

@@ -1,0 +1,31 @@
+(** Simulation time as integer nanoseconds.
+
+    All simulator timestamps are 63-bit integers counting nanoseconds
+    since the start of the simulation, which keeps the event queue free
+    of floating-point accumulation error and makes runs bit-reproducible. *)
+
+type t = int
+
+val zero : t
+
+val of_ns : int -> t
+val of_us : int -> t
+val of_ms : int -> t
+val of_sec : float -> t
+
+val to_ns : t -> int
+val to_us : t -> float
+val to_ms : t -> float
+val to_sec : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val max : t -> t -> t
+val min : t -> t -> t
+val compare : t -> t -> int
+
+(** [of_rate_bytes ~bits_per_sec bytes] is the serialization time of
+    [bytes] bytes on a link of the given rate, rounded up to 1 ns. *)
+val of_rate_bytes : bits_per_sec:float -> int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/topo/routing.ml: Array Int64 List Node Params Topology

@@ -1,0 +1,1 @@
+lib/topo/routing.mli: Topology

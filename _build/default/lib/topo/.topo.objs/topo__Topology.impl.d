@@ -1,0 +1,1 @@
+lib/topo/topology.ml: Array Hashtbl Link List Netcore Node Params

@@ -1,0 +1,71 @@
+type t = {
+  src : int;
+  dst : int;
+  rate_bps : float;
+  prop_delay : Dessim.Time_ns.t;
+  buffer_bytes : int;
+  ecn_threshold : int option;
+  mutable busy_until : Dessim.Time_ns.t;
+  mutable queued_bytes : int;
+  mutable tx_bytes : int;
+  mutable tx_packets : int;
+  mutable drops : int;
+  mutable marked : int;
+}
+
+type tx = { arrival : Dessim.Time_ns.t; ce_marked : bool }
+
+let make ~ecn_threshold ~src ~dst ~rate_bps ~prop_delay ~buffer_bytes =
+  {
+    src;
+    dst;
+    rate_bps;
+    prop_delay;
+    buffer_bytes;
+    ecn_threshold;
+    busy_until = Dessim.Time_ns.zero;
+    queued_bytes = 0;
+    tx_bytes = 0;
+    tx_packets = 0;
+    drops = 0;
+    marked = 0;
+  }
+
+let transmit t ~now ~bytes =
+  if t.queued_bytes + bytes > t.buffer_bytes then begin
+    t.drops <- t.drops + 1;
+    None
+  end
+  else begin
+    (* DCTCP step marking: judge the queue as seen on enqueue. *)
+    let ce_marked =
+      match t.ecn_threshold with
+      | Some k when t.queued_bytes > k ->
+          t.marked <- t.marked + 1;
+          true
+      | Some _ | None -> false
+    in
+    let start = Dessim.Time_ns.max now t.busy_until in
+    let ser = Dessim.Time_ns.of_rate_bytes ~bits_per_sec:t.rate_bps bytes in
+    let done_ser = Dessim.Time_ns.add start ser in
+    t.busy_until <- done_ser;
+    t.queued_bytes <- t.queued_bytes + bytes;
+    t.tx_bytes <- t.tx_bytes + bytes;
+    t.tx_packets <- t.tx_packets + 1;
+    Some { arrival = Dessim.Time_ns.add done_ser t.prop_delay; ce_marked }
+  end
+
+let delivered t ~bytes = t.queued_bytes <- t.queued_bytes - bytes
+
+let reset t =
+  t.busy_until <- Dessim.Time_ns.zero;
+  t.queued_bytes <- 0;
+  t.tx_bytes <- 0;
+  t.tx_packets <- 0;
+  t.drops <- 0;
+  t.marked <- 0
+
+let queueing_delay t ~now =
+  if Dessim.Time_ns.compare t.busy_until now > 0 then
+    Dessim.Time_ns.sub t.busy_until now
+  else Dessim.Time_ns.zero

@@ -1,0 +1,54 @@
+(** Directed point-to-point link with a drop-tail queue.
+
+    The transmission model is a single-server FIFO: a packet entering
+    at time [t] begins serialization at [max t busy_until], occupies
+    the queue until it is delivered, and arrives at the far end after
+    serialization plus propagation. Packets that would overflow the
+    buffer are dropped (drop-tail). *)
+
+type t = {
+  src : int;
+  dst : int;
+  rate_bps : float;
+  prop_delay : Dessim.Time_ns.t;
+  buffer_bytes : int;
+  ecn_threshold : int option;
+      (** queue depth (bytes) above which enqueued packets are
+          CE-marked, as DCTCP's step marking does; [None] disables *)
+  mutable busy_until : Dessim.Time_ns.t;
+  mutable queued_bytes : int;
+  mutable tx_bytes : int;  (** total bytes successfully transmitted *)
+  mutable tx_packets : int;
+  mutable drops : int;
+  mutable marked : int;  (** CE marks applied *)
+}
+
+val make :
+  ecn_threshold:int option ->
+  src:int ->
+  dst:int ->
+  rate_bps:float ->
+  prop_delay:Dessim.Time_ns.t ->
+  buffer_bytes:int ->
+  t
+
+(** The outcome of a transmission attempt: when and whether the packet
+    was CE-marked on enqueue. *)
+type tx = { arrival : Dessim.Time_ns.t; ce_marked : bool }
+
+(** [transmit t ~now ~bytes] attempts to enqueue a packet of [bytes].
+    Returns [Some tx] on success, or [None] if the packet was dropped.
+    Caller must invoke {!delivered} when the arrival event fires. *)
+val transmit : t -> now:Dessim.Time_ns.t -> bytes:int -> tx option
+
+(** [delivered t ~bytes] releases queue occupancy for a packet whose
+    arrival event has fired. *)
+val delivered : t -> bytes:int -> unit
+
+(** [queueing_delay t ~now] is the time a packet arriving now would
+    wait before starting serialization. *)
+val queueing_delay : t -> now:Dessim.Time_ns.t -> Dessim.Time_ns.t
+
+(** [reset t] clears all dynamic state (queue, counters) so the link
+    can serve a fresh simulation run. *)
+val reset : t -> unit

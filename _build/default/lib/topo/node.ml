@@ -1,0 +1,49 @@
+type kind =
+  | Host of { pod : int; rack : int; idx : int }
+  | Gateway of { pod : int; rack : int; idx : int }
+  | Tor of { pod : int; rack : int; gateway_tor : bool }
+  | Spine of { pod : int; group : int; gateway_spine : bool }
+  | Core of { group : int; idx : int }
+
+type t = { id : int; kind : kind }
+type role = Gateway_tor | Gateway_spine | Regular_tor | Regular_spine | Core_switch
+
+let role_of_kind = function
+  | Host _ | Gateway _ -> None
+  | Tor { gateway_tor = true; _ } -> Some Gateway_tor
+  | Tor _ -> Some Regular_tor
+  | Spine { gateway_spine = true; _ } -> Some Gateway_spine
+  | Spine _ -> Some Regular_spine
+  | Core _ -> Some Core_switch
+
+let is_switch = function
+  | Tor _ | Spine _ | Core _ -> true
+  | Host _ | Gateway _ -> false
+
+let is_endpoint = function
+  | Host _ | Gateway _ -> true
+  | Tor _ | Spine _ | Core _ -> false
+
+let pod_of = function
+  | Host { pod; _ } | Gateway { pod; _ } | Tor { pod; _ } | Spine { pod; _ } ->
+      pod
+  | Core _ -> -1
+
+let pp_role ppf r =
+  Format.pp_print_string ppf
+    (match r with
+    | Gateway_tor -> "gateway-tor"
+    | Gateway_spine -> "gateway-spine"
+    | Regular_tor -> "tor"
+    | Regular_spine -> "spine"
+    | Core_switch -> "core")
+
+let pp ppf t =
+  match t.kind with
+  | Host { pod; rack; idx } -> Format.fprintf ppf "host%d(p%d.r%d.%d)" t.id pod rack idx
+  | Gateway { pod; rack; idx } -> Format.fprintf ppf "gw%d(p%d.r%d.%d)" t.id pod rack idx
+  | Tor { pod; rack; gateway_tor } ->
+      Format.fprintf ppf "%stor%d(p%d.r%d)" (if gateway_tor then "gw-" else "") t.id pod rack
+  | Spine { pod; group; gateway_spine } ->
+      Format.fprintf ppf "%sspine%d(p%d.g%d)" (if gateway_spine then "gw-" else "") t.id pod group
+  | Core { group; idx } -> Format.fprintf ppf "core%d(g%d.%d)" t.id group idx

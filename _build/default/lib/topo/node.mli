@@ -1,0 +1,33 @@
+(** Network node kinds and placement.
+
+    Node ids are dense integers; a node's PIP is its id (see
+    {!Netcore.Addr.Pip}). Switch classification into the paper's five
+    categories (gateway ToR, gateway spine, ToR, spine, core — Table 1)
+    is structural: a gateway ToR is a ToR with at least one gateway
+    attached, and a gateway spine is a spine in a pod containing a
+    gateway ToR. *)
+
+type kind =
+  | Host of { pod : int; rack : int; idx : int }
+  | Gateway of { pod : int; rack : int; idx : int }
+  | Tor of { pod : int; rack : int; gateway_tor : bool }
+  | Spine of { pod : int; group : int; gateway_spine : bool }
+  | Core of { group : int; idx : int }
+
+type t = { id : int; kind : kind }
+
+(** Switch categories from Table 1 of the paper. *)
+type role = Gateway_tor | Gateway_spine | Regular_tor | Regular_spine | Core_switch
+
+(** [role_of_kind k] is the switch category, or [None] for hosts and
+    gateways. *)
+val role_of_kind : kind -> role option
+
+val is_switch : kind -> bool
+val is_endpoint : kind -> bool
+
+(** [pod_of k] is the pod index, or [-1] for core switches. *)
+val pod_of : kind -> int
+
+val pp_role : Format.formatter -> role -> unit
+val pp : Format.formatter -> t -> unit

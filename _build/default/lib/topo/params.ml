@@ -1,0 +1,114 @@
+type t = {
+  pods : int;
+  racks_per_pod : int;
+  spines_per_pod : int;
+  cores_per_group : int;
+  hosts_per_rack : int;
+  vms_per_host : int;
+  gateway_pods : int list;
+  gateways_per_gateway_pod : int;
+  host_link_bps : float;
+  fabric_link_bps : float;
+  prop_delay : Dessim.Time_ns.t;
+  buffer_bytes : int;
+  ecn_threshold_bytes : int option;
+}
+
+let validate t =
+  let fail msg = invalid_arg ("Params.validate: " ^ msg) in
+  if t.pods <= 0 then fail "pods must be positive";
+  if t.racks_per_pod <= 0 then fail "racks_per_pod must be positive";
+  if t.spines_per_pod <= 0 then fail "spines_per_pod must be positive";
+  if t.pods > 1 && t.cores_per_group <= 0 then
+    fail "multi-pod topology needs core switches";
+  if t.hosts_per_rack <= 0 then fail "hosts_per_rack must be positive";
+  if t.vms_per_host <= 0 then fail "vms_per_host must be positive";
+  List.iter
+    (fun p -> if p < 0 || p >= t.pods then fail "gateway pod out of range")
+    t.gateway_pods;
+  if t.gateway_pods <> [] && t.gateways_per_gateway_pod <= 0 then
+    fail "gateways_per_gateway_pod must be positive";
+  if t.gateway_pods = [] then fail "at least one gateway pod is required";
+  let sorted = List.sort_uniq compare t.gateway_pods in
+  if List.length sorted <> List.length t.gateway_pods then
+    fail "duplicate gateway pods"
+
+let ft8_10k () =
+  {
+    pods = 8;
+    racks_per_pod = 4;
+    spines_per_pod = 4;
+    cores_per_group = 4;
+    hosts_per_rack = 4;
+    vms_per_host = 80;
+    gateway_pods = [ 0; 2; 5; 7 ];
+    gateways_per_gateway_pod = 10;
+    host_link_bps = 100e9;
+    fabric_link_bps = 400e9;
+    prop_delay = Dessim.Time_ns.of_us 1;
+    buffer_bytes = 32 * 1024 * 1024;
+    ecn_threshold_bytes = Some (65 * 1500);
+  }
+
+let ft16_400k () =
+  {
+    pods = 50;
+    racks_per_pod = 8;
+    spines_per_pod = 4;
+    cores_per_group = 4;
+    hosts_per_rack = 32;
+    vms_per_host = 32;
+    gateway_pods = List.init 25 (fun i -> 2 * i);
+    gateways_per_gateway_pod = 10;
+    host_link_bps = 100e9;
+    fabric_link_bps = 400e9;
+    prop_delay = Dessim.Time_ns.of_us 1;
+    buffer_bytes = 32 * 1024 * 1024;
+    ecn_threshold_bytes = Some (65 * 1500);
+  }
+
+let scaled ?(spines_per_pod = 2) ?(cores_per_group = 2)
+    ?(gateways_per_gateway_pod = 2) ?(host_link_bps = 100e9)
+    ?(fabric_link_bps = 400e9) ?(buffer_bytes = 32 * 1024 * 1024) ~pods
+    ~racks_per_pod ~hosts_per_rack ~vms_per_host () =
+  let gateway_pods =
+    if pods = 1 then [ 0 ]
+    else List.filter (fun p -> p mod 2 = 0) (List.init pods Fun.id)
+  in
+  let t =
+    {
+      pods;
+      racks_per_pod;
+      spines_per_pod;
+      cores_per_group = (if pods > 1 then cores_per_group else 0);
+      hosts_per_rack;
+      vms_per_host;
+      gateway_pods;
+      gateways_per_gateway_pod;
+      host_link_bps;
+      fabric_link_bps;
+      prop_delay = Dessim.Time_ns.of_us 1;
+      buffer_bytes;
+      ecn_threshold_bytes = Some (65 * 1500);
+    }
+  in
+  validate t;
+  t
+
+let gateway_pod_count t = List.length t.gateway_pods
+
+let num_switches t =
+  (t.pods * t.racks_per_pod)
+  + (t.pods * t.spines_per_pod)
+  + (t.spines_per_pod * t.cores_per_group)
+
+let num_hosts t =
+  (* Gateway pods sacrifice one rack to gateways. *)
+  let gw_pods = gateway_pod_count t in
+  ((t.pods * t.racks_per_pod) - gw_pods) * t.hosts_per_rack
+
+let num_vms t = num_hosts t * t.vms_per_host
+
+let base_rtt t =
+  let hops_one_way = if t.pods > 1 then 6 else 4 in
+  Dessim.Time_ns.of_ns (2 * hops_one_way * Dessim.Time_ns.to_ns t.prop_delay)

@@ -1,0 +1,74 @@
+(** Topology parameters and the paper's presets (Table 3).
+
+    A generalized FatTree: [pods] pods, each with [racks_per_pod] ToRs
+    and [spines_per_pod] spine switches (full bipartite inside the
+    pod); core switches come in [spines_per_pod] groups of
+    [cores_per_group], group [g] connecting to spine [g] of every pod.
+    Gateways live in the last rack of each pod listed in
+    [gateway_pods]; that rack's ToR is the {e gateway ToR} and hosts
+    only gateways. *)
+
+type t = {
+  pods : int;
+  racks_per_pod : int;
+  spines_per_pod : int;
+  cores_per_group : int;
+  hosts_per_rack : int;
+  vms_per_host : int;
+  gateway_pods : int list;  (** pod indices hosting gateways *)
+  gateways_per_gateway_pod : int;
+  host_link_bps : float;
+  fabric_link_bps : float;
+  prop_delay : Dessim.Time_ns.t;
+  buffer_bytes : int;  (** per-port drop-tail buffer *)
+  ecn_threshold_bytes : int option;
+      (** per-port ECN step-marking threshold; defaults to ~65 MTUs,
+          the DCTCP guideline for high-speed links *)
+}
+
+(** [validate t] raises [Invalid_argument] on inconsistent parameters
+    (e.g. a gateway pod index out of range, or gateways requested but
+    no gateway pods). *)
+val validate : t -> unit
+
+(** FT8-10K from Table 3: 8 pods, 4 racks/pod, 4 spines/pod, 16 cores,
+    gateways in pods 0,2,5,7 (the paper's pods 1,3,6,8), 10 gateways
+    per gateway pod, 100G host links, 400G fabric links, 1 us
+    propagation delay, 32 MB buffers. *)
+val ft8_10k : unit -> t
+
+(** FT16-400K from Table 3: 50 pods, 8 racks/pod, 16 cores, 250
+    gateways, 32 hosts/rack, 32 VMs per host. *)
+val ft16_400k : unit -> t
+
+(** [scaled ~pods ~racks_per_pod ~hosts_per_rack ~vms_per_host ()] is a
+    small topology for tests and quick benches; gateways are placed in
+    every other pod (at least one pod). Optional arguments default to
+    the FT8 link parameters. *)
+val scaled :
+  ?spines_per_pod:int ->
+  ?cores_per_group:int ->
+  ?gateways_per_gateway_pod:int ->
+  ?host_link_bps:float ->
+  ?fabric_link_bps:float ->
+  ?buffer_bytes:int ->
+  pods:int ->
+  racks_per_pod:int ->
+  hosts_per_rack:int ->
+  vms_per_host:int ->
+  unit ->
+  t
+
+(** [num_switches t] is the total switch count (ToRs + spines + cores). *)
+val num_switches : t -> int
+
+(** [num_hosts t] counts regular (non-gateway) servers. *)
+val num_hosts : t -> int
+
+(** [num_vms t] is [num_hosts t * vms_per_host]. *)
+val num_vms : t -> int
+
+(** [base_rtt t] is the round-trip propagation time of the longest
+    intra-fabric path (host-ToR-spine-core-spine-ToR-host and back),
+    used by the invalidation timestamp vector. *)
+val base_rtt : t -> Dessim.Time_ns.t

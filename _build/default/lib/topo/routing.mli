@@ -1,0 +1,29 @@
+(** Structural ECMP routing over the FatTree.
+
+    Next hops are computed from node coordinates (no routing tables):
+    up via a hash-selected spine/core, down via the unique descending
+    path. The selection hash is deterministic in [(salt, hop)] so a
+    flow follows a stable path (per-flow ECMP, as in the paper) while
+    different flows spread across the fabric.
+
+    Destinations may be endpoints or switches — the latter is how
+    learning and invalidation packets reach a specific switch. *)
+
+(** [next_hop topo ~at ~dst ~salt] is the neighbor of [at] on a path
+    toward node [dst].
+
+    Raises [Invalid_argument] if [at = dst] (the packet has arrived)
+    or if [dst] is unreachable from [at] (cannot happen on a connected
+    FatTree). *)
+val next_hop : Topology.t -> at:int -> dst:int -> salt:int -> int
+
+(** [path topo ~src ~dst ~salt] is the full node path from [src] to
+    [dst], inclusive of both ends. *)
+val path : Topology.t -> src:int -> dst:int -> salt:int -> int list
+
+(** [hop_count topo ~src ~dst ~salt] is [List.length (path ...) - 1]. *)
+val hop_count : Topology.t -> src:int -> dst:int -> salt:int -> int
+
+(** [ecmp_hash ~salt ~a ~b] is the deterministic hash used for path
+    selection; exposed for tests. *)
+val ecmp_hash : salt:int -> a:int -> b:int -> int

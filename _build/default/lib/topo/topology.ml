@@ -1,0 +1,205 @@
+type t = {
+  params : Params.t;
+  nodes : Node.t array;
+  hosts : int array;
+  gateways : int array;
+  tors : int array;
+  spines : int array;
+  cores : int array;
+  switches : int array;
+  tor_of : int array; (* endpoint id -> tor id; -1 for switches *)
+  endpoints_of_tor : int array array; (* indexed by tor position in [tors] *)
+  tor_pos : int array; (* node id -> position in [tors]; -1 otherwise *)
+  tor_ids : int array array; (* pod -> rack -> id *)
+  spine_ids : int array array; (* pod -> group -> id *)
+  core_ids : int array array; (* group -> idx -> id *)
+  links : (int, Link.t) Hashtbl.t; (* key: src * num_nodes + dst *)
+  neighbors : int array array;
+}
+
+let params t = t.params
+let num_nodes t = Array.length t.nodes
+
+let node t id =
+  if id < 0 || id >= Array.length t.nodes then
+    invalid_arg "Topology.node: id out of range";
+  t.nodes.(id)
+
+let kind t id = (node t id).Node.kind
+let pip (_ : t) id = Netcore.Addr.Pip.of_int id
+let node_of_pip (_ : t) pip = Netcore.Addr.Pip.to_int pip
+let hosts t = t.hosts
+let gateways t = t.gateways
+let tors t = t.tors
+let spines t = t.spines
+let cores t = t.cores
+let switches t = t.switches
+
+let tor_of t id =
+  let tor = t.tor_of.(id) in
+  if tor < 0 then invalid_arg "Topology.tor_of: not an endpoint";
+  tor
+
+let endpoints_of_tor t tor =
+  let pos = t.tor_pos.(tor) in
+  if pos < 0 then invalid_arg "Topology.endpoints_of_tor: not a ToR";
+  t.endpoints_of_tor.(pos)
+
+let tor_id t ~pod ~rack = t.tor_ids.(pod).(rack)
+let spine_id t ~pod ~group = t.spine_ids.(pod).(group)
+let core_id t ~group ~idx = t.core_ids.(group).(idx)
+
+let role t id =
+  match Node.role_of_kind (kind t id) with
+  | Some r -> r
+  | None -> invalid_arg "Topology.role: not a switch"
+
+let link_key t src dst = (src * Array.length t.nodes) + dst
+
+let link t ~src ~dst =
+  match Hashtbl.find_opt t.links (link_key t src dst) with
+  | Some l -> l
+  | None -> raise Not_found
+
+let iter_links t f = Hashtbl.iter (fun _ l -> f l) t.links
+let neighbors t id = t.neighbors.(id)
+
+let attached_endpoint_pips t tor =
+  Array.map (pip t) (endpoints_of_tor t tor)
+
+let build (p : Params.t) =
+  Params.validate p;
+  let gateway_pod p' = List.mem p' p.gateway_pods in
+  (* The last rack of a gateway pod is the gateway rack. *)
+  let gateway_rack pod rack = gateway_pod pod && rack = p.racks_per_pod - 1 in
+  let next_id = ref 0 in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let nodes = ref [] in
+  let add kind =
+    let id = fresh () in
+    nodes := { Node.id; kind } :: !nodes;
+    id
+  in
+  (* Endpoints first (compact PIPs for hosts), then switches. *)
+  let hosts = ref [] and gateways = ref [] in
+  let endpoints = Array.make_matrix p.pods p.racks_per_pod [||] in
+  for pod = 0 to p.pods - 1 do
+    for rack = 0 to p.racks_per_pod - 1 do
+      if gateway_rack pod rack then begin
+        let ids =
+          Array.init p.gateways_per_gateway_pod (fun idx ->
+              let id = add (Node.Gateway { pod; rack; idx }) in
+              gateways := id :: !gateways;
+              id)
+        in
+        endpoints.(pod).(rack) <- ids
+      end
+      else begin
+        let ids =
+          Array.init p.hosts_per_rack (fun idx ->
+              let id = add (Node.Host { pod; rack; idx }) in
+              hosts := id :: !hosts;
+              id)
+        in
+        endpoints.(pod).(rack) <- ids
+      end
+    done
+  done;
+  let tor_ids =
+    Array.init p.pods (fun pod ->
+        Array.init p.racks_per_pod (fun rack ->
+            add (Node.Tor { pod; rack; gateway_tor = gateway_rack pod rack })))
+  in
+  let spine_ids =
+    Array.init p.pods (fun pod ->
+        Array.init p.spines_per_pod (fun group ->
+            add (Node.Spine { pod; group; gateway_spine = gateway_pod pod })))
+  in
+  let core_ids =
+    Array.init p.spines_per_pod (fun group ->
+        Array.init p.cores_per_group (fun idx -> add (Node.Core { group; idx })))
+  in
+  let nodes =
+    let arr = Array.of_list (List.rev !nodes) in
+    Array.iteri (fun i n -> assert (n.Node.id = i)) arr;
+    arr
+  in
+  let n = Array.length nodes in
+  let links = Hashtbl.create (4 * n) in
+  let adjacency = Array.make n [] in
+  let connect a b rate =
+    let mk src dst =
+      Hashtbl.replace links
+        ((src * n) + dst)
+        (Link.make ~ecn_threshold:p.ecn_threshold_bytes ~src ~dst
+           ~rate_bps:rate ~prop_delay:p.prop_delay
+           ~buffer_bytes:p.buffer_bytes)
+    in
+    mk a b;
+    mk b a;
+    adjacency.(a) <- b :: adjacency.(a);
+    adjacency.(b) <- a :: adjacency.(b)
+  in
+  let tor_of = Array.make n (-1) in
+  let tor_pos = Array.make n (-1) in
+  (* Endpoint <-> ToR links. *)
+  for pod = 0 to p.pods - 1 do
+    for rack = 0 to p.racks_per_pod - 1 do
+      let tor = tor_ids.(pod).(rack) in
+      Array.iter
+        (fun ep ->
+          tor_of.(ep) <- tor;
+          connect ep tor p.host_link_bps)
+        endpoints.(pod).(rack)
+    done
+  done;
+  (* ToR <-> spine (full bipartite per pod). *)
+  for pod = 0 to p.pods - 1 do
+    Array.iter
+      (fun tor ->
+        Array.iter (fun spine -> connect tor spine p.fabric_link_bps) spine_ids.(pod))
+      tor_ids.(pod)
+  done;
+  (* Spine <-> core (group-wise). *)
+  for group = 0 to p.spines_per_pod - 1 do
+    Array.iter
+      (fun core ->
+        for pod = 0 to p.pods - 1 do
+          connect spine_ids.(pod).(group) core p.fabric_link_bps
+        done)
+      core_ids.(group)
+  done;
+  let tors = Array.concat (Array.to_list tor_ids) in
+  let spines = Array.concat (Array.to_list spine_ids) in
+  let cores = Array.concat (Array.to_list core_ids) in
+  Array.iteri (fun pos tor -> tor_pos.(tor) <- pos) tors;
+  let endpoints_of_tor =
+    Array.map
+      (fun tor ->
+        match nodes.(tor).Node.kind with
+        | Node.Tor { pod; rack; _ } -> endpoints.(pod).(rack)
+        | _ -> assert false)
+      tors
+  in
+  {
+    params = p;
+    nodes;
+    hosts = Array.of_list (List.rev !hosts);
+    gateways = Array.of_list (List.rev !gateways);
+    tors;
+    spines;
+    cores;
+    switches = Array.concat [ tors; spines; cores ];
+    tor_of;
+    endpoints_of_tor;
+    tor_pos;
+    tor_ids;
+    spine_ids;
+    core_ids;
+    links;
+    neighbors = Array.map (fun l -> Array.of_list (List.rev l)) adjacency;
+  }

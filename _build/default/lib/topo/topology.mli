@@ -1,0 +1,76 @@
+(** FatTree topology instance: nodes, links, and index structures.
+
+    Node ids double as PIPs ({!Netcore.Addr.Pip}). Endpoint nodes
+    (hosts and gateways) hang off ToRs; ToRs connect to every spine in
+    their pod; spine [g] of every pod connects to all core switches of
+    group [g]. *)
+
+type t
+
+(** [build params] constructs the topology. Raises [Invalid_argument]
+    via {!Params.validate} on bad parameters. *)
+val build : Params.t -> t
+
+val params : t -> Params.t
+
+(** [num_nodes t] is the total node count (endpoints + switches). *)
+val num_nodes : t -> int
+
+(** [node t id] is the node record. Raises [Invalid_argument] for out
+    of range ids. *)
+val node : t -> int -> Node.t
+
+val kind : t -> int -> Node.kind
+
+(** [pip t id] is the node's physical address. *)
+val pip : t -> int -> Netcore.Addr.Pip.t
+
+(** [node_of_pip t pip] is the inverse of {!pip}. *)
+val node_of_pip : t -> Netcore.Addr.Pip.t -> int
+
+(** Index accessors: all arrays are stable across calls. *)
+
+val hosts : t -> int array
+(** regular servers, in (pod, rack, idx) order *)
+
+val gateways : t -> int array
+val tors : t -> int array
+val spines : t -> int array
+val cores : t -> int array
+
+(** [switches t] is ToRs, spines and cores concatenated. *)
+val switches : t -> int array
+
+(** [tor_of t id] is the ToR an endpoint attaches to.
+    Raises [Invalid_argument] if [id] is a switch. *)
+val tor_of : t -> int -> int
+
+(** [endpoints_of_tor t tor] is the endpoints (hosts or gateways)
+    attached to [tor]. *)
+val endpoints_of_tor : t -> int -> int array
+
+(** [tor_id t ~pod ~rack] / [spine_id t ~pod ~group] /
+    [core_id t ~group ~idx] are structural lookups. *)
+val tor_id : t -> pod:int -> rack:int -> int
+
+val spine_id : t -> pod:int -> group:int -> int
+val core_id : t -> group:int -> idx:int -> int
+
+(** [role t id] is the switch category; raises [Invalid_argument] if
+    [id] is not a switch. *)
+val role : t -> int -> Node.role
+
+(** [link t ~src ~dst] is the directed link between adjacent nodes.
+    Raises [Not_found] if they are not adjacent. *)
+val link : t -> src:int -> dst:int -> Link.t
+
+(** [iter_links t f] applies [f] to every directed link. *)
+val iter_links : t -> (Link.t -> unit) -> unit
+
+(** [neighbors t id] is the adjacent node ids. *)
+val neighbors : t -> int -> int array
+
+(** [attached_endpoint_pips t tor] is the set of PIPs of servers and
+    gateways directly attached to [tor] — the front-panel-port table
+    ToRs use to detect misdelivered packets (§3.3). *)
+val attached_endpoint_pips : t -> int -> Netcore.Addr.Pip.t array

@@ -1,0 +1,1 @@
+lib/workloads/flow_cdf.ml: Dessim

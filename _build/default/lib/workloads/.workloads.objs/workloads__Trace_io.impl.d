@@ -1,0 +1,1 @@
+lib/workloads/trace_io.ml: Dessim Fun List Netcore Printf String

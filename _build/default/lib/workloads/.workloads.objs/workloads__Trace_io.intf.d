@@ -1,0 +1,1 @@
+lib/workloads/trace_io.mli: Netcore

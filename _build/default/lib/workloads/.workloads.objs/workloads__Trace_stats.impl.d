@@ -1,0 +1,1 @@
+lib/workloads/trace_stats.ml: Dessim Format Hashtbl List Netcore

@@ -1,0 +1,1 @@
+lib/workloads/trace_stats.mli: Format Netcore

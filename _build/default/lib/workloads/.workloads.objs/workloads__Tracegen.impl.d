@@ -1,0 +1,1 @@
+lib/workloads/tracegen.ml: Array Dessim Flow_cdf Fun List Netcore

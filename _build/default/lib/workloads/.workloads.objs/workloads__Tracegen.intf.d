@@ -1,0 +1,1 @@
+lib/workloads/tracegen.mli: Dessim Netcore

@@ -1,0 +1,37 @@
+(* Knots are (bytes, cumulative probability). *)
+
+let hadoop =
+  Dessim.Dist.Empirical.create
+    [
+      (250.0, 0.15);
+      (500.0, 0.25);
+      (1_000.0, 0.40);
+      (2_000.0, 0.50);
+      (5_000.0, 0.60);
+      (10_000.0, 0.70);
+      (30_000.0, 0.80);
+      (100_000.0, 0.90);
+      (300_000.0, 0.96);
+      (1_000_000.0, 1.0);
+    ]
+
+let websearch =
+  Dessim.Dist.Empirical.create
+    [
+      (6_000.0, 0.15);
+      (13_000.0, 0.20);
+      (19_000.0, 0.30);
+      (33_000.0, 0.40);
+      (53_000.0, 0.53);
+      (133_000.0, 0.60);
+      (667_000.0, 0.70);
+      (1_333_000.0, 0.80);
+      (3_333_000.0, 0.90);
+      (6_667_000.0, 0.97);
+      (20_000_000.0, 1.0);
+    ]
+
+let sample_size cdf rng =
+  max 1 (int_of_float (Dessim.Dist.Empirical.sample cdf rng))
+
+let mean_bytes = Dessim.Dist.Empirical.mean

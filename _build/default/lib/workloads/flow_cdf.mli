@@ -1,0 +1,15 @@
+(** Published flow-size distributions used by the paper's traces.
+
+    The Hadoop CDF follows the Facebook datacenter measurement
+    (Roy et al., SIGCOMM'15) — dominated by short flows; the WebSearch
+    CDF follows the DCTCP workload (Alizadeh et al., SIGCOMM'10) —
+    dominated by heavy flows. Values are bytes. *)
+
+val hadoop : Dessim.Dist.Empirical.t
+val websearch : Dessim.Dist.Empirical.t
+
+(** [sample_size cdf rng] draws a flow size in bytes (at least 1). *)
+val sample_size : Dessim.Dist.Empirical.t -> Dessim.Rng.t -> int
+
+(** [mean_bytes cdf] — analytic mean of the distribution. *)
+val mean_bytes : Dessim.Dist.Empirical.t -> float

@@ -1,0 +1,75 @@
+module Flow = Netcore.Flow
+module Vip = Netcore.Addr.Vip
+
+let header = "id,src_vip,dst_vip,size_bytes,start_ns,proto,rate_bps,pkt_bytes"
+
+let flow_line (f : Flow.t) =
+  let proto, rate =
+    match f.Flow.proto with
+    | Flow.Tcpish -> ("tcp", "")
+    | Flow.Udp { rate_bps } -> ("udp", Printf.sprintf "%.0f" rate_bps)
+  in
+  Printf.sprintf "%d,%d,%d,%d,%d,%s,%s,%d" f.Flow.id
+    (Vip.to_int f.Flow.src_vip)
+    (Vip.to_int f.Flow.dst_vip)
+    f.Flow.size_bytes
+    (Dessim.Time_ns.to_ns f.Flow.start)
+    proto rate f.Flow.pkt_bytes
+
+let to_string flows =
+  String.concat "\n" (header :: List.map flow_line flows) ^ "\n"
+
+let parse_line ~lineno line =
+  let fail msg = failwith (Printf.sprintf "Trace_io: line %d: %s" lineno msg) in
+  match String.split_on_char ',' line with
+  | [ id; src; dst; size; start; proto; rate; pkt ] -> (
+      let int_of name s =
+        match int_of_string_opt (String.trim s) with
+        | Some v -> v
+        | None -> fail (Printf.sprintf "bad %s %S" name s)
+      in
+      let proto =
+        match String.trim proto with
+        | "tcp" -> Flow.Tcpish
+        | "udp" -> (
+            match float_of_string_opt (String.trim rate) with
+            | Some rate_bps when rate_bps > 0.0 -> Flow.Udp { rate_bps }
+            | Some _ | None -> fail "udp flow needs a positive rate_bps")
+        | p -> fail (Printf.sprintf "unknown proto %S" p)
+      in
+      try
+        Flow.make
+          ~pkt_bytes:(int_of "pkt_bytes" pkt)
+          ~id:(int_of "id" id)
+          ~src_vip:(Vip.of_int (int_of "src_vip" src))
+          ~dst_vip:(Vip.of_int (int_of "dst_vip" dst))
+          ~size_bytes:(int_of "size_bytes" size)
+          ~start:(Dessim.Time_ns.of_ns (int_of "start_ns" start))
+          proto
+      with Invalid_argument msg -> fail msg)
+  | _ -> fail "expected 8 comma-separated fields"
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | [] -> []
+  | hd :: rest ->
+      if String.trim hd <> header then
+        failwith "Trace_io: missing or wrong CSV header";
+      List.filteri (fun _ l -> String.trim l <> "") rest
+      |> List.mapi (fun i line -> parse_line ~lineno:(i + 2) line)
+
+let save flows path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string flows))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let b = really_input_string ic n in
+      of_string b)

@@ -1,0 +1,24 @@
+(** CSV import/export of flow traces, so externally captured traces
+    (or traces generated here) can be replayed and shared.
+
+    Format, one flow per line, with a header:
+
+    {v
+    id,src_vip,dst_vip,size_bytes,start_ns,proto,rate_bps,pkt_bytes
+    0,17,93,30000,125000,tcp,,1500
+    1,4,93,1500000,250000,udp,48000000,1500
+    v}
+
+    [rate_bps] is empty for TCP flows. *)
+
+(** [to_string flows] renders the CSV. *)
+val to_string : Netcore.Flow.t list -> string
+
+(** [of_string s] parses it back. Raises [Failure] with a line number
+    on malformed input. *)
+val of_string : string -> Netcore.Flow.t list
+
+(** [save flows path] / [load path] — file variants. *)
+val save : Netcore.Flow.t list -> string -> unit
+
+val load : string -> Netcore.Flow.t list

@@ -1,0 +1,77 @@
+module Flow = Netcore.Flow
+module Vip = Netcore.Addr.Vip
+module Time_ns = Dessim.Time_ns
+
+type t = {
+  flows : int;
+  distinct_sources : int;
+  distinct_destinations : int;
+  destinations_with_2_flows : int;
+  destinations_with_10_flows : int;
+  mean_reuse_distance : float;
+  mean_flow_bytes : float;
+  total_bytes : int;
+}
+
+let analyze flows =
+  let sorted =
+    List.sort (fun (a : Flow.t) b -> compare a.Flow.start b.Flow.start) flows
+  in
+  let sources = Hashtbl.create 256 in
+  let dst_counts : (int, int ref) Hashtbl.t = Hashtbl.create 256 in
+  let last_seen : (int, Time_ns.t) Hashtbl.t = Hashtbl.create 256 in
+  let reuse_gaps = ref 0.0 and reuse_count = ref 0 in
+  let total_bytes = ref 0 in
+  List.iter
+    (fun (f : Flow.t) ->
+      Hashtbl.replace sources (Vip.to_int f.Flow.src_vip) ();
+      total_bytes := !total_bytes + f.Flow.size_bytes;
+      let d = Vip.to_int f.Flow.dst_vip in
+      (match Hashtbl.find_opt dst_counts d with
+      | Some r -> incr r
+      | None -> Hashtbl.add dst_counts d (ref 1));
+      (match Hashtbl.find_opt last_seen d with
+      | Some prev ->
+          reuse_gaps :=
+            !reuse_gaps +. Time_ns.to_sec (Time_ns.sub f.Flow.start prev);
+          incr reuse_count
+      | None -> ());
+      Hashtbl.replace last_seen d f.Flow.start)
+    sorted;
+  let count_ge n =
+    Hashtbl.fold (fun _ r acc -> if !r >= n then acc + 1 else acc) dst_counts 0
+  in
+  let flows = List.length sorted in
+  {
+    flows;
+    distinct_sources = Hashtbl.length sources;
+    distinct_destinations = Hashtbl.length dst_counts;
+    destinations_with_2_flows = count_ge 2;
+    destinations_with_10_flows = count_ge 10;
+    mean_reuse_distance =
+      (if !reuse_count = 0 then 0.0
+       else !reuse_gaps /. float_of_int !reuse_count);
+    mean_flow_bytes =
+      (if flows = 0 then 0.0 else float_of_int !total_bytes /. float_of_int flows);
+    total_bytes = !total_bytes;
+  }
+
+let reuse_fraction t =
+  if t.flows = 0 then 0.0
+  else
+    float_of_int (t.flows - t.distinct_destinations) /. float_of_int t.flows
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>flows                 %d@,\
+     distinct sources      %d@,\
+     distinct destinations %d@,\
+     dests in >=2 flows    %d@,\
+     dests in >=10 flows   %d@,\
+     mean reuse distance   %.3f ms@,\
+     mean flow size        %.0f B@,\
+     total bytes           %d@]"
+    t.flows t.distinct_sources t.distinct_destinations
+    t.destinations_with_2_flows t.destinations_with_10_flows
+    (t.mean_reuse_distance *. 1e3)
+    t.mean_flow_bytes t.total_bytes

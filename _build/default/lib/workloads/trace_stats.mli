@@ -1,0 +1,28 @@
+(** Trace characterization, mirroring the paper's "Address reuse
+    characteristics" analysis (§5): how many VMs serve as
+    destinations, how much cross-flow destination reuse exists, and
+    the temporal reuse distance — the properties that decide whether
+    in-network caching can help a workload at all. *)
+
+type t = {
+  flows : int;
+  distinct_sources : int;
+  distinct_destinations : int;
+  destinations_with_2_flows : int;  (** VIPs that are a destination in ≥2 flows *)
+  destinations_with_10_flows : int;
+  mean_reuse_distance : float;
+      (** mean seconds between consecutive flows to the same
+          destination; 0 if no destination repeats *)
+  mean_flow_bytes : float;
+  total_bytes : int;
+}
+
+(** [analyze flows] computes the characterization. *)
+val analyze : Netcore.Flow.t list -> t
+
+(** [reuse_fraction t] is the fraction of flows whose destination was
+    already targeted by an earlier flow — the upper bound on
+    cross-flow cache hits for first packets. *)
+val reuse_fraction : t -> float
+
+val pp : Format.formatter -> t -> unit

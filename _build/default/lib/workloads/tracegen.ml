@@ -1,0 +1,173 @@
+module Rng = Dessim.Rng
+module Dist = Dessim.Dist
+module Time_ns = Dessim.Time_ns
+module Flow = Netcore.Flow
+module Vip = Netcore.Addr.Vip
+
+type t = Flow.t list
+
+let check_vms num_vms =
+  if num_vms < 2 then invalid_arg "Tracegen: need at least two VMs"
+
+(* Poisson arrival schedule targeting [load] of [agg_bps], given the
+   mean flow size. Returns an infinite-ish stamp generator. *)
+let arrival_gen rng ~load ~agg_bps ~mean_size_bytes =
+  if load <= 0.0 || load > 1.0 then invalid_arg "Tracegen: load out of (0,1]";
+  let flows_per_sec = load *. agg_bps /. (mean_size_bytes *. 8.0) in
+  let mean_gap = 1e9 /. flows_per_sec (* ns *) in
+  let clock = ref 0.0 in
+  fun () ->
+    clock := !clock +. Dist.exponential rng ~mean:mean_gap;
+    Time_ns.of_ns (int_of_float !clock)
+
+let draw_pair rng ~num_vms ~draw_dst =
+  let rec go () =
+    let src = Rng.int rng num_vms in
+    let dst = draw_dst () in
+    if src = dst then go () else (src, dst)
+  in
+  go ()
+
+let tcp_flows rng ~num_vms ~num_flows ~load ~agg_bps ~cdf ~draw_dst =
+  check_vms num_vms;
+  let next_start =
+    arrival_gen rng ~load ~agg_bps
+      ~mean_size_bytes:(Flow_cdf.mean_bytes cdf)
+  in
+  List.init num_flows (fun id ->
+      let src, dst = draw_pair rng ~num_vms ~draw_dst in
+      Flow.make ~id ~src_vip:(Vip.of_int src) ~dst_vip:(Vip.of_int dst)
+        ~size_bytes:(Flow_cdf.sample_size cdf rng)
+        ~start:(next_start ()) Flow.Tcpish)
+
+let hadoop rng ~num_vms ~num_flows ~load ~agg_bps =
+  tcp_flows rng ~num_vms ~num_flows ~load ~agg_bps ~cdf:Flow_cdf.hadoop
+    ~draw_dst:(fun () -> Rng.int rng num_vms)
+
+let websearch rng ~num_vms ~num_flows ~load ~agg_bps =
+  check_vms num_vms;
+  (* Destinations without replacement while the pool lasts: minimal
+     cross-flow sharing, as the paper observes in this trace. *)
+  let pool = Array.init num_vms Fun.id in
+  Rng.shuffle rng pool;
+  let cursor = ref 0 in
+  let draw_dst () =
+    if !cursor < num_vms then begin
+      let d = pool.(!cursor) in
+      incr cursor;
+      d
+    end
+    else Rng.int rng num_vms
+  in
+  tcp_flows rng ~num_vms ~num_flows ~load ~agg_bps ~cdf:Flow_cdf.websearch
+    ~draw_dst
+
+let alibaba ?(callee_fraction = 0.24) ?(zipf_alpha = 1.2) rng ~num_vms
+    ~num_rpcs ~load ~agg_bps =
+  check_vms num_vms;
+  if callee_fraction <= 0.0 || callee_fraction > 1.0 then
+    invalid_arg "Tracegen.alibaba: callee_fraction out of (0,1]";
+  let request_bytes = 2_000 and response_bytes = 8_000 in
+  let mean_size_bytes =
+    float_of_int (request_bytes + response_bytes) /. 2.0
+  in
+  let next_start = arrival_gen rng ~load ~agg_bps ~mean_size_bytes in
+  (* Callee pool with Zipf popularity: a few hot microservices absorb
+     most requests. *)
+  let pool_size = max 1 (int_of_float (callee_fraction *. float_of_int num_vms)) in
+  let pool = Array.init num_vms Fun.id in
+  Rng.shuffle rng pool;
+  let callees = Array.sub pool 0 pool_size in
+  let zipf = Dist.Zipf.create ~n:pool_size ~alpha:zipf_alpha in
+  let flows = ref [] in
+  for i = 0 to num_rpcs - 1 do
+    let callee = callees.(Dist.Zipf.sample zipf rng - 1) in
+    let rec caller () =
+      let c = Rng.int rng num_vms in
+      if c = callee then caller () else c
+    in
+    let caller = caller () in
+    let start = next_start () in
+    let req =
+      Flow.make ~id:(2 * i) ~src_vip:(Vip.of_int caller)
+        ~dst_vip:(Vip.of_int callee) ~size_bytes:request_bytes ~start
+        Flow.Tcpish
+    in
+    (* The response starts once the request would have been served. *)
+    let resp =
+      Flow.make ~id:((2 * i) + 1) ~src_vip:(Vip.of_int callee)
+        ~dst_vip:(Vip.of_int caller) ~size_bytes:response_bytes
+        ~start:(Time_ns.add start (Time_ns.of_us 100))
+        Flow.Tcpish
+    in
+    flows := resp :: req :: !flows
+  done;
+  List.sort (fun (a : Flow.t) b -> compare a.Flow.start b.Flow.start) !flows
+
+let microbursts ?(zipf_alpha = 1.0) ?(burst_rate_bps = 100e9) rng ~num_vms
+    ~num_flows ~horizon =
+  check_vms num_vms;
+  let zipf = Dist.Zipf.create ~n:num_vms ~alpha:zipf_alpha in
+  (* Zipf ranks permuted so hot destinations are arbitrary VIPs. *)
+  let perm = Array.init num_vms Fun.id in
+  Rng.shuffle rng perm;
+  let draw_dst () = perm.(Dist.Zipf.sample zipf rng - 1) in
+  let horizon_ns = Time_ns.to_ns horizon in
+  let flows =
+    List.init num_flows (fun id ->
+        let src, dst = draw_pair rng ~num_vms ~draw_dst in
+        (* 3-20 MTU packets per burst: ~40-250 us at line rate. *)
+        let packets = 3 + Rng.int rng 18 in
+        Flow.make ~id ~src_vip:(Vip.of_int src) ~dst_vip:(Vip.of_int dst)
+          ~size_bytes:(packets * Netcore.Packet.mtu)
+          ~start:(Time_ns.of_ns (Rng.int rng horizon_ns))
+          (Flow.Udp { rate_bps = burst_rate_bps }))
+  in
+  List.sort (fun (a : Flow.t) b -> compare a.Flow.start b.Flow.start) flows
+
+let video ?(rate_bps = 48e6) rng ~num_vms ~senders ~duration =
+  check_vms num_vms;
+  if 2 * senders > num_vms then
+    invalid_arg "Tracegen.video: not enough VMs for disjoint pairs";
+  let pool = Array.init num_vms Fun.id in
+  Rng.shuffle rng pool;
+  let size_bytes =
+    max Netcore.Packet.mtu
+      (int_of_float (rate_bps *. Time_ns.to_sec duration /. 8.0))
+  in
+  List.init senders (fun id ->
+      Flow.make ~id
+        ~src_vip:(Vip.of_int pool.(2 * id))
+        ~dst_vip:(Vip.of_int pool.((2 * id) + 1))
+        ~size_bytes ~start:Time_ns.zero
+        (Flow.Udp { rate_bps }))
+
+let incast rng ~num_vms ~senders ~dst_vip ~packets_per_sender ~packet_bytes
+    ~duration =
+  check_vms num_vms;
+  if senders >= num_vms then invalid_arg "Tracegen.incast: too many senders";
+  let pool =
+    Array.of_list
+      (List.filter
+         (fun v -> v <> Vip.to_int dst_vip)
+         (List.init num_vms Fun.id))
+  in
+  Rng.shuffle rng pool;
+  let size_bytes = packets_per_sender * packet_bytes in
+  let rate_bps =
+    float_of_int (size_bytes * 8) /. Time_ns.to_sec duration
+  in
+  List.init senders (fun id ->
+      Flow.make ~pkt_bytes:packet_bytes ~id
+        ~src_vip:(Vip.of_int pool.(id))
+        ~dst_vip ~size_bytes ~start:Time_ns.zero
+        (Flow.Udp { rate_bps }))
+
+let mean_size_bytes flows =
+  match flows with
+  | [] -> 0.0
+  | _ ->
+      let sum =
+        List.fold_left (fun acc (f : Flow.t) -> acc + f.Flow.size_bytes) 0 flows
+      in
+      float_of_int sum /. float_of_int (List.length flows)

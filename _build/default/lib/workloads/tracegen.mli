@@ -1,0 +1,76 @@
+(** Synthetic trace generators matching the paper's five workloads
+    (§5, "Datasets" and "Address reuse characteristics").
+
+    Each generator returns flows sorted by start time with unique,
+    dense flow ids. VIPs are drawn from [0 .. num_vms-1]; self-flows
+    (src = dst) are never produced. Flow arrivals are Poisson at a
+    rate derived from the requested network [load] (fraction of the
+    aggregate host bandwidth [agg_bps]). *)
+
+type t = Netcore.Flow.t list
+
+(** Hadoop-like: short TCP flows, high cross-flow destination reuse
+    (many more flows than destination VMs; uniform source and
+    destination draws, as in the paper). *)
+val hadoop :
+  Dessim.Rng.t -> num_vms:int -> num_flows:int -> load:float -> agg_bps:float -> t
+
+(** WebSearch-like: heavy TCP flows, minimal cross-flow destination
+    sharing (destinations drawn without replacement while the pool
+    lasts). *)
+val websearch :
+  Dessim.Rng.t -> num_vms:int -> num_flows:int -> load:float -> agg_bps:float -> t
+
+(** Alibaba-like microservice RPCs: each call is a short request flow
+    plus a short reverse response flow; callees are drawn from a
+    restricted pool ([callee_fraction], default 0.24 as in the trace)
+    with Zipf popularity ([zipf_alpha], default 1.2 — ~95% of requests
+    to the most popular ~5% of services). *)
+val alibaba :
+  ?callee_fraction:float ->
+  ?zipf_alpha:float ->
+  Dessim.Rng.t ->
+  num_vms:int ->
+  num_rpcs:int ->
+  load:float ->
+  agg_bps:float ->
+  t
+
+(** Microbursts: mice UDP flows (a few MTU packets at line rate, 99p
+    burst duration on the order of 100 us), Zipf destination reuse. *)
+val microbursts :
+  ?zipf_alpha:float ->
+  ?burst_rate_bps:float ->
+  Dessim.Rng.t ->
+  num_vms:int ->
+  num_flows:int ->
+  horizon:Dessim.Time_ns.t ->
+  t
+
+(** Video: [senders] persistent UDP unicast streams at [rate_bps]
+    (default 48 Mb/s) for [duration]; disjoint sender/receiver pairs,
+    no destination reuse. *)
+val video :
+  ?rate_bps:float ->
+  Dessim.Rng.t ->
+  num_vms:int ->
+  senders:int ->
+  duration:Dessim.Time_ns.t ->
+  t
+
+(** Incast for the migration experiment (§5.2): [senders] UDP senders
+    on distinct VMs all target [dst_vip], each sending
+    [packets_per_sender] packets of [packet_bytes] spread evenly over
+    [duration]. *)
+val incast :
+  Dessim.Rng.t ->
+  num_vms:int ->
+  senders:int ->
+  dst_vip:Netcore.Addr.Vip.t ->
+  packets_per_sender:int ->
+  packet_bytes:int ->
+  duration:Dessim.Time_ns.t ->
+  t
+
+(** [mean_size_bytes flows] — for tests and load accounting. *)
+val mean_size_bytes : t -> float

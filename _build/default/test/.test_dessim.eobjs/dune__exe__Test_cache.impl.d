@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Dessim Hashtbl Int64 List Netcore Option QCheck QCheck_alcotest Switchv2p Test

@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Array Dessim List Netcore Switchv2p Topo

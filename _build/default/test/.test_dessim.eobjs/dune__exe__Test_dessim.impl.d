@@ -1,0 +1,1 @@
+test/test_dessim.ml: Alcotest Array Dessim Float Fun List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Dessim Ilp List QCheck QCheck_alcotest

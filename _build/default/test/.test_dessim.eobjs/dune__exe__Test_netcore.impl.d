@@ -1,0 +1,1 @@
+test/test_netcore.ml: Alcotest Bytes Format List Netcore QCheck QCheck_alcotest

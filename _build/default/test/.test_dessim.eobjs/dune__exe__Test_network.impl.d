@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Dessim List Netcore Netsim QCheck QCheck_alcotest Schemes Switchv2p Topo

@@ -1,0 +1,1 @@
+test/test_p4model.ml: Alcotest Float List P4model

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Dessim Experiments List Netcore Netsim QCheck QCheck_alcotest Schemes Switchv2p Topo

@@ -1,0 +1,1 @@
+test/test_schemes.ml: Alcotest Array Dessim List Netcore Netsim Schemes Switchv2p Topo

@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Array Dessim Hashtbl List QCheck QCheck_alcotest Topo

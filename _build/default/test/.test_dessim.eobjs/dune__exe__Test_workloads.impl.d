@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Dessim Filename Float Fun Hashtbl List Netcore Option QCheck QCheck_alcotest String Sys Workloads

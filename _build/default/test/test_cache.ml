@@ -1,0 +1,370 @@
+(* Tests for the direct-mapped cache, access-bit semantics, admission
+   policies, the timestamp vector and the protocol configuration. *)
+
+module Cache = Switchv2p.Cache
+module Ts_vector = Switchv2p.Ts_vector
+module Config = Switchv2p.Config
+module Vip = Netcore.Addr.Vip
+module Pip = Netcore.Addr.Pip
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let vip = Vip.of_int
+let pip = Pip.of_int
+
+(* Find two VIPs that collide in the same slot, and one that does not
+   collide with the first. *)
+let colliding_pair cache =
+  let slot_of v =
+    ignore (Cache.insert cache ~admission:`All (vip v) (pip v));
+    let r = Cache.peek cache (vip v) <> None in
+    ignore (Cache.invalidate cache (vip v) ~stale:(pip v));
+    r
+  in
+  ignore slot_of;
+  (* Brute force: insert v0, find v that evicts it. *)
+  let rec find v =
+    if v > 100_000 then Alcotest.fail "no collision found"
+    else begin
+      let c = Cache.create ~slots:Cache.(slots cache) in
+      ignore (Cache.insert c ~admission:`All (vip 0) (pip 100));
+      match Cache.insert c ~admission:`All (vip v) (pip 200) with
+      | Cache.Inserted (Some (e, _)) when Vip.to_int e = 0 -> v
+      | _ -> find (v + 1)
+    end
+  in
+  find 1
+
+let test_lookup_after_insert () =
+  let c = Cache.create ~slots:64 in
+  (match Cache.insert c ~admission:`All (vip 1) (pip 10) with
+  | Cache.Inserted None -> ()
+  | _ -> Alcotest.fail "expected clean insert");
+  match Cache.lookup c (vip 1) with
+  | Some (p, was_set) ->
+      checki "value" 10 (Pip.to_int p);
+      checkb "fresh entry bit clear" false was_set
+  | None -> Alcotest.fail "expected hit"
+
+let test_access_bit_set_on_hit () =
+  let c = Cache.create ~slots:64 in
+  ignore (Cache.insert c ~admission:`All (vip 1) (pip 10));
+  checkb "bit starts clear" false (Option.get (Cache.access_bit c (vip 1)));
+  ignore (Cache.lookup c (vip 1));
+  checkb "bit set after hit" true (Option.get (Cache.access_bit c (vip 1)));
+  match Cache.lookup c (vip 1) with
+  | Some (_, was_set) -> checkb "second hit sees bit" true was_set
+  | None -> Alcotest.fail "expected hit"
+
+let test_conflict_miss_clears_bit () =
+  let c = Cache.create ~slots:8 in
+  let v2 = colliding_pair c in
+  ignore (Cache.insert c ~admission:`All (vip 0) (pip 10));
+  ignore (Cache.lookup c (vip 0));
+  checkb "bit set" true (Option.get (Cache.access_bit c (vip 0)));
+  (* A conflicting lookup misses and clears the occupant's bit. *)
+  checkb "conflict misses" true (Cache.lookup c (vip v2) = None);
+  checkb "occupant bit cleared" false (Option.get (Cache.access_bit c (vip 0)))
+
+let test_admission_all_evicts () =
+  let c = Cache.create ~slots:8 in
+  let v2 = colliding_pair c in
+  ignore (Cache.insert c ~admission:`All (vip 0) (pip 10));
+  ignore (Cache.lookup c (vip 0));
+  (* Even with the bit set, `All admits and reports the eviction. *)
+  (match Cache.insert c ~admission:`All (vip v2) (pip 20) with
+  | Cache.Inserted (Some (e, p)) ->
+      checki "evicted key" 0 (Vip.to_int e);
+      checki "evicted value" 10 (Pip.to_int p)
+  | _ -> Alcotest.fail "expected eviction");
+  checkb "old gone" true (Cache.peek c (vip 0) = None);
+  checkb "new present" true (Cache.peek c (vip v2) <> None)
+
+let test_admission_conservative_respects_bit () =
+  let c = Cache.create ~slots:8 in
+  let v2 = colliding_pair c in
+  ignore (Cache.insert c ~admission:`All (vip 0) (pip 10));
+  ignore (Cache.lookup c (vip 0));
+  (* Occupant bit is set: conservative admission refuses. *)
+  (match Cache.insert c ~admission:`A_bit_clear (vip v2) (pip 20) with
+  | Cache.Rejected -> ()
+  | _ -> Alcotest.fail "expected rejection");
+  (* After a conflicting lookup clears the bit, admission succeeds. *)
+  ignore (Cache.lookup c (vip v2));
+  (match Cache.insert c ~admission:`A_bit_clear (vip v2) (pip 20) with
+  | Cache.Inserted (Some _) -> ()
+  | _ -> Alcotest.fail "expected admitted with eviction");
+  checkb "replaced" true (Cache.peek c (vip v2) <> None)
+
+let test_update_in_place () =
+  let c = Cache.create ~slots:8 in
+  ignore (Cache.insert c ~admission:`All (vip 1) (pip 10));
+  (match Cache.insert c ~admission:`All (vip 1) (pip 99) with
+  | Cache.Updated -> ()
+  | _ -> Alcotest.fail "expected update");
+  checki "new value" 99 (Pip.to_int (Option.get (Cache.peek c (vip 1))));
+  checki "occupancy still 1" 1 (Cache.occupancy c)
+
+let test_invalidate_matching_only () =
+  let c = Cache.create ~slots:8 in
+  ignore (Cache.insert c ~admission:`All (vip 1) (pip 10));
+  checkb "wrong stale is a no-op" false (Cache.invalidate c (vip 1) ~stale:(pip 11));
+  checkb "entry survives" true (Cache.peek c (vip 1) <> None);
+  checkb "matching stale removes" true (Cache.invalidate c (vip 1) ~stale:(pip 10));
+  checkb "entry gone" true (Cache.peek c (vip 1) = None);
+  checki "occupancy zero" 0 (Cache.occupancy c)
+
+let test_zero_slot_cache () =
+  let c = Cache.create ~slots:0 in
+  checkb "lookup misses" true (Cache.lookup c (vip 1) = None);
+  (match Cache.insert c ~admission:`All (vip 1) (pip 1) with
+  | Cache.Rejected -> ()
+  | _ -> Alcotest.fail "zero-slot insert must reject");
+  checkb "invalidate no-op" false (Cache.invalidate c (vip 1) ~stale:(pip 1));
+  checki "misses counted" 1 (Cache.misses c)
+
+let test_negative_slots_rejected () =
+  Alcotest.check_raises "negative" (Invalid_argument "Cache.create: negative slots")
+    (fun () -> ignore (Cache.create ~slots:(-1)))
+
+let test_clear () =
+  let c = Cache.create ~slots:16 in
+  ignore (Cache.insert c ~admission:`All (vip 1) (pip 10));
+  ignore (Cache.insert c ~admission:`All (vip 2) (pip 20));
+  ignore (Cache.lookup c (vip 1));
+  Cache.clear c;
+  checki "empty" 0 (Cache.occupancy c);
+  checkb "entries gone" true (Cache.peek c (vip 1) = None && Cache.peek c (vip 2) = None);
+  checkb "stats preserved" true (Cache.hits c = 1);
+  (* The cache keeps working after a wipe. *)
+  ignore (Cache.insert c ~admission:`All (vip 3) (pip 30));
+  checkb "usable after clear" true (Cache.peek c (vip 3) <> None)
+
+let test_stats_counters () =
+  let c = Cache.create ~slots:16 in
+  ignore (Cache.lookup c (vip 1));
+  ignore (Cache.insert c ~admission:`All (vip 1) (pip 1));
+  ignore (Cache.lookup c (vip 1));
+  checki "hits" 1 (Cache.hits c);
+  checki "misses" 1 (Cache.misses c);
+  checki "insertions" 1 (Cache.insertions c);
+  checki "evictions" 0 (Cache.evictions c)
+
+(* QCheck: model-based test of the direct-mapped cache against a
+   reference map keyed by slot. *)
+let cache_model_qcheck =
+  let open QCheck in
+  Test.make ~name:"cache agrees with slot-model" ~count:300
+    (list (pair (int_bound 200) (int_bound 1000)))
+    (fun ops ->
+      let slots = 16 in
+      let c = Cache.create ~slots in
+      (* Model: slot -> (vip, pip) using the same hash by observation:
+         we learn each vip's slot from collisions with a probe. *)
+      let model : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
+      let slot_of v =
+        (* Mirror of the cache's mix hash. *)
+        let z = Int64.of_int (v * 0x9E3779B9) in
+        let z =
+          Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L)
+        in
+        Int64.to_int (Int64.shift_right_logical z 33) mod slots
+      in
+      List.for_all
+        (fun (v, p) ->
+          ignore (Cache.insert c ~admission:`All (vip v) (pip p));
+          Hashtbl.replace model (slot_of v) (v, p);
+          (* Every modeled entry must be peekable with the right value. *)
+          Hashtbl.fold
+            (fun _slot (mv, mp) acc ->
+              acc
+              &&
+              match Cache.peek c (vip mv) with
+              | Some got -> Pip.to_int got = mp
+              | None -> false)
+            model true)
+        ops)
+
+let occupancy_qcheck =
+  let open QCheck in
+  Test.make ~name:"occupancy never exceeds slots" ~count:200
+    (list (int_bound 10_000))
+    (fun vs ->
+      let c = Cache.create ~slots:8 in
+      List.iter (fun v -> ignore (Cache.insert c ~admission:`All (vip v) (pip v))) vs;
+      Cache.occupancy c <= 8)
+
+(* --- Assoc_cache --- *)
+
+module Assoc = Switchv2p.Assoc_cache
+
+let test_assoc_basic () =
+  let c = Assoc.create ~ways:2 ~slots:8 in
+  checki "slots" 8 (Assoc.slots c);
+  checki "ways" 2 (Assoc.ways c);
+  Assoc.insert c (vip 1) (pip 10);
+  checkb "hit" true (Assoc.lookup c (vip 1) = Some (pip 10));
+  checkb "miss" true (Assoc.lookup c (vip 2) = None);
+  checki "hits" 1 (Assoc.hits c);
+  checki "misses" 1 (Assoc.misses c)
+
+let test_assoc_update_in_place () =
+  let c = Assoc.create ~ways:2 ~slots:8 in
+  Assoc.insert c (vip 1) (pip 10);
+  Assoc.insert c (vip 1) (pip 99);
+  checkb "updated" true (Assoc.lookup c (vip 1) = Some (pip 99));
+  checki "occupancy" 1 (Assoc.occupancy c)
+
+let test_assoc_lru_eviction () =
+  (* Fully associative, 2 lines: the least recently used line goes. *)
+  let c = Assoc.create ~ways:2 ~slots:2 in
+  Assoc.insert c (vip 1) (pip 1);
+  Assoc.insert c (vip 2) (pip 2);
+  ignore (Assoc.lookup c (vip 1)) (* 1 is now the most recent *);
+  Assoc.insert c (vip 3) (pip 3) (* evicts 2 *);
+  checkb "recent survives" true (Assoc.lookup c (vip 1) <> None);
+  checkb "lru evicted" true (Assoc.lookup c (vip 2) = None);
+  checkb "new present" true (Assoc.lookup c (vip 3) <> None)
+
+let test_assoc_validation () =
+  Alcotest.check_raises "ways must divide"
+    (Invalid_argument "Assoc_cache.create: ways must divide slots") (fun () ->
+      ignore (Assoc.create ~ways:3 ~slots:8));
+  Alcotest.check_raises "zero ways"
+    (Invalid_argument "Assoc_cache.create: ways must be positive") (fun () ->
+      ignore (Assoc.create ~ways:0 ~slots:8))
+
+let test_assoc_zero_slots () =
+  let c = Assoc.create ~ways:1 ~slots:0 in
+  checkb "always miss" true (Assoc.lookup c (vip 1) = None);
+  Assoc.insert c (vip 1) (pip 1);
+  checkb "insert no-op" true (Assoc.lookup c (vip 1) = None)
+
+(* Fully-associative cache agrees with a reference LRU model. *)
+let assoc_lru_model_qcheck =
+  QCheck.Test.make ~name:"fully-assoc agrees with reference LRU" ~count:200
+    QCheck.(list (pair bool (int_bound 20)))
+    (fun ops ->
+      let capacity = 4 in
+      let c = Assoc.create ~ways:capacity ~slots:capacity in
+      (* Reference: association list, most recent first. *)
+      let model = ref [] in
+      let model_lookup k =
+        match List.assoc_opt k !model with
+        | Some v ->
+            model := (k, v) :: List.remove_assoc k !model;
+            Some v
+        | None -> None
+      in
+      let model_insert k v =
+        let without = List.remove_assoc k !model in
+        let trimmed =
+          if List.length without >= capacity then
+            List.filteri (fun i _ -> i < capacity - 1) without
+          else without
+        in
+        model := (k, v) :: trimmed
+      in
+      List.for_all
+        (fun (is_insert, k) ->
+          if is_insert then begin
+            Assoc.insert c (vip k) (pip k);
+            model_insert k k;
+            true
+          end
+          else
+            let got = Assoc.lookup c (vip k) in
+            let expect = model_lookup k in
+            (match (got, expect) with
+            | Some g, Some e -> Pip.to_int g = e
+            | None, None -> true
+            | Some _, None | None, Some _ -> false))
+        ops)
+
+(* --- Ts_vector --- *)
+
+let test_ts_vector_suppression () =
+  let v = Ts_vector.create ~num_switches:4 ~base_rtt:(Dessim.Time_ns.of_us 12) in
+  checkb "first send allowed" true (Ts_vector.should_send v ~switch:1 ~now:0);
+  checkb "burst suppressed" false
+    (Ts_vector.should_send v ~switch:1 ~now:(Dessim.Time_ns.of_us 5));
+  checkb "other switch unaffected" true
+    (Ts_vector.should_send v ~switch:2 ~now:(Dessim.Time_ns.of_us 5));
+  checkb "after rtt allowed" true
+    (Ts_vector.should_send v ~switch:1 ~now:(Dessim.Time_ns.of_us 13));
+  checki "suppressed count" 1 (Ts_vector.suppressed v)
+
+let test_ts_vector_retransmit_window () =
+  let v = Ts_vector.create ~num_switches:2 ~base_rtt:(Dessim.Time_ns.of_us 12) in
+  ignore (Ts_vector.should_send v ~switch:0 ~now:0);
+  (* Exactly at base RTT the packet may be resent (covers drops). *)
+  checkb "at rtt boundary" true
+    (Ts_vector.should_send v ~switch:0 ~now:(Dessim.Time_ns.of_us 12))
+
+(* --- Config --- *)
+
+let test_config_default () =
+  let c = Config.default in
+  checkb "learning on" true c.Config.learning_packets;
+  checkb "spill on" true c.Config.spillover;
+  checkb "promotion on" true c.Config.promotion;
+  checkb "invalidations on" true c.Config.invalidations;
+  checkb "ts vector on" true c.Config.ts_vector;
+  checkb "uniform allocation" true (c.Config.allocation = Config.Uniform);
+  Alcotest.check (Alcotest.float 1e-9) "p_learn" 0.005 c.Config.p_learn
+
+let test_config_overrides () =
+  let c = Config.make ~p_learn:0.1 ~spillover:false ~tor_only:true () in
+  Alcotest.check (Alcotest.float 1e-9) "p_learn" 0.1 c.Config.p_learn;
+  checkb "spill off" false c.Config.spillover;
+  checkb "tor only shorthand" true (c.Config.allocation = Config.Tor_only);
+  checkb "others default" true c.Config.learning_packets;
+  let w =
+    Config.make
+      ~allocation:
+        (Config.Weighted
+           { tor = 2.0; spine = 1.0; core = 0.5; gw_tor = 2.0; gw_spine = 1.0 })
+      ()
+  in
+  checkb "weighted allocation kept" true
+    (match w.Config.allocation with Config.Weighted _ -> true | _ -> false)
+
+let () =
+  Alcotest.run "switchv2p-cache"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "lookup after insert" `Quick test_lookup_after_insert;
+          Alcotest.test_case "access bit on hit" `Quick test_access_bit_set_on_hit;
+          Alcotest.test_case "conflict clears bit" `Quick test_conflict_miss_clears_bit;
+          Alcotest.test_case "admit-all evicts" `Quick test_admission_all_evicts;
+          Alcotest.test_case "conservative admission" `Quick test_admission_conservative_respects_bit;
+          Alcotest.test_case "update in place" `Quick test_update_in_place;
+          Alcotest.test_case "invalidate matching only" `Quick test_invalidate_matching_only;
+          Alcotest.test_case "zero-slot cache" `Quick test_zero_slot_cache;
+          Alcotest.test_case "negative slots" `Quick test_negative_slots_rejected;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "stats counters" `Quick test_stats_counters;
+          QCheck_alcotest.to_alcotest cache_model_qcheck;
+          QCheck_alcotest.to_alcotest occupancy_qcheck;
+        ] );
+      ( "assoc_cache",
+        [
+          Alcotest.test_case "basic" `Quick test_assoc_basic;
+          Alcotest.test_case "update in place" `Quick test_assoc_update_in_place;
+          Alcotest.test_case "lru eviction" `Quick test_assoc_lru_eviction;
+          Alcotest.test_case "validation" `Quick test_assoc_validation;
+          Alcotest.test_case "zero slots" `Quick test_assoc_zero_slots;
+          QCheck_alcotest.to_alcotest assoc_lru_model_qcheck;
+        ] );
+      ( "ts_vector",
+        [
+          Alcotest.test_case "suppression" `Quick test_ts_vector_suppression;
+          Alcotest.test_case "retransmit window" `Quick test_ts_vector_retransmit_window;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "defaults" `Quick test_config_default;
+          Alcotest.test_case "overrides" `Quick test_config_overrides;
+        ] );
+    ]

@@ -1,0 +1,224 @@
+(* Tests for the cache-allocation optimizer: exact branch-and-bound on
+   small instances, the greedy heuristic, and their relationship. *)
+
+module A = Ilp.Allocation
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* A linear "path" instance: senders 0..n-1 each want one item; switch
+   [s] is on sender [s]'s path with cached cost 1; default cost 10. *)
+let path_instance ~n ~capacity =
+  {
+    A.num_items = n;
+    num_switches = n;
+    capacity = Array.make n capacity;
+    demands =
+      Array.init n (fun i -> { A.src = i; dst = i; weight = 1.0 });
+    default_cost = (fun _ -> 10.0);
+    cached_cost =
+      (fun d s -> if s = d.A.src then Some 1.0 else None);
+  }
+
+let test_greedy_saturates_path_instance () =
+  let inst = path_instance ~n:4 ~capacity:1 in
+  let a = A.solve_greedy inst in
+  for s = 0 to 3 do
+    checkb "each switch caches its item" true (A.holds a ~switch:s ~item:s)
+  done;
+  checkf "optimal cost" 4.0 (A.cost inst a)
+
+let test_exact_matches_greedy_on_separable () =
+  let inst = path_instance ~n:3 ~capacity:1 in
+  let g = A.solve_greedy inst in
+  let e = A.solve_exact inst in
+  checkf "same objective" (A.cost inst g) (A.cost inst e)
+
+let test_empty_assignment_cost_is_default () =
+  let inst = path_instance ~n:3 ~capacity:0 in
+  let a = A.solve_greedy inst in
+  checkf "all defaults" 30.0 (A.cost inst a);
+  for s = 0 to 2 do
+    checki "nothing installed" 0 (List.length (A.items_of a ~switch:s))
+  done
+
+let test_capacity_respected () =
+  (* One switch on everyone's path, capacity 1, two items. *)
+  let inst =
+    {
+      A.num_items = 2;
+      num_switches = 1;
+      capacity = [| 1 |];
+      demands =
+        [|
+          { A.src = 0; dst = 0; weight = 5.0 };
+          { A.src = 1; dst = 1; weight = 1.0 };
+        |];
+      default_cost = (fun _ -> 10.0);
+      cached_cost = (fun _ _ -> Some 1.0);
+    }
+  in
+  let a = A.solve_greedy inst in
+  checki "one entry only" 1 (List.length (A.items_of a ~switch:0));
+  (* The heavier demand wins the slot. *)
+  checkb "heavy item cached" true (A.holds a ~switch:0 ~item:0);
+  checkf "cost" ((5.0 *. 1.0) +. (1.0 *. 10.0)) (A.cost inst a)
+
+let test_greedy_prefers_shared_placement () =
+  (* Two senders, one common "core" switch (cost 3 for both) and two
+     private ToRs (cost 1 each, but capacity lives at one switch
+     only). With capacity 1 per switch and one item, placing at ToRs
+     beats the core per sender; but with ToR capacity 0 the core must
+     be used. *)
+  let inst =
+    {
+      A.num_items = 1;
+      num_switches = 3;
+      (* switch 0 = core, 1,2 = tors *)
+      capacity = [| 1; 0; 0 |];
+      demands =
+        [|
+          { A.src = 1; dst = 0; weight = 1.0 };
+          { A.src = 2; dst = 0; weight = 1.0 };
+        |];
+      default_cost = (fun _ -> 10.0);
+      cached_cost =
+        (fun d s ->
+          if s = 0 then Some 3.0 else if s = d.A.src then Some 1.0 else None);
+    }
+  in
+  let a = A.solve_greedy inst in
+  checkb "core used when tors are full" true (A.holds a ~switch:0 ~item:0);
+  checkf "cost" 6.0 (A.cost inst a)
+
+let test_exact_beats_or_ties_greedy_on_tricky_instance () =
+  (* Greedy can be myopic: a switch that helps two demands a little
+     versus two switches that help one demand a lot each. *)
+  let inst =
+    {
+      A.num_items = 2;
+      num_switches = 2;
+      capacity = [| 1; 1 |];
+      demands =
+        [|
+          { A.src = 0; dst = 0; weight = 3.0 };
+          { A.src = 0; dst = 1; weight = 2.0 };
+          { A.src = 1; dst = 0; weight = 2.0 };
+        |];
+      default_cost = (fun _ -> 10.0);
+      cached_cost =
+        (fun d s ->
+          if s = 0 && d.A.src = 0 then Some 2.0
+          else if s = 1 then Some 4.0
+          else None);
+    }
+  in
+  let g = A.solve_greedy inst in
+  let e = A.solve_exact inst in
+  checkb "exact no worse than greedy" true
+    (A.cost inst e <= A.cost inst g +. 1e-9)
+
+let test_exact_rejects_large () =
+  let inst = path_instance ~n:30 ~capacity:1 in
+  Alcotest.check_raises "too many variables"
+    (Invalid_argument "Allocation.solve_exact: instance too large") (fun () ->
+      ignore (A.solve_exact inst))
+
+let test_validation () =
+  let bad =
+    { (path_instance ~n:2 ~capacity:1) with A.capacity = [| 1 |] }
+  in
+  Alcotest.check_raises "capacity length"
+    (Invalid_argument "Allocation.validate: capacity array length mismatch")
+    (fun () -> A.validate bad);
+  let neg =
+    {
+      (path_instance ~n:2 ~capacity:1) with
+      A.demands = [| { A.src = 0; dst = 0; weight = -1.0 } |];
+    }
+  in
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Allocation.validate: negative weight") (fun () ->
+      A.validate neg)
+
+(* QCheck: on random small instances the exact solution is never worse
+   than greedy, and both respect capacity. *)
+let random_instance (sw, items, seed) =
+  let sw = 1 + (sw mod 3) and items = 1 + (items mod 3) in
+  let rng = Dessim.Rng.create seed in
+  let demands =
+    Array.init (sw * items) (fun i ->
+        {
+          A.src = i mod sw;
+          dst = i mod items;
+          weight = float_of_int (1 + Dessim.Rng.int rng 5);
+        })
+  in
+  {
+    A.num_items = items;
+    num_switches = sw;
+    capacity = Array.init sw (fun _ -> Dessim.Rng.int rng 2);
+    demands;
+    default_cost = (fun _ -> 20.0);
+    cached_cost =
+      (fun d s ->
+        if (d.A.src + s) mod 2 = 0 then Some (float_of_int (1 + s)) else None);
+  }
+
+let exact_vs_greedy_qcheck =
+  QCheck.Test.make ~name:"exact <= greedy on random instances" ~count:100
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun params ->
+      let inst = random_instance params in
+      let g = A.solve_greedy inst in
+      let e = A.solve_exact inst in
+      A.cost inst e <= A.cost inst g +. 1e-9)
+
+let capacity_qcheck =
+  QCheck.Test.make ~name:"greedy respects capacities" ~count:100
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun params ->
+      let inst = random_instance params in
+      let a = A.solve_greedy inst in
+      let ok = ref true in
+      for s = 0 to inst.A.num_switches - 1 do
+        if List.length (A.items_of a ~switch:s) > inst.A.capacity.(s) then
+          ok := false
+      done;
+      !ok)
+
+let greedy_improves_qcheck =
+  QCheck.Test.make ~name:"greedy never increases cost" ~count:100
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun params ->
+      let inst = random_instance params in
+      let empty_cost =
+        Array.fold_left
+          (fun acc d -> acc +. (d.A.weight *. inst.A.default_cost d))
+          0.0 inst.A.demands
+      in
+      A.cost inst (A.solve_greedy inst) <= empty_cost +. 1e-9)
+
+let () =
+  Alcotest.run "ilp"
+    [
+      ( "allocation",
+        [
+          Alcotest.test_case "greedy saturates path instance" `Quick
+            test_greedy_saturates_path_instance;
+          Alcotest.test_case "exact = greedy on separable" `Quick
+            test_exact_matches_greedy_on_separable;
+          Alcotest.test_case "zero capacity" `Quick test_empty_assignment_cost_is_default;
+          Alcotest.test_case "capacity respected" `Quick test_capacity_respected;
+          Alcotest.test_case "fallback to shared switch" `Quick
+            test_greedy_prefers_shared_placement;
+          Alcotest.test_case "exact no worse than greedy" `Quick
+            test_exact_beats_or_ties_greedy_on_tricky_instance;
+          Alcotest.test_case "exact size guard" `Quick test_exact_rejects_large;
+          Alcotest.test_case "validation" `Quick test_validation;
+          QCheck_alcotest.to_alcotest exact_vs_greedy_qcheck;
+          QCheck_alcotest.to_alcotest capacity_qcheck;
+          QCheck_alcotest.to_alcotest greedy_improves_qcheck;
+        ] );
+    ]

@@ -1,0 +1,408 @@
+(* Integration tests: full network simulations on a small FatTree,
+   exercising every scheme end-to-end, plus migration correctness and
+   metric invariants. *)
+
+module Network = Netsim.Network
+module Metrics = Netsim.Metrics
+module Time_ns = Dessim.Time_ns
+module Flow = Netcore.Flow
+module Vip = Netcore.Addr.Vip
+module Topology = Topo.Topology
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let topo () =
+  Topology.build
+    (Topo.Params.scaled ~pods:2 ~racks_per_pod:2 ~hosts_per_rack:2
+       ~vms_per_host:4 ())
+
+(* A TCP flow between VMs on different hosts (placement: vip/4). *)
+let cross_host_flow ?(id = 0) ?(start = 0) ?(packets = 10) ~src ~dst () =
+  Flow.make ~id ~src_vip:(Vip.of_int src) ~dst_vip:(Vip.of_int dst)
+    ~size_bytes:(packets * Netcore.Packet.mtu)
+    ~start Flow.Tcpish
+
+let run_flows ?config ?(migrations = []) ~scheme flows =
+  let t = topo () in
+  let net = Network.create ?config t ~scheme in
+  Network.run net flows ~migrations ~until:(Time_ns.of_ms 100);
+  net
+
+let test_nocache_end_to_end () =
+  let net = run_flows ~scheme:(Schemes.Baselines.nocache ())
+      [ cross_host_flow ~src:0 ~dst:8 () ]
+  in
+  let m = Network.metrics net in
+  checki "flow completed" 1 (Metrics.flows_completed m);
+  checkb "all packets via gateway" true (Metrics.hit_rate m = 0.0);
+  checkb "gateway packets observed" true (Metrics.gateway_packets m > 0);
+  checki "no drops" 0 (Metrics.packets_dropped m);
+  checkb "fct positive" true (Metrics.mean_fct m > 0.0)
+
+let test_direct_bypasses_gateway () =
+  let net = run_flows ~scheme:(Schemes.Baselines.direct ())
+      [ cross_host_flow ~src:0 ~dst:8 () ]
+  in
+  let m = Network.metrics net in
+  checki "flow completed" 1 (Metrics.flows_completed m);
+  checki "no gateway packets" 0 (Metrics.gateway_packets m);
+  checkb "hit rate 1" true (Metrics.hit_rate m = 1.0)
+
+let test_direct_faster_than_nocache () =
+  let flows = [ cross_host_flow ~src:0 ~dst:8 () ] in
+  let nc = run_flows ~scheme:(Schemes.Baselines.nocache ()) flows in
+  let d = run_flows ~scheme:(Schemes.Baselines.direct ()) flows in
+  checkb "direct FCT < nocache FCT" true
+    (Metrics.mean_fct (Network.metrics d) < Metrics.mean_fct (Network.metrics nc));
+  checkb "direct stretch < nocache stretch" true
+    (Metrics.mean_stretch (Network.metrics d)
+    < Metrics.mean_stretch (Network.metrics nc))
+
+let test_ondemand_penalty_only_first () =
+  (* Two sequential flows to the same destination: only the first pays
+     the resolution penalty. *)
+  let flows =
+    [
+      cross_host_flow ~id:0 ~src:0 ~dst:8 ();
+      cross_host_flow ~id:1 ~start:(Time_ns.of_ms 10) ~src:0 ~dst:8 ();
+    ]
+  in
+  let scheme = Schemes.Baselines.ondemand () in
+  let net = run_flows ~scheme flows in
+  let m = Network.metrics net in
+  checki "both complete" 2 (Metrics.flows_completed m);
+  checki "never via gateway" 0 (Metrics.gateway_packets m);
+  (* Exactly one host-cache miss: the first packet of the first flow.
+     The reverse (ACK) direction misses once at the receiver too. *)
+  match List.assoc_opt "host_cache_misses" (scheme.Netsim.Scheme.stats ()) with
+  | Some misses -> checkb "at most two misses" true (misses <= 2.0)
+  | None -> Alcotest.fail "ondemand must report misses"
+
+let test_switchv2p_learns_across_flows () =
+  let t = topo () in
+  let slots = 16 * Array.length (Topology.switches t) in
+  let scheme, dp =
+    Schemes.Switchv2p_scheme.make_with_dataplane t ~total_cache_slots:slots
+  in
+  let net = Network.create t ~scheme in
+  let flows =
+    [
+      cross_host_flow ~id:0 ~src:0 ~dst:8 ();
+      cross_host_flow ~id:1 ~start:(Time_ns.of_ms 10) ~src:4 ~dst:8 ();
+    ]
+  in
+  Network.run net flows ~migrations:[] ~until:(Time_ns.of_ms 100);
+  let m = Network.metrics net in
+  checki "both complete" 2 (Metrics.flows_completed m);
+  checkb "some in-network hits" true (Metrics.hit_rate m > 0.0);
+  (* The destination mapping must be cached somewhere in the fabric. *)
+  let cached_somewhere =
+    Array.exists
+      (fun sw ->
+        Switchv2p.Cache.peek (Switchv2p.Dataplane.cache dp ~switch:sw)
+          (Vip.of_int 8)
+        <> None)
+      (Topology.switches t)
+  in
+  checkb "mapping cached in fabric" true cached_somewhere
+
+let test_switchv2p_beats_nocache_on_reuse () =
+  (* Many flows to a handful of destinations: cross-flow reuse. *)
+  let flows =
+    List.init 20 (fun i ->
+        cross_host_flow ~id:i
+          ~start:(i * Time_ns.of_us 300)
+          ~src:(4 * (i mod 4))
+          ~dst:(8 + (i mod 2))
+          ())
+  in
+  let t = topo () in
+  let slots = 16 * Array.length (Topology.switches t) in
+  let v2p =
+    run_flows ~scheme:(Schemes.Switchv2p_scheme.make t ~total_cache_slots:slots)
+      flows
+  in
+  let nc = run_flows ~scheme:(Schemes.Baselines.nocache ()) flows in
+  let m_v2p = Network.metrics v2p and m_nc = Network.metrics nc in
+  checki "all complete (v2p)" 20 (Metrics.flows_completed m_v2p);
+  checki "all complete (nocache)" 20 (Metrics.flows_completed m_nc);
+  checkb "hit rate high" true (Metrics.hit_rate m_v2p > 0.5);
+  checkb "fct improves" true (Metrics.mean_fct m_v2p < Metrics.mean_fct m_nc);
+  checkb "fewer gateway packets" true
+    (Metrics.gateway_packets m_v2p < Metrics.gateway_packets m_nc)
+
+let test_loopback_delivery () =
+  (* VMs 0 and 1 share host 0: the hypervisor switches locally. *)
+  let net = run_flows ~scheme:(Schemes.Baselines.nocache ())
+      [ cross_host_flow ~src:0 ~dst:1 () ]
+  in
+  let m = Network.metrics net in
+  checki "flow completed" 1 (Metrics.flows_completed m);
+  checki "no gateway traffic" 0 (Metrics.gateway_packets m);
+  checki "loopback excluded from sent" 0 (Metrics.packets_sent m);
+  checkb "tiny fct" true (Metrics.mean_fct m < 1e-4)
+
+let test_migration_follow_me_delivers () =
+  (* NoCache + follow-me: packets in flight at migration time reach
+     the new host via the old one. *)
+  let flows = [ cross_host_flow ~packets:200 ~src:0 ~dst:8 () ] in
+  let migrations =
+    [ { Network.at = Time_ns.of_us 100; vip = Vip.of_int 8; to_host = -1 } ]
+  in
+  (* Resolve the actual node id for "some other host": host of vip 16. *)
+  let t = topo () in
+  let net = Network.create t ~scheme:(Schemes.Baselines.nocache ()) in
+  let new_host = Network.vm_host net (Vip.of_int 16) in
+  let migrations =
+    List.map (fun m -> { m with Network.to_host = new_host }) migrations
+  in
+  Network.run net flows ~migrations ~until:(Time_ns.of_ms 100);
+  let m = Network.metrics net in
+  checki "flow still completes" 1 (Metrics.flows_completed m);
+  checki "vip moved" new_host (Network.vm_host net (Vip.of_int 8));
+  checkb "mapping store updated" true
+    (Netcore.Mapping.lookup (Network.mapping net) (Vip.of_int 8)
+    = Topology.pip t new_host)
+
+let test_migration_switchv2p_invalidates () =
+  let t = topo () in
+  let slots = 16 * Array.length (Topology.switches t) in
+  let scheme, dp =
+    Schemes.Switchv2p_scheme.make_with_dataplane t ~total_cache_slots:slots
+  in
+  let net = Network.create t ~scheme in
+  let new_host = Network.vm_host net (Vip.of_int 16) in
+  let flows =
+    [
+      (* Warm the caches... *)
+      cross_host_flow ~id:0 ~packets:50 ~src:0 ~dst:8 ();
+      (* ...migrate mid-trace, then traffic re-learns. *)
+      cross_host_flow ~id:1 ~start:(Time_ns.of_ms 5) ~packets:50 ~src:4 ~dst:8 ();
+    ]
+  in
+  Network.run net flows
+    ~migrations:
+      [ { Network.at = Time_ns.of_ms 4; vip = Vip.of_int 8; to_host = new_host } ]
+    ~until:(Time_ns.of_ms 200);
+  let m = Network.metrics net in
+  checki "both flows complete despite migration" 2 (Metrics.flows_completed m);
+  (* The caches that served flow 2's packets must hold the new
+     location (stale entries off the active paths may linger; the
+     protocol only guarantees eventual correct delivery). *)
+  let fresh = ref 0 and stale = ref 0 in
+  Array.iter
+    (fun sw ->
+      match
+        Switchv2p.Cache.peek (Switchv2p.Dataplane.cache dp ~switch:sw) (Vip.of_int 8)
+      with
+      | Some pip ->
+          if Netcore.Addr.Pip.to_int pip = new_host then incr fresh
+          else incr stale
+      | None -> ())
+    (Topology.switches t);
+  checkb "new location learned somewhere" true (!fresh > 0);
+  checkb "invalidation machinery ran" true
+    (Switchv2p.Dataplane.misdelivery_tags dp > 0
+    || Metrics.misdelivered_packets m > 0
+    || !stale = 0)
+
+let test_cache_failure_is_safe () =
+  (* Wiping caches mid-run never breaks forwarding (the paper's
+     resilience claim): flows still complete, packets just miss. *)
+  let t = topo () in
+  let slots = 16 * Array.length (Topology.switches t) in
+  let scheme, dp =
+    Schemes.Switchv2p_scheme.make_with_dataplane t ~total_cache_slots:slots
+  in
+  let net = Network.create t ~scheme in
+  let flows =
+    List.init 10 (fun i ->
+        cross_host_flow ~id:i ~packets:30
+          ~start:(i * Time_ns.of_us 200)
+          ~src:(i mod 8) ~dst:(8 + (i mod 4)) ())
+  in
+  Dessim.Engine.schedule (Network.engine net) ~at:(Time_ns.of_ms 1) (fun () ->
+      Array.iter
+        (fun sw -> Switchv2p.Dataplane.fail_switch dp ~switch:sw)
+        (Topology.switches t));
+  Network.run net flows ~migrations:[] ~until:(Time_ns.of_ms 100);
+  let m = Network.metrics net in
+  checki "all flows complete despite the wipe" 10 (Metrics.flows_completed m)
+
+let test_dctcp_reduces_queueing_under_incast () =
+  (* Many senders into one receiver: the DCTCP control law backs off
+     at the marked queue and completes with less queueing delay than
+     the blind windowed sender. *)
+  let mk mode =
+    let t = topo () in
+    let flows =
+      List.init 6 (fun i ->
+          cross_host_flow ~id:i ~packets:300 ~src:(4 * i mod 24) ~dst:8 ())
+    in
+    let config =
+      { Network.default_config with transport_mode = mode; window = 128 }
+    in
+    let net = Network.create ~config t ~scheme:(Schemes.Baselines.direct ()) in
+    Network.run net flows ~migrations:[] ~until:(Time_ns.of_ms 200);
+    Network.metrics net
+  in
+  let windowed = mk Netsim.Transport.Windowed in
+  let dctcp = mk Netsim.Transport.Dctcp in
+  checki "windowed completes" 6 (Metrics.flows_completed windowed);
+  checki "dctcp completes" 6 (Metrics.flows_completed dctcp);
+  checkb "dctcp keeps packet latency lower" true
+    (Metrics.mean_packet_latency dctcp
+    <= Metrics.mean_packet_latency windowed +. 1e-9)
+
+let test_determinism () =
+  let mk () =
+    let flows =
+      List.init 10 (fun i ->
+          cross_host_flow ~id:i ~start:(i * Time_ns.of_us 100)
+            ~src:(i mod 8) ~dst:(8 + (i mod 4)) ())
+    in
+    let t = topo () in
+    let slots = 8 * Array.length (Topology.switches t) in
+    let net =
+      Network.create t
+        ~scheme:(Schemes.Switchv2p_scheme.make t ~total_cache_slots:slots)
+    in
+    Network.run net flows ~migrations:[] ~until:(Time_ns.of_ms 50);
+    let m = Network.metrics net in
+    ( Metrics.packets_sent m,
+      Metrics.gateway_packets m,
+      Metrics.mean_fct m,
+      Metrics.hit_rate m )
+  in
+  checkb "two runs identical" true (mk () = mk ())
+
+let test_gateways_used_validation () =
+  let t = topo () in
+  Alcotest.check_raises "zero gateways"
+    (Invalid_argument "Network.create: gateways_used out of range") (fun () ->
+      ignore
+        (Network.create
+           ~config:{ Network.default_config with gateways_used = Some 0 }
+           t ~scheme:(Schemes.Baselines.nocache ())))
+
+let test_gateway_subset_respected () =
+  let t = topo () in
+  let net =
+    Network.create
+      ~config:{ Network.default_config with gateways_used = Some 1 }
+      t ~scheme:(Schemes.Baselines.nocache ())
+  in
+  let gw0 = (Topology.gateways t).(0) in
+  for flow_id = 0 to 50 do
+    checki "always the single gateway" gw0 (Network.gateway_for_flow net flow_id)
+  done
+
+let test_udp_flow_latency () =
+  let f =
+    Flow.make ~id:0 ~src_vip:(Vip.of_int 0) ~dst_vip:(Vip.of_int 8)
+      ~size_bytes:(5 * Netcore.Packet.mtu) ~start:0
+      (Flow.Udp { rate_bps = 1e9 })
+  in
+  let net = run_flows ~scheme:(Schemes.Baselines.nocache ()) [ f ] in
+  let m = Network.metrics net in
+  checki "udp completes" 1 (Metrics.flows_completed m);
+  checkb "latency measured" true (Metrics.mean_packet_latency m > 0.0)
+
+let test_metrics_bytes_conservation () =
+  let flows = [ cross_host_flow ~src:0 ~dst:8 () ] in
+  let net = run_flows ~scheme:(Schemes.Baselines.nocache ()) flows in
+  let m = Network.metrics net in
+  let t = Network.topo net in
+  let pods = (Topology.params t).Topo.Params.pods in
+  let pod_sum =
+    List.fold_left ( + ) 0 (List.init pods (Metrics.bytes_of_pod m))
+  in
+  let core_bytes =
+    Array.fold_left
+      (fun acc sw -> acc + Metrics.bytes_of_switch m sw)
+      0 (Topology.cores t)
+  in
+  checki "pod bytes + core bytes = total" (Metrics.total_switch_bytes m)
+    (pod_sum + core_bytes)
+
+let test_ecn_marks_under_congestion () =
+  (* A heavy incast overflows the receiver's host link queue past the
+     ECN threshold: some packets must carry CE marks end to end. *)
+  let t = topo () in
+  let flows =
+    List.init 8 (fun i ->
+        cross_host_flow ~id:i ~packets:400 ~src:((4 * i) mod 24) ~dst:8 ())
+  in
+  let config = { Network.default_config with window = 128 } in
+  let net = Network.create ~config t ~scheme:(Schemes.Baselines.direct ()) in
+  Network.run net flows ~migrations:[] ~until:(Time_ns.of_ms 200);
+  let marked = ref 0 in
+  Topology.iter_links t (fun l -> marked := !marked + l.Topo.Link.marked);
+  checkb "links marked packets" true (!marked > 0);
+  checki "flows complete regardless" 8
+    (Metrics.flows_completed (Network.metrics net))
+
+(* Property: every scheme delivers every flow on random small traces
+   (forwarding correctness is scheme-independent). *)
+let delivery_qcheck =
+  QCheck.Test.make ~name:"all schemes complete random traces" ~count:15
+    QCheck.(pair small_nat (int_bound 3))
+    (fun (seed, scheme_idx) ->
+      let t = topo () in
+      let rng = Dessim.Rng.create seed in
+      let flows =
+        List.init 8 (fun i ->
+            let src = Dessim.Rng.int rng 24 in
+            let dst = (src + 4 + Dessim.Rng.int rng 16) mod 24 in
+            cross_host_flow ~id:i
+              ~start:(i * Time_ns.of_us 100)
+              ~packets:(1 + Dessim.Rng.int rng 20)
+              ~src ~dst ())
+      in
+      let slots = 8 * Array.length (Topology.switches t) in
+      let scheme =
+        match scheme_idx with
+        | 0 -> Schemes.Baselines.nocache ()
+        | 1 -> Schemes.Baselines.gwcache ~topo:t ~total_slots:slots
+        | 2 -> Schemes.Switchv2p_scheme.make t ~total_cache_slots:slots
+        | _ -> Schemes.Baselines.direct ()
+      in
+      let net = Network.create t ~scheme in
+      Network.run net flows ~migrations:[] ~until:(Time_ns.of_ms 100);
+      let m = Network.metrics net in
+      Metrics.flows_completed m = 8
+      && Metrics.hit_rate m >= 0.0
+      && Metrics.hit_rate m <= 1.0)
+
+let () =
+  Alcotest.run "network"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "nocache" `Quick test_nocache_end_to_end;
+          Alcotest.test_case "direct bypasses gateways" `Quick test_direct_bypasses_gateway;
+          Alcotest.test_case "direct faster than nocache" `Quick test_direct_faster_than_nocache;
+          Alcotest.test_case "ondemand penalty" `Quick test_ondemand_penalty_only_first;
+          Alcotest.test_case "switchv2p learns across flows" `Quick test_switchv2p_learns_across_flows;
+          Alcotest.test_case "switchv2p beats nocache on reuse" `Quick test_switchv2p_beats_nocache_on_reuse;
+          Alcotest.test_case "loopback delivery" `Quick test_loopback_delivery;
+          Alcotest.test_case "udp latency" `Quick test_udp_flow_latency;
+        ] );
+      ( "migration",
+        [
+          Alcotest.test_case "follow-me delivers" `Quick test_migration_follow_me_delivers;
+          Alcotest.test_case "switchv2p invalidates stale" `Quick test_migration_switchv2p_invalidates;
+        ] );
+      ( "infrastructure",
+        [
+          Alcotest.test_case "cache failure is safe" `Quick test_cache_failure_is_safe;
+          Alcotest.test_case "dctcp reduces queueing" `Quick test_dctcp_reduces_queueing_under_incast;
+          Alcotest.test_case "ecn marks under congestion" `Quick test_ecn_marks_under_congestion;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "gateways_used validated" `Quick test_gateways_used_validation;
+          Alcotest.test_case "gateway subset respected" `Quick test_gateway_subset_respected;
+          Alcotest.test_case "bytes conservation" `Quick test_metrics_bytes_conservation;
+          QCheck_alcotest.to_alcotest delivery_qcheck;
+        ] );
+    ]

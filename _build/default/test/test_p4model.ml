@@ -1,0 +1,72 @@
+(* Tests for the Tofino resource model (Table 6). *)
+
+module R = P4model.Resources
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 0.05)
+
+let test_reproduces_table6 () =
+  let u = R.estimate ~entries_per_switch:R.paper_config_entries in
+  checkf "match crossbar" 7.2 u.R.match_crossbar;
+  checkf "meter alu" 17.5 u.R.meter_alu;
+  checkf "gateway" 25.0 u.R.gateway;
+  checkf "tcam" 1.7 u.R.tcam;
+  checkf "vliw" 10.0 u.R.vliw;
+  (* Size-dependent resources within tolerance of the paper. *)
+  checkb "sram close to 3.9%" true (Float.abs (u.R.sram -. 3.9) < 0.3);
+  checkb "hash bits close to 4.7%" true (Float.abs (u.R.hash_bits -. 4.7) < 1.0)
+
+let test_sram_monotone_in_entries () =
+  let a = R.estimate ~entries_per_switch:1_000 in
+  let b = R.estimate ~entries_per_switch:100_000 in
+  checkb "more entries, more sram" true (b.R.sram > a.R.sram);
+  checkb "more entries, more hash bits" true (b.R.hash_bits >= a.R.hash_bits)
+
+let test_constants_independent_of_entries () =
+  let a = R.estimate ~entries_per_switch:100 in
+  let b = R.estimate ~entries_per_switch:100_000 in
+  checkf "crossbar constant" a.R.match_crossbar b.R.match_crossbar;
+  checkf "gateway constant" a.R.gateway b.R.gateway;
+  checkf "vliw constant" a.R.vliw b.R.vliw
+
+let test_bounds () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Resources.estimate: negative entries") (fun () ->
+      ignore (R.estimate ~entries_per_switch:(-1)));
+  Alcotest.check_raises "beyond capacity"
+    (Invalid_argument "Resources.estimate: exceeds per-switch capacity")
+    (fun () -> ignore (R.estimate ~entries_per_switch:(R.max_entries + 1)))
+
+let test_max_entries_fit () =
+  let u = R.estimate ~entries_per_switch:R.max_entries in
+  checkb "sram under 100%" true (u.R.sram < 100.0);
+  checkb "hash under 100%" true (u.R.hash_bits < 100.0)
+
+let test_rows_layout () =
+  let u = R.estimate ~entries_per_switch:1024 in
+  let rows = R.rows u in
+  Alcotest.check (Alcotest.list Alcotest.string) "table 6 row order"
+    [
+      "Match Crossbar";
+      "Meter ALU";
+      "Gateway";
+      "SRAM";
+      "TCAM";
+      "VLIW Instruction";
+      "Hash Bits";
+    ]
+    (List.map fst rows)
+
+let () =
+  Alcotest.run "p4model"
+    [
+      ( "resources",
+        [
+          Alcotest.test_case "reproduces Table 6" `Quick test_reproduces_table6;
+          Alcotest.test_case "monotone in entries" `Quick test_sram_monotone_in_entries;
+          Alcotest.test_case "structure constants" `Quick test_constants_independent_of_entries;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "max entries fit" `Quick test_max_entries_fit;
+          Alcotest.test_case "row layout" `Quick test_rows_layout;
+        ] );
+    ]

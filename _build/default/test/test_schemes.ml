@@ -1,0 +1,458 @@
+(* Tests for the baseline schemes at the unit level (plus small
+   simulations where the behavior is inherently end-to-end). *)
+
+module Scheme = Netsim.Scheme
+module Network = Netsim.Network
+module Metrics = Netsim.Metrics
+module Topology = Topo.Topology
+module Node = Topo.Node
+module Packet = Netcore.Packet
+module Flow = Netcore.Flow
+module Vip = Netcore.Addr.Vip
+module Pip = Netcore.Addr.Pip
+module Time_ns = Dessim.Time_ns
+module Engine = Dessim.Engine
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let topo () =
+  Topology.build
+    (Topo.Params.scaled ~pods:2 ~racks_per_pod:2 ~hosts_per_rack:2
+       ~vms_per_host:4 ())
+
+(* A bare env for unit-driving scheme callbacks. *)
+let make_env t =
+  let mapping = Netcore.Mapping.create () in
+  Array.iteri
+    (fun i host ->
+      for v = 0 to 3 do
+        Netcore.Mapping.install mapping
+          (Vip.of_int ((i * 4) + v))
+          (Topology.pip t host)
+      done)
+    (Topology.hosts t);
+  let next = ref 0 in
+  {
+    Scheme.engine = Engine.create ();
+    rng = Dessim.Rng.create 5;
+    topo = t;
+    mapping;
+    base_rtt = Time_ns.of_us 12;
+    fresh_packet_id =
+      (fun () ->
+        incr next;
+        !next);
+    emit_at_switch = (fun ~src_switch:_ _ -> ());
+  }
+
+let mk_pkt t ~src_host ~dst_vip =
+  Packet.make_data ~id:1 ~flow_id:1 ~seq:0 ~size:1500 ~src_vip:(Vip.of_int 0)
+    ~dst_vip ~src_pip:(Topology.pip t src_host)
+    ~dst_pip:(Topology.pip t (Topology.gateways t).(0))
+    ~now:0
+
+(* --- learning cache helper --- *)
+
+let test_learning_cache_slot_split () =
+  let lc =
+    Schemes.Learning_cache.create ~switches:[| 2; 5; 9 |] ~total_slots:10
+      ~num_nodes:12
+  in
+  let slots sw =
+    match Schemes.Learning_cache.cache lc ~switch:sw with
+    | Some c -> Switchv2p.Cache.slots c
+    | None -> -1
+  in
+  checki "first gets remainder" 4 (slots 2);
+  checki "remainder spread" 3 (slots 5);
+  checki "base" 3 (slots 9);
+  checki "non-caching switch" (-1) (slots 0)
+
+let test_learning_cache_lookup_and_learn () =
+  let t = topo () in
+  let sw = (Topology.switches t).(0) in
+  let lc =
+    Schemes.Learning_cache.create ~switches:[| sw |] ~total_slots:16
+      ~num_nodes:(Topology.num_nodes t)
+  in
+  let dst_host = (Topology.hosts t).(3) in
+  (* A resolved packet teaches the mapping... *)
+  let p1 = mk_pkt t ~src_host:(Topology.hosts t).(0) ~dst_vip:(Vip.of_int 12) in
+  p1.Packet.resolved <- true;
+  p1.Packet.dst_pip <- Topology.pip t dst_host;
+  Schemes.Learning_cache.on_switch lc ~switch:sw p1;
+  (* ...which then resolves a later packet. *)
+  let p2 = mk_pkt t ~src_host:(Topology.hosts t).(1) ~dst_vip:(Vip.of_int 12) in
+  Schemes.Learning_cache.on_switch lc ~switch:sw p2;
+  checkb "second packet resolved" true p2.Packet.resolved;
+  checki "rewritten" dst_host (Pip.to_int p2.Packet.dst_pip);
+  checki "hit switch" sw p2.Packet.hit_switch
+
+let test_learning_cache_tagged_conservative () =
+  let t = topo () in
+  let sw = (Topology.switches t).(0) in
+  let lc =
+    Schemes.Learning_cache.create ~switches:[| sw |] ~total_slots:16
+      ~num_nodes:(Topology.num_nodes t)
+  in
+  let stale_host = (Topology.hosts t).(3) in
+  let p1 = mk_pkt t ~src_host:(Topology.hosts t).(0) ~dst_vip:(Vip.of_int 12) in
+  p1.Packet.resolved <- true;
+  p1.Packet.dst_pip <- Topology.pip t stale_host;
+  Schemes.Learning_cache.on_switch lc ~switch:sw p1;
+  (* A tagged packet removes the stale entry and is never rewritten. *)
+  let p2 = mk_pkt t ~src_host:(Topology.hosts t).(1) ~dst_vip:(Vip.of_int 12) in
+  p2.Packet.misdelivery <- Some (Topology.pip t stale_host);
+  Schemes.Learning_cache.on_switch lc ~switch:sw p2;
+  checkb "not rewritten" false p2.Packet.resolved;
+  let p3 = mk_pkt t ~src_host:(Topology.hosts t).(1) ~dst_vip:(Vip.of_int 12) in
+  Schemes.Learning_cache.on_switch lc ~switch:sw p3;
+  checkb "stale entry was removed" false p3.Packet.resolved
+
+(* --- gwcache --- *)
+
+let test_gwcache_caches_only_gateway_tors () =
+  let t = topo () in
+  let scheme = Schemes.Baselines.gwcache ~topo:t ~total_slots:32 in
+  let env = make_env t in
+  let gw_tor =
+    Array.to_list (Topology.tors t)
+    |> List.find (fun sw -> Topology.role t sw = Node.Gateway_tor)
+  in
+  let other =
+    Array.to_list (Topology.switches t)
+    |> List.find (fun sw -> Topology.role t sw <> Node.Gateway_tor)
+  in
+  let dst_host = (Topology.hosts t).(3) in
+  let teach sw =
+    let p = mk_pkt t ~src_host:(Topology.hosts t).(0) ~dst_vip:(Vip.of_int 12) in
+    p.Packet.resolved <- true;
+    p.Packet.dst_pip <- Topology.pip t dst_host;
+    ignore (scheme.Scheme.on_switch env ~switch:sw ~from:0 p)
+  in
+  teach gw_tor;
+  teach other;
+  let probe sw =
+    let p = mk_pkt t ~src_host:(Topology.hosts t).(1) ~dst_vip:(Vip.of_int 12) in
+    ignore (scheme.Scheme.on_switch env ~switch:sw ~from:0 p);
+    p.Packet.resolved
+  in
+  checkb "gateway ToR resolves" true (probe gw_tor);
+  checkb "other switches have no cache" false (probe other)
+
+(* --- ondemand --- *)
+
+let test_ondemand_resolution_sequence () =
+  let t = topo () in
+  let env = make_env t in
+  let scheme = Schemes.Baselines.ondemand () in
+  let host = (Topology.hosts t).(0) in
+  (match
+     scheme.Scheme.resolve_at_host env ~host ~flow_id:1 ~dst_vip:(Vip.of_int 12)
+   with
+  | Scheme.Send_after (d, _) -> checki "penalty 40us" (Time_ns.of_us 40) d
+  | Scheme.Send_resolved _ | Scheme.Send_via_gateway ->
+      Alcotest.fail "first lookup must pay the penalty");
+  (match
+     scheme.Scheme.resolve_at_host env ~host ~flow_id:2 ~dst_vip:(Vip.of_int 12)
+   with
+  | Scheme.Send_resolved _ -> ()
+  | Scheme.Send_after _ | Scheme.Send_via_gateway ->
+      Alcotest.fail "second lookup must hit");
+  (* Caches are per host. *)
+  match
+    scheme.Scheme.resolve_at_host env ~host:(Topology.hosts t).(1) ~flow_id:3
+      ~dst_vip:(Vip.of_int 12)
+  with
+  | Scheme.Send_after _ -> ()
+  | Scheme.Send_resolved _ | Scheme.Send_via_gateway ->
+      Alcotest.fail "other hosts miss independently"
+
+let test_ondemand_stale_after_migration () =
+  let t = topo () in
+  let env = make_env t in
+  let scheme = Schemes.Baselines.ondemand () in
+  let host = (Topology.hosts t).(0) in
+  let first =
+    scheme.Scheme.resolve_at_host env ~host ~flow_id:1 ~dst_vip:(Vip.of_int 12)
+  in
+  let old_pip =
+    match first with
+    | Scheme.Send_after (_, pip) -> pip
+    | _ -> Alcotest.fail "expected penalty"
+  in
+  (* Migrate in the ground truth; OnDemand hosts are not refreshed. *)
+  Netcore.Mapping.migrate env.Scheme.mapping (Vip.of_int 12)
+    (Topology.pip t (Topology.hosts t).(5));
+  scheme.Scheme.on_mapping_update env (Vip.of_int 12) ~old_pip
+    ~new_pip:(Topology.pip t (Topology.hosts t).(5));
+  match
+    scheme.Scheme.resolve_at_host env ~host ~flow_id:2 ~dst_vip:(Vip.of_int 12)
+  with
+  | Scheme.Send_resolved pip -> checkb "still stale" true (Pip.equal pip old_pip)
+  | _ -> Alcotest.fail "expected stale resolution"
+
+(* --- hoverboard --- *)
+
+let test_hoverboard_offload_after_threshold () =
+  let t = topo () in
+  let env = make_env t in
+  let scheme = Schemes.Baselines.hoverboard ~offload_threshold:3 () in
+  let host = (Topology.hosts t).(0) in
+  let resolve () =
+    scheme.Scheme.resolve_at_host env ~host ~flow_id:1 ~dst_vip:(Vip.of_int 12)
+  in
+  (* Packets 1..3 ride via the gateway; the third crosses the
+     threshold and triggers the offload. *)
+  for _ = 1 to 3 do
+    match resolve () with
+    | Scheme.Send_via_gateway -> ()
+    | Scheme.Send_resolved _ | Scheme.Send_after _ ->
+        Alcotest.fail "below threshold must use the gateway"
+  done;
+  (match resolve () with
+  | Scheme.Send_resolved _ -> ()
+  | Scheme.Send_via_gateway | Scheme.Send_after _ ->
+      Alcotest.fail "offloaded rule must resolve at the host");
+  (* Other hosts are unaffected. *)
+  match
+    scheme.Scheme.resolve_at_host env ~host:(Topology.hosts t).(1) ~flow_id:2
+      ~dst_vip:(Vip.of_int 12)
+  with
+  | Scheme.Send_via_gateway -> ()
+  | Scheme.Send_resolved _ | Scheme.Send_after _ ->
+      Alcotest.fail "per-host counters"
+
+let test_hoverboard_validates_threshold () =
+  Alcotest.check_raises "zero threshold"
+    (Invalid_argument "Baselines.hoverboard: threshold must be positive")
+    (fun () -> ignore (Schemes.Baselines.hoverboard ~offload_threshold:0 ()))
+
+let test_hoverboard_end_to_end () =
+  let t = topo () in
+  let scheme = Schemes.Baselines.hoverboard ~offload_threshold:5 () in
+  let net = Network.create t ~scheme in
+  let flows =
+    [
+      Flow.make ~id:0 ~src_vip:(Vip.of_int 0) ~dst_vip:(Vip.of_int 8)
+        ~size_bytes:(30 * Packet.mtu) ~start:0 Flow.Tcpish;
+    ]
+  in
+  Network.run net flows ~migrations:[] ~until:(Time_ns.of_ms 50);
+  let m = Network.metrics net in
+  checki "flow completes" 1 (Metrics.flows_completed m);
+  (* Early packets went through the gateway, later ones did not. *)
+  checkb "partial gateway traffic" true
+    (Metrics.gateway_packets m > 0
+    && Metrics.gateway_packets m < Metrics.packets_sent m);
+  checkb "rule offloaded" true
+    (List.assoc "rule_offloads" (scheme.Scheme.stats ()) >= 1.0)
+
+(* --- dht store --- *)
+
+let test_dht_home_resolution () =
+  let t = topo () in
+  let scheme, c = Schemes.Dht_store.make_with_control t in
+  let net = Network.create t ~scheme in
+  let flows =
+    [
+      Flow.make ~id:0 ~src_vip:(Vip.of_int 0) ~dst_vip:(Vip.of_int 8)
+        ~size_bytes:(10 * Packet.mtu) ~start:0 Flow.Tcpish;
+    ]
+  in
+  Network.run net flows ~migrations:[] ~until:(Time_ns.of_ms 50);
+  let m = Network.metrics net in
+  checki "flow completes" 1 (Metrics.flows_completed m);
+  checki "no gateway traffic" 0 (Metrics.gateway_packets m);
+  checkb "home switch resolved" true
+    (List.assoc "dht_home_hits" (scheme.Scheme.stats ()) > 0.0);
+  checki "no fallbacks" 0 (Schemes.Dht_store.fallbacks c)
+
+let test_dht_failure_falls_back_to_gateway () =
+  let t = topo () in
+  let scheme, c = Schemes.Dht_store.make_with_control t in
+  let home = Schemes.Dht_store.home_of c (Vip.of_int 8) in
+  Schemes.Dht_store.fail_switch c ~switch:home;
+  let net = Network.create t ~scheme in
+  let flows =
+    [
+      Flow.make ~id:0 ~src_vip:(Vip.of_int 0) ~dst_vip:(Vip.of_int 8)
+        ~size_bytes:(10 * Packet.mtu) ~start:0 Flow.Tcpish;
+    ]
+  in
+  Network.run net flows ~migrations:[] ~until:(Time_ns.of_ms 50);
+  let m = Network.metrics net in
+  checki "flow still completes" 1 (Metrics.flows_completed m);
+  checkb "traffic diverted to gateways" true (Metrics.gateway_packets m > 0);
+  checkb "fallbacks counted" true (Schemes.Dht_store.fallbacks c > 0);
+  (* Repopulation restores DHT service. *)
+  Schemes.Dht_store.repopulate c ~switch:home;
+  let net2 = Network.create t ~scheme in
+  Network.run net2
+    [
+      Flow.make ~id:1 ~src_vip:(Vip.of_int 0) ~dst_vip:(Vip.of_int 8)
+        ~size_bytes:(10 * Packet.mtu) ~start:0 Flow.Tcpish;
+    ]
+    ~migrations:[] ~until:(Time_ns.of_ms 50);
+  checki "no gateway traffic after repair" 0
+    (Metrics.gateway_packets (Network.metrics net2))
+
+let test_dht_home_is_stable_hash () =
+  let t = topo () in
+  let _, c1 = Schemes.Dht_store.make_with_control t in
+  let _, c2 = Schemes.Dht_store.make_with_control t in
+  for v = 0 to 23 do
+    checki "home deterministic"
+      (Schemes.Dht_store.home_of c1 (Vip.of_int v))
+      (Schemes.Dht_store.home_of c2 (Vip.of_int v))
+  done
+
+(* --- bluebird --- *)
+
+let test_bluebird_detour_and_insert_delay () =
+  let t = topo () in
+  let env = make_env t in
+  let scheme =
+    Schemes.Baselines.bluebird ~topo:t ~total_slots:(16 * Array.length (Topology.tors t)) ()
+  in
+  let tor = (Topology.tors t).(0) in
+  let p = mk_pkt t ~src_host:(Topology.hosts t).(0) ~dst_vip:(Vip.of_int 12) in
+  (match scheme.Scheme.on_switch env ~switch:tor ~from:0 p with
+  | Scheme.Delay d ->
+      checkb "detour includes CP latency" true (d >= Time_ns.of_ns 8_500);
+      checkb "resolved by SFE" true p.Packet.resolved
+  | _ -> Alcotest.fail "expected a CP detour");
+  (* The route cache is installed only after the 2 ms insertion delay. *)
+  let p2 = mk_pkt t ~src_host:(Topology.hosts t).(1) ~dst_vip:(Vip.of_int 12) in
+  (match scheme.Scheme.on_switch env ~switch:tor ~from:0 p2 with
+  | Scheme.Delay _ -> ()
+  | _ -> Alcotest.fail "still a miss before the insert completes");
+  Engine.run_until env.Scheme.engine ~limit:(Time_ns.of_ms 3);
+  let p3 = mk_pkt t ~src_host:(Topology.hosts t).(1) ~dst_vip:(Vip.of_int 12) in
+  (match scheme.Scheme.on_switch env ~switch:tor ~from:0 p3 with
+  | Scheme.Forward -> checkb "hit after insert" true p3.Packet.resolved
+  | _ -> Alcotest.fail "expected a data-plane hit")
+
+let test_bluebird_cp_overload_drops () =
+  let t = topo () in
+  let env = make_env t in
+  let scheme =
+    Schemes.Baselines.bluebird ~cp_queue_bytes:4_000 ~topo:t ~total_slots:0 ()
+  in
+  let tor = (Topology.tors t).(0) in
+  let send i =
+    let p = mk_pkt t ~src_host:(Topology.hosts t).(0) ~dst_vip:(Vip.of_int 12) in
+    ignore i;
+    scheme.Scheme.on_switch env ~switch:tor ~from:0 p
+  in
+  let dropped = ref 0 in
+  for i = 0 to 9 do
+    match send i with Scheme.Drop_pkt -> incr dropped | _ -> ()
+  done;
+  checkb "overload drops" true (!dropped > 0)
+
+(* --- controller (end-to-end: needs the running engine) --- *)
+
+let test_controller_installs_and_serves () =
+  let t = topo () in
+  let scheme =
+    Schemes.Controller.make ~topo:t ~total_slots:64
+      ~interval:(Time_ns.of_us 200) ()
+  in
+  let net = Network.create t ~scheme in
+  let flows =
+    List.init 6 (fun i ->
+        Flow.make ~id:i ~src_vip:(Vip.of_int 0) ~dst_vip:(Vip.of_int 8)
+          ~size_bytes:(10 * Packet.mtu)
+          ~start:(i * Time_ns.of_ms 1)
+          Flow.Tcpish)
+  in
+  Network.run net flows ~migrations:[] ~until:(Time_ns.of_ms 50);
+  let m = Network.metrics net in
+  checki "all complete" 6 (Metrics.flows_completed m);
+  checkb "later flows hit installed entries" true (Metrics.hit_rate m > 0.0);
+  let stats = scheme.Scheme.stats () in
+  checkb "controller solved at least once" true
+    (List.assoc "controller_solves" stats > 0.0)
+
+(* --- scheme metadata --- *)
+
+let test_scheme_names () =
+  let t = topo () in
+  let names =
+    [
+      (Schemes.Baselines.nocache ()).Scheme.name;
+      (Schemes.Baselines.direct ()).Scheme.name;
+      (Schemes.Baselines.ondemand ()).Scheme.name;
+      (Schemes.Baselines.locallearning ~topo:t ~total_slots:1).Scheme.name;
+      (Schemes.Baselines.gwcache ~topo:t ~total_slots:1).Scheme.name;
+      (Schemes.Baselines.bluebird ~topo:t ~total_slots:1 ()).Scheme.name;
+      (Schemes.Switchv2p_scheme.make t ~total_cache_slots:1).Scheme.name;
+      (Schemes.Controller.make ~topo:t ~total_slots:1
+         ~interval:(Time_ns.of_ms 1) ())
+        .Scheme.name;
+    ]
+  in
+  Alcotest.check
+    (Alcotest.list Alcotest.string)
+    "names"
+    [
+      "NoCache";
+      "Direct";
+      "OnDemand";
+      "LocalLearning";
+      "GwCache";
+      "Bluebird";
+      "SwitchV2P";
+      "Controller";
+    ]
+    names
+
+let () =
+  Alcotest.run "schemes"
+    [
+      ( "learning_cache",
+        [
+          Alcotest.test_case "slot split" `Quick test_learning_cache_slot_split;
+          Alcotest.test_case "lookup and learn" `Quick test_learning_cache_lookup_and_learn;
+          Alcotest.test_case "tagged conservative" `Quick test_learning_cache_tagged_conservative;
+        ] );
+      ( "gwcache",
+        [
+          Alcotest.test_case "gateway ToRs only" `Quick
+            test_gwcache_caches_only_gateway_tors;
+        ] );
+      ( "ondemand",
+        [
+          Alcotest.test_case "resolution sequence" `Quick test_ondemand_resolution_sequence;
+          Alcotest.test_case "stale after migration" `Quick test_ondemand_stale_after_migration;
+        ] );
+      ( "hoverboard",
+        [
+          Alcotest.test_case "offload after threshold" `Quick
+            test_hoverboard_offload_after_threshold;
+          Alcotest.test_case "threshold validated" `Quick
+            test_hoverboard_validates_threshold;
+          Alcotest.test_case "end to end" `Quick test_hoverboard_end_to_end;
+        ] );
+      ( "dht_store",
+        [
+          Alcotest.test_case "home resolution" `Quick test_dht_home_resolution;
+          Alcotest.test_case "failure falls back" `Quick
+            test_dht_failure_falls_back_to_gateway;
+          Alcotest.test_case "stable homes" `Quick test_dht_home_is_stable_hash;
+        ] );
+      ( "bluebird",
+        [
+          Alcotest.test_case "CP detour and insert delay" `Quick
+            test_bluebird_detour_and_insert_delay;
+          Alcotest.test_case "CP overload drops" `Quick test_bluebird_cp_overload_drops;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "installs and serves" `Quick
+            test_controller_installs_and_serves;
+        ] );
+      ("metadata", [ Alcotest.test_case "names" `Quick test_scheme_names ]);
+    ]

@@ -1,0 +1,310 @@
+(* Tests for topology construction, roles, links, and ECMP routing. *)
+
+module Params = Topo.Params
+module Topology = Topo.Topology
+module Node = Topo.Node
+module Routing = Topo.Routing
+module Link = Topo.Link
+module Time_ns = Dessim.Time_ns
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let small () =
+  Topology.build
+    (Params.scaled ~pods:4 ~racks_per_pod:3 ~hosts_per_rack:2 ~vms_per_host:4 ())
+
+let test_ft8_preset () =
+  let p = Params.ft8_10k () in
+  Params.validate p;
+  checki "switches" 80 (Params.num_switches p);
+  (* 4 gateway pods sacrifice one rack each: (32-4) racks x 4 hosts. *)
+  checki "hosts" 112 (Params.num_hosts p);
+  checki "vms" (112 * 80) (Params.num_vms p);
+  checki "base rtt us" 12 (Time_ns.to_ns (Params.base_rtt p) / 1000)
+
+let test_ft16_preset () =
+  let p = Params.ft16_400k () in
+  Params.validate p;
+  checki "tors" 400 (p.Params.pods * p.Params.racks_per_pod);
+  checki "cores" 16 (p.Params.spines_per_pod * p.Params.cores_per_group)
+
+let test_params_validation () =
+  let base = Params.ft8_10k () in
+  Alcotest.check_raises "no gateway pods"
+    (Invalid_argument "Params.validate: at least one gateway pod is required")
+    (fun () -> Params.validate { base with Params.gateway_pods = [] });
+  Alcotest.check_raises "gateway pod out of range"
+    (Invalid_argument "Params.validate: gateway pod out of range") (fun () ->
+      Params.validate { base with Params.gateway_pods = [ 99 ] });
+  Alcotest.check_raises "duplicate gateway pods"
+    (Invalid_argument "Params.validate: duplicate gateway pods") (fun () ->
+      Params.validate { base with Params.gateway_pods = [ 1; 1 ] })
+
+let test_build_counts () =
+  let t = small () in
+  let p = Topology.params t in
+  checki "tors" (4 * 3) (Array.length (Topology.tors t));
+  checki "spines" (4 * 2) (Array.length (Topology.spines t));
+  checki "cores" (2 * 2) (Array.length (Topology.cores t));
+  checki "switch total" (Params.num_switches p) (Array.length (Topology.switches t));
+  checki "hosts" (Params.num_hosts p) (Array.length (Topology.hosts t));
+  (* Gateways in pods 0 and 2. *)
+  checki "gateways" 4 (Array.length (Topology.gateways t))
+
+let test_roles () =
+  let t = small () in
+  let count role =
+    Array.fold_left
+      (fun acc sw -> if Topology.role t sw = role then acc + 1 else acc)
+      0 (Topology.switches t)
+  in
+  checki "gateway tors" 2 (count Node.Gateway_tor);
+  checki "regular tors" 10 (count Node.Regular_tor);
+  checki "gateway spines" 4 (count Node.Gateway_spine);
+  checki "regular spines" 4 (count Node.Regular_spine);
+  checki "cores" 4 (count Node.Core_switch)
+
+let test_gateway_tor_hosts_only_gateways () =
+  let t = small () in
+  Array.iter
+    (fun gw ->
+      let tor = Topology.tor_of t gw in
+      checkb "gateway attaches to a gateway ToR" true
+        (Topology.role t tor = Node.Gateway_tor))
+    (Topology.gateways t)
+
+let test_endpoint_tor_symmetry () =
+  let t = small () in
+  Array.iter
+    (fun tor ->
+      Array.iter
+        (fun ep -> checki "tor_of inverse" tor (Topology.tor_of t ep))
+        (Topology.endpoints_of_tor t tor))
+    (Topology.tors t)
+
+let test_links_bidirectional () =
+  let t = small () in
+  Topology.iter_links t (fun l ->
+      let back = Topology.link t ~src:l.Link.dst ~dst:l.Link.src in
+      checki "reverse link exists" l.Link.src back.Link.dst)
+
+let test_link_rates () =
+  let t = small () in
+  let host = (Topology.hosts t).(0) in
+  let tor = Topology.tor_of t host in
+  let l = Topology.link t ~src:host ~dst:tor in
+  checkb "host link rate" true (l.Link.rate_bps = 100e9);
+  let spine = Topology.spine_id t ~pod:0 ~group:0 in
+  let l2 = Topology.link t ~src:tor ~dst:spine in
+  checkb "fabric link rate" true (l2.Link.rate_bps = 400e9)
+
+let test_routing_all_pairs () =
+  let t = small () in
+  let hosts = Topology.hosts t in
+  Array.iter
+    (fun src ->
+      Array.iter
+        (fun dst ->
+          if src <> dst then begin
+            let path = Routing.path t ~src ~dst ~salt:7 in
+            checkb "starts at src" true (List.hd path = src);
+            checkb "ends at dst" true (List.nth path (List.length path - 1) = dst);
+            checkb "path length sane" true (List.length path <= 8)
+          end)
+        hosts)
+    hosts
+
+let test_routing_hop_counts () =
+  let t = small () in
+  (* Same rack: host-tor-host = 2 hops. *)
+  let tor0 = (Topology.tors t).(0) in
+  let eps = Topology.endpoints_of_tor t tor0 in
+  checki "same rack" 2 (Routing.hop_count t ~src:eps.(0) ~dst:eps.(1) ~salt:1);
+  (* Same pod, different rack: host-tor-spine-tor-host = 4 hops. *)
+  let tor1 = Topology.tor_id t ~pod:0 ~rack:1 in
+  let eps1 = Topology.endpoints_of_tor t tor1 in
+  checki "same pod" 4 (Routing.hop_count t ~src:eps.(0) ~dst:eps1.(0) ~salt:1);
+  (* Cross pod: 6 hops via core. *)
+  let tor_far = Topology.tor_id t ~pod:1 ~rack:0 in
+  let eps_far = Topology.endpoints_of_tor t tor_far in
+  checki "cross pod" 6 (Routing.hop_count t ~src:eps.(0) ~dst:eps_far.(0) ~salt:1)
+
+let test_routing_to_switches () =
+  let t = small () in
+  let host = (Topology.hosts t).(0) in
+  Array.iter
+    (fun sw ->
+      let path = Routing.path t ~src:host ~dst:sw ~salt:3 in
+      checkb "reaches switch" true (List.nth path (List.length path - 1) = sw))
+    (Topology.switches t)
+
+let test_routing_cross_pod_transits_core () =
+  let t = small () in
+  let src = (Topology.endpoints_of_tor t (Topology.tor_id t ~pod:0 ~rack:0)).(0) in
+  let dst = (Topology.endpoints_of_tor t (Topology.tor_id t ~pod:3 ~rack:0)).(0) in
+  let path = Routing.path t ~src ~dst ~salt:11 in
+  let transits_core =
+    List.exists
+      (fun n ->
+        match Topology.kind t n with Node.Core _ -> true | _ -> false)
+      path
+  in
+  checkb "goes via core" true transits_core
+
+let test_routing_ecmp_spreads () =
+  let t = small () in
+  let src = (Topology.endpoints_of_tor t (Topology.tor_id t ~pod:0 ~rack:0)).(0) in
+  let dst = (Topology.endpoints_of_tor t (Topology.tor_id t ~pod:1 ~rack:0)).(0) in
+  let spines_seen = Hashtbl.create 4 in
+  for salt = 0 to 63 do
+    let path = Routing.path t ~src ~dst ~salt in
+    List.iter
+      (fun n ->
+        match Topology.kind t n with
+        | Node.Spine { pod = 0; group; _ } -> Hashtbl.replace spines_seen group ()
+        | _ -> ())
+      path
+  done;
+  checkb "multiple uplink spines used" true (Hashtbl.length spines_seen > 1)
+
+let test_routing_deterministic_per_salt () =
+  let t = small () in
+  let src = (Topology.hosts t).(0) and dst = (Topology.hosts t).(15) in
+  let p1 = Routing.path t ~src ~dst ~salt:5 in
+  let p2 = Routing.path t ~src ~dst ~salt:5 in
+  checkb "same salt same path" true (p1 = p2)
+
+let test_single_pod_topology () =
+  let t =
+    Topology.build
+      (Params.scaled ~pods:1 ~racks_per_pod:4 ~hosts_per_rack:2 ~vms_per_host:2 ())
+  in
+  checki "no cores" 0 (Array.length (Topology.cores t));
+  (* One rack hosts the gateways: 3 server racks x 2 hosts. *)
+  let hosts = Topology.hosts t in
+  checki "hosts" 6 (Array.length hosts);
+  let hops = Routing.hop_count t ~src:hosts.(0) ~dst:hosts.(5) ~salt:1 in
+  checki "intra-pod max 4 hops" 4 hops
+
+let test_link_transmit_model () =
+  let l =
+    Link.make ~ecn_threshold:None ~src:0 ~dst:1 ~rate_bps:100e9
+      ~prop_delay:(Time_ns.of_us 1) ~buffer_bytes:4500
+  in
+  (* First packet: ser 120ns + prop 1000ns. *)
+  (match Link.transmit l ~now:0 ~bytes:1500 with
+  | Some tx -> checki "first arrival" 1120 tx.Link.arrival
+  | None -> Alcotest.fail "unexpected drop");
+  (* Second packet queues behind the first. *)
+  (match Link.transmit l ~now:0 ~bytes:1500 with
+  | Some tx -> checki "second arrival" 1240 tx.Link.arrival
+  | None -> Alcotest.fail "unexpected drop");
+  (* Third fills the buffer (4500B). *)
+  (match Link.transmit l ~now:0 ~bytes:1500 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "third should fit");
+  (* Fourth overflows. *)
+  (match Link.transmit l ~now:0 ~bytes:1500 with
+  | Some _ -> Alcotest.fail "should drop"
+  | None -> ());
+  checki "one drop" 1 l.Link.drops;
+  Link.delivered l ~bytes:1500;
+  checki "occupancy released" 3000 l.Link.queued_bytes
+
+let test_link_idle_restart () =
+  let l =
+    Link.make ~ecn_threshold:None ~src:0 ~dst:1 ~rate_bps:100e9
+      ~prop_delay:(Time_ns.of_us 1) ~buffer_bytes:1_000_000
+  in
+  ignore (Link.transmit l ~now:0 ~bytes:1500);
+  Link.delivered l ~bytes:1500;
+  (* After idle, transmission starts at now, not at old busy_until. *)
+  match Link.transmit l ~now:1_000_000 ~bytes:1500 with
+  | Some tx -> checki "idle restart" 1_001_120 tx.Link.arrival
+  | None -> Alcotest.fail "unexpected drop"
+
+let test_link_ecn_marking () =
+  let l =
+    Link.make ~ecn_threshold:(Some 3000) ~src:0 ~dst:1 ~rate_bps:100e9
+      ~prop_delay:(Time_ns.of_us 1) ~buffer_bytes:1_000_000
+  in
+  let marked () =
+    match Link.transmit l ~now:0 ~bytes:1500 with
+    | Some tx -> tx.Link.ce_marked
+    | None -> Alcotest.fail "unexpected drop"
+  in
+  checkb "queue 0: clean" false (marked ());
+  checkb "queue 1500: clean" false (marked ());
+  checkb "queue 3000: clean (threshold not exceeded)" false (marked ());
+  checkb "queue 4500: marked" true (marked ());
+  checki "marks counted" 1 l.Link.marked;
+  (* Draining the queue stops the marking. *)
+  for _ = 1 to 4 do Link.delivered l ~bytes:1500 done;
+  checkb "drained: clean" false (marked ())
+
+let switch_pair_routing_qcheck =
+  QCheck.Test.make ~name:"switch-to-switch routing terminates" ~count:200
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (a, b, salt) ->
+      let t = small () in
+      let switches = Topology.switches t in
+      let src = switches.(a mod Array.length switches) in
+      let dst = switches.(b mod Array.length switches) in
+      src = dst
+      ||
+      let path = Routing.path t ~src ~dst ~salt in
+      List.nth path (List.length path - 1) = dst && List.length path <= 10)
+
+let routing_qcheck =
+  QCheck.Test.make ~name:"random host pairs route correctly" ~count:300
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (a, b, salt) ->
+      let t = small () in
+      let hosts = Topology.hosts t in
+      let src = hosts.(a mod Array.length hosts) in
+      let dst = hosts.(b mod Array.length hosts) in
+      src = dst
+      ||
+      let path = Routing.path t ~src ~dst ~salt in
+      List.hd path = src
+      && List.nth path (List.length path - 1) = dst
+      && List.length path - 1 <= 6)
+
+let () =
+  Alcotest.run "topo"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "ft8 preset" `Quick test_ft8_preset;
+          Alcotest.test_case "ft16 preset" `Quick test_ft16_preset;
+          Alcotest.test_case "validation" `Quick test_params_validation;
+        ] );
+      ( "build",
+        [
+          Alcotest.test_case "counts" `Quick test_build_counts;
+          Alcotest.test_case "roles" `Quick test_roles;
+          Alcotest.test_case "gateway racks" `Quick test_gateway_tor_hosts_only_gateways;
+          Alcotest.test_case "endpoint/tor symmetry" `Quick test_endpoint_tor_symmetry;
+          Alcotest.test_case "links bidirectional" `Quick test_links_bidirectional;
+          Alcotest.test_case "link rates" `Quick test_link_rates;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "all host pairs" `Quick test_routing_all_pairs;
+          Alcotest.test_case "hop counts" `Quick test_routing_hop_counts;
+          Alcotest.test_case "switch-addressed" `Quick test_routing_to_switches;
+          Alcotest.test_case "cross-pod via core" `Quick test_routing_cross_pod_transits_core;
+          Alcotest.test_case "ecmp spreads" `Quick test_routing_ecmp_spreads;
+          Alcotest.test_case "deterministic" `Quick test_routing_deterministic_per_salt;
+          Alcotest.test_case "single-pod" `Quick test_single_pod_topology;
+          QCheck_alcotest.to_alcotest routing_qcheck;
+          QCheck_alcotest.to_alcotest switch_pair_routing_qcheck;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "transmit model" `Quick test_link_transmit_model;
+          Alcotest.test_case "idle restart" `Quick test_link_idle_restart;
+          Alcotest.test_case "ecn marking" `Quick test_link_ecn_marking;
+        ] );
+    ]

@@ -1,0 +1,272 @@
+(* Tests for the windowed transport and UDP sender, driven through a
+   fake "network" that we control packet-by-packet. *)
+
+module Transport = Netsim.Transport
+module Engine = Dessim.Engine
+module Time_ns = Dessim.Time_ns
+module Flow = Netcore.Flow
+module Packet = Netcore.Packet
+module Vip = Netcore.Addr.Vip
+module Pip = Netcore.Addr.Pip
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+type world = {
+  eng : Engine.t;
+  tr : Transport.t;
+  data_sent : (int * int * bool) list ref; (* flow, seq, retransmit *)
+  acks_sent : (int * int) list ref;
+  completed : (int * Time_ns.t) list ref;
+  firsts : (int * Time_ns.t) list ref;
+}
+
+(* Build a transport whose send callbacks just log; the test decides
+   when packets "arrive" by calling [deliver_data]/[deliver_ack]. *)
+let make_world ?mode () =
+  let eng = Engine.create () in
+  let data_sent = ref [] and acks_sent = ref [] in
+  let completed = ref [] and firsts = ref [] in
+  let cb =
+    {
+      Transport.now = (fun () -> Engine.now eng);
+      schedule = (fun delay f -> Engine.schedule_after eng ~delay f);
+      send_data =
+        (fun flow ~seq ~size:_ ~retransmit ->
+          data_sent := (flow.Flow.id, seq, retransmit) :: !data_sent);
+      send_ack =
+        (fun flow ~seq ~ecn_echo:_ ->
+          acks_sent := (flow.Flow.id, seq) :: !acks_sent);
+      flow_done =
+        (fun flow ~fct -> completed := (flow.Flow.id, fct) :: !completed);
+      first_packet =
+        (fun flow ~latency -> firsts := (flow.Flow.id, latency) :: !firsts);
+    }
+  in
+  let tr = Transport.create ?mode ~window:4 ~rto:(Time_ns.of_us 100) cb in
+  { eng; tr; data_sent; acks_sent; completed; firsts }
+
+let flow ?(id = 1) ~packets () =
+  Flow.make ~id ~src_vip:(Vip.of_int 1) ~dst_vip:(Vip.of_int 2)
+    ~size_bytes:(packets * Packet.mtu) ~start:0 Flow.Tcpish
+
+let mk_pkt ~kind ~flow_id ~seq =
+  match kind with
+  | `Data ->
+      Packet.make_data ~id:0 ~flow_id ~seq ~size:Packet.mtu
+        ~src_vip:(Vip.of_int 1) ~dst_vip:(Vip.of_int 2)
+        ~src_pip:(Pip.of_int 0) ~dst_pip:(Pip.of_int 1) ~now:0
+  | `Ack ->
+      Packet.make_ack ~id:0 ~flow_id ~seq ~src_vip:(Vip.of_int 2)
+        ~dst_vip:(Vip.of_int 1) ~src_pip:(Pip.of_int 1)
+        ~dst_pip:(Pip.of_int 0) ~now:0
+
+let test_initial_window () =
+  let w = make_world () in
+  Transport.start w.tr (flow ~packets:10 ());
+  (* window=4 caps the initial burst below IW10. *)
+  checki "initial burst" 4 (List.length !(w.data_sent))
+
+let test_ack_clocking () =
+  let w = make_world () in
+  Transport.start w.tr (flow ~packets:10 ());
+  Transport.on_ack w.tr (mk_pkt ~kind:`Ack ~flow_id:1 ~seq:0);
+  checki "one more sent" 5 (List.length !(w.data_sent));
+  Transport.on_ack w.tr (mk_pkt ~kind:`Ack ~flow_id:1 ~seq:1);
+  checki "and another" 6 (List.length !(w.data_sent))
+
+let test_duplicate_ack_ignored () =
+  let w = make_world () in
+  Transport.start w.tr (flow ~packets:10 ());
+  Transport.on_ack w.tr (mk_pkt ~kind:`Ack ~flow_id:1 ~seq:0);
+  let n = List.length !(w.data_sent) in
+  Transport.on_ack w.tr (mk_pkt ~kind:`Ack ~flow_id:1 ~seq:0);
+  checki "dup ack sends nothing" n (List.length !(w.data_sent))
+
+let test_receiver_acks_and_completes () =
+  let w = make_world () in
+  let f = flow ~packets:3 () in
+  Transport.start w.tr f;
+  for seq = 0 to 2 do
+    Transport.on_data w.tr (mk_pkt ~kind:`Data ~flow_id:1 ~seq)
+  done;
+  checki "acks per data packet" 3 (List.length !(w.acks_sent));
+  checki "flow completed" 1 (List.length !(w.completed));
+  checki "one first-packet record" 1 (List.length !(w.firsts));
+  checki "completed counter" 1 (Transport.flows_completed w.tr)
+
+let test_duplicate_data_acked_but_not_recounted () =
+  let w = make_world () in
+  Transport.start w.tr (flow ~packets:2 ());
+  Transport.on_data w.tr (mk_pkt ~kind:`Data ~flow_id:1 ~seq:0);
+  Transport.on_data w.tr (mk_pkt ~kind:`Data ~flow_id:1 ~seq:0);
+  checki "both acked" 2 (List.length !(w.acks_sent));
+  checki "not complete" 0 (List.length !(w.completed));
+  Transport.on_data w.tr (mk_pkt ~kind:`Data ~flow_id:1 ~seq:1);
+  checki "now complete" 1 (List.length !(w.completed))
+
+let test_reordering_detected () =
+  let w = make_world () in
+  Transport.start w.tr (flow ~packets:3 ());
+  Transport.on_data w.tr (mk_pkt ~kind:`Data ~flow_id:1 ~seq:2);
+  Transport.on_data w.tr (mk_pkt ~kind:`Data ~flow_id:1 ~seq:0);
+  Transport.on_data w.tr (mk_pkt ~kind:`Data ~flow_id:1 ~seq:1);
+  checki "two reordered arrivals" 2 (Transport.reordering_events w.tr);
+  checki "still completes" 1 (List.length !(w.completed))
+
+let test_rto_retransmits () =
+  let w = make_world () in
+  Transport.start w.tr (flow ~packets:4 ());
+  checki "initial burst" 4 (List.length !(w.data_sent));
+  (* No acks arrive; let two RTOs elapse (the first timeout check sees
+     progress_stamp = n_acked = 0 and fires). *)
+  Engine.run_until w.eng ~limit:(Time_ns.of_us 250);
+  let retransmits =
+    List.filter (fun (_, _, r) -> r) !(w.data_sent) |> List.length
+  in
+  checkb "retransmitted unacked packets" true (retransmits >= 4)
+
+let test_no_rto_after_completion () =
+  let w = make_world () in
+  Transport.start w.tr (flow ~packets:2 ());
+  Transport.on_ack w.tr (mk_pkt ~kind:`Ack ~flow_id:1 ~seq:0);
+  Transport.on_ack w.tr (mk_pkt ~kind:`Ack ~flow_id:1 ~seq:1);
+  Engine.run_until w.eng ~limit:(Time_ns.of_ms 10);
+  let retransmits =
+    List.filter (fun (_, _, r) -> r) !(w.data_sent) |> List.length
+  in
+  checki "no retransmissions after full ack" 0 retransmits;
+  checki "timers drained" 0 (Engine.pending w.eng)
+
+let test_first_packet_latency_measured () =
+  let w = make_world () in
+  Transport.start w.tr (flow ~packets:2 ());
+  Engine.schedule w.eng ~at:(Time_ns.of_us 7) (fun () ->
+      Transport.on_data w.tr (mk_pkt ~kind:`Data ~flow_id:1 ~seq:1));
+  Engine.run_until w.eng ~limit:(Time_ns.of_us 7);
+  (match !(w.firsts) with
+  | [ (1, lat) ] -> checki "latency = arrival - start" (Time_ns.of_us 7) lat
+  | _ -> Alcotest.fail "expected one first-packet record");
+  checkb "any seq counts as first" true (Transport.has_received_any w.tr ~flow_id:1)
+
+let test_udp_paced_sending () =
+  let w = make_world () in
+  (* 2 packets at a rate of one MTU per 12 us. *)
+  let f =
+    Flow.make ~id:3 ~src_vip:(Vip.of_int 1) ~dst_vip:(Vip.of_int 2)
+      ~size_bytes:(2 * Packet.mtu) ~start:0
+      (Flow.Udp { rate_bps = float_of_int (Packet.mtu * 8) /. 12e-6 })
+  in
+  Transport.start w.tr f;
+  checki "first packet immediately" 1 (List.length !(w.data_sent));
+  Engine.run_until w.eng ~limit:(Time_ns.of_us 13);
+  checki "second packet after interval" 2 (List.length !(w.data_sent));
+  Engine.run_until w.eng ~limit:(Time_ns.of_ms 1);
+  checki "no extra packets" 2 (List.length !(w.data_sent))
+
+let test_udp_no_acks () =
+  let w = make_world () in
+  let f =
+    Flow.make ~id:3 ~src_vip:(Vip.of_int 1) ~dst_vip:(Vip.of_int 2)
+      ~size_bytes:Packet.mtu ~start:0 (Flow.Udp { rate_bps = 1e9 })
+  in
+  Transport.start w.tr f;
+  Transport.on_data w.tr
+    (Packet.make_data ~id:0 ~flow_id:3 ~seq:0 ~size:Packet.mtu
+       ~src_vip:(Vip.of_int 1) ~dst_vip:(Vip.of_int 2) ~src_pip:(Pip.of_int 0)
+       ~dst_pip:(Pip.of_int 1) ~now:0);
+  checki "no acks for UDP" 0 (List.length !(w.acks_sent));
+  checki "completes when all data arrives" 1 (List.length !(w.completed))
+
+(* --- DCTCP --- *)
+
+let ack ?(ecn = false) ~flow_id ~seq () =
+  let p = mk_pkt ~kind:`Ack ~flow_id ~seq in
+  p.Packet.ecn <- ecn;
+  p
+
+let test_dctcp_clean_acks_grow_window () =
+  let w = make_world ~mode:Transport.Dctcp () in
+  Transport.start w.tr (flow ~packets:20 ());
+  let c0 = Option.get (Transport.cwnd w.tr ~flow_id:1) in
+  Transport.on_ack w.tr (ack ~flow_id:1 ~seq:0 ());
+  Transport.on_ack w.tr (ack ~flow_id:1 ~seq:1 ());
+  let c1 = Option.get (Transport.cwnd w.tr ~flow_id:1) in
+  checkb "slow start grows cwnd" true (c1 >= c0)
+
+let test_dctcp_mark_exits_slow_start () =
+  let w = make_world ~mode:Transport.Dctcp () in
+  Transport.start w.tr (flow ~packets:40 ());
+  let before = Option.get (Transport.cwnd w.tr ~flow_id:1) in
+  Transport.on_ack w.tr (ack ~ecn:true ~flow_id:1 ~seq:0 ());
+  let after = Option.get (Transport.cwnd w.tr ~flow_id:1) in
+  checkb "marked ack halves cwnd" true (after < before || before = 1)
+
+let test_dctcp_alpha_tracks_marking () =
+  let w = make_world ~mode:Transport.Dctcp () in
+  Transport.start w.tr (flow ~packets:4000 ());
+  (* All acks marked: alpha stays pinned near 1 and cwnd collapses to
+     the floor. *)
+  for seq = 0 to 199 do
+    Transport.on_ack w.tr (ack ~ecn:true ~flow_id:1 ~seq ())
+  done;
+  let alpha = Option.get (Transport.alpha w.tr ~flow_id:1) in
+  checkb "alpha saturates high" true (alpha > 0.8);
+  checkb "cwnd at floor" true (Option.get (Transport.cwnd w.tr ~flow_id:1) <= 2)
+
+let test_dctcp_alpha_decays_without_marks () =
+  let w = make_world ~mode:Transport.Dctcp () in
+  Transport.start w.tr (flow ~packets:4000 ());
+  (* One marked window, then many clean windows: alpha decays. *)
+  Transport.on_ack w.tr (ack ~ecn:true ~flow_id:1 ~seq:0 ());
+  for seq = 1 to 300 do
+    Transport.on_ack w.tr (ack ~flow_id:1 ~seq ())
+  done;
+  let alpha = Option.get (Transport.alpha w.tr ~flow_id:1) in
+  checkb "alpha decays toward 0" true (alpha < 0.3)
+
+let test_windowed_ignores_marks () =
+  let w = make_world () in
+  Transport.start w.tr (flow ~packets:20 ());
+  let before = Option.get (Transport.cwnd w.tr ~flow_id:1) in
+  Transport.on_ack w.tr (ack ~ecn:true ~flow_id:1 ~seq:0 ());
+  let after = Option.get (Transport.cwnd w.tr ~flow_id:1) in
+  checkb "windowed mode never shrinks" true (after >= before)
+
+let test_unknown_flow_ignored () =
+  let w = make_world () in
+  Transport.on_data w.tr (mk_pkt ~kind:`Data ~flow_id:77 ~seq:0);
+  Transport.on_ack w.tr (mk_pkt ~kind:`Ack ~flow_id:77 ~seq:0);
+  checki "nothing happens" 0 (List.length !(w.acks_sent))
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "reliable",
+        [
+          Alcotest.test_case "initial window" `Quick test_initial_window;
+          Alcotest.test_case "ack clocking" `Quick test_ack_clocking;
+          Alcotest.test_case "duplicate acks" `Quick test_duplicate_ack_ignored;
+          Alcotest.test_case "receiver completion" `Quick test_receiver_acks_and_completes;
+          Alcotest.test_case "duplicate data" `Quick test_duplicate_data_acked_but_not_recounted;
+          Alcotest.test_case "reordering detection" `Quick test_reordering_detected;
+          Alcotest.test_case "RTO retransmission" `Quick test_rto_retransmits;
+          Alcotest.test_case "timers stop after completion" `Quick test_no_rto_after_completion;
+          Alcotest.test_case "first-packet latency" `Quick test_first_packet_latency_measured;
+        ] );
+      ( "udp",
+        [
+          Alcotest.test_case "paced sending" `Quick test_udp_paced_sending;
+          Alcotest.test_case "no acks" `Quick test_udp_no_acks;
+        ] );
+      ( "dctcp",
+        [
+          Alcotest.test_case "clean acks grow window" `Quick test_dctcp_clean_acks_grow_window;
+          Alcotest.test_case "mark exits slow start" `Quick test_dctcp_mark_exits_slow_start;
+          Alcotest.test_case "alpha tracks marking" `Quick test_dctcp_alpha_tracks_marking;
+          Alcotest.test_case "alpha decays" `Quick test_dctcp_alpha_decays_without_marks;
+          Alcotest.test_case "windowed ignores marks" `Quick test_windowed_ignores_marks;
+        ] );
+      ( "robustness",
+        [ Alcotest.test_case "unknown flow" `Quick test_unknown_flow_ignored ] );
+    ]

@@ -1,0 +1,346 @@
+(* Tests for the flow-size CDFs and trace generators. *)
+
+module Tracegen = Workloads.Tracegen
+module Flow_cdf = Workloads.Flow_cdf
+module Flow = Netcore.Flow
+module Vip = Netcore.Addr.Vip
+module Rng = Dessim.Rng
+module Time_ns = Dessim.Time_ns
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let rng () = Rng.create 1234
+let num_vms = 200
+let agg_bps = 10. *. 100e9
+
+let no_self_flows flows =
+  List.for_all
+    (fun (f : Flow.t) -> not (Vip.equal f.Flow.src_vip f.Flow.dst_vip))
+    flows
+
+let sorted_by_start flows =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        Time_ns.compare a.Flow.start b.Flow.start <= 0 && go rest
+    | _ -> true
+  in
+  go flows
+
+let unique_ids flows =
+  let ids = List.map (fun (f : Flow.t) -> f.Flow.id) flows in
+  List.length (List.sort_uniq compare ids) = List.length ids
+
+let vips_in_range flows =
+  List.for_all
+    (fun (f : Flow.t) ->
+      Vip.to_int f.Flow.src_vip < num_vms && Vip.to_int f.Flow.dst_vip < num_vms)
+    flows
+
+let test_cdf_means () =
+  (* Hadoop is short-flow dominated; WebSearch heavy. *)
+  let h = Flow_cdf.mean_bytes Flow_cdf.hadoop in
+  let w = Flow_cdf.mean_bytes Flow_cdf.websearch in
+  checkb "hadoop mean < 100KB" true (h < 100_000.0);
+  checkb "websearch mean > 1MB" true (w > 1_000_000.0);
+  checkb "websearch heavier" true (w > 10.0 *. h)
+
+let test_cdf_sampling_positive () =
+  let r = rng () in
+  for _ = 1 to 1000 do
+    checkb "positive sizes" true (Flow_cdf.sample_size Flow_cdf.hadoop r > 0)
+  done
+
+let test_hadoop_invariants () =
+  let flows = Tracegen.hadoop (rng ()) ~num_vms ~num_flows:1000 ~load:0.3 ~agg_bps in
+  checki "count" 1000 (List.length flows);
+  checkb "no self flows" true (no_self_flows flows);
+  checkb "sorted" true (sorted_by_start flows);
+  checkb "unique ids" true (unique_ids flows);
+  checkb "vips in range" true (vips_in_range flows);
+  checkb "all tcp" true
+    (List.for_all (fun (f : Flow.t) -> f.Flow.proto = Flow.Tcpish) flows)
+
+let test_hadoop_destination_reuse () =
+  let flows = Tracegen.hadoop (rng ()) ~num_vms ~num_flows:2000 ~load:0.3 ~agg_bps in
+  let dsts = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Flow.t) ->
+      let d = Vip.to_int f.Flow.dst_vip in
+      Hashtbl.replace dsts d (1 + Option.value ~default:0 (Hashtbl.find_opt dsts d)))
+    flows;
+  let reused =
+    Hashtbl.fold (fun _ c acc -> if c >= 2 then acc + 1 else acc) dsts 0
+  in
+  checkb "most destinations reused" true
+    (float_of_int reused > 0.8 *. float_of_int (Hashtbl.length dsts))
+
+let test_websearch_minimal_reuse () =
+  (* Fewer flows than VMs: destinations drawn without replacement. *)
+  let flows = Tracegen.websearch (rng ()) ~num_vms ~num_flows:100 ~load:0.3 ~agg_bps in
+  let dsts = List.map (fun (f : Flow.t) -> Vip.to_int f.Flow.dst_vip) flows in
+  checki "all destinations distinct" (List.length dsts)
+    (List.length (List.sort_uniq compare dsts))
+
+let test_alibaba_rpc_pairs () =
+  let flows = Tracegen.alibaba (rng ()) ~num_vms ~num_rpcs:200 ~load:0.3 ~agg_bps in
+  checki "request + response per rpc" 400 (List.length flows);
+  checkb "no self" true (no_self_flows flows);
+  checkb "sorted" true (sorted_by_start flows);
+  (* Each request (even id) has a matching reversed response (odd). *)
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun (f : Flow.t) -> Hashtbl.replace by_id f.Flow.id f) flows;
+  for i = 0 to 199 do
+    let req = Hashtbl.find by_id (2 * i) in
+    let resp = Hashtbl.find by_id ((2 * i) + 1) in
+    checkb "response reverses request" true
+      (Vip.equal req.Flow.src_vip resp.Flow.dst_vip
+      && Vip.equal req.Flow.dst_vip resp.Flow.src_vip);
+    checkb "response after request" true
+      (Time_ns.compare req.Flow.start resp.Flow.start < 0)
+  done
+
+let test_alibaba_callee_concentration () =
+  let flows = Tracegen.alibaba (rng ()) ~num_vms ~num_rpcs:2000 ~load:0.3 ~agg_bps in
+  let callees = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Flow.t) ->
+      if f.Flow.id mod 2 = 0 then begin
+        let d = Vip.to_int f.Flow.dst_vip in
+        Hashtbl.replace callees d
+          (1 + Option.value ~default:0 (Hashtbl.find_opt callees d))
+      end)
+    flows;
+  (* Callee pool restricted to ~24% of VMs. *)
+  checkb "callee pool restricted" true
+    (Hashtbl.length callees <= int_of_float (0.24 *. float_of_int num_vms) + 1);
+  (* Zipf: the hottest callee takes a large share. *)
+  let counts = Hashtbl.fold (fun _ c acc -> c :: acc) callees [] in
+  let max_c = List.fold_left max 0 counts in
+  checkb "hot callee dominates" true (max_c > 2000 / Hashtbl.length callees)
+
+let test_microbursts_invariants () =
+  let flows =
+    Tracegen.microbursts (rng ()) ~num_vms ~num_flows:500
+      ~horizon:(Time_ns.of_ms 2)
+  in
+  checki "count" 500 (List.length flows);
+  checkb "all udp" true
+    (List.for_all
+       (fun (f : Flow.t) ->
+         match f.Flow.proto with Flow.Udp _ -> true | Flow.Tcpish -> false)
+       flows);
+  checkb "starts within horizon" true
+    (List.for_all
+       (fun (f : Flow.t) -> Time_ns.to_ms f.Flow.start <= 2.0)
+       flows);
+  checkb "mice flows" true
+    (List.for_all (fun (f : Flow.t) -> Flow.packet_count f <= 20) flows)
+
+let test_video_disjoint_pairs () =
+  let flows =
+    Tracegen.video (rng ()) ~num_vms ~senders:32 ~duration:(Time_ns.of_ms 5)
+  in
+  checki "count" 32 (List.length flows);
+  let endpoints =
+    List.concat_map
+      (fun (f : Flow.t) ->
+        [ Vip.to_int f.Flow.src_vip; Vip.to_int f.Flow.dst_vip ])
+      flows
+  in
+  checki "all endpoints distinct" 64 (List.length (List.sort_uniq compare endpoints));
+  (* 48 Mb/s for 5 ms = 30 KB per stream. *)
+  List.iter
+    (fun (f : Flow.t) -> checki "stream size" 30_000 f.Flow.size_bytes)
+    flows
+
+let test_video_too_many_senders () =
+  Alcotest.check_raises "not enough VMs"
+    (Invalid_argument "Tracegen.video: not enough VMs for disjoint pairs")
+    (fun () ->
+      ignore
+        (Tracegen.video (rng ()) ~num_vms:10 ~senders:6
+           ~duration:(Time_ns.of_ms 1)))
+
+let test_incast_shape () =
+  let flows =
+    Tracegen.incast (rng ()) ~num_vms ~senders:16 ~dst_vip:(Vip.of_int 0)
+      ~packets_per_sender:100 ~packet_bytes:128 ~duration:(Time_ns.of_ms 1)
+  in
+  checki "senders" 16 (List.length flows);
+  List.iter
+    (fun (f : Flow.t) ->
+      checkb "targets the victim" true (Vip.equal f.Flow.dst_vip (Vip.of_int 0));
+      checki "packet count" 100 (Flow.packet_count f);
+      checki "packet size" 128 f.Flow.pkt_bytes)
+    flows;
+  checkb "senders distinct from dst" true (no_self_flows flows)
+
+let test_load_controls_arrival_rate () =
+  let span flows =
+    List.fold_left
+      (fun acc (f : Flow.t) -> max acc (Time_ns.to_ns f.Flow.start))
+      0 flows
+  in
+  let lo = Tracegen.hadoop (rng ()) ~num_vms ~num_flows:500 ~load:0.1 ~agg_bps in
+  let hi = Tracegen.hadoop (rng ()) ~num_vms ~num_flows:500 ~load:0.9 ~agg_bps in
+  checkb "higher load packs flows tighter" true (span hi < span lo)
+
+let test_invalid_load_rejected () =
+  Alcotest.check_raises "zero load"
+    (Invalid_argument "Tracegen: load out of (0,1]") (fun () ->
+      ignore (Tracegen.hadoop (rng ()) ~num_vms ~num_flows:10 ~load:0.0 ~agg_bps))
+
+let tracegen_qcheck =
+  QCheck.Test.make ~name:"hadoop generator invariants hold for any seed"
+    ~count:50 QCheck.small_nat (fun seed ->
+      let flows =
+        Tracegen.hadoop (Rng.create seed) ~num_vms:50 ~num_flows:100 ~load:0.3
+          ~agg_bps:1e12
+      in
+      no_self_flows flows && sorted_by_start flows && unique_ids flows)
+
+(* --- trace statistics --- *)
+
+let mk_flow ~id ~src ~dst ~size ~start_us =
+  Flow.make ~id ~src_vip:(Vip.of_int src) ~dst_vip:(Vip.of_int dst)
+    ~size_bytes:size ~start:(Time_ns.of_us start_us) Flow.Tcpish
+
+let test_stats_basic () =
+  let stats =
+    Workloads.Trace_stats.analyze
+      [
+        mk_flow ~id:0 ~src:1 ~dst:5 ~size:100 ~start_us:0;
+        mk_flow ~id:1 ~src:2 ~dst:5 ~size:300 ~start_us:100;
+        mk_flow ~id:2 ~src:1 ~dst:6 ~size:200 ~start_us:200;
+      ]
+  in
+  checki "flows" 3 stats.Workloads.Trace_stats.flows;
+  checki "sources" 2 stats.Workloads.Trace_stats.distinct_sources;
+  checki "destinations" 2 stats.Workloads.Trace_stats.distinct_destinations;
+  checki "reused dsts" 1 stats.Workloads.Trace_stats.destinations_with_2_flows;
+  checki "hot dsts" 0 stats.Workloads.Trace_stats.destinations_with_10_flows;
+  checki "bytes" 600 stats.Workloads.Trace_stats.total_bytes;
+  Alcotest.check (Alcotest.float 1e-9) "mean size" 200.0
+    stats.Workloads.Trace_stats.mean_flow_bytes;
+  (* One reuse event: dst 5 at t=0 then t=100us. *)
+  Alcotest.check (Alcotest.float 1e-9) "reuse distance" 100e-6
+    stats.Workloads.Trace_stats.mean_reuse_distance
+
+let test_stats_reuse_fraction () =
+  let stats =
+    Workloads.Trace_stats.analyze
+      [
+        mk_flow ~id:0 ~src:1 ~dst:5 ~size:1 ~start_us:0;
+        mk_flow ~id:1 ~src:2 ~dst:5 ~size:1 ~start_us:1;
+        mk_flow ~id:2 ~src:3 ~dst:5 ~size:1 ~start_us:2;
+        mk_flow ~id:3 ~src:4 ~dst:6 ~size:1 ~start_us:3;
+      ]
+  in
+  Alcotest.check (Alcotest.float 1e-9) "half the flows reuse" 0.5
+    (Workloads.Trace_stats.reuse_fraction stats)
+
+let test_stats_empty () =
+  let stats = Workloads.Trace_stats.analyze [] in
+  checki "no flows" 0 stats.Workloads.Trace_stats.flows;
+  Alcotest.check (Alcotest.float 1e-9) "no reuse" 0.0
+    (Workloads.Trace_stats.reuse_fraction stats)
+
+let test_stats_unsorted_input () =
+  (* analyze must sort internally: reuse distance computed on time
+     order, not list order. *)
+  let stats =
+    Workloads.Trace_stats.analyze
+      [
+        mk_flow ~id:1 ~src:2 ~dst:5 ~size:1 ~start_us:100;
+        mk_flow ~id:0 ~src:1 ~dst:5 ~size:1 ~start_us:0;
+      ]
+  in
+  Alcotest.check (Alcotest.float 1e-9) "positive distance" 100e-6
+    stats.Workloads.Trace_stats.mean_reuse_distance
+
+(* --- trace I/O --- *)
+
+let test_io_roundtrip () =
+  let flows =
+    Tracegen.hadoop (rng ()) ~num_vms ~num_flows:50 ~load:0.3 ~agg_bps
+    @ Tracegen.video (rng ()) ~num_vms ~senders:4 ~duration:(Time_ns.of_ms 1)
+  in
+  let parsed = Workloads.Trace_io.of_string (Workloads.Trace_io.to_string flows) in
+  checki "count preserved" (List.length flows) (List.length parsed);
+  List.iter2
+    (fun (a : Flow.t) (b : Flow.t) ->
+      checkb "flow preserved" true
+        (a.Flow.id = b.Flow.id
+        && Vip.equal a.Flow.src_vip b.Flow.src_vip
+        && Vip.equal a.Flow.dst_vip b.Flow.dst_vip
+        && a.Flow.size_bytes = b.Flow.size_bytes
+        && Time_ns.compare a.Flow.start b.Flow.start = 0
+        && a.Flow.pkt_bytes = b.Flow.pkt_bytes
+        &&
+        match (a.Flow.proto, b.Flow.proto) with
+        | Flow.Tcpish, Flow.Tcpish -> true
+        | Flow.Udp x, Flow.Udp y -> Float.abs (x.rate_bps -. y.rate_bps) < 1.0
+        | _ -> false))
+    flows parsed
+
+let test_io_file_roundtrip () =
+  let flows = Tracegen.hadoop (rng ()) ~num_vms ~num_flows:20 ~load:0.3 ~agg_bps in
+  let path = Filename.temp_file "trace" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Workloads.Trace_io.save flows path;
+      checki "file roundtrip" (List.length flows)
+        (List.length (Workloads.Trace_io.load path)))
+
+let test_io_rejects_bad_input () =
+  (try
+     ignore (Workloads.Trace_io.of_string "not,a,header\n");
+     Alcotest.fail "should reject bad header"
+   with Failure _ -> ());
+  let bad =
+    "id,src_vip,dst_vip,size_bytes,start_ns,proto,rate_bps,pkt_bytes\n\
+     0,1,2,100,0,carrier-pigeon,,1500\n"
+  in
+  try
+    ignore (Workloads.Trace_io.of_string bad);
+    Alcotest.fail "should reject bad proto"
+  with Failure msg -> checkb "line number reported" true (String.length msg > 0)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "cdf",
+        [
+          Alcotest.test_case "means" `Quick test_cdf_means;
+          Alcotest.test_case "positive samples" `Quick test_cdf_sampling_positive;
+        ] );
+      ( "traces",
+        [
+          Alcotest.test_case "hadoop invariants" `Quick test_hadoop_invariants;
+          Alcotest.test_case "hadoop destination reuse" `Quick test_hadoop_destination_reuse;
+          Alcotest.test_case "websearch minimal reuse" `Quick test_websearch_minimal_reuse;
+          Alcotest.test_case "alibaba rpc pairs" `Quick test_alibaba_rpc_pairs;
+          Alcotest.test_case "alibaba callee concentration" `Quick test_alibaba_callee_concentration;
+          Alcotest.test_case "microbursts" `Quick test_microbursts_invariants;
+          Alcotest.test_case "video disjoint pairs" `Quick test_video_disjoint_pairs;
+          Alcotest.test_case "video bounds" `Quick test_video_too_many_senders;
+          Alcotest.test_case "incast" `Quick test_incast_shape;
+          Alcotest.test_case "load controls arrivals" `Quick test_load_controls_arrival_rate;
+          Alcotest.test_case "invalid load" `Quick test_invalid_load_rejected;
+          QCheck_alcotest.to_alcotest tracegen_qcheck;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "reuse fraction" `Quick test_stats_reuse_fraction;
+          Alcotest.test_case "empty trace" `Quick test_stats_empty;
+          Alcotest.test_case "unsorted input" `Quick test_stats_unsorted_input;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
+          Alcotest.test_case "rejects bad input" `Quick test_io_rejects_bad_input;
+        ] );
+    ]
