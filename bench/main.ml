@@ -9,13 +9,90 @@
      dune exec bench/main.exe micro      # primitive benchmarks only *)
 
 module Fig5 = Experiments.Fig5
+module Parallel = Experiments.Parallel
 
 let scale : Experiments.Setup.scale ref = ref `Small
 
-let time_it name f =
+(* Per-target records for BENCH_sweep.json: wall time, how many pool
+   tasks ran and their summed wall time. [busy /. wall] estimates the
+   effective speedup over a fully sequential execution of the sweep. *)
+type target_record = {
+  target : string;
+  title : string;
+  wall_s : float;
+  tasks : int;
+  task_s : float;
+}
+
+let records : target_record list ref = ref []
+
+let time_it ~key name f =
+  Parallel.reset_counters ();
   let t0 = Unix.gettimeofday () in
   f ();
-  Printf.printf "\n[%s finished in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
+  let wall = Unix.gettimeofday () -. t0 in
+  let c = Parallel.counters () in
+  Printf.printf "\n[%s finished in %.1fs]\n%!" name wall;
+  records :=
+    {
+      target = key;
+      title = name;
+      wall_s = wall;
+      tasks = c.Parallel.tasks;
+      task_s = c.Parallel.busy_seconds;
+    }
+    :: !records
+
+let scale_name () =
+  match !scale with `Tiny -> "tiny" | `Small -> "small" | `Paper -> "paper"
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_sweep_json jobs =
+  let path =
+    match Sys.getenv_opt "REPRO_BENCH_JSON" with
+    | Some p -> p
+    | None -> "BENCH_sweep.json"
+  in
+  let rs = List.rev !records in
+  let total_wall = List.fold_left (fun a r -> a +. r.wall_s) 0.0 rs in
+  let target_json r =
+    let speedup = if r.wall_s > 0.0 then r.task_s /. r.wall_s else 1.0 in
+    Printf.sprintf
+      "    {\"target\": \"%s\", \"title\": \"%s\", \"wall_s\": %.3f, \
+       \"tasks\": %d, \"task_s\": %.3f, \"effective_speedup\": %.2f}"
+      (json_escape r.target) (json_escape r.title) r.wall_s r.tasks r.task_s
+      speedup
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"schema\": \"bench_sweep/v1\",\n\
+        \  \"jobs\": %d,\n\
+        \  \"scale\": \"%s\",\n\
+        \  \"total_wall_s\": %.3f,\n\
+        \  \"targets\": [\n\
+         %s\n\
+        \  ]\n\
+         }\n"
+        jobs (scale_name ()) total_wall
+        (String.concat ",\n" (List.map target_json rs)));
+  Printf.printf "\n[sweep report written to %s]\n%!" path
 
 let fig5 kind () = Fig5.print (Fig5.run ~scale:!scale kind)
 
@@ -55,6 +132,9 @@ let cachegeo () =
 let micro () =
   let open Bechamel in
   let open Toolkit in
+  (* Each benchmark is a (name, closure) pair: Bechamel times the
+     closure, and we separately count minor-heap words across a plain
+     loop over the same closure (see [words_per_op] below). *)
   let cache_lookup =
     let cache = Switchv2p.Cache.create ~slots:4096 in
     for i = 0 to 4095 do
@@ -64,23 +144,23 @@ let micro () =
            (Netcore.Addr.Pip.of_int i))
     done;
     let i = ref 0 in
-    Test.make ~name:"cache lookup"
-      (Staged.stage (fun () ->
-           incr i;
-           ignore
-             (Switchv2p.Cache.lookup cache
-                (Netcore.Addr.Vip.of_int (!i land 4095)))))
+    ( "cache lookup",
+      fun () ->
+        incr i;
+        ignore
+          (Switchv2p.Cache.lookup cache
+             (Netcore.Addr.Vip.of_int (!i land 4095))) )
   in
   let cache_insert =
     let cache = Switchv2p.Cache.create ~slots:4096 in
     let i = ref 0 in
-    Test.make ~name:"cache insert"
-      (Staged.stage (fun () ->
-           incr i;
-           ignore
-             (Switchv2p.Cache.insert cache ~admission:`All
-                (Netcore.Addr.Vip.of_int (!i land 16383))
-                (Netcore.Addr.Pip.of_int !i))))
+    ( "cache insert",
+      fun () ->
+        incr i;
+        ignore
+          (Switchv2p.Cache.insert cache ~admission:`All
+             (Netcore.Addr.Vip.of_int (!i land 16383))
+             (Netcore.Addr.Pip.of_int !i)) )
   in
   let heap_ops =
     let h = Dessim.Heap.create () in
@@ -88,34 +168,118 @@ let micro () =
     for _ = 1 to 1024 do
       Dessim.Heap.push h (Dessim.Rng.int rng 1_000_000) ()
     done;
-    Test.make ~name:"heap push+pop"
-      (Staged.stage (fun () ->
-           Dessim.Heap.push h (Dessim.Rng.int rng 1_000_000) ();
-           ignore (Dessim.Heap.pop h)))
+    ( "heap push+pop",
+      fun () ->
+        Dessim.Heap.push h (Dessim.Rng.int rng 1_000_000) ();
+        ignore (Dessim.Heap.pop h) )
+  in
+  let routing_topo =
+    Topo.Topology.build
+      (Topo.Params.scaled ~pods:8 ~racks_per_pod:4 ~hosts_per_rack:2
+         ~vms_per_host:2 ())
   in
   let ecmp =
-    let t =
-      Topo.Topology.build
-        (Topo.Params.scaled ~pods:8 ~racks_per_pod:4 ~hosts_per_rack:2
-           ~vms_per_host:2 ())
-    in
+    let t = routing_topo in
     let hosts = Topo.Topology.hosts t in
     let i = ref 0 in
-    Test.make ~name:"ecmp full path"
-      (Staged.stage (fun () ->
-           incr i;
-           let src = hosts.(!i mod Array.length hosts) in
-           let dst = hosts.(((!i * 7) + 13) mod Array.length hosts) in
-           if src <> dst then ignore (Topo.Routing.path t ~src ~dst ~salt:!i)))
+    ( "ecmp full path",
+      fun () ->
+        incr i;
+        let src = hosts.(!i mod Array.length hosts) in
+        let dst = hosts.(((!i * 7) + 13) mod Array.length hosts) in
+        if src <> dst then ignore (Topo.Routing.path t ~src ~dst ~salt:!i) )
+  in
+  (* The forwarding hot path proper: a spine picking the ECMP core
+     toward a host in another pod — the one case where the oracle
+     allocates its candidate array. The table-based path must show
+     0 w/op here. *)
+  let next_hop_pairs =
+    let t = routing_topo in
+    let spines = Topo.Topology.spines t in
+    let hosts = Topo.Topology.hosts t in
+    let pod_of id =
+      match Topo.Topology.kind t id with
+      | Topo.Node.Host { pod; _ }
+      | Topo.Node.Gateway { pod; _ }
+      | Topo.Node.Tor { pod; _ }
+      | Topo.Node.Spine { pod; _ } ->
+          pod
+      | Topo.Node.Core _ -> -1
+    in
+    Array.init 1024 (fun i ->
+        let at = spines.(i mod Array.length spines) in
+        let rec pick j =
+          let dst = hosts.(((i * 7) + j) mod Array.length hosts) in
+          if pod_of dst <> pod_of at then dst else pick (j + 1)
+        in
+        (at, pick 13))
+  in
+  let next_hop_table =
+    let t = routing_topo in
+    let i = ref 0 in
+    ( "next_hop (table)",
+      fun () ->
+        incr i;
+        let at, dst = next_hop_pairs.(!i land 1023) in
+        ignore (Topo.Routing.next_hop t ~at ~dst ~salt:!i) )
+  in
+  let next_hop_oracle =
+    let t = routing_topo in
+    let i = ref 0 in
+    ( "next_hop (oracle)",
+      fun () ->
+        incr i;
+        let at, dst = next_hop_pairs.(!i land 1023) in
+        ignore (Topo.Routing.next_hop_oracle t ~at ~dst ~salt:!i) )
+  in
+  (* End-to-end per-packet cost: one single-packet UDP flow through the
+     full simulator (transport, links, engine, metrics) with the Direct
+     scheme, host -> ToR -> fabric -> host. *)
+  let e2e =
+    let topo =
+      Topo.Topology.build
+        (Topo.Params.scaled ~pods:2 ~racks_per_pod:2 ~hosts_per_rack:2
+           ~vms_per_host:2 ())
+    in
+    let net = Netsim.Network.create topo ~scheme:(Schemes.Baselines.direct ()) in
+    let num_vms = Netsim.Network.num_vms net in
+    let vms_per_host = 2 in
+    let module Time_ns = Dessim.Time_ns in
+    let module Flow = Netcore.Flow in
+    let i = ref 0 in
+    ( "transmit+arrive (pkt e2e, direct)",
+      fun () ->
+        incr i;
+        let src = !i * vms_per_host mod num_vms in
+        let dst = (src + vms_per_host) mod num_vms in
+        let start =
+          Time_ns.add
+            (Dessim.Engine.now (Netsim.Network.engine net))
+            (Time_ns.of_ns 10)
+        in
+        let flow =
+          Flow.make ~id:!i ~pkt_bytes:1500
+            ~src_vip:(Netcore.Addr.Vip.of_int src)
+            ~dst_vip:(Netcore.Addr.Vip.of_int dst)
+            ~size_bytes:1000 ~start
+            (Flow.Udp { rate_bps = 1e12 })
+        in
+        Netsim.Network.run net [ flow ] ~migrations:[]
+          ~until:(Time_ns.add start (Time_ns.of_ms 1)) )
   in
   let rng_bench =
     let rng = Dessim.Rng.create 7 in
-    Test.make ~name:"rng int"
-      (Staged.stage (fun () -> ignore (Dessim.Rng.int rng 1_000_000)))
+    ("rng int", fun () -> ignore (Dessim.Rng.int rng 1_000_000))
+  in
+  let benches =
+    [
+      cache_lookup; cache_insert; heap_ops; ecmp; next_hop_table;
+      next_hop_oracle; e2e; rng_bench;
+    ]
   in
   let tests =
     Test.make_grouped ~name:"primitives"
-      [ cache_lookup; cache_insert; heap_ops; ecmp; rng_bench ]
+      (List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) benches)
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -125,15 +289,46 @@ let micro () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let times = Analyze.all ols Instance.monotonic_clock raw in
+  (* Allocation is counted directly: minor-heap words across [n] calls
+     of the closure, divided by [n]. The loop and the closure call
+     themselves allocate nothing, so 0.0 here means the operation truly
+     performs zero allocation per call. *)
+  let words_per_op f =
+    f ();
+    let n = 10_000 in
+    let w0 = Gc.minor_words () in
+    for _ = 1 to n do
+      f ()
+    done;
+    (Gc.minor_words () -. w0) /. float_of_int n
+  in
+  let words =
+    List.map (fun (name, f) -> ("primitives/" ^ name, words_per_op f)) benches
+  in
+  let estimate results name =
+    match Hashtbl.find_opt results name with
+    | Some r -> (
+        match Analyze.OLS.estimates r with Some [ est ] -> Some est | _ -> None)
+    | None -> None
+  in
   print_newline ();
-  print_endline "== micro: primitive costs (ns/op) ==";
-  Hashtbl.iter
-    (fun name ols_result ->
-      match Analyze.OLS.estimates ols_result with
-      | Some [ est ] -> Printf.printf "  %-36s %8.1f ns/op\n" name est
-      | Some _ | None -> Printf.printf "  %-36s (no estimate)\n" name)
-    results;
+  print_endline "== micro: primitive costs ==";
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) times [] in
+  List.iter
+    (fun name ->
+      let time =
+        match estimate times name with
+        | Some ns -> Printf.sprintf "%8.1f ns/op" ns
+        | None -> "     (no est.)"
+      in
+      let alloc =
+        match List.assoc_opt name words with
+        | Some w -> Printf.sprintf "%8.1f w/op" w
+        | None -> "     (no est.)"
+      in
+      Printf.printf "  %-44s %s  %s\n" name time alloc)
+    (List.sort compare names);
   flush stdout
 
 let targets =
@@ -185,12 +380,16 @@ let () =
   in
   let args = strip_flags [] args in
   let selected = if args = [] then default_order else args in
+  let jobs = Parallel.default_jobs () in
+  Printf.printf "[experiment pool: %d worker%s]\n%!" jobs
+    (if jobs = 1 then "" else "s");
   List.iter
     (fun key ->
       match List.assoc_opt key targets with
-      | Some (title, f) -> time_it title f
+      | Some (title, f) -> time_it ~key title f
       | None ->
           Printf.eprintf "unknown target %S; available: %s\n" key
             (String.concat ", " (List.map fst targets));
           exit 1)
-    selected
+    selected;
+  write_sweep_json jobs

@@ -2,13 +2,15 @@ type row = { variant : string; hit : float; fct_x : float; fpl_x : float }
 type t = { rows : row list }
 
 let run ?(scale = `Small) ?(cache_pct = 50) () =
-  let setup = Setup.ft8 scale in
-  let topo = setup.Setup.topo in
-  let slots = Setup.cache_slots setup ~pct:cache_pct in
-  let flows = Setup.hadoop_trace setup in
+  let spec = Setup.spec_ft8 scale in
+  let flows = Setup.hadoop_trace (Setup.pooled spec) in
   let until = Setup.horizon flows in
-  let exec scheme = Runner.run setup ~scheme ~flows ~migrations:[] ~until in
-  let base = exec (Schemes.Baselines.nocache ()) in
+  let task name mk_scheme =
+    ( "ablation/" ^ name,
+      fun () ->
+        let s = Setup.pooled spec in
+        Runner.run s ~scheme:(mk_scheme s) ~flows ~migrations:[] ~until )
+  in
   let variants =
     [
       ("full", Switchv2p.Config.default);
@@ -19,27 +21,34 @@ let run ?(scale = `Small) ?(cache_pct = 50) () =
       ("ToR-only cache", Switchv2p.Config.make ~tor_only:true ());
     ]
   in
-  let rows =
-    List.map
-      (fun (variant, cfg) ->
-        let r =
-          exec
-            (Schemes.Switchv2p_scheme.make ~config:cfg topo
-               ~total_cache_slots:slots)
-        in
-        {
-          variant;
-          hit = r.Runner.hit_rate;
-          fct_x =
-            Runner.improvement ~baseline:base.Runner.mean_fct
-              ~v:r.Runner.mean_fct;
-          fpl_x =
-            Runner.improvement ~baseline:base.Runner.mean_fpl
-              ~v:r.Runner.mean_fpl;
-        })
-      variants
+  let tasks =
+    task "NoCache" (fun _ -> Schemes.Baselines.nocache ())
+    :: List.map
+         (fun (variant, cfg) ->
+           task variant (fun s ->
+               Schemes.Switchv2p_scheme.make ~config:cfg s.Setup.topo
+                 ~total_cache_slots:(Setup.cache_slots s ~pct:cache_pct)))
+         variants
   in
-  { rows }
+  match Parallel.map tasks with
+  | [] -> assert false
+  | base :: results ->
+      let rows =
+        List.map2
+          (fun (variant, _) (r : Runner.result) ->
+            {
+              variant;
+              hit = r.Runner.hit_rate;
+              fct_x =
+                Runner.improvement ~baseline:base.Runner.mean_fct
+                  ~v:r.Runner.mean_fct;
+              fpl_x =
+                Runner.improvement ~baseline:base.Runner.mean_fpl
+                  ~v:r.Runner.mean_fpl;
+            })
+          variants results
+      in
+      { rows }
 
 let print t =
   Report.table ~title:"Ablation: SwitchV2P feature contributions (Hadoop)"

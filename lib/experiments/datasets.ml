@@ -7,14 +7,17 @@ let run ?(scale = `Small) () =
       Fig5.Hadoop; Fig5.Websearch; Fig5.Alibaba; Fig5.Microbursts; Fig5.Video;
     ]
   in
-  let rows =
-    List.map
-      (fun kind ->
-        let setup =
+  (* No simulation here, but trace generation + analysis of five
+     workloads still parallelizes cleanly. *)
+  let task kind =
+    ( "datasets/" ^ Fig5.trace_name kind,
+      fun () ->
+        let spec =
           match kind with
-          | Fig5.Alibaba -> Setup.ft16 scale
-          | _ -> Setup.ft8 scale
+          | Fig5.Alibaba -> Setup.spec_ft16 scale
+          | _ -> Setup.spec_ft8 scale
         in
+        let setup = Setup.pooled spec in
         let flows =
           match kind with
           | Fig5.Hadoop -> Setup.hadoop_trace setup
@@ -23,8 +26,13 @@ let run ?(scale = `Small) () =
           | Fig5.Microbursts -> Setup.microbursts_trace setup
           | Fig5.Video -> Setup.video_trace setup
         in
-        { trace = Fig5.trace_name kind; stats = Workloads.Trace_stats.analyze flows })
+        Workloads.Trace_stats.analyze flows )
+  in
+  let rows =
+    List.map2
+      (fun kind stats -> { trace = Fig5.trace_name kind; stats })
       kinds
+      (Parallel.map (List.map task kinds))
   in
   { rows }
 

@@ -11,10 +11,15 @@ let configs ~total_hosts =
       if hosts_per_rack >= 1 then Some (pods, racks, hosts_per_rack) else None)
     [ 1; 2; 4; 8; 16 ]
 
+let scheme_names = [ "LocalLearning"; "GwCache"; "SwitchV2P" ]
+
 let run ?(cache_pct = 50) ?(total_hosts = 64) () =
   let pod_configs = configs ~total_hosts in
   let total_vms = total_hosts * 8 in
-  let per_config (pods, racks, hosts_per_rack) =
+  (* Every (topology size, scheme) pair — including each size's NoCache
+     baseline — is an independent run; flatten the whole grid into one
+     task list. *)
+  let config_tasks (pods, racks, hosts_per_rack) =
     (* The gateway deployment stays constant across topology sizes (one
        gateway pod, fixed replica count), as in the paper — GwCache's
        per-switch cache size must not vary with the pod count. *)
@@ -28,35 +33,48 @@ let run ?(cache_pct = 50) ?(total_hosts = 64) () =
         gateways_per_gateway_pod = 4;
       }
     in
-    let setup = Setup.custom params ~seed:42 in
-    let topo = setup.Setup.topo in
-    let slots = Setup.cache_slots setup ~pct:cache_pct in
-    let flows = Setup.hadoop_trace setup in
+    let spec = Setup.spec_custom ~seed:42 params in
+    let flows = Setup.hadoop_trace (Setup.pooled spec) in
     let until = Setup.horizon flows in
-    let exec scheme = Runner.run setup ~scheme ~flows ~migrations:[] ~until in
-    let base = exec (Schemes.Baselines.nocache ()) in
-    let point (r : Runner.result) =
-      {
-        pods;
-        fct_x =
-          Runner.improvement ~baseline:base.Runner.mean_fct ~v:r.Runner.mean_fct;
-        hit = r.Runner.hit_rate;
-      }
+    let task name mk_scheme =
+      ( Printf.sprintf "fig10/%dpods/%s" pods name,
+        fun () ->
+          let s = Setup.pooled spec in
+          Runner.run s
+            ~scheme:
+              (mk_scheme s.Setup.topo (Setup.cache_slots s ~pct:cache_pct))
+            ~flows ~migrations:[] ~until )
     in
     [
-      ( "LocalLearning",
-        point (exec (Schemes.Baselines.locallearning ~topo ~total_slots:slots))
-      );
-      ( "GwCache",
-        point (exec (Schemes.Baselines.gwcache ~topo ~total_slots:slots)) );
-      ( "SwitchV2P",
-        point
-          (exec (Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots))
-      );
+      task "NoCache" (fun _ _ -> Schemes.Baselines.nocache ());
+      task "LocalLearning" (fun topo slots ->
+          Schemes.Baselines.locallearning ~topo ~total_slots:slots);
+      task "GwCache" (fun topo slots ->
+          Schemes.Baselines.gwcache ~topo ~total_slots:slots);
+      task "SwitchV2P" (fun topo slots ->
+          Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots);
     ]
   in
-  let per_pod = List.map per_config pod_configs in
-  let scheme_names = [ "LocalLearning"; "GwCache"; "SwitchV2P" ] in
+  let results = Parallel.map (List.concat_map config_tasks pod_configs) in
+  (* Regroup: 1 + |scheme_names| results per configuration, in order. *)
+  let runs_per_config = 1 + List.length scheme_names in
+  let per_pod =
+    List.mapi
+      (fun ci (pods, _, _) ->
+        let nth i = List.nth results ((ci * runs_per_config) + i) in
+        let base = nth 0 in
+        let point (r : Runner.result) =
+          {
+            pods;
+            fct_x =
+              Runner.improvement ~baseline:base.Runner.mean_fct
+                ~v:r.Runner.mean_fct;
+            hit = r.Runner.hit_rate;
+          }
+        in
+        List.mapi (fun i name -> (name, point (nth (i + 1)))) scheme_names)
+      pod_configs
+  in
   let series =
     List.map
       (fun name ->

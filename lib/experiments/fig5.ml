@@ -46,54 +46,92 @@ let cell_of kind ~(nocache : Runner.result) (r : Runner.result) =
 
 let run ?(scale = `Small) ?(cache_pcts = [ 1; 10; 50; 200; 1500 ])
     ?(with_controller = false) kind =
-  let setup =
-    match kind with Alibaba -> Setup.ft16 scale | _ -> Setup.ft8 scale
+  let spec =
+    match kind with
+    | Alibaba -> Setup.spec_ft16 scale
+    | _ -> Setup.spec_ft8 scale
   in
-  let topo = setup.Setup.topo in
-  let flows = trace_of setup kind in
+  (* Flows are immutable and deterministic in the spec's seed: generate
+     once here and share across workers. Topologies and schemes are
+     mutable; each task builds its own from the domain-local setup. *)
+  let flows = trace_of (Setup.pooled spec) kind in
   let until = Setup.horizon flows in
-  let exec scheme = Runner.run setup ~scheme ~flows ~migrations:[] ~until in
-  let nocache = exec (Schemes.Baselines.nocache ()) in
-  let fixed name scheme =
-    let r = exec scheme in
-    ( name,
-      Array.of_list
-        (List.map (fun _ -> cell_of kind ~nocache r) cache_pcts) )
+  let task name mk_scheme =
+    ( trace_name kind ^ "/" ^ name,
+      fun () ->
+        let setup = Setup.pooled spec in
+        Runner.run setup ~scheme:(mk_scheme setup) ~flows ~migrations:[]
+          ~until )
   in
   let swept name make =
-    ( name,
-      Array.of_list
-        (List.map
-           (fun pct ->
-             let slots = Setup.cache_slots setup ~pct in
-             cell_of kind ~nocache (exec (make slots)))
-           cache_pcts) )
+    `Swept
+      ( name,
+        List.map
+          (fun pct ->
+            task
+              (Printf.sprintf "%s@%d%%" name pct)
+              (fun setup ->
+                make setup.Setup.topo (Setup.cache_slots setup ~pct)))
+          cache_pcts )
   in
-  let series =
+  let fixed name make = `Fixed (name, task name (fun setup -> make setup.Setup.topo)) in
+  let series_spec =
     [
-      swept "LocalLearning" (fun slots ->
+      swept "LocalLearning" (fun topo slots ->
           Schemes.Baselines.locallearning ~topo ~total_slots:slots);
-      swept "GwCache" (fun slots ->
+      swept "GwCache" (fun topo slots ->
           Schemes.Baselines.gwcache ~topo ~total_slots:slots);
-      swept "Bluebird" (fun slots ->
+      swept "Bluebird" (fun topo slots ->
           Schemes.Baselines.bluebird ~topo ~total_slots:slots ());
-      fixed "OnDemand" (Schemes.Baselines.ondemand ());
-      fixed "Direct" (Schemes.Baselines.direct ());
-      swept "SwitchV2P" (fun slots ->
+      fixed "OnDemand" (fun _ -> Schemes.Baselines.ondemand ());
+      fixed "Direct" (fun _ -> Schemes.Baselines.direct ());
+      swept "SwitchV2P" (fun topo slots ->
           Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots);
     ]
-  in
-  let series =
+    @
     if with_controller then
-      series
-      @ [
-          swept "Controller" (fun slots ->
-              Schemes.Controller.make ~topo ~total_slots:slots
-                ~interval:(Time_ns.of_us 300) ());
-        ]
-    else series
+      [
+        swept "Controller" (fun topo slots ->
+            Schemes.Controller.make ~topo ~total_slots:slots
+              ~interval:(Time_ns.of_us 300) ());
+      ]
+    else []
   in
-  { kind; cache_pcts; nocache; series }
+  let tasks =
+    task "NoCache" (fun _ -> Schemes.Baselines.nocache ())
+    :: List.concat_map
+         (function `Fixed (_, t) -> [ t ] | `Swept (_, ts) -> ts)
+         series_spec
+  in
+  match Parallel.map tasks with
+  | [] -> assert false
+  | nocache :: rest ->
+      let rec split_at n xs =
+        if n = 0 then ([], xs)
+        else
+          match xs with
+          | x :: tl ->
+              let a, b = split_at (n - 1) tl in
+              (x :: a, b)
+          | [] -> assert false
+      in
+      let rec assemble specs rest =
+        match specs with
+        | [] ->
+            assert (rest = []);
+            []
+        | `Fixed (name, _) :: tl ->
+            let r, rest = (List.hd rest, List.tl rest) in
+            ( name,
+              Array.of_list
+                (List.map (fun _ -> cell_of kind ~nocache r) cache_pcts) )
+            :: assemble tl rest
+        | `Swept (name, ts) :: tl ->
+            let rs, rest = split_at (List.length ts) rest in
+            (name, Array.of_list (List.map (cell_of kind ~nocache) rs))
+            :: assemble tl rest
+      in
+      { kind; cache_pcts; nocache; series = assemble series_spec rest }
 
 let print t =
   let name = trace_name t.kind in

@@ -5,22 +5,35 @@ type t = {
 }
 
 let run ?(scale = `Small) ?(cache_pct = 50) () =
-  let setup = Setup.ft8 scale in
+  let spec = Setup.spec_ft8 scale in
+  let setup = Setup.pooled spec in
   let topo = setup.Setup.topo in
-  let slots = Setup.cache_slots setup ~pct:cache_pct in
   let flows = Setup.hadoop_trace setup in
   let until = Setup.horizon flows in
-  let exec scheme = Runner.run setup ~scheme ~flows ~migrations:[] ~until in
-  let results =
+  let task name mk_scheme =
+    ( "fig7_8/" ^ name,
+      fun () ->
+        let s = Setup.pooled spec in
+        let slots = Setup.cache_slots s ~pct:cache_pct in
+        Runner.run s ~scheme:(mk_scheme s.Setup.topo slots) ~flows
+          ~migrations:[] ~until )
+  in
+  let schemes =
     [
-      ("NoCache", exec (Schemes.Baselines.nocache ()));
+      ("NoCache", fun _ _ -> Schemes.Baselines.nocache ());
       ( "LocalLearning",
-        exec (Schemes.Baselines.locallearning ~topo ~total_slots:slots) );
-      ("GwCache", exec (Schemes.Baselines.gwcache ~topo ~total_slots:slots));
+        fun topo slots -> Schemes.Baselines.locallearning ~topo ~total_slots:slots );
+      ("GwCache", fun topo slots -> Schemes.Baselines.gwcache ~topo ~total_slots:slots);
       ( "SwitchV2P",
-        exec (Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots) );
-      ("Direct", exec (Schemes.Baselines.direct ()));
+        fun topo slots -> Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots );
+      ("Direct", fun _ _ -> Schemes.Baselines.direct ());
     ]
+  in
+  let results =
+    List.map2
+      (fun (name, _) r -> (name, r))
+      schemes
+      (Parallel.map (List.map (fun (name, mk) -> task name mk) schemes))
   in
   let gateway_pod =
     match (Topo.Topology.params topo).Topo.Params.gateway_pods with

@@ -6,12 +6,11 @@ type t = {
 }
 
 let run ?(scale = `Small) ?(cache_pct = 50) () =
-  let setup = Setup.ft8 scale in
-  let topo = setup.Setup.topo in
-  let slots = Setup.cache_slots setup ~pct:cache_pct in
+  let spec = Setup.spec_ft8 scale in
+  let setup = Setup.pooled spec in
   let flows = Setup.hadoop_trace setup in
   let until = Setup.horizon flows in
-  let total_gw = Array.length (Topo.Topology.gateways topo) in
+  let total_gw = Array.length (Topo.Topology.gateways setup.Setup.topo) in
   let gateway_counts =
     List.sort_uniq compare
       (List.filter
@@ -19,44 +18,64 @@ let run ?(scale = `Small) ?(cache_pct = 50) () =
          [ total_gw; total_gw / 2; total_gw / 4; max 1 (total_gw / 10) ])
     |> List.rev
   in
-  let exec ~k scheme =
-    let config =
-      { Netsim.Network.default_config with gateways_used = Some k }
-    in
-    Runner.run ~net_config:config setup ~scheme ~flows ~migrations:[] ~until
+  let task ~name ~k mk_scheme =
+    ( Printf.sprintf "fig9/%s@%dgw" name k,
+      fun () ->
+        let s = Setup.pooled spec in
+        let config =
+          { Netsim.Network.default_config with gateways_used = Some k }
+        in
+        Runner.run ~net_config:config s
+          ~scheme:(mk_scheme s.Setup.topo (Setup.cache_slots s ~pct:cache_pct))
+          ~flows ~migrations:[] ~until )
   in
-  (* Baseline: NoCache with the full gateway fleet. *)
-  let base = exec ~k:total_gw (Schemes.Baselines.nocache ()) in
-  let series_of name make =
-    ( name,
-      Array.of_list
-        (List.map
-           (fun k ->
-             let r = exec ~k (make ()) in
-             {
-               gateways = k;
-               fct_x =
-                 Runner.improvement ~baseline:base.Runner.mean_fct
-                   ~v:r.Runner.mean_fct;
-               fpl_x =
-                 Runner.improvement ~baseline:base.Runner.mean_fpl
-                   ~v:r.Runner.mean_fpl;
-               drops = r.Runner.packets_dropped;
-             })
-           gateway_counts) )
-  in
-  let series =
+  let schemes =
     [
-      series_of "NoCache" (fun () -> Schemes.Baselines.nocache ());
-      series_of "LocalLearning" (fun () ->
-          Schemes.Baselines.locallearning ~topo ~total_slots:slots);
-      series_of "GwCache" (fun () ->
-          Schemes.Baselines.gwcache ~topo ~total_slots:slots);
-      series_of "SwitchV2P" (fun () ->
-          Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots);
+      ("NoCache", fun _ _ -> Schemes.Baselines.nocache ());
+      ( "LocalLearning",
+        fun topo slots -> Schemes.Baselines.locallearning ~topo ~total_slots:slots );
+      ("GwCache", fun topo slots -> Schemes.Baselines.gwcache ~topo ~total_slots:slots);
+      ( "SwitchV2P",
+        fun topo slots -> Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots );
     ]
   in
-  { gateway_counts; series }
+  (* Baseline: NoCache with the full gateway fleet, then every
+     (scheme, gateway count) pair — all independent runs. *)
+  let tasks =
+    task ~name:"base" ~k:total_gw (fun _ _ -> Schemes.Baselines.nocache ())
+    :: List.concat_map
+         (fun (name, mk) ->
+           List.map (fun k -> task ~name ~k mk) gateway_counts)
+         schemes
+  in
+  match Parallel.map tasks with
+  | [] -> assert false
+  | base :: rest ->
+      let point k (r : Runner.result) =
+        {
+          gateways = k;
+          fct_x =
+            Runner.improvement ~baseline:base.Runner.mean_fct
+              ~v:r.Runner.mean_fct;
+          fpl_x =
+            Runner.improvement ~baseline:base.Runner.mean_fpl
+              ~v:r.Runner.mean_fpl;
+          drops = r.Runner.packets_dropped;
+        }
+      in
+      let n_counts = List.length gateway_counts in
+      let rec chunk schemes rest =
+        match schemes with
+        | [] ->
+            assert (rest = []);
+            []
+        | (name, _) :: tl ->
+            let rs = List.filteri (fun i _ -> i < n_counts) rest in
+            let rest = List.filteri (fun i _ -> i >= n_counts) rest in
+            (name, Array.of_list (List.map2 point gateway_counts rs))
+            :: chunk tl rest
+      in
+      { gateway_counts; series = chunk schemes rest }
 
 let print t =
   let header =

@@ -94,3 +94,35 @@ let horizon flows =
       0 flows
   in
   Time_ns.of_ns (last + Time_ns.to_ns (Time_ns.of_ms 40))
+
+type family = [ `FT8 | `FT16 | `Custom of Topo.Params.t ]
+type spec = { family : family; scale : scale; seed : int }
+
+let spec_ft8 ?(seed = 42) scale = { family = `FT8; scale; seed }
+let spec_ft16 ?(seed = 42) scale = { family = `FT16; scale; seed }
+let spec_custom ?(seed = 42) params =
+  { family = `Custom params; scale = `Tiny; seed }
+
+let realize spec =
+  match spec.family with
+  | `FT8 -> ft8 ~seed:spec.seed spec.scale
+  | `FT16 -> ft16 ~seed:spec.seed spec.scale
+  | `Custom params -> custom params ~seed:spec.seed
+
+(* One realized setup per (domain, spec): topologies carry per-run
+   mutable link state (reset by [Network.create]), so they may be
+   reused by consecutive runs on one domain — exactly the sequential
+   execution model — but must never cross domains. [Domain.DLS] gives
+   every worker its own pool; specs are tiny, so a small assoc list
+   keyed by structural equality suffices. *)
+let pool_key : (spec * t) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let pooled spec =
+  let pool = Domain.DLS.get pool_key in
+  match List.assoc_opt spec !pool with
+  | Some setup -> setup
+  | None ->
+      let setup = realize spec in
+      pool := (spec, setup) :: !pool;
+      setup

@@ -25,6 +25,33 @@ val ft16 : ?seed:int -> scale -> t
 (** [custom params ~seed] wraps an arbitrary topology. *)
 val custom : Topo.Params.t -> seed:int -> t
 
+(** {2 Per-domain topology factory}
+
+    Parallel sweeps ({!Parallel.map}) run tasks on several domains, but
+    a topology holds per-run mutable link state and must not be shared
+    across domains. A [spec] is an immutable recipe for a setup; tasks
+    carry the spec and call {!pooled} from whichever domain executes
+    them, obtaining a domain-local realization (built on first use,
+    then reused by later tasks on the same domain — the same
+    reuse-after-reset model sequential runs always had). *)
+
+type family = [ `FT8 | `FT16 | `Custom of Topo.Params.t ]
+
+type spec = { family : family; scale : scale; seed : int }
+
+val spec_ft8 : ?seed:int -> scale -> spec
+val spec_ft16 : ?seed:int -> scale -> spec
+
+(** [spec_custom params] — the [scale] field is irrelevant for custom
+    parameter sets and fixed to [`Tiny]. *)
+val spec_custom : ?seed:int -> Topo.Params.t -> spec
+
+(** [realize spec] builds a fresh setup (never pooled). *)
+val realize : spec -> t
+
+(** [pooled spec] is the calling domain's realization of [spec]. *)
+val pooled : spec -> t
+
 (** [cache_slots t ~pct] is the aggregate cache size equal to [pct]% of
     the VIP space (the paper's cache-size axis). *)
 val cache_slots : t -> pct:int -> int

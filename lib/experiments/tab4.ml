@@ -39,11 +39,11 @@ let incast_flows setup ~senders ~dst_vip ~duration =
            (Flow.Udp { rate_bps }))
 
 let run ?(scale = `Small) ?(cache_pct = 50) ?(senders = 64) () =
-  let setup = Setup.ft8 scale in
+  let spec = Setup.spec_ft8 scale in
+  let setup = Setup.pooled spec in
   let topo = setup.Setup.topo in
   let hosts = Topo.Topology.hosts topo in
   let senders = min senders (Array.length hosts - 1) in
-  let slots = Setup.cache_slots setup ~pct:cache_pct in
   let duration = Time_ns.of_ms 1 in
   let dst_vip = Vip.of_int 0 in
   (* Migrate to a host in a different rack of the same pod. *)
@@ -68,18 +68,32 @@ let run ?(scale = `Small) ?(cache_pct = 50) ?(senders = 64) () =
     ]
   in
   let until = Time_ns.add duration (Time_ns.of_ms 2) in
-  let exec scheme = Runner.run setup ~scheme ~flows ~migrations ~until in
-  let v2p cfg = Schemes.Switchv2p_scheme.make ~config:cfg topo ~total_cache_slots:slots in
-  let runs =
+  let task name mk_scheme =
+    ( "tab4/" ^ name,
+      fun () ->
+        let s = Setup.pooled spec in
+        Runner.run s ~scheme:(mk_scheme s) ~flows ~migrations ~until )
+  in
+  let v2p cfg s =
+    Schemes.Switchv2p_scheme.make ~config:cfg s.Setup.topo
+      ~total_cache_slots:(Setup.cache_slots s ~pct:cache_pct)
+  in
+  let variants =
     [
-      ("NoCache", exec (Schemes.Baselines.nocache ()));
-      ("OnDemand", exec (Schemes.Baselines.ondemand ()));
+      ("NoCache", fun _ -> Schemes.Baselines.nocache ());
+      ("OnDemand", fun _ -> Schemes.Baselines.ondemand ());
       ( "SwitchV2P w/o invalidations",
-        exec (v2p (Switchv2p.Config.make ~invalidations:false ())) );
+        v2p (Switchv2p.Config.make ~invalidations:false ()) );
       ( "SwitchV2P w/o timestamp vector",
-        exec (v2p (Switchv2p.Config.make ~ts_vector:false ())) );
-      ("SwitchV2P w/ timestamp vector", exec (v2p Switchv2p.Config.default));
+        v2p (Switchv2p.Config.make ~ts_vector:false ()) );
+      ("SwitchV2P w/ timestamp vector", v2p Switchv2p.Config.default);
     ]
+  in
+  let runs =
+    List.map2
+      (fun (name, _) r -> (name, r))
+      variants
+      (Parallel.map (List.map (fun (name, mk) -> task name mk) variants))
   in
   let base =
     match runs with

@@ -15,15 +15,15 @@ let run ?(scale = `Small) ?(cache_pct = 50) () =
       Fig5.Hadoop; Fig5.Websearch; Fig5.Alibaba; Fig5.Microbursts; Fig5.Video;
     ]
   in
-  let rows =
-    List.map
-      (fun kind ->
-        let setup =
+  let task kind =
+    ( "tab5/" ^ Fig5.trace_name kind,
+      fun () ->
+        let spec =
           match kind with
-          | Fig5.Alibaba -> Setup.ft16 scale
-          | _ -> Setup.ft8 scale
+          | Fig5.Alibaba -> Setup.spec_ft16 scale
+          | _ -> Setup.spec_ft8 scale
         in
-        let topo = setup.Setup.topo in
+        let setup = Setup.pooled spec in
         let flows =
           match kind with
           | Fig5.Hadoop -> Setup.hadoop_trace setup
@@ -33,13 +33,15 @@ let run ?(scale = `Small) ?(cache_pct = 50) () =
           | Fig5.Video -> Setup.video_trace setup
         in
         let scheme =
-          Schemes.Switchv2p_scheme.make topo
+          Schemes.Switchv2p_scheme.make setup.Setup.topo
             ~total_cache_slots:(Setup.cache_slots setup ~pct:cache_pct)
         in
-        let r =
-          Runner.run setup ~scheme ~flows ~migrations:[]
-            ~until:(Setup.horizon flows)
-        in
+        Runner.run setup ~scheme ~flows ~migrations:[]
+          ~until:(Setup.horizon flows) )
+  in
+  let rows =
+    List.map2
+      (fun kind (r : Runner.result) ->
         let core, spine, tor, _, _ = r.Runner.layer_hits in
         let fcore, fspine, ftor, _, _ = r.Runner.fp_layer_hits in
         {
@@ -48,6 +50,7 @@ let run ?(scale = `Small) ?(cache_pct = 50) () =
           first = dist_of ~core:fcore ~spine:fspine ~tor:ftor;
         })
       kinds
+      (Parallel.map (List.map task kinds))
   in
   { rows }
 

@@ -4,7 +4,10 @@ type t = {
   mutable executed : int;
 }
 
-let create () = { queue = Heap.create (); clock = Time_ns.zero; executed = 0 }
+let create ?(reserve = 4096) () =
+  let queue = Heap.create () in
+  Heap.reserve queue reserve;
+  { queue; clock = Time_ns.zero; executed = 0 }
 let now t = t.clock
 
 let schedule t ~at f =

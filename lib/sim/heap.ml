@@ -4,9 +4,10 @@ type 'a t = {
   mutable data : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
+  mutable min_cap : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create () = { data = [||]; size = 0; next_seq = 0; min_cap = 0 }
 let length t = t.size
 let is_empty t = t.size = 0
 
@@ -15,8 +16,18 @@ let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 let grow t entry =
   let cap = Array.length t.data in
   if t.size = cap then begin
-    let ncap = if cap = 0 then 64 else cap * 2 in
+    let ncap = max (if cap = 0 then 64 else cap * 2) t.min_cap in
     let ndata = Array.make ncap entry in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end
+
+let reserve t n =
+  if n > t.min_cap then t.min_cap <- n;
+  (* [entry] is not constructible without an element, so an empty heap
+     only records the hint; the first push allocates at [min_cap]. *)
+  if t.size > 0 && Array.length t.data < n then begin
+    let ndata = Array.make n t.data.(0) in
     Array.blit t.data 0 ndata 0 t.size;
     t.data <- ndata
   end
@@ -74,4 +85,5 @@ let peek_key t =
 
 let clear t =
   t.data <- [||];
-  t.size <- 0
+  t.size <- 0;
+  t.next_seq <- 0

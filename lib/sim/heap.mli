@@ -19,6 +19,11 @@ val is_empty : 'a t -> bool
 (** [push t key v] queues [v] with priority [key]. *)
 val push : 'a t -> int -> 'a -> unit
 
+(** [reserve t n] pre-sizes the backing array for at least [n]
+    elements, avoiding the first few doubling copies on a heap whose
+    eventual size is known. A no-op if already large enough. *)
+val reserve : 'a t -> int -> unit
+
 (** [pop t] removes and returns the minimum-key element as
     [(key, v)]. Raises [Not_found] on an empty heap. *)
 val pop : 'a t -> int * 'a
@@ -27,5 +32,7 @@ val pop : 'a t -> int * 'a
     Raises [Not_found] on an empty heap. *)
 val peek_key : 'a t -> int
 
-(** [clear t] removes all elements. *)
+(** [clear t] removes all elements and resets the tie-breaking
+    sequence counter, so a cleared heap behaves exactly like a fresh
+    one (FIFO order among equal keys restarts from zero). *)
 val clear : 'a t -> unit

@@ -1,17 +1,26 @@
 let ecmp_hash ~salt ~a ~b =
-  (* splitmix64-style finalizer over the packed inputs. *)
-  let z = Int64.of_int ((salt * 0x9E3779B9) lxor (a * 0x85EBCA6B) lxor (b * 0xC2B2AE35)) in
-  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
-  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
-  let z = Int64.(logxor z (shift_right_logical z 31)) in
-  Int64.to_int (Int64.shift_right_logical z 8) land max_int
+  (* splitmix-style finalizer over the packed inputs, in native int
+     arithmetic: the forwarding hot path calls this per hop, and boxed
+     Int64 operations would allocate on every call without flambda.
+     Multipliers are odd 61/62-bit constants derived from the
+     splitmix64 ones. *)
+  let z = (salt * 0x9E3779B9) lxor (a * 0x85EBCA6B) lxor (b * 0xC2B2AE35) in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  let z = z lxor (z lsr 31) in
+  z land max_int
 
 let pick ~salt ~at ~dst (arr : int array) =
   arr.(ecmp_hash ~salt ~a:(at + dst) ~b:dst mod Array.length arr)
 
+(* Table-based fast path: upward candidate sets (ToR -> pod spines,
+   spine -> group cores) are precomputed by [Topology.build] as
+   [Topology.uplinks], so every case below is pure array indexing —
+   zero allocation per call. [next_hop_oracle] below is the original
+   coordinate-computed implementation, kept as the reference the fast
+   path is property-tested against. *)
 let next_hop topo ~at ~dst ~salt =
   if at = dst then invalid_arg "Routing.next_hop: already at destination";
-  let p = Topology.params topo in
   let dst_kind = Topology.kind topo dst in
   match Topology.kind topo at with
   | Node.Host _ | Node.Gateway _ -> Topology.tor_of topo at
@@ -22,15 +31,82 @@ let next_hop topo ~at ~dst ~salt =
         when dp = pod && Topology.tor_of topo dst = at ->
           dst
       | Node.Spine { pod = dp; group; _ } when dp = pod ->
-          Topology.spine_id topo ~pod ~group
+          (Topology.uplinks topo at).(group)
       | Node.Core { group; _ } ->
           (* Cores of group [g] are reachable only via spine [g]. *)
-          Topology.spine_id topo ~pod ~group
+          (Topology.uplinks topo at).(group)
       | Node.Spine { group; _ } ->
           (* A spine in another pod: transit a core of the same group. *)
-          Topology.spine_id topo ~pod ~group
+          (Topology.uplinks topo at).(group)
       | Node.Host _ | Node.Gateway _ | Node.Tor _ ->
           (* Any spine of this pod reaches any pod. *)
+          let ups = Topology.uplinks topo at in
+          ups.(ecmp_hash ~salt ~a:at ~b:dst mod Array.length ups))
+  | Node.Spine { pod; group; _ } -> (
+      let down_in_pod dp dst =
+        match dst with
+        | Node.Host { rack; _ } | Node.Gateway { rack; _ } ->
+            Topology.tor_id topo ~pod:dp ~rack
+        | Node.Tor { rack; _ } -> Topology.tor_id topo ~pod:dp ~rack
+        | Node.Spine _ | Node.Core _ -> assert false
+      in
+      match dst_kind with
+      | (Node.Host { pod = dp; _ } | Node.Gateway { pod = dp; _ } | Node.Tor { pod = dp; _ })
+        when dp = pod ->
+          down_in_pod pod dst_kind
+      | Node.Core { group = g; idx } when g = group ->
+          (Topology.uplinks topo at).(idx)
+      | Node.Core _ ->
+          (* Wrong group: descend to a local ToR which re-ascends via
+             the right group. Only possible for switch-addressed
+             control packets that entered the fabric on the wrong
+             group; one bounce corrects it. *)
+          let racks = (Topology.params topo).Params.racks_per_pod in
+          let rack = ecmp_hash ~salt ~a:at ~b:dst mod racks in
+          Topology.tor_id topo ~pod ~rack
+      | Node.Spine { group = g; _ } when g <> group ->
+          let racks = (Topology.params topo).Params.racks_per_pod in
+          let rack = ecmp_hash ~salt ~a:at ~b:dst mod racks in
+          Topology.tor_id topo ~pod ~rack
+      | Node.Host _ | Node.Gateway _ | Node.Tor _ | Node.Spine _ ->
+          (* Another pod, same group (or endpoint): transit any core of
+             this group. *)
+          let cores = Topology.uplinks topo at in
+          if Array.length cores = 0 then
+            invalid_arg "Routing.next_hop: destination unreachable (no cores)"
+          else pick ~salt ~at ~dst cores)
+  | Node.Core { group; _ } -> (
+      match dst_kind with
+      | Node.Host { pod; _ } | Node.Gateway { pod; _ } | Node.Tor { pod; _ } ->
+          Topology.spine_id topo ~pod ~group
+      | Node.Spine { pod; group = g; _ } ->
+          if g = group then Topology.spine_id topo ~pod ~group
+          else
+            (* Wrong group; descend anywhere in the target pod's group-
+               [group] spine, which bounces via a ToR. *)
+            Topology.spine_id topo ~pod ~group
+      | Node.Core _ ->
+          invalid_arg "Routing.next_hop: core-to-core packets are not routable")
+
+(* The original implementation: next hops recomputed from node
+   coordinates on every call (including an [Array.init] of the core
+   candidate set). Retained as the oracle for the table-based path. *)
+let next_hop_oracle topo ~at ~dst ~salt =
+  if at = dst then invalid_arg "Routing.next_hop: already at destination";
+  let p = Topology.params topo in
+  let dst_kind = Topology.kind topo dst in
+  match Topology.kind topo at with
+  | Node.Host _ | Node.Gateway _ -> Topology.tor_of topo at
+  | Node.Tor { pod; _ } -> (
+      match dst_kind with
+      | Node.Host { pod = dp; _ } | Node.Gateway { pod = dp; _ }
+        when dp = pod && Topology.tor_of topo dst = at ->
+          dst
+      | Node.Spine { pod = dp; group; _ } when dp = pod ->
+          Topology.spine_id topo ~pod ~group
+      | Node.Core { group; _ } -> Topology.spine_id topo ~pod ~group
+      | Node.Spine { group; _ } -> Topology.spine_id topo ~pod ~group
+      | Node.Host _ | Node.Gateway _ | Node.Tor _ ->
           let group = ecmp_hash ~salt ~a:at ~b:dst mod p.Params.spines_per_pod in
           Topology.spine_id topo ~pod ~group)
   | Node.Spine { pod; group; _ } -> (
@@ -48,18 +124,12 @@ let next_hop topo ~at ~dst ~salt =
       | Node.Core { group = g; idx } when g = group ->
           Topology.core_id topo ~group ~idx
       | Node.Core _ ->
-          (* Wrong group: descend to a local ToR which re-ascends via
-             the right group. Only possible for switch-addressed
-             control packets that entered the fabric on the wrong
-             group; one bounce corrects it. *)
           let rack = ecmp_hash ~salt ~a:at ~b:dst mod p.Params.racks_per_pod in
           Topology.tor_id topo ~pod ~rack
       | Node.Spine { group = g; _ } when g <> group ->
           let rack = ecmp_hash ~salt ~a:at ~b:dst mod p.Params.racks_per_pod in
           Topology.tor_id topo ~pod ~rack
       | Node.Host _ | Node.Gateway _ | Node.Tor _ | Node.Spine _ ->
-          (* Another pod, same group (or endpoint): transit any core of
-             this group. *)
           if p.Params.cores_per_group = 0 then
             invalid_arg "Routing.next_hop: destination unreachable (no cores)"
           else
@@ -72,12 +142,7 @@ let next_hop topo ~at ~dst ~salt =
       match dst_kind with
       | Node.Host { pod; _ } | Node.Gateway { pod; _ } | Node.Tor { pod; _ } ->
           Topology.spine_id topo ~pod ~group
-      | Node.Spine { pod; group = g; _ } ->
-          if g = group then Topology.spine_id topo ~pod ~group
-          else
-            (* Wrong group; descend anywhere in the target pod's group-
-               [group] spine, which bounces via a ToR. *)
-            Topology.spine_id topo ~pod ~group
+      | Node.Spine { pod; group = _; _ } -> Topology.spine_id topo ~pod ~group
       | Node.Core _ ->
           invalid_arg "Routing.next_hop: core-to-core packets are not routable")
 
@@ -89,4 +154,10 @@ let path topo ~src ~dst ~salt =
   in
   go src [] 0
 
-let hop_count topo ~src ~dst ~salt = List.length (path topo ~src ~dst ~salt) - 1
+let hop_count topo ~src ~dst ~salt =
+  let rec go at n =
+    if n > 64 then failwith "Routing.hop_count: loop detected"
+    else if at = dst then n
+    else go (next_hop topo ~at ~dst ~salt) (n + 1)
+  in
+  go src 0

@@ -14,14 +14,27 @@
 
     Raises [Invalid_argument] if [at = dst] (the packet has arrived)
     or if [dst] is unreachable from [at] (cannot happen on a connected
-    FatTree). *)
+    FatTree).
+
+    This is the forwarding hot path: it resolves every case by indexing
+    the candidate tables precomputed at {!Topology.build} time
+    ({!Topology.uplinks}) and allocates nothing. *)
 val next_hop : Topology.t -> at:int -> dst:int -> salt:int -> int
+
+(** [next_hop_oracle] is the original implementation that recomputes
+    candidate sets from node coordinates on every call (allocating the
+    spine's core candidate array each time). It returns the same hop
+    as {!next_hop} for every [(at, dst, salt)]; kept as the reference
+    for property tests and micro-benchmarks. *)
+val next_hop_oracle : Topology.t -> at:int -> dst:int -> salt:int -> int
 
 (** [path topo ~src ~dst ~salt] is the full node path from [src] to
     [dst], inclusive of both ends. *)
 val path : Topology.t -> src:int -> dst:int -> salt:int -> int list
 
-(** [hop_count topo ~src ~dst ~salt] is [List.length (path ...) - 1]. *)
+(** [hop_count topo ~src ~dst ~salt] is the number of links on
+    [path topo ~src ~dst ~salt], counted directly without building the
+    path list. *)
 val hop_count : Topology.t -> src:int -> dst:int -> salt:int -> int
 
 (** [ecmp_hash ~salt ~a ~b] is the deterministic hash used for path

@@ -15,6 +15,11 @@ type t = {
   core_ids : int array array; (* group -> idx -> id *)
   links : (int, Link.t) Hashtbl.t; (* key: src * num_nodes + dst *)
   neighbors : int array array;
+  uplinks : int array array;
+      (* node id -> upward ECMP candidates: ToR -> its pod's spines
+         (indexed by group), spine -> its group's cores (indexed by
+         idx), [||] for endpoints and cores. Rows alias [spine_ids] /
+         [core_ids]; never mutate. *)
 }
 
 let params t = t.params
@@ -63,6 +68,7 @@ let link t ~src ~dst =
 
 let iter_links t f = Hashtbl.iter (fun _ l -> f l) t.links
 let neighbors t id = t.neighbors.(id)
+let uplinks t id = t.uplinks.(id)
 
 let attached_endpoint_pips t tor =
   Array.map (pip t) (endpoints_of_tor t tor)
@@ -185,6 +191,16 @@ let build (p : Params.t) =
         | _ -> assert false)
       tors
   in
+  let no_uplinks = [||] in
+  let uplinks =
+    Array.map
+      (fun node ->
+        match node.Node.kind with
+        | Node.Tor { pod; _ } -> spine_ids.(pod)
+        | Node.Spine { group; _ } -> core_ids.(group)
+        | Node.Host _ | Node.Gateway _ | Node.Core _ -> no_uplinks)
+      nodes
+  in
   {
     params = p;
     nodes;
@@ -202,4 +218,5 @@ let build (p : Params.t) =
     core_ids;
     links;
     neighbors = Array.map (fun l -> Array.of_list (List.rev l)) adjacency;
+    uplinks;
   }

@@ -70,6 +70,15 @@ val iter_links : t -> (Link.t -> unit) -> unit
 (** [neighbors t id] is the adjacent node ids. *)
 val neighbors : t -> int -> int array
 
+(** [uplinks t id] is the precomputed upward ECMP candidate table of
+    node [id]: a ToR's row is its pod's spines indexed by group, a
+    spine's row is its group's core switches indexed by idx, and
+    endpoints/cores have an empty row. Rows are shared with the
+    topology's internal indexes — treat them as read-only. This is the
+    forwarding hot path's lookup table; {!Routing.next_hop} uses it to
+    pick next hops without allocating. *)
+val uplinks : t -> int -> int array
+
 (** [attached_endpoint_pips t tor] is the set of PIPs of servers and
     gateways directly attached to [tor] — the front-panel-port table
     ToRs use to detect misdelivered packets (§3.3). *)

@@ -151,6 +151,45 @@ let test_heap_interleaved () =
   let k3, _ = Heap.pop h in
   checki "pop 3" 3 k3
 
+let test_heap_clear_resets_ties () =
+  let h = Heap.create () in
+  Heap.push h 5 "x";
+  Heap.push h 5 "y";
+  Heap.clear h;
+  checkb "cleared" true (Heap.is_empty h);
+  (* clear resets the insertion-order counter, so FIFO tie-breaking
+     after a clear matches a freshly created heap exactly. *)
+  Heap.push h 7 "a";
+  Heap.push h 7 "b";
+  Heap.push h 7 "c";
+  let _, x = Heap.pop h in
+  let _, y = Heap.pop h in
+  let _, z = Heap.pop h in
+  check (Alcotest.list Alcotest.string) "FIFO order restarts"
+    [ "a"; "b"; "c" ] [ x; y; z ]
+
+let test_heap_reserve () =
+  (* reserve on an empty heap: pushes up to the hint must not shrink
+     behaviour; contents stay sorted. *)
+  let h = Heap.create () in
+  Heap.reserve h 512;
+  for i = 511 downto 0 do
+    Heap.push h i i
+  done;
+  checki "size after pushes" 512 (Heap.length h);
+  for i = 0 to 511 do
+    let k, _ = Heap.pop h in
+    checki "sorted" i k
+  done;
+  (* reserve on a non-empty heap keeps existing elements. *)
+  let h2 = Heap.create () in
+  Heap.push h2 2 "b";
+  Heap.push h2 1 "a";
+  Heap.reserve h2 1024;
+  let _, a = Heap.pop h2 in
+  let _, b = Heap.pop h2 in
+  check (Alcotest.list Alcotest.string) "survives reserve" [ "a"; "b" ] [ a; b ]
+
 let heap_qcheck =
   QCheck.Test.make ~name:"heap pops sorted" ~count:200
     QCheck.(list (int_bound 100_000))
@@ -358,6 +397,9 @@ let () =
           Alcotest.test_case "FIFO among ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "empty behavior" `Quick test_heap_empty;
           Alcotest.test_case "interleaved push/pop" `Quick test_heap_interleaved;
+          Alcotest.test_case "clear resets tie order" `Quick
+            test_heap_clear_resets_ties;
+          Alcotest.test_case "reserve" `Quick test_heap_reserve;
           QCheck_alcotest.to_alcotest heap_qcheck;
         ] );
       ( "engine",

@@ -251,10 +251,35 @@ let switch_pair_routing_qcheck =
       let switches = Topology.switches t in
       let src = switches.(a mod Array.length switches) in
       let dst = switches.(b mod Array.length switches) in
+      let is_core id =
+        match Topology.kind t id with Node.Core _ -> true | _ -> false
+      in
+      (* Core-to-core is documented as not routable ([next_hop] raises);
+         every other switch pair must terminate. *)
       src = dst
+      || (is_core src && is_core dst)
       ||
       let path = Routing.path t ~src ~dst ~salt in
       List.nth path (List.length path - 1) = dst && List.length path <= 10)
+
+(* The table-based [next_hop] must agree with the coordinate-computed
+   oracle at every (at, dst, salt), over every node kind. Core-to-core
+   and at = dst are the two argument combinations both reject. *)
+let next_hop_table_vs_oracle_qcheck =
+  QCheck.Test.make ~name:"next_hop table agrees with oracle" ~count:1000
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (a, b, salt) ->
+      let t = small () in
+      let n = Topology.num_nodes t in
+      let at = a mod n in
+      let dst = b mod n in
+      let is_core id =
+        match Topology.kind t id with Node.Core _ -> true | _ -> false
+      in
+      at = dst
+      || (is_core at && is_core dst)
+      || Routing.next_hop t ~at ~dst ~salt
+         = Routing.next_hop_oracle t ~at ~dst ~salt)
 
 let routing_qcheck =
   QCheck.Test.make ~name:"random host pairs route correctly" ~count:300
@@ -300,6 +325,7 @@ let () =
           Alcotest.test_case "single-pod" `Quick test_single_pod_topology;
           QCheck_alcotest.to_alcotest routing_qcheck;
           QCheck_alcotest.to_alcotest switch_pair_routing_qcheck;
+          QCheck_alcotest.to_alcotest next_hop_table_vs_oracle_qcheck;
         ] );
       ( "link",
         [
