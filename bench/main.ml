@@ -6,7 +6,11 @@
    Usage:
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe fig5a tab4 # selected targets
-     dune exec bench/main.exe micro      # primitive benchmarks only *)
+     dune exec bench/main.exe micro      # primitive benchmarks only
+
+   `--csv DIR` captures every table as CSV; `--telemetry DIR` writes
+   one structured-telemetry JSON report per instrumented run (see
+   DESIGN.md, "Observability"). *)
 
 module Fig5 = Experiments.Fig5
 module Parallel = Experiments.Parallel
@@ -375,6 +379,9 @@ let () =
         strip_flags acc rest
     | "--csv" :: dir :: rest ->
         Experiments.Report.set_csv_dir (Some dir);
+        strip_flags acc rest
+    | "--telemetry" :: dir :: rest ->
+        Experiments.Report.set_telemetry_dir (Some dir);
         strip_flags acc rest
     | a :: rest -> strip_flags (a :: acc) rest
   in

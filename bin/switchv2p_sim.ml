@@ -68,6 +68,13 @@ let gateways_arg =
   let doc = "Restrict load balancing to the first K gateways." in
   Arg.(value & opt (some int) None & info [ "gateways" ] ~docv:"K" ~doc)
 
+let telemetry_arg =
+  let doc =
+    "Collect structured telemetry (latency/FCT histograms, per-tier cache \
+     series, drop accounting) and write a JSON report into $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"DIR" ~doc)
+
 let make_scheme name topo ~slots =
   match name with
   | "nocache" -> Schemes.Baselines.nocache ()
@@ -94,7 +101,8 @@ let make_trace name setup =
   | _ -> assert false
 
 let run_cmd =
-  let run scale cache_pct seed scheme_name trace_name gateways =
+  let run scale cache_pct seed scheme_name trace_name gateways telemetry =
+    Experiments.Report.set_telemetry_dir telemetry;
     let setup =
       if trace_name = "alibaba" then Experiments.Setup.ft16 ~seed scale
       else Experiments.Setup.ft8 ~seed scale
@@ -106,9 +114,10 @@ let run_cmd =
     let net_config =
       { Netsim.Network.default_config with seed; gateways_used = gateways }
     in
+    let report_name = Printf.sprintf "run/%s/%s" scheme_name trace_name in
     let r =
-      Experiments.Runner.run ~net_config setup ~scheme ~flows ~migrations:[]
-        ~until:(Experiments.Setup.horizon flows)
+      Experiments.Runner.run ~net_config ~report_name setup ~scheme ~flows
+        ~migrations:[] ~until:(Experiments.Setup.horizon flows)
     in
     let core, spine, tor, gw, host = r.Experiments.Runner.layer_hits in
     Printf.printf "scheme          %s\n" r.Experiments.Runner.scheme;
@@ -124,19 +133,29 @@ let run_cmd =
     Printf.printf "packet stretch  %.2f switches\n" r.Experiments.Runner.stretch;
     Printf.printf "gateway packets %d / %d sent\n" r.Experiments.Runner.gw_packets
       r.Experiments.Runner.packets_sent;
-    Printf.printf "drops           %d\n" r.Experiments.Runner.packets_dropped;
+    Printf.printf "drops           %d (%s)\n"
+      r.Experiments.Runner.packets_dropped
+      (String.concat " "
+         (List.map
+            (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+            r.Experiments.Runner.drops_by_kind));
     Printf.printf "hit layers      core=%d spine=%d tor=%d gateway=%d host=%d\n"
       core spine tor gw host;
     List.iter
       (fun (k, v) -> Printf.printf "%-15s %.0f\n" k v)
-      r.Experiments.Runner.extra
+      r.Experiments.Runner.extra;
+    match telemetry with
+    | Some dir ->
+        Printf.printf "telemetry       %s/%s.json\n"
+          dir (Experiments.Report.slug report_name)
+    | None -> ()
   in
   let doc = "Run one simulation and print the standard metrics." in
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(
       const run $ scale_arg $ cache_pct_arg $ seed_arg $ scheme_arg $ trace_arg
-      $ gateways_arg)
+      $ gateways_arg $ telemetry_arg)
 
 (* --- reproduce: paper artifacts --- *)
 

@@ -11,6 +11,7 @@ type t = {
   mutable misses : int;
   mutable insertions : int;
   mutable evictions : int;
+  mutable rejections : int;
 }
 
 type admission = [ `All | `A_bit_clear ]
@@ -32,6 +33,7 @@ let create ~slots =
     misses = 0;
     insertions = 0;
     evictions = 0;
+    rejections = 0;
   }
 
 let slots t = t.n
@@ -81,7 +83,10 @@ let access_bit t vip =
     else None
 
 let insert t ~admission vip pip =
-  if t.n = 0 then Rejected
+  if t.n = 0 then begin
+    t.rejections <- t.rejections + 1;
+    Rejected
+  end
   else begin
     let i = slot_of t vip in
     let key = t.keys.(i) in
@@ -103,7 +108,10 @@ let insert t ~admission vip pip =
         | `All -> true
         | `A_bit_clear -> Bytes.get t.access i = '\000'
       in
-      if not admit then Rejected
+      if not admit then begin
+        t.rejections <- t.rejections + 1;
+        Rejected
+      end
       else begin
         let evicted = (Vip.of_int key, Pip.of_int t.values.(i)) in
         t.keys.(i) <- Vip.to_int vip;
@@ -141,3 +149,4 @@ let hits t = t.hits
 let misses t = t.misses
 let insertions t = t.insertions
 let evictions t = t.evictions
+let rejections t = t.rejections

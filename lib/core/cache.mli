@@ -68,3 +68,8 @@ val hits : t -> int
 val misses : t -> int
 val insertions : t -> int
 val evictions : t -> int
+
+(** [rejections t] counts insert attempts the admission policy (or a
+    zero-slot cache) turned away — the Table-1 admission behaviour the
+    telemetry layer reports per tier. *)
+val rejections : t -> int

@@ -26,6 +26,7 @@ type t = {
   topo : Topo.Topology.t;
   partition : Partition.t;
   states : switch_state option array; (* indexed by node id *)
+  mutable telemetry : Dessim.Telemetry.t; (* flight recorder; off by default *)
   mutable learning_packets_sent : int;
   mutable invalidation_packets_sent : int;
   mutable promotions : int;
@@ -58,7 +59,10 @@ let role_weight (alloc : Config.allocation) (role : Topo.Node.role) =
 
 (* Split [total] slots proportionally to per-switch weights; floor each
    share and hand the remainder out round-robin among positive-weight
-   switches so the total is conserved exactly. *)
+   switches so the total is conserved exactly. Float error in the share
+   computation can leave the floored sum on either side of [total], so
+   the correction loop must both hand out missing slots and claw back
+   excess ones. *)
 let distribute_slots cfg topo ~total =
   let switches = Topo.Topology.switches topo in
   let weights =
@@ -90,6 +94,17 @@ let distribute_slots cfg topo ~total =
         let sw = switches.(!i mod Array.length switches) in
         Hashtbl.replace slots_for sw (1 + Hashtbl.find slots_for sw);
         decr leftover
+      end;
+      incr i
+    done;
+    while !leftover < 0 do
+      let sw = switches.(!i mod Array.length switches) in
+      if weights.(!i mod Array.length switches) > 0.0 then begin
+        let have = Hashtbl.find slots_for sw in
+        if have > 0 then begin
+          Hashtbl.replace slots_for sw (have - 1);
+          incr leftover
+        end
       end;
       incr i
     done
@@ -142,6 +157,7 @@ let create ?(partition = Partition.single) cfg topo ~total_cache_slots =
     topo;
     partition;
     states;
+    telemetry = Dessim.Telemetry.disabled;
     learning_packets_sent = 0;
     invalidation_packets_sent = 0;
     promotions = 0;
@@ -155,6 +171,74 @@ let state t switch =
   match t.states.(switch) with
   | Some s -> s
   | None -> invalid_arg "Dataplane: node is not a switch"
+
+let set_telemetry t tel = t.telemetry <- tel
+
+(* Flight recorder: hop-by-hop resolution events for sampled packets. *)
+let flight t env st (pkt : Packet.t) event =
+  if Dessim.Telemetry.should_trace t.telemetry ~pkt:pkt.Packet.id then
+    Dessim.Telemetry.trace t.telemetry
+      ~now_sec:(Time_ns.to_sec (env.now ()))
+      ~pkt:pkt.Packet.id ~node:st.sw_id event
+
+let role_tier_name = function
+  | Topo.Node.Gateway_tor -> "gw_tor"
+  | Topo.Node.Gateway_spine -> "gw_spine"
+  | Topo.Node.Regular_tor -> "tor"
+  | Topo.Node.Regular_spine -> "spine"
+  | Topo.Node.Core_switch -> "core"
+
+(* Per-tier cumulative cache statistics, sampled into telemetry series
+   (one probe call = one point per tier and statistic). *)
+let probe_telemetry t tel ~now_sec =
+  if Dessim.Telemetry.is_enabled tel then begin
+    let tiers = Hashtbl.create 5 in
+    Array.iter
+      (fun st ->
+        match st with
+        | None -> ()
+        | Some st ->
+            let acc =
+              match Hashtbl.find_opt tiers st.role with
+              | Some acc -> acc
+              | None ->
+                  let acc = Array.make 6 0 in
+                  Hashtbl.add tiers st.role acc;
+                  acc
+            in
+            Array.iter
+              (fun c ->
+                acc.(0) <- acc.(0) + Cache.occupancy c;
+                acc.(1) <- acc.(1) + Cache.hits c;
+                acc.(2) <- acc.(2) + Cache.misses c;
+                acc.(3) <- acc.(3) + Cache.evictions c;
+                acc.(4) <- acc.(4) + Cache.rejections c;
+                acc.(5) <- acc.(5) + Cache.insertions c)
+              st.caches)
+      t.states;
+    List.iter
+      (fun role ->
+        match Hashtbl.find_opt tiers role with
+        | None -> ()
+        | Some acc ->
+            let tier = role_tier_name role in
+            let stat i name =
+              Dessim.Telemetry.sample tel
+                (Printf.sprintf "tier/%s/%s" tier name)
+                ~now_sec
+                (float_of_int acc.(i))
+            in
+            stat 0 "occupancy";
+            stat 1 "hits";
+            stat 2 "misses";
+            stat 3 "evictions";
+            stat 4 "rejections";
+            stat 5 "insertions")
+      [
+        Topo.Node.Gateway_tor; Topo.Node.Gateway_spine; Topo.Node.Regular_tor;
+        Topo.Node.Regular_spine; Topo.Node.Core_switch;
+      ]
+  end
 
 (* The cache partition owning [vip] at this switch. *)
 let cache_for t st vip = st.caches.(Partition.tenant_of t.partition vip)
@@ -193,14 +277,15 @@ let admission_of_role = function
 
 (* Insert a mapping and, when enabled and the packet has room, turn the
    evicted occupant into a spillover rider. *)
-let insert_with_spill t st (pkt : Packet.t option) ~admission vip pip =
+let insert_with_spill t env st (pkt : Packet.t option) ~admission vip pip =
   match Cache.insert (cache_for t st vip) ~admission vip pip with
   | Cache.Inserted (Some evicted) ->
       if t.cfg.Config.spillover then begin
         match pkt with
         | Some p when p.Packet.spill = None ->
             p.Packet.spill <- Some evicted;
-            t.spills_attached <- t.spills_attached + 1
+            t.spills_attached <- t.spills_attached + 1;
+            flight t env st p "spilled"
         | Some _ | None -> ()
       end
   | Cache.Inserted None | Cache.Updated | Cache.Rejected -> ()
@@ -262,23 +347,28 @@ let maybe_send_learning_packet t env st (pkt : Packet.t) =
 
 (* Tagged packets re-check the cache specially: a cached value equal to
    the stale PIP is invalidated; a different cached value is trusted
-   (the switch already learned the new location). *)
-let handle_tagged t st (pkt : Packet.t) ~stale =
+   (the switch already learned the new location). A single [Cache.lookup]
+   keeps the hit/miss counters consistent with the regular path — the
+   old peek-then-lookup sequence bumped the hit counter twice on the
+   trusted path and recorded no miss when the VIP was absent. *)
+let handle_tagged t env st (pkt : Packet.t) ~stale =
   let cache = cache_for t st pkt.Packet.dst_vip in
-  match Cache.peek cache pkt.Packet.dst_vip with
-  | Some cached when Pip.equal cached stale ->
-      if Cache.invalidate cache pkt.Packet.dst_vip ~stale then
-        t.entries_invalidated <- t.entries_invalidated + 1
-  | Some _ -> (
-      match Cache.lookup cache pkt.Packet.dst_vip with
-      | Some (fresh, _) -> rewrite_to st pkt fresh
-      | None -> ())
+  match Cache.lookup cache pkt.Packet.dst_vip with
+  | Some (cached, _) when Pip.equal cached stale ->
+      if Cache.invalidate cache pkt.Packet.dst_vip ~stale then begin
+        t.entries_invalidated <- t.entries_invalidated + 1;
+        flight t env st pkt "invalidated"
+      end
+  | Some (fresh, _) ->
+      rewrite_to st pkt fresh;
+      flight t env st pkt "hit"
   | None -> ()
 
 let regular_lookup t env st (pkt : Packet.t) =
   match Cache.lookup (cache_for t st pkt.Packet.dst_vip) pkt.Packet.dst_vip with
   | Some (pip, bit_was_set) ->
       rewrite_to st pkt pip;
+      flight t env st pkt "hit";
       (* Promotion: a popular entry hit at a regular spine by a packet
          leaving the pod rides to the core tier. *)
       if
@@ -291,13 +381,13 @@ let regular_lookup t env st (pkt : Packet.t) =
         let dst_pod = Topo.Node.pod_of (Topo.Topology.kind t.topo dst_node) in
         if dst_pod <> own_pod then begin
           pkt.Packet.promo <- Some (pkt.Packet.dst_vip, pip);
-          t.promotions <- t.promotions + 1
+          t.promotions <- t.promotions + 1;
+          flight t env st pkt "promoted"
         end
-      end;
-      ignore env
+      end
   | None -> ()
 
-let absorb_spill t st (pkt : Packet.t) =
+let absorb_spill t env st (pkt : Packet.t) =
   match pkt.Packet.spill with
   | Some (vip, pip) when t.cfg.Config.spillover -> (
       let cache = cache_for t st vip in
@@ -306,7 +396,8 @@ let absorb_spill t st (pkt : Packet.t) =
         match Cache.insert cache ~admission:(admission_of_role st.role) vip pip with
         | Cache.Inserted _ | Cache.Updated ->
             pkt.Packet.spill <- None;
-            t.spills_absorbed <- t.spills_absorbed + 1
+            t.spills_absorbed <- t.spills_absorbed + 1;
+            flight t env st pkt "spill_absorbed"
         | Cache.Rejected -> ())
   | Some _ | None -> ()
 
@@ -314,26 +405,26 @@ let learn t env st (pkt : Packet.t) =
   match st.role with
   | Topo.Node.Gateway_tor ->
       if pkt.Packet.resolved then begin
-        insert_with_spill t st (Some pkt) ~admission:`All pkt.Packet.dst_vip
-          pkt.Packet.dst_pip;
+        insert_with_spill t env st (Some pkt) ~admission:`All
+          pkt.Packet.dst_vip pkt.Packet.dst_pip;
         maybe_send_learning_packet t env st pkt
       end
   | Topo.Node.Gateway_spine ->
       if pkt.Packet.resolved then
-        insert_with_spill t st (Some pkt) ~admission:`A_bit_clear
+        insert_with_spill t env st (Some pkt) ~admission:`A_bit_clear
           pkt.Packet.dst_vip pkt.Packet.dst_pip
   | Topo.Node.Regular_tor ->
       if t.cfg.Config.source_learning then
-        insert_with_spill t st (Some pkt) ~admission:`All pkt.Packet.src_vip
-          pkt.Packet.src_pip
+        insert_with_spill t env st (Some pkt) ~admission:`All
+          pkt.Packet.src_vip pkt.Packet.src_pip
   | Topo.Node.Regular_spine ->
       if pkt.Packet.resolved then
-        insert_with_spill t st (Some pkt) ~admission:`A_bit_clear
+        insert_with_spill t env st (Some pkt) ~admission:`A_bit_clear
           pkt.Packet.dst_vip pkt.Packet.dst_pip
   | Topo.Node.Core_switch -> (
       match pkt.Packet.promo with
       | Some (vip, pip) when t.cfg.Config.promotion ->
-          insert_with_spill t st (Some pkt) ~admission:`A_bit_clear vip pip;
+          insert_with_spill t env st (Some pkt) ~admission:`A_bit_clear vip pip;
           pkt.Packet.promo <- None
       | Some _ | None -> ())
 
@@ -350,7 +441,8 @@ let process t env ~switch ~from (pkt : Packet.t) =
   | Packet.Learning ->
       if Pip.equal pkt.Packet.dst_pip own_pip then begin
         (match pkt.Packet.mapping_payload with
-        | Some (vip, pip) -> insert_with_spill t st None ~admission:`All vip pip
+        | Some (vip, pip) ->
+            insert_with_spill t env st None ~admission:`All vip pip
         | None -> ());
         Consume
       end
@@ -358,8 +450,10 @@ let process t env ~switch ~from (pkt : Packet.t) =
   | Packet.Invalidation ->
       (match pkt.Packet.mapping_payload with
       | Some (vip, stale) ->
-          if Cache.invalidate (cache_for t st vip) vip ~stale then
-            t.entries_invalidated <- t.entries_invalidated + 1
+          if Cache.invalidate (cache_for t st vip) vip ~stale then begin
+            t.entries_invalidated <- t.entries_invalidated + 1;
+            flight t env st pkt "invalidated"
+          end
       | None -> ());
       if Pip.equal pkt.Packet.dst_pip own_pip then Consume else Forward
   | Packet.Data | Packet.Ack ->
@@ -375,6 +469,7 @@ let process t env ~switch ~from (pkt : Packet.t) =
         let stale = Topo.Topology.pip t.topo from in
         pkt.Packet.misdelivery <- Some stale;
         t.misdelivery_tags <- t.misdelivery_tags + 1;
+        flight t env st pkt "tagged";
         let target = pkt.Packet.hit_switch in
         pkt.Packet.hit_switch <- -1;
         send_invalidation t env st ~target ~vip:pkt.Packet.dst_vip ~stale
@@ -382,11 +477,11 @@ let process t env ~switch ~from (pkt : Packet.t) =
       (* 2. Lookup (tagged packets use the conservative variant). *)
       if not pkt.Packet.resolved then begin
         match pkt.Packet.misdelivery with
-        | Some stale -> handle_tagged t st pkt ~stale
+        | Some stale -> handle_tagged t env st pkt ~stale
         | None -> regular_lookup t env st pkt
       end;
       (* 3. Spillover absorption. *)
-      absorb_spill t st pkt;
+      absorb_spill t env st pkt;
       (* 4. Role-dependent learning (Table 1). *)
       learn t env st pkt;
       Forward

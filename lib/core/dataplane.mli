@@ -93,3 +93,13 @@ val entries_invalidated : t -> int
 
 (** [misdelivery_tags t] counts tags assigned by ToRs. *)
 val misdelivery_tags : t -> int
+
+(** [set_telemetry t tel] attaches a collector; the pipeline then feeds
+    its flight recorder (tag / invalidate / promote / spill events on
+    sampled packet ids). Defaults to {!Dessim.Telemetry.disabled}. *)
+val set_telemetry : t -> Dessim.Telemetry.t -> unit
+
+(** [probe_telemetry t tel ~now_sec] samples per-role-tier cache
+    statistics (occupancy, hits, misses, evictions, admission
+    rejections, insertions) into [tel]'s time series. *)
+val probe_telemetry : t -> Dessim.Telemetry.t -> now_sec:float -> unit

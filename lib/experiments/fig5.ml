@@ -57,11 +57,12 @@ let run ?(scale = `Small) ?(cache_pcts = [ 1; 10; 50; 200; 1500 ])
   let flows = trace_of (Setup.pooled spec) kind in
   let until = Setup.horizon flows in
   let task name mk_scheme =
-    ( trace_name kind ^ "/" ^ name,
+    let full_name = trace_name kind ^ "/" ^ name in
+    ( full_name,
       fun () ->
         let setup = Setup.pooled spec in
-        Runner.run setup ~scheme:(mk_scheme setup) ~flows ~migrations:[]
-          ~until )
+        Runner.run ~report_name:full_name setup ~scheme:(mk_scheme setup)
+          ~flows ~migrations:[] ~until )
   in
   let swept name make =
     `Swept

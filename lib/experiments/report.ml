@@ -2,6 +2,47 @@ let csv_dir = ref None
 
 let set_csv_dir dir = csv_dir := dir
 
+let telemetry_dir_ref = ref None
+
+let set_telemetry_dir dir = telemetry_dir_ref := dir
+let telemetry_dir () = !telemetry_dir_ref
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+(* Best-effort commit id for run manifests; "unknown" outside a git
+   checkout (e.g. a release tarball). *)
+let git_rev () =
+  let read_line path =
+    if Sys.file_exists path then begin
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> try Some (String.trim (input_line ic)) with End_of_file -> None)
+    end
+    else None
+  in
+  let rec find_git dir depth =
+    if depth > 6 then None
+    else
+      let candidate = Filename.concat dir ".git" in
+      if Sys.file_exists candidate then Some candidate
+      else
+        let parent = Filename.dirname dir in
+        if parent = dir then None else find_git parent (depth + 1)
+  in
+  match find_git (Sys.getcwd ()) 0 with
+  | None -> "unknown"
+  | Some git -> (
+      match read_line (Filename.concat git "HEAD") with
+      | None -> "unknown"
+      | Some head ->
+          if String.length head > 5 && String.sub head 0 5 = "ref: " then
+            let ref_path = String.sub head 5 (String.length head - 5) in
+            Option.value
+              (read_line (Filename.concat git ref_path))
+              ~default:"unknown"
+          else head)
+
 let slug title =
   let b = Buffer.create (String.length title) in
   let last_dash = ref true in
@@ -41,7 +82,7 @@ let maybe_write_csv ~title ~header rows =
   match !csv_dir with
   | None -> ()
   | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      ensure_dir dir;
       let path = Filename.concat dir (slug title ^ ".csv") in
       let oc = open_out path in
       Fun.protect

@@ -10,6 +10,21 @@ val table : title:string -> header:string list -> string list list -> unit
     CSV file into [dir] (created if missing); [None] disables. *)
 val set_csv_dir : string option -> unit
 
+(** [set_telemetry_dir dir] — every subsequent named {!Runner.run}
+    call collects structured telemetry and writes
+    [<dir>/<slug>.json]; [None] (the default) disables collection
+    entirely. *)
+val set_telemetry_dir : string option -> unit
+
+val telemetry_dir : unit -> string option
+
+(** [ensure_dir dir] creates [dir] if missing (single level). *)
+val ensure_dir : string -> unit
+
+(** [git_rev ()] — the checkout's commit id for run manifests, or
+    ["unknown"]. *)
+val git_rev : unit -> string
+
 (** [csv ~header rows] renders CSV text (fields with commas or quotes
     are quoted). *)
 val csv : header:string list -> string list list -> string

@@ -16,7 +16,7 @@ let run ?(scale = `Small) ?(cache_pct = 100) () =
   let until = Setup.horizon flows in
   (* Reference run, no failures. *)
   let reference =
-    Runner.run setup
+    Runner.run ~report_name:"resilience/reference" setup
       ~scheme:(Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots)
       ~flows ~migrations:[] ~until
   in

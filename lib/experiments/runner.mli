@@ -8,7 +8,11 @@ type result = {
   mean_pkt_latency : float;
   gw_packets : int;
   packets_sent : int;
-  packets_dropped : int;
+  packets_dropped : int;  (** all kinds, all sites *)
+  drops_by_kind : (string * int) list;
+      (** data / ack / learning / invalidation *)
+  drops_by_site : (string * int) list;
+      (** link_buffer / failed_switch / gateway_miss / host_miss *)
   misdelivered : int;
   flows_started : int;
   flows_completed : int;
@@ -24,10 +28,18 @@ type result = {
   bytes_by_switch : (int * int) array;  (** (switch node id, bytes) *)
 }
 
-(** [run ?net_config setup ~scheme ~flows ~migrations ~until] builds a
-    fresh network and executes the trace. *)
+(** [run ?net_config ?report_name setup ~scheme ~flows ~migrations
+    ~until] builds a fresh network and executes the trace. When
+    [report_name] is given {e and} a telemetry directory is set (see
+    {!Report.set_telemetry_dir}), the run is instrumented with a fresh
+    {!Dessim.Telemetry} collector and the full report — manifest,
+    histograms, per-tier cache series, drops by kind and site — is
+    written to [<dir>/<slug report_name>.json]. Without both, no
+    collector is created and the run is unobserved (and
+    bit-identical). *)
 val run :
   ?net_config:Netsim.Network.config ->
+  ?report_name:string ->
   Setup.t ->
   scheme:Netsim.Scheme.t ->
   flows:Netcore.Flow.t list ->

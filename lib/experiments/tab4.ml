@@ -69,10 +69,12 @@ let run ?(scale = `Small) ?(cache_pct = 50) ?(senders = 64) () =
   in
   let until = Time_ns.add duration (Time_ns.of_ms 2) in
   let task name mk_scheme =
-    ( "tab4/" ^ name,
+    let full_name = "tab4/" ^ name in
+    ( full_name,
       fun () ->
         let s = Setup.pooled spec in
-        Runner.run s ~scheme:(mk_scheme s) ~flows ~migrations ~until )
+        Runner.run ~report_name:full_name s ~scheme:(mk_scheme s) ~flows
+          ~migrations ~until )
   in
   let v2p cfg s =
     Schemes.Switchv2p_scheme.make ~config:cfg s.Setup.topo

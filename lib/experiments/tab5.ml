@@ -16,7 +16,8 @@ let run ?(scale = `Small) ?(cache_pct = 50) () =
     ]
   in
   let task kind =
-    ( "tab5/" ^ Fig5.trace_name kind,
+    let full_name = "tab5/" ^ Fig5.trace_name kind in
+    ( full_name,
       fun () ->
         let spec =
           match kind with
@@ -36,7 +37,7 @@ let run ?(scale = `Small) ?(cache_pct = 50) () =
           Schemes.Switchv2p_scheme.make setup.Setup.topo
             ~total_cache_slots:(Setup.cache_slots setup ~pct:cache_pct)
         in
-        Runner.run setup ~scheme ~flows ~migrations:[]
+        Runner.run ~report_name:full_name setup ~scheme ~flows ~migrations:[]
           ~until:(Setup.horizon flows) )
   in
   let rows =

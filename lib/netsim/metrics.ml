@@ -2,6 +2,39 @@ module Time_ns = Dessim.Time_ns
 module Stats = Dessim.Stats
 module Packet = Netcore.Packet
 
+type drop_site = Link_buffer | Failed_switch | Gateway_miss | Host_miss
+
+let num_kinds = 4
+let num_sites = 4
+
+let kind_index (k : Packet.kind) =
+  match k with
+  | Packet.Data -> 0
+  | Packet.Ack -> 1
+  | Packet.Learning -> 2
+  | Packet.Invalidation -> 3
+
+let site_index = function
+  | Link_buffer -> 0
+  | Failed_switch -> 1
+  | Gateway_miss -> 2
+  | Host_miss -> 3
+
+let kind_name = function
+  | Packet.Data -> "data"
+  | Packet.Ack -> "ack"
+  | Packet.Learning -> "learning"
+  | Packet.Invalidation -> "invalidation"
+
+let site_name = function
+  | Link_buffer -> "link_buffer"
+  | Failed_switch -> "failed_switch"
+  | Gateway_miss -> "gateway_miss"
+  | Host_miss -> "host_miss"
+
+let all_kinds = [ Packet.Data; Packet.Ack; Packet.Learning; Packet.Invalidation ]
+let all_sites = [ Link_buffer; Failed_switch; Gateway_miss; Host_miss ]
+
 type t = {
   topo : Topo.Topology.t;
   classify : (Packet.t -> int) option;
@@ -10,7 +43,7 @@ type t = {
   mutable flows_started : int;
   mutable flows_completed : int;
   mutable packets_sent : int;
-  mutable packets_dropped : int;
+  drops : int array; (* kind-major [kind * num_sites + site] matrix *)
   mutable gateway_packets : int;
   fct : Stats.Reservoir.t;
   fpl : Stats.Summary.t;
@@ -40,7 +73,7 @@ let create ?classify topo rng =
     flows_started = 0;
     flows_completed = 0;
     packets_sent = 0;
-    packets_dropped = 0;
+    drops = Array.make (num_kinds * num_sites) 0;
     gateway_packets = 0;
     fct = Stats.Reservoir.create rng;
     fpl = Stats.Summary.create ();
@@ -82,7 +115,31 @@ let packet_sent t pkt =
     classify_into t t.class_sent pkt
   end
 
-let packet_dropped t pkt = if tenant_packet pkt then t.packets_dropped <- t.packets_dropped + 1
+(* Every kind is counted: control-plane losses (learning /
+   invalidation packets) matter for protocol health even though they
+   are not tenant traffic. *)
+let packet_dropped t ~site (pkt : Packet.t) =
+  let i = (kind_index pkt.Packet.kind * num_sites) + site_index site in
+  t.drops.(i) <- t.drops.(i) + 1
+
+let drops_of_kind t kind =
+  let base = kind_index kind * num_sites in
+  let acc = ref 0 in
+  for s = 0 to num_sites - 1 do
+    acc := !acc + t.drops.(base + s)
+  done;
+  !acc
+
+let drops_of_site t site =
+  let s = site_index site in
+  let acc = ref 0 in
+  for k = 0 to num_kinds - 1 do
+    acc := !acc + t.drops.((k * num_sites) + s)
+  done;
+  !acc
+
+let drops_by_kind t = List.map (fun k -> (kind_name k, drops_of_kind t k)) all_kinds
+let drops_by_site t = List.map (fun s -> (site_name s, drops_of_site t s)) all_sites
 
 let gateway_arrival t pkt =
   if tenant_packet pkt then begin
@@ -159,7 +216,7 @@ let class_hit_rate t cls =
 
 let gateway_packets t = t.gateway_packets
 let packets_sent t = t.packets_sent
-let packets_dropped t = t.packets_dropped
+let packets_dropped t = Array.fold_left ( + ) 0 t.drops
 let mean_fct t = Stats.Reservoir.mean t.fct
 let fct_percentile t p = Stats.Reservoir.percentile t.fct p
 let mean_first_packet_latency t = Stats.Summary.mean t.fpl

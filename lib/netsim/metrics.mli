@@ -9,6 +9,12 @@
 
 type t
 
+(** Where a packet was lost. [Link_buffer] — the egress queue was
+    full; [Failed_switch] — a failed/rebooting switch blackholed it;
+    [Gateway_miss] — the gateway had no mapping for the destination
+    VIP; [Host_miss] — a host could not re-resolve a moved VM. *)
+type drop_site = Link_buffer | Failed_switch | Gateway_miss | Host_miss
+
 (** [create ?classify topo rng] — when [classify] is given, tenant-level
     sent/gateway counters are kept per class (e.g. per VPC), queryable
     with {!class_hit_rate}. *)
@@ -18,7 +24,12 @@ val create :
 (** Recording hooks (called by the engine). *)
 
 val packet_sent : t -> Netcore.Packet.t -> unit
-val packet_dropped : t -> Netcore.Packet.t -> unit
+
+(** [packet_dropped t ~site pkt] records a loss. Every packet kind is
+    counted (data, ack, learning, invalidation) — not just tenant
+    traffic. *)
+val packet_dropped : t -> site:drop_site -> Netcore.Packet.t -> unit
+
 val gateway_arrival : t -> Netcore.Packet.t -> unit
 
 (** [switch_processed t ~switch pkt] accounts bytes and stretch. *)
@@ -52,7 +63,16 @@ val class_packets_sent : t -> int -> int
 
 val gateway_packets : t -> int
 val packets_sent : t -> int
+
+(** [packets_dropped t] — total losses across all kinds and sites. *)
 val packets_dropped : t -> int
+
+(** [drops_by_kind t] / [drops_by_site t] break the total down, in a
+    fixed order (data, ack, learning, invalidation / link_buffer,
+    failed_switch, gateway_miss, host_miss). *)
+val drops_by_kind : t -> (string * int) list
+
+val drops_by_site : t -> (string * int) list
 val mean_fct : t -> float
 
 (** [fct_percentile t p] — seconds; raises [Not_found] if no flow

@@ -19,6 +19,7 @@ type config = {
   loopback_delay : Time_ns.t;
   classify : (Packet.t -> int) option;
   transport_mode : Transport.mode;
+  telemetry : Dessim.Telemetry.t;
 }
 
 let default_config =
@@ -32,6 +33,7 @@ let default_config =
     loopback_delay = Time_ns.of_us 1;
     classify = None;
     transport_mode = Transport.Windowed;
+    telemetry = Dessim.Telemetry.disabled;
   }
 
 type t = {
@@ -75,7 +77,7 @@ let rec transmit t ~from ~next (pkt : Packet.t) =
       Engine.schedule t.engine ~at:arrival (fun () ->
           Topo.Link.delivered link ~bytes:pkt.Packet.size;
           arrive t ~node:next ~from pkt)
-  | None -> Metrics.packet_dropped t.metrics pkt
+  | None -> Metrics.packet_dropped t.metrics ~site:Metrics.Link_buffer pkt
 
 and forward_from t ~node (pkt : Packet.t) =
   let dst = Topology.node_of_pip t.topo pkt.Packet.dst_pip in
@@ -95,7 +97,8 @@ and arrive t ~node ~from (pkt : Packet.t) =
       | Scheme.Delay d ->
           Engine.schedule_after t.engine ~delay:d (fun () ->
               forward_from t ~node pkt)
-      | Scheme.Drop_pkt -> Metrics.packet_dropped t.metrics pkt)
+      | Scheme.Drop_pkt ->
+          Metrics.packet_dropped t.metrics ~site:Metrics.Failed_switch pkt)
   | Topo.Node.Gateway _ -> gateway_receive t ~node pkt
   | Topo.Node.Host _ -> host_receive t ~node pkt
 
@@ -108,7 +111,7 @@ and gateway_receive t ~node (pkt : Packet.t) =
           pkt.Packet.resolved <- true;
           pkt.Packet.gw_visited <- true;
           forward_from t ~node pkt
-      | None -> Metrics.packet_dropped t.metrics pkt)
+      | None -> Metrics.packet_dropped t.metrics ~site:Metrics.Gateway_miss pkt)
 
 and host_receive t ~node (pkt : Packet.t) =
   match pkt.Packet.kind with
@@ -141,7 +144,8 @@ and host_receive t ~node (pkt : Packet.t) =
                     pkt.Packet.resolved <- true;
                     pkt.Packet.misdelivery <- Some (Topology.pip t.topo node);
                     transmit t ~from:node ~next:(Topology.tor_of t.topo node) pkt
-                | None -> Metrics.packet_dropped t.metrics pkt))
+                | None ->
+                    Metrics.packet_dropped t.metrics ~site:Metrics.Host_miss pkt))
       end
 
 and deliver t (pkt : Packet.t) =
@@ -152,6 +156,9 @@ and deliver t (pkt : Packet.t) =
             ~flow_id:pkt.Packet.flow_id)
   in
   Metrics.delivered t.metrics pkt ~now:(Engine.now t.engine) ~first_of_flow:first;
+  if Packet.is_data pkt then
+    Dessim.Telemetry.observe t.cfg.telemetry "packet_latency_s"
+      (Time_ns.to_sec (Time_ns.sub (Engine.now t.engine) pkt.Packet.sent_at));
   match pkt.Packet.kind with
   | Packet.Data -> Transport.on_data (transport_exn t) pkt
   | Packet.Ack -> Transport.on_ack (transport_exn t) pkt
@@ -221,8 +228,15 @@ let make_transport t =
     pkt.Packet.ecn <- ecn_echo;
     send_tenant_packet t ~src_host pkt
   in
-  let flow_done _flow ~fct = Metrics.flow_completed t.metrics ~fct in
-  let first_packet _flow ~latency = Metrics.first_packet_latency t.metrics latency in
+  let flow_done _flow ~fct =
+    Metrics.flow_completed t.metrics ~fct;
+    Dessim.Telemetry.observe t.cfg.telemetry "fct_s" (Time_ns.to_sec fct)
+  in
+  let first_packet _flow ~latency =
+    Metrics.first_packet_latency t.metrics latency;
+    Dessim.Telemetry.observe t.cfg.telemetry "first_packet_latency_s"
+      (Time_ns.to_sec latency)
+  in
   Transport.create ~mode:t.cfg.transport_mode ~window:t.cfg.window
     ~rto:t.cfg.rto
     { Transport.now; schedule; send_data; send_ack; flow_done; first_packet }
@@ -287,6 +301,10 @@ let create ?(config = default_config) topo ~scheme =
     }
   in
   t.transport <- Some (make_transport t);
+  (match scheme.Scheme.telemetry with
+  | Some hooks when Dessim.Telemetry.is_enabled config.telemetry ->
+      hooks.Scheme.attach config.telemetry
+  | Some _ | None -> ());
   t
 
 let metrics t = t.metrics
@@ -319,4 +337,33 @@ let run t flows ~migrations ~until =
           Netcore.Mapping.migrate t.mapping m.vip new_pip;
           t.scheme.Scheme.on_mapping_update t.env m.vip ~old_pip ~new_pip))
     migrations;
-  Engine.run_until t.engine ~limit:until
+  let tel = t.cfg.telemetry in
+  if Dessim.Telemetry.is_enabled tel then begin
+    (* Periodic probes are pure observers: they draw no randomness and
+       mutate no simulation state, so an instrumented run stays
+       bit-identical to an uninstrumented one. The chain stops on its
+       own once the engine reaches [until]. *)
+    let probe now =
+      let now_sec = Time_ns.to_sec now in
+      (match t.scheme.Scheme.telemetry with
+      | Some hooks -> hooks.Scheme.probe tel ~now_sec
+      | None -> ());
+      Dessim.Telemetry.sample tel "net/flows_completed" ~now_sec
+        (float_of_int (Metrics.flows_completed t.metrics));
+      Dessim.Telemetry.sample tel "net/packets_dropped" ~now_sec
+        (float_of_int (Metrics.packets_dropped t.metrics));
+      Dessim.Telemetry.sample tel "net/gateway_packets" ~now_sec
+        (float_of_int (Metrics.gateway_packets t.metrics))
+    in
+    let interval = Dessim.Telemetry.sample_interval tel in
+    let rec tick () =
+      let now = Engine.now t.engine in
+      probe now;
+      if Time_ns.compare now until < 0 then
+        Engine.schedule t.engine ~at:(Time_ns.add now interval) tick
+    in
+    Engine.schedule t.engine ~at:interval tick;
+    Engine.run_until t.engine ~limit:until;
+    probe (Engine.now t.engine)
+  end
+  else Engine.run_until t.engine ~limit:until

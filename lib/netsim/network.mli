@@ -30,6 +30,14 @@ type config = {
   transport_mode : Transport.mode;
       (** congestion behavior of reliable flows; DCTCP reacts to the
           fabric's ECN marks *)
+  telemetry : Dessim.Telemetry.t;
+      (** structured-telemetry collector; {!Dessim.Telemetry.disabled}
+          (the default) makes every hook a no-op. When enabled, the
+          network records latency/FCT histograms, samples scheme and
+          network counters every
+          {!Dessim.Telemetry.sample_interval}, and hands the collector
+          to the scheme's {!Scheme.telemetry_hooks}. Instrumented runs
+          are bit-identical to uninstrumented ones. *)
 }
 
 val default_config : config

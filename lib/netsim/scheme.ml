@@ -16,6 +16,11 @@ type host_resolution =
 type switch_verdict = Forward | Consume | Delay of Dessim.Time_ns.t | Drop_pkt
 type misdelivery_action = Reforward_to_gateway | Follow_me
 
+type telemetry_hooks = {
+  attach : Dessim.Telemetry.t -> unit;
+  probe : Dessim.Telemetry.t -> now_sec:float -> unit;
+}
+
 type t = {
   name : string;
   resolve_at_host :
@@ -35,6 +40,7 @@ type t = {
     unit;
   host_tags_misdelivery : bool;
   stats : unit -> (string * float) list;
+  telemetry : telemetry_hooks option;
 }
 
 let no_stats () = []

@@ -46,6 +46,15 @@ type misdelivery_action =
       (** forward straight to the VM's new location using the
           follow-me rule installed before migration (Andromeda) *)
 
+(** Optional telemetry integration for schemes with internal state
+    worth sampling. [attach] hands the scheme the run's collector (for
+    flight-recorder events); [probe] asks it to sample its internal
+    counters into the collector's time series. *)
+type telemetry_hooks = {
+  attach : Dessim.Telemetry.t -> unit;
+  probe : Dessim.Telemetry.t -> now_sec:float -> unit;
+}
+
 type t = {
   name : string;
   resolve_at_host :
@@ -77,6 +86,8 @@ type t = {
           leaves this to its ToRs *)
   stats : unit -> (string * float) list;
       (** scheme-specific counters for reports *)
+  telemetry : telemetry_hooks option;
+      (** [None] for schemes with nothing to sample *)
 }
 
 (** [no_stats] is an empty stats thunk for simple schemes. *)

@@ -174,7 +174,7 @@ let start t flow =
 let on_data t (pkt : Packet.t) =
   match Hashtbl.find_opt t.receivers pkt.Packet.flow_id with
   | None -> ()
-  | Some r ->
+  | Some r when pkt.Packet.seq >= 0 && pkt.Packet.seq < r.r_total ->
       let seq = pkt.Packet.seq in
       if not r.got_first then begin
         r.got_first <- true;
@@ -197,6 +197,11 @@ let on_data t (pkt : Packet.t) =
         t.cb.flow_done r.r_flow
           ~fct:(Time_ns.sub (t.cb.now ()) r.r_flow.Flow.start)
       end
+  | Some _ ->
+      (* A sequence number outside [0, total) would index out of the
+         bitmap; a corrupted or mis-filled packet must not crash the
+         receiver. *)
+      ()
 
 (* The DCTCP control law (RFC 8257): per observation window (one cwnd
    of acks), alpha <- (1-g) alpha + g F where F is the marked-ack
@@ -231,7 +236,10 @@ let on_ack t (pkt : Packet.t) =
   | None -> ()
   | Some s ->
       let seq = pkt.Packet.seq in
-      if (not s.done_) && seq < s.total && Bytes.get s.acked seq = '\000' then begin
+      if
+        (not s.done_) && seq >= 0 && seq < s.total
+        && Bytes.get s.acked seq = '\000'
+      then begin
         Bytes.set s.acked seq '\001';
         s.n_acked <- s.n_acked + 1;
         s.inflight <- s.inflight - 1;

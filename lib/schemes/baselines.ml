@@ -15,6 +15,7 @@ let nocache () =
     on_mapping_update = (fun _env _vip ~old_pip:_ ~new_pip:_ -> ());
     host_tags_misdelivery = false;
     stats = Scheme.no_stats;
+    telemetry = None;
   }
 
 let direct () =
@@ -31,6 +32,7 @@ let direct () =
     on_mapping_update = (fun _env _vip ~old_pip:_ ~new_pip:_ -> ());
     host_tags_misdelivery = false;
     stats = Scheme.no_stats;
+    telemetry = None;
   }
 
 let ondemand ?(miss_penalty = Time_ns.of_us 40) () =
@@ -67,6 +69,7 @@ let ondemand ?(miss_penalty = Time_ns.of_us 40) () =
           ("host_cache_misses", float_of_int !misses);
           ("host_lookups", float_of_int !lookups);
         ]);
+    telemetry = None;
   }
 
 let hoverboard ?(offload_threshold = 20) () =
@@ -113,6 +116,7 @@ let hoverboard ?(offload_threshold = 20) () =
         ());
     host_tags_misdelivery = false;
     stats = (fun () -> [ ("rule_offloads", float_of_int !offloads) ]);
+    telemetry = None;
   }
 
 let flat_cache_scheme ~name ~switches ~total_slots ~topo =
@@ -136,6 +140,7 @@ let flat_cache_scheme ~name ~switches ~total_slots ~topo =
           ("cache_hits", float_of_int (Learning_cache.total_hits lc));
           ("cache_misses", float_of_int (Learning_cache.total_misses lc));
         ]);
+    telemetry = None;
   }
 
 let locallearning ~topo ~total_slots =
@@ -248,4 +253,5 @@ let bluebird ?(cp_rate_bps = 20e9) ?(cp_fwd_delay = Time_ns.of_ns 8_500)
           ("cp_detours", float_of_int !cp_detours);
           ("cp_drops", float_of_int !cp_drops);
         ]);
+    telemetry = None;
   }

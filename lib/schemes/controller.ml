@@ -210,4 +210,5 @@ let make ?(gw_cost_hops = 40.0) ~topo ~total_slots ~interval () =
           ("controller_solves", float_of_int st.solves);
           ("entries_installed", float_of_int st.installed_total);
         ]);
+    telemetry = None;
   }

@@ -117,6 +117,7 @@ let make_with_control topo =
             ("dht_home_hits", float_of_int c.home_hits);
             ("dht_fallbacks", float_of_int c.fallbacks);
           ]);
+      telemetry = None;
     }
   in
   (scheme, c)

@@ -42,6 +42,12 @@ let make_with_dataplane ?(config = Switchv2p.Config.default) ?partition topo
               float_of_int (Dataplane.entries_invalidated dp) );
             ("misdelivery_tags", float_of_int (Dataplane.misdelivery_tags dp));
           ]);
+      telemetry =
+        Some
+          {
+            Scheme.attach = (fun tel -> Dataplane.set_telemetry dp tel);
+            probe = (fun tel ~now_sec -> Dataplane.probe_telemetry dp tel ~now_sec);
+          };
     }
   in
   (scheme, dp)

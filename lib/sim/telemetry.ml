@@ -1,0 +1,528 @@
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape_into b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
+
+  (* Shortest decimal that round-trips the double: try %.15g, fall
+     back to %.17g. *)
+  let float_repr f =
+    let s = Printf.sprintf "%.15g" f in
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+    (* JSON requires a fraction or exponent marker is not required, but
+       a bare integer-looking float must stay distinguishable when we
+       parse it back; mark it as a float. *)
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+
+  let rec write_into b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+        if Float.is_finite f then Buffer.add_string b (float_repr f)
+        else Buffer.add_string b "null"
+    | Str s ->
+        Buffer.add_char b '"';
+        escape_into b s;
+        Buffer.add_char b '"'
+    | List items ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char b ',';
+            write_into b item)
+          items;
+        Buffer.add_char b ']'
+    | Obj fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            escape_into b k;
+            Buffer.add_string b "\":";
+            write_into b v)
+          fields;
+        Buffer.add_char b '}'
+
+  let to_string j =
+    let b = Buffer.create 4096 in
+    write_into b j;
+    Buffer.contents b
+
+  let to_channel oc j = output_string oc (to_string j)
+
+  exception Parse_error of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let error msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then advance ()
+      else error (Printf.sprintf "expected %c" c)
+    in
+    let literal word value =
+      if
+        !pos + String.length word <= n
+        && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        value
+      end
+      else error ("expected " ^ word)
+    in
+    let utf8_of_code b cp =
+      if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else begin
+        Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= n then error "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents b
+        | '\\' ->
+            (if !pos >= n then error "unterminated escape";
+             let e = s.[!pos] in
+             advance ();
+             match e with
+             | '"' -> Buffer.add_char b '"'
+             | '\\' -> Buffer.add_char b '\\'
+             | '/' -> Buffer.add_char b '/'
+             | 'n' -> Buffer.add_char b '\n'
+             | 't' -> Buffer.add_char b '\t'
+             | 'r' -> Buffer.add_char b '\r'
+             | 'b' -> Buffer.add_char b '\b'
+             | 'f' -> Buffer.add_char b '\012'
+             | 'u' ->
+                 if !pos + 4 > n then error "short \\u escape";
+                 let hex = String.sub s !pos 4 in
+                 pos := !pos + 4;
+                 let cp =
+                   try int_of_string ("0x" ^ hex)
+                   with _ -> error "bad \\u escape"
+                 in
+                 utf8_of_code b cp
+             | _ -> error "bad escape");
+            loop ()
+        | c ->
+            Buffer.add_char b c;
+            loop ()
+      in
+      loop ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> error "bad number"
+      else
+        match int_of_string_opt tok with
+        | Some i -> Int i
+        | None -> (
+            match float_of_string_opt tok with
+            | Some f -> Float f
+            | None -> error "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> error "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec fields acc =
+              skip_ws ();
+              let key = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  fields ((key, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((key, v) :: acc)
+              | _ -> error "expected , or }"
+            in
+            Obj (fields [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else begin
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> error "expected , or ]"
+            in
+            List (items [])
+          end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> error (Printf.sprintf "unexpected %c" c)
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then error "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | Null | Bool _ | Int _ | Float _ | Str _ | List _ -> None
+end
+
+module Histogram = struct
+  type t = {
+    lo : float;
+    buckets_per_decade : int;
+    edges : float array; (* length num+1 *)
+    counts : int array; (* length num *)
+    mutable underflow : int;
+    mutable overflow : int;
+    mutable count : int;
+    mutable sum : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create ?(lo = 1e-7) ?(buckets_per_decade = 20) ?(decades = 9) () =
+    if lo <= 0.0 then invalid_arg "Histogram.create: lo must be positive";
+    if buckets_per_decade <= 0 || decades <= 0 then
+      invalid_arg "Histogram.create: non-positive geometry";
+    let num = buckets_per_decade * decades in
+    let edges =
+      Array.init (num + 1) (fun i ->
+          lo *. (10.0 ** (float_of_int i /. float_of_int buckets_per_decade)))
+    in
+    {
+      lo;
+      buckets_per_decade;
+      edges;
+      counts = Array.make num 0;
+      underflow = 0;
+      overflow = 0;
+      count = 0;
+      sum = 0.0;
+      min = infinity;
+      max = neg_infinity;
+    }
+
+  let num_buckets t = Array.length t.counts
+
+  (* Binary search over the precomputed edges: exact, so bucket edges
+     behave as half-open intervals regardless of float-log error. *)
+  let bucket_index t v =
+    let num = num_buckets t in
+    if v < t.edges.(0) then -1
+    else if v >= t.edges.(num) then num
+    else begin
+      let lo = ref 0 and hi = ref num in
+      (* invariant: edges.(lo) <= v < edges.(hi) *)
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if v < t.edges.(mid) then hi := mid else lo := mid
+      done;
+      !lo
+    end
+
+  let record t v =
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v < t.min then t.min <- v;
+    if v > t.max then t.max <- v;
+    let i = bucket_index t v in
+    if i < 0 then t.underflow <- t.underflow + 1
+    else if i >= num_buckets t then t.overflow <- t.overflow + 1
+    else t.counts.(i) <- t.counts.(i) + 1
+
+  let count t = t.count
+  let sum t = t.sum
+  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+  let bucket_bounds t i =
+    if i < 0 || i >= num_buckets t then
+      invalid_arg "Histogram.bucket_bounds: out of range";
+    (t.edges.(i), t.edges.(i + 1))
+
+  let bucket_count t i =
+    if i < 0 || i >= num_buckets t then
+      invalid_arg "Histogram.bucket_count: out of range";
+    t.counts.(i)
+
+  let underflow t = t.underflow
+  let overflow t = t.overflow
+
+  let percentile t p =
+    if t.count = 0 then 0.0
+    else begin
+      let rank =
+        Stdlib.max 1
+          (int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.count)))
+      in
+      let seen = ref t.underflow in
+      if !seen >= rank then t.edges.(0)
+      else begin
+        let result = ref None in
+        let i = ref 0 in
+        let num = num_buckets t in
+        while !result = None && !i < num do
+          seen := !seen + t.counts.(!i);
+          if !seen >= rank then result := Some t.edges.(!i + 1);
+          incr i
+        done;
+        match !result with Some v -> v | None -> t.max
+      end
+    end
+
+  let to_json t =
+    let buckets =
+      let acc = ref [] in
+      for i = num_buckets t - 1 downto 0 do
+        if t.counts.(i) > 0 then
+          acc :=
+            Json.List
+              [
+                Json.Int i;
+                Json.Float t.edges.(i);
+                Json.Float t.edges.(i + 1);
+                Json.Int t.counts.(i);
+              ]
+            :: !acc
+      done;
+      !acc
+    in
+    Json.Obj
+      [
+        ("lo", Json.Float t.lo);
+        ("buckets_per_decade", Json.Int t.buckets_per_decade);
+        ("count", Json.Int t.count);
+        ("sum", Json.Float t.sum);
+        ("mean", Json.Float (mean t));
+        ("min", if t.count = 0 then Json.Null else Json.Float t.min);
+        ("max", if t.count = 0 then Json.Null else Json.Float t.max);
+        ("p50", Json.Float (percentile t 50.0));
+        ("p90", Json.Float (percentile t 90.0));
+        ("p99", Json.Float (percentile t 99.0));
+        ("p999", Json.Float (percentile t 99.9));
+        ("underflow", Json.Int t.underflow);
+        ("overflow", Json.Int t.overflow);
+        ("buckets", Json.List buckets);
+      ]
+end
+
+type series = { mutable points : (float * float) list; mutable n : int }
+type flight_event = { at : float; pkt : int; node : int; event : string }
+
+type t = {
+  enabled : bool;
+  sample_interval : Time_ns.t;
+  flight_sample_every : int;
+  max_flight_events : int;
+  histograms : (string, Histogram.t) Hashtbl.t;
+  series : (string, series) Hashtbl.t;
+  mutable flight : flight_event list; (* newest first *)
+  mutable n_flight : int;
+  mutable series_order : string list; (* registration order, newest first *)
+  mutable histogram_order : string list;
+}
+
+let make ~enabled ~sample_interval ~flight_sample_every ~max_flight_events =
+  {
+    enabled;
+    sample_interval;
+    flight_sample_every;
+    max_flight_events;
+    histograms = Hashtbl.create 16;
+    series = Hashtbl.create 16;
+    flight = [];
+    n_flight = 0;
+    series_order = [];
+    histogram_order = [];
+  }
+
+let disabled =
+  make ~enabled:false ~sample_interval:(Time_ns.of_us 50)
+    ~flight_sample_every:0 ~max_flight_events:0
+
+let create ?(sample_interval = Time_ns.of_us 50) ?(flight_sample_every = 64)
+    ?(max_flight_events = 65536) () =
+  if flight_sample_every < 0 then
+    invalid_arg "Telemetry.create: negative flight_sample_every";
+  make ~enabled:true ~sample_interval ~flight_sample_every ~max_flight_events
+
+let is_enabled t = t.enabled
+let sample_interval t = t.sample_interval
+
+let observe t name v =
+  if t.enabled then begin
+    let h =
+      match Hashtbl.find_opt t.histograms name with
+      | Some h -> h
+      | None ->
+          let h = Histogram.create () in
+          Hashtbl.add t.histograms name h;
+          t.histogram_order <- name :: t.histogram_order;
+          h
+    in
+    Histogram.record h v
+  end
+
+let sample t name ~now_sec v =
+  if t.enabled then begin
+    let s =
+      match Hashtbl.find_opt t.series name with
+      | Some s -> s
+      | None ->
+          let s = { points = []; n = 0 } in
+          Hashtbl.add t.series name s;
+          t.series_order <- name :: t.series_order;
+          s
+    in
+    s.points <- (now_sec, v) :: s.points;
+    s.n <- s.n + 1
+  end
+
+let should_trace t ~pkt =
+  t.enabled && t.flight_sample_every > 0
+  && pkt mod t.flight_sample_every = 0
+  && t.n_flight < t.max_flight_events
+
+let trace t ~now_sec ~pkt ~node event =
+  if should_trace t ~pkt then begin
+    t.flight <- { at = now_sec; pkt; node; event } :: t.flight;
+    t.n_flight <- t.n_flight + 1
+  end
+
+let histogram t name = Hashtbl.find_opt t.histograms name
+let flight_events t = t.n_flight
+
+let to_json t ~manifest ~extra =
+  let histograms =
+    List.rev_map
+      (fun name ->
+        (name, Histogram.to_json (Hashtbl.find t.histograms name)))
+      t.histogram_order
+  in
+  let series =
+    List.rev_map
+      (fun name ->
+        let s = Hashtbl.find t.series name in
+        ( name,
+          Json.List
+            (List.rev_map
+               (fun (at, v) -> Json.List [ Json.Float at; Json.Float v ])
+               s.points) ))
+      t.series_order
+  in
+  let flight =
+    Json.List
+      (List.rev_map
+         (fun e ->
+           Json.Obj
+             [
+               ("t", Json.Float e.at);
+               ("pkt", Json.Int e.pkt);
+               ("node", Json.Int e.node);
+               ("event", Json.Str e.event);
+             ])
+         t.flight)
+  in
+  Json.Obj
+    ([
+       ("schema", Json.Str "switchv2p-telemetry/v1");
+       ("manifest", manifest);
+       ("histograms", Json.Obj histograms);
+       ("series", Json.Obj series);
+       ( "flight",
+         Json.Obj
+           [
+             ("sample_every", Json.Int t.flight_sample_every);
+             ("events", flight);
+           ] );
+     ]
+    @ extra)
+
+let write ~path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.to_channel oc json;
+      output_char oc '\n')

@@ -1,0 +1,131 @@
+(** Structured run telemetry: log-bucketed histograms, labeled
+    time-series, a sampled per-packet flight recorder and a JSON
+    exporter.
+
+    A [Telemetry.t] is either {!disabled} — every recording hook is a
+    single branch on a false flag and allocates nothing — or created
+    with {!create}, in which case callers may record freely and export
+    everything with {!to_json}. The module is engine-agnostic: it knows
+    nothing about packets or switches beyond the integer ids callers
+    pass in, so it can be shared by the data-plane model, the network
+    simulator and the experiment drivers. *)
+
+(** Minimal JSON tree with a compact printer and a parser, enough for
+    run reports without an external dependency. Floats are printed
+    with round-trip precision; non-finite floats serialize as [null]. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  val to_channel : out_channel -> t -> unit
+
+  (** [parse s] reads one JSON value (surrounding whitespace allowed).
+      Numbers without fraction or exponent parse as [Int]. *)
+  val parse : string -> (t, string) result
+
+  (** [member key json] is the value bound to [key] if [json] is an
+      object containing it. *)
+  val member : string -> t -> t option
+end
+
+(** Log-bucketed (HDR-style) histogram over non-negative floats.
+    Bucket [i] covers [[lo·10^(i/bpd), lo·10^((i+1)/bpd))]; values
+    below [lo] land in a dedicated underflow bucket, values at or
+    above the top edge in an overflow bucket. *)
+module Histogram : sig
+  type t
+
+  (** Defaults: [lo = 1e-7] (100 ns when recording seconds),
+      [buckets_per_decade = 20] (~12% bucket growth), [decades = 9]
+      (covering 100 ns .. 100 s). *)
+  val create :
+    ?lo:float -> ?buckets_per_decade:int -> ?decades:int -> unit -> t
+
+  val record : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+
+  (** [mean t] is 0 when empty. *)
+  val mean : t -> float
+
+  val num_buckets : t -> int
+
+  (** [bucket_index t v] is [-1] for underflow, [num_buckets t] for
+      overflow, otherwise the bucket containing [v]. Exact bucket
+      edges belong to the bucket they open (half-open intervals). *)
+  val bucket_index : t -> float -> int
+
+  (** [bucket_bounds t i] is [(lo_edge, hi_edge)] of bucket [i].
+      Raises [Invalid_argument] out of range. *)
+  val bucket_bounds : t -> int -> float * float
+
+  val bucket_count : t -> int -> int
+  val underflow : t -> int
+  val overflow : t -> int
+
+  (** [percentile t p] approximates the [p]-th percentile (upper bucket
+      edge, conservative); 0 when empty. *)
+  val percentile : t -> float -> float
+
+  val to_json : t -> Json.t
+end
+
+type t
+
+(** The shared no-op instance: [is_enabled] is false and every
+    recording hook returns immediately. *)
+val disabled : t
+
+(** [create ()] is an enabled collector. [sample_interval] is the
+    period the owning simulator should use for time-series probes
+    (default 50 us of simulation time); [flight_sample_every] keeps
+    hop-by-hop events for one packet id in every [n] (default 64;
+    [0] disables the flight recorder); [max_flight_events] caps
+    recorder memory (default 65536 events). *)
+val create :
+  ?sample_interval:Time_ns.t ->
+  ?flight_sample_every:int ->
+  ?max_flight_events:int ->
+  unit ->
+  t
+
+val is_enabled : t -> bool
+val sample_interval : t -> Time_ns.t
+
+(** [observe t name v] records [v] into the histogram called [name]
+    (created on first use). No-op when disabled. *)
+val observe : t -> string -> float -> unit
+
+(** [sample t name ~now_sec v] appends [(now_sec, v)] to the series
+    called [name]. No-op when disabled. *)
+val sample : t -> string -> now_sec:float -> float -> unit
+
+(** [trace t ~now_sec ~pkt ~node event] appends a flight-recorder
+    event for packet id [pkt] at node [node], provided the packet is
+    sampled ([pkt mod flight_sample_every = 0]) and the cap has not
+    been reached. No-op when disabled. *)
+val trace : t -> now_sec:float -> pkt:int -> node:int -> string -> unit
+
+(** [should_trace t ~pkt] — whether {!trace} would keep events for
+    this packet id (lets callers skip argument preparation). *)
+val should_trace : t -> pkt:int -> bool
+
+(** Introspection (tests, exporters). *)
+
+val histogram : t -> string -> Histogram.t option
+val flight_events : t -> int
+
+(** [to_json t ~manifest ~extra] assembles the full report:
+    [{"schema", "manifest", "histograms", "series", "flight", ...extra}]. *)
+val to_json : t -> manifest:Json.t -> extra:(string * Json.t) list -> Json.t
+
+(** [write ~path json] writes the document to [path] (with a trailing
+    newline). *)
+val write : path:string -> Json.t -> unit

@@ -525,6 +525,47 @@ let test_invalidation_packet_en_route_and_at_target () =
   | Dataplane.Forward -> Alcotest.fail "must consume at target");
   checkb "core entry invalidated" true (Cache.peek (cache h core) (vip 7) = None)
 
+(* A tagged packet's conservative lookup must consult the cache exactly
+   once: the old peek-then-lookup pair double-counted the line's
+   hit/miss statistics and toggled the access bit inconsistently. *)
+let test_tagged_lookup_counts_one_access () =
+  let count_accesses c = Cache.hits c + Cache.misses c in
+  (* Stale entry: invalidated, counted as a single access. *)
+  let h = harness () in
+  let sp = spine_in_pod h 1 in
+  let old_host = host_in h ~pod:1 ~rack:0 ~idx:0 in
+  let sender = host_in h ~pod:1 ~rack:1 ~idx:0 in
+  ignore (Cache.insert (cache h sp) ~admission:`All (vip 7) (Topology.pip h.t old_host));
+  let before = count_accesses (cache h sp) in
+  let p = mk_data h ~src_host:sender ~dst_vip:(vip 7) ~dst_node:(gateway h) in
+  p.Packet.misdelivery <- Some (Topology.pip h.t old_host);
+  ignore (process h ~switch:sp ~from:(Topology.tor_of h.t old_host) p);
+  checki "stale case: one access" (before + 1) (count_accesses (cache h sp));
+  (* Fresh entry: rewritten, also a single access, and the hit keeps
+     the access bit set (it is a genuine hit, not a peeked one). *)
+  let h = harness () in
+  let sp = spine_in_pod h 1 in
+  let new_host = host_in h ~pod:0 ~rack:0 ~idx:0 in
+  ignore (Cache.insert (cache h sp) ~admission:`All (vip 7) (Topology.pip h.t new_host));
+  let before_hits = Cache.hits (cache h sp) in
+  let before = count_accesses (cache h sp) in
+  let p = mk_data h ~src_host:sender ~dst_vip:(vip 7) ~dst_node:(gateway h) in
+  p.Packet.misdelivery <- Some (Topology.pip h.t old_host);
+  ignore (process h ~switch:sp ~from:(Topology.tor_of h.t old_host) p);
+  checkb "fresh case: rewritten" true p.Packet.resolved;
+  checki "fresh case: one access" (before + 1) (count_accesses (cache h sp));
+  checki "fresh case: counted as hit" (before_hits + 1) (Cache.hits (cache h sp));
+  checkb "fresh case: access bit set" true
+    (Cache.access_bit (cache h sp) (vip 7) = Some true);
+  (* No entry: a single miss. *)
+  let h = harness () in
+  let sp = spine_in_pod h 1 in
+  let before_misses = Cache.misses (cache h sp) in
+  let p = mk_data h ~src_host:sender ~dst_vip:(vip 7) ~dst_node:(gateway h) in
+  p.Packet.misdelivery <- Some (Topology.pip h.t old_host);
+  ignore (process h ~switch:sp ~from:(Topology.tor_of h.t old_host) p);
+  checki "miss case: one miss" (before_misses + 1) (Cache.misses (cache h sp))
+
 (* --- configuration of cache geometry --- *)
 
 let test_slot_distribution () =
@@ -543,6 +584,58 @@ let test_slot_remainder_distribution () =
       0 (Topology.switches t)
   in
   checki "slots conserved" (n + 3) total
+
+(* QCheck: slot distribution conserves the aggregate budget exactly —
+   sum over switches = total, every share non-negative — for any total
+   and any (non-negative) weight profile. Skewed float weights can
+   leave the floored shares on either side of the total, so both
+   correction directions are exercised. *)
+let slot_conservation_qcheck =
+  let open QCheck in
+  let weight = Gen.oneofl [ 0.0; 0.1; 0.3; 1.0; 3.7; 1e3; 1e-3 ] in
+  let allocation =
+    make
+      (Gen.oneof
+         [
+           Gen.return Config.Uniform;
+           Gen.return Config.Tor_only;
+           Gen.map2
+             (fun (tor, spine, core) (gw_tor, gw_spine) ->
+               Config.Weighted { tor; spine; core; gw_tor; gw_spine })
+             (Gen.triple weight weight weight)
+             (Gen.pair weight weight);
+         ])
+  in
+  QCheck.Test.make ~name:"slot distribution conserves the total" ~count:300
+    (pair (int_bound 5000) allocation)
+    (fun (total, allocation) ->
+      let t = topo () in
+      let cfg = Config.make ~allocation () in
+      let dp = Dataplane.create cfg t ~total_cache_slots:total in
+      let switches = Topology.switches t in
+      let sum =
+        Array.fold_left
+          (fun acc sw -> acc + Dataplane.slots_of dp ~switch:sw)
+          0 switches
+      in
+      let nonneg =
+        Array.for_all (fun sw -> Dataplane.slots_of dp ~switch:sw >= 0) switches
+      in
+      let positive_weight =
+        match allocation with
+        | Config.Uniform -> true
+        | Config.Tor_only ->
+            Array.exists
+              (fun sw ->
+                match Topology.role t sw with
+                | Node.Regular_tor | Node.Gateway_tor -> true
+                | _ -> false)
+              switches
+        | Config.Weighted { tor; spine; core; gw_tor; gw_spine } ->
+            tor +. spine +. core +. gw_tor +. gw_spine > 0.0
+      in
+      (* All-zero weights legitimately allocate nothing. *)
+      nonneg && if positive_weight then sum = total else sum = 0)
 
 let test_tor_only_mode () =
   let t = topo () in
@@ -630,6 +723,8 @@ let () =
             test_tagged_packet_uses_fresh_entry;
           Alcotest.test_case "invalidation packet en route" `Quick
             test_invalidation_packet_en_route_and_at_target;
+          Alcotest.test_case "tagged lookup counts one access" `Quick
+            test_tagged_lookup_counts_one_access;
         ] );
       ( "geometry",
         [
@@ -637,5 +732,6 @@ let () =
           Alcotest.test_case "remainder conserved" `Quick
             test_slot_remainder_distribution;
           Alcotest.test_case "ToR-only mode" `Quick test_tor_only_mode;
+          QCheck_alcotest.to_alcotest slot_conservation_qcheck;
         ] );
     ]

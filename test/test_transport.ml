@@ -239,6 +239,26 @@ let test_unknown_flow_ignored () =
   Transport.on_ack w.tr (mk_pkt ~kind:`Ack ~flow_id:77 ~seq:0);
   checki "nothing happens" 0 (List.length !(w.acks_sent))
 
+(* Regression: a sequence number outside [0, total) used to index the
+   receive/ack bitmaps unchecked and raise [Invalid_argument], killing
+   the event loop. Such packets must be ignored, and the flow must
+   still complete normally afterwards. *)
+let test_out_of_range_seq_ignored () =
+  let w = make_world () in
+  Transport.start w.tr (flow ~packets:2 ());
+  List.iter
+    (fun seq ->
+      Transport.on_data w.tr (mk_pkt ~kind:`Data ~flow_id:1 ~seq);
+      Transport.on_ack w.tr (mk_pkt ~kind:`Ack ~flow_id:1 ~seq))
+    [ -1; 2; 1_000_000; min_int; max_int ];
+  checki "no acks for garbage data" 0 (List.length !(w.acks_sent));
+  checki "no completion" 0 (List.length !(w.completed));
+  (* The flow still works. *)
+  Transport.on_data w.tr (mk_pkt ~kind:`Data ~flow_id:1 ~seq:0);
+  Transport.on_data w.tr (mk_pkt ~kind:`Data ~flow_id:1 ~seq:1);
+  checki "valid data acked" 2 (List.length !(w.acks_sent));
+  checki "flow completes" 1 (List.length !(w.completed))
+
 let () =
   Alcotest.run "transport"
     [
@@ -268,5 +288,9 @@ let () =
           Alcotest.test_case "windowed ignores marks" `Quick test_windowed_ignores_marks;
         ] );
       ( "robustness",
-        [ Alcotest.test_case "unknown flow" `Quick test_unknown_flow_ignored ] );
+        [
+          Alcotest.test_case "unknown flow" `Quick test_unknown_flow_ignored;
+          Alcotest.test_case "out-of-range seq" `Quick
+            test_out_of_range_seq_ignored;
+        ] );
     ]
