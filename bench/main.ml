@@ -30,6 +30,9 @@ type target_record = {
 
 let records : target_record list ref = ref []
 
+(* Filled by [eventcore]; written into BENCH_sweep.json. *)
+let event_core_stats : (string * float) list ref = ref []
+
 let time_it ~key name f =
   Parallel.reset_counters ();
   let t0 = Unix.gettimeofday () in
@@ -64,6 +67,13 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Measured on this machine immediately before the typed-event /
+   packet-pool rewrite (closure-per-hop event loop), same eventcore
+   workload: kept in the report so the before/after trajectory rides
+   along with every sweep. *)
+let baseline_event_core_json =
+  "\"baseline_events_per_sec\": 5.0e6, \"baseline_words_per_event\": 28.58"
+
 let write_sweep_json jobs =
   let path =
     match Sys.getenv_opt "REPRO_BENCH_JSON" with
@@ -80,6 +90,16 @@ let write_sweep_json jobs =
       (json_escape r.target) (json_escape r.title) r.wall_s r.tasks r.task_s
       speedup
   in
+  let event_core_json () =
+    match !event_core_stats with
+    | [] -> ""
+    | stats ->
+        let fields =
+          List.map (fun (k, v) -> Printf.sprintf "\"%s\": %.6g" k v) stats
+        in
+        Printf.sprintf "  \"event_core\": {%s},\n"
+          (String.concat ", " (fields @ [ baseline_event_core_json ]))
+  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -90,11 +110,12 @@ let write_sweep_json jobs =
         \  \"jobs\": %d,\n\
         \  \"scale\": \"%s\",\n\
         \  \"total_wall_s\": %.3f,\n\
+         %s\
         \  \"targets\": [\n\
          %s\n\
         \  ]\n\
          }\n"
-        jobs (scale_name ()) total_wall
+        jobs (scale_name ()) total_wall (event_core_json ())
         (String.concat ",\n" (List.map target_json rs)));
   Printf.printf "\n[sweep report written to %s]\n%!" path
 
@@ -130,6 +151,93 @@ let dht () = Experiments.Dht_compare.print (Experiments.Dht_compare.run ~scale:!
 
 let cachegeo () =
   Experiments.Cache_geometry.print (Experiments.Cache_geometry.run ~scale:!scale ())
+
+(* --- Event-core benchmark: forwarding-path throughput -------------- *)
+
+(* Regression gate for CI: minor-heap words allocated per executed
+   event on the forwarding path must not creep back up. The typed-event
+   rewrite measures ~asymptotically the per-flow setup cost (flow +
+   pool warmup) spread over the event count; the ceiling leaves modest
+   headroom over the measured value (see README, "Event core").
+   Override with REPRO_WORDS_PER_EVENT_CEILING for experiments. *)
+let words_per_event_ceiling () =
+  match Sys.getenv_opt "REPRO_WORDS_PER_EVENT_CEILING" with
+  | Some s -> float_of_string s
+  | None -> 6.0
+
+let eventcore () =
+  (* Cross-pod single-flow UDP traffic through the full simulator
+     (transport, links, engine, metrics) with the Direct scheme: every
+     packet takes the 6-link host-ToR-spine-core-spine-ToR-host path,
+     so executed events are almost exclusively forwarding-path packet
+     events (one arrival per link plus per-packet transport sends). *)
+  let module Time_ns = Dessim.Time_ns in
+  let module Flow = Netcore.Flow in
+  let topo =
+    Topo.Topology.build
+      (Topo.Params.scaled ~pods:2 ~racks_per_pod:2 ~hosts_per_rack:2
+         ~vms_per_host:2 ())
+  in
+  let net = Netsim.Network.create topo ~scheme:(Schemes.Baselines.direct ()) in
+  let num_vms = Netsim.Network.num_vms net in
+  let run_one i ~packets =
+    let src = 2 * i mod (num_vms / 2) in
+    let dst = (src + (num_vms / 2)) mod num_vms (* other pod *) in
+    let start =
+      Time_ns.add
+        (Dessim.Engine.now (Netsim.Network.engine net))
+        (Time_ns.of_ns 10)
+    in
+    let flow =
+      Flow.make ~id:i ~pkt_bytes:1500
+        ~src_vip:(Netcore.Addr.Vip.of_int src)
+        ~dst_vip:(Netcore.Addr.Vip.of_int dst)
+        ~size_bytes:(packets * 1500) ~start
+        (Flow.Udp { rate_bps = 1e12 })
+    in
+    Netsim.Network.run net [ flow ] ~migrations:[]
+      ~until:(Time_ns.add start (Time_ns.of_ms 10))
+  in
+  let iters =
+    match Sys.getenv_opt "REPRO_EVENTCORE_ITERS" with
+    | Some s -> int_of_string s
+    | None -> 2_000
+  in
+  for i = 1 to 100 do
+    run_one i ~packets:32 (* warmup: JIT nothing, but warm pools/caches *)
+  done;
+  let eng = Netsim.Network.engine net in
+  let ev0 = Dessim.Engine.executed eng in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to iters do
+    run_one i ~packets:32
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  let events = Dessim.Engine.executed eng - ev0 in
+  let events_per_sec = float_of_int events /. wall in
+  let words_per_event = words /. float_of_int events in
+  Printf.printf
+    "\n== event core (forwarding path) ==\n\
+    \  events executed   %d\n\
+    \  events/sec        %.3e\n\
+    \  words/event       %.2f\n"
+    events events_per_sec words_per_event;
+  event_core_stats :=
+    [
+      ("events", float_of_int events);
+      ("events_per_sec", events_per_sec);
+      ("words_per_event", words_per_event);
+    ];
+  let ceiling = words_per_event_ceiling () in
+  if words_per_event > ceiling then begin
+    Printf.eprintf
+      "eventcore: words/event %.2f exceeds ceiling %.2f — the forwarding \
+       path regressed into allocating per event\n"
+      words_per_event ceiling;
+    exit 1
+  end
 
 (* --- Bechamel micro-benchmarks of the primitives ------------------- *)
 
@@ -357,6 +465,7 @@ let targets =
     ("dht", ("DHT-store alternative (§2.4)", dht));
     ("cachegeo", ("Cache geometry study (§3.2)", cachegeo));
     ("micro", ("Micro-benchmarks", micro));
+    ("eventcore", ("Event-core throughput (forwarding path)", eventcore));
   ]
 
 (* fig7 and fig8 share one runner; run it once in the full sweep. *)
@@ -364,7 +473,7 @@ let default_order =
   [
     "datasets"; "fig5a"; "fig5b"; "fig5c"; "fig5d"; "fig6"; "fig7"; "fig9";
     "fig10"; "tab4"; "tab5"; "tab6"; "appA2"; "ablation"; "multitenant";
-    "resilience"; "dht"; "cachegeo"; "micro";
+    "resilience"; "dht"; "cachegeo"; "micro"; "eventcore";
   ]
 
 let () =

@@ -1,32 +1,68 @@
-type entry = { mutable pip : Addr.Pip.t; mutable version : int }
-type t = (Addr.Vip.t, entry) Hashtbl.t
+(* Dense-array store: VIPs are small dense integers (the simulator
+   numbers VMs 0..num_vms-1), so the mapping is two flat lanes indexed
+   by VIP — [lookup] is one bounds check and one load, no hashing and
+   no allocation. [versions.(vip) = 0] marks an absent entry; the
+   arrays double on demand so sparse test VIPs still work. *)
 
-let create () : t = Hashtbl.create 1024
+type t = {
+  mutable pips : int array; (* Addr.Pip.t as int *)
+  mutable versions : int array; (* 0 = never installed *)
+  mutable installed : int;
+}
+
+let create () =
+  { pips = Array.make 1024 0; versions = Array.make 1024 0; installed = 0 }
+
+let ensure t vip =
+  let cap = Array.length t.pips in
+  if vip >= cap then begin
+    let ncap =
+      let c = ref (2 * cap) in
+      while vip >= !c do
+        c := 2 * !c
+      done;
+      !c
+    in
+    let npips = Array.make ncap 0 in
+    Array.blit t.pips 0 npips 0 cap;
+    t.pips <- npips;
+    let nversions = Array.make ncap 0 in
+    Array.blit t.versions 0 nversions 0 cap;
+    t.versions <- nversions
+  end
 
 let install t vip pip =
-  match Hashtbl.find_opt t vip with
-  | Some e ->
-      e.pip <- pip;
-      e.version <- e.version + 1
-  | None -> Hashtbl.add t vip { pip; version = 1 }
+  let vip = Addr.Vip.to_int vip in
+  ensure t vip;
+  if t.versions.(vip) = 0 then t.installed <- t.installed + 1;
+  t.pips.(vip) <- Addr.Pip.to_int pip;
+  t.versions.(vip) <- t.versions.(vip) + 1
 
 let lookup t vip =
-  match Hashtbl.find_opt t vip with
-  | Some e -> e.pip
-  | None -> raise Not_found
+  let vip = Addr.Vip.to_int vip in
+  if vip < Array.length t.versions && t.versions.(vip) > 0 then
+    Addr.Pip.of_int t.pips.(vip)
+  else raise Not_found
 
 let lookup_opt t vip =
-  match Hashtbl.find_opt t vip with Some e -> Some e.pip | None -> None
+  let vip = Addr.Vip.to_int vip in
+  if vip < Array.length t.versions && t.versions.(vip) > 0 then
+    Some (Addr.Pip.of_int t.pips.(vip))
+  else None
 
 let version t vip =
-  match Hashtbl.find_opt t vip with Some e -> e.version | None -> 0
+  let vip = Addr.Vip.to_int vip in
+  if vip < Array.length t.versions then t.versions.(vip) else 0
 
 let migrate t vip pip =
-  match Hashtbl.find_opt t vip with
-  | Some e ->
-      e.pip <- pip;
-      e.version <- e.version + 1
-  | None -> raise Not_found
+  let i = Addr.Vip.to_int vip in
+  if i < Array.length t.versions && t.versions.(i) > 0 then install t vip pip
+  else raise Not_found
 
-let size t = Hashtbl.length t
-let iter t f = Hashtbl.iter (fun vip e -> f vip e.pip) t
+let size t = t.installed
+
+let iter t f =
+  for vip = 0 to Array.length t.versions - 1 do
+    if t.versions.(vip) > 0 then
+      f (Addr.Vip.of_int vip) (Addr.Pip.of_int t.pips.(vip))
+  done

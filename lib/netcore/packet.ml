@@ -1,26 +1,27 @@
 type kind = Data | Ack | Learning | Invalidation
 
 type t = {
-  id : int;
-  flow_id : int;
-  kind : kind;
-  size : int;
-  seq : int;
-  src_vip : Addr.Vip.t;
-  dst_vip : Addr.Vip.t;
-  src_pip : Addr.Pip.t;
+  mutable id : int;
+  mutable flow_id : int;
+  mutable kind : kind;
+  mutable size : int;
+  mutable seq : int;
+  mutable src_vip : Addr.Vip.t;
+  mutable dst_vip : Addr.Vip.t;
+  mutable src_pip : Addr.Pip.t;
   mutable dst_pip : Addr.Pip.t;
   mutable resolved : bool;
   mutable misdelivery : Addr.Pip.t option;
   mutable hit_switch : int;
   mutable spill : (Addr.Vip.t * Addr.Pip.t) option;
   mutable promo : (Addr.Vip.t * Addr.Pip.t) option;
-  mapping_payload : (Addr.Vip.t * Addr.Pip.t) option;
+  mutable mapping_payload : (Addr.Vip.t * Addr.Pip.t) option;
   mutable ecn : bool;
   mutable hops : int;
   mutable gw_visited : bool;
-  sent_at : Dessim.Time_ns.t;
+  mutable sent_at : Dessim.Time_ns.t;
   mutable retransmit : bool;
+  mutable pool_slot : int;
 }
 
 let mtu = 1500
@@ -50,7 +51,34 @@ let base ~id ~flow_id ~kind ~size ~seq ~src_vip ~dst_vip ~src_pip ~dst_pip
     gw_visited = false;
     sent_at = now;
     retransmit = false;
+    pool_slot = -1;
   }
+
+(* Re-initialize a recycled packet in place: every field [base] sets is
+   rewritten (the pool's [pool_slot] is the one field that survives).
+   Keeping this next to [base] so the two field lists stay in sync. *)
+let reset t ~id ~flow_id ~kind ~size ~seq ~src_vip ~dst_vip ~src_pip ~dst_pip
+    ~now =
+  t.id <- id;
+  t.flow_id <- flow_id;
+  t.kind <- kind;
+  t.size <- size;
+  t.seq <- seq;
+  t.src_vip <- src_vip;
+  t.dst_vip <- dst_vip;
+  t.src_pip <- src_pip;
+  t.dst_pip <- dst_pip;
+  t.resolved <- false;
+  t.misdelivery <- None;
+  t.hit_switch <- -1;
+  t.spill <- None;
+  t.promo <- None;
+  t.mapping_payload <- None;
+  t.ecn <- false;
+  t.hops <- 0;
+  t.gw_visited <- false;
+  t.sent_at <- now;
+  t.retransmit <- false
 
 let make_data ~id ~flow_id ~seq ~size ~src_vip ~dst_vip ~src_pip ~dst_pip ~now
     =

@@ -18,14 +18,14 @@ type kind =
   | Invalidation  (** ToR-generated invalidation packet (§3.3) *)
 
 type t = {
-  id : int;  (** unique per simulation *)
-  flow_id : int;
-  kind : kind;
-  size : int;  (** bytes on the wire *)
-  seq : int;  (** data/ack sequence number within the flow *)
-  src_vip : Addr.Vip.t;
-  dst_vip : Addr.Vip.t;
-  src_pip : Addr.Pip.t;
+  mutable id : int;  (** unique per simulation *)
+  mutable flow_id : int;
+  mutable kind : kind;
+  mutable size : int;  (** bytes on the wire *)
+  mutable seq : int;  (** data/ack sequence number within the flow *)
+  mutable src_vip : Addr.Vip.t;
+  mutable dst_vip : Addr.Vip.t;
+  mutable src_pip : Addr.Pip.t;
   mutable dst_pip : Addr.Pip.t;
   mutable resolved : bool;
   mutable misdelivery : Addr.Pip.t option;
@@ -35,7 +35,7 @@ type t = {
   mutable hit_switch : int;  (** node id of the switch that served the hit; -1 if none *)
   mutable spill : (Addr.Vip.t * Addr.Pip.t) option;  (** spilled entry riding along *)
   mutable promo : (Addr.Vip.t * Addr.Pip.t) option;  (** promotion riding along *)
-  mapping_payload : (Addr.Vip.t * Addr.Pip.t) option;
+  mutable mapping_payload : (Addr.Vip.t * Addr.Pip.t) option;
       (** payload of [Learning]/[Invalidation] packets *)
   mutable ecn : bool;
       (** congestion-experienced mark (set by links past their ECN
@@ -43,8 +43,12 @@ type t = {
           reads *)
   mutable hops : int;  (** switches traversed so far (packet stretch) *)
   mutable gw_visited : bool;
-  sent_at : Dessim.Time_ns.t;
+  mutable sent_at : Dessim.Time_ns.t;
   mutable retransmit : bool;
+  mutable pool_slot : int;
+      (** index in the owning simulator's packet pool; -1 if the packet
+          is not pool-managed. Maintained by the pool, not by
+          {!reset}. *)
 }
 
 (** [make_data ~id ~flow_id ~seq ~size ~src_vip ~dst_vip ~src_pip
@@ -88,6 +92,24 @@ val make_control :
   dst_pip:Addr.Pip.t ->
   now:Dessim.Time_ns.t ->
   t
+
+(** [reset t ~id ...] re-initializes a recycled packet in place to the
+    state [make_data]/[make_ack] would produce for the same arguments
+    (unresolved, no tags, zero hops). [pool_slot] is untouched — it
+    belongs to the pool, not the flight. *)
+val reset :
+  t ->
+  id:int ->
+  flow_id:int ->
+  kind:kind ->
+  size:int ->
+  seq:int ->
+  src_vip:Addr.Vip.t ->
+  dst_vip:Addr.Vip.t ->
+  src_pip:Addr.Pip.t ->
+  dst_pip:Addr.Pip.t ->
+  now:Dessim.Time_ns.t ->
+  unit
 
 (** Wire sizes (bytes), matching the simulator's MTU conventions. *)
 val mtu : int

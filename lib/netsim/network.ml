@@ -36,6 +36,28 @@ let default_config =
     telemetry = Dessim.Telemetry.disabled;
   }
 
+(* --- typed events ------------------------------------------------------
+
+   The per-hop path schedules typed engine events instead of closures:
+   an event code plus two int operands, with the packet referenced by
+   its pool slot in [b] and node ids packed into [a]. Node ids fit
+   comfortably in [node_bits] (a 24-bit id space is ~16M nodes; the
+   largest simulated fabrics here are a few thousand). *)
+
+let node_bits = 24
+let node_mask = (1 lsl node_bits) - 1
+let ev_arrive = 0 (* a = (from lsl node_bits) lor node, b = slot *)
+let ev_gateway = 1 (* a = gateway node,                 b = slot *)
+let ev_forward = 2 (* a = switch node (scheme Delay),   b = slot *)
+let ev_loopback = 3 (* a unused,                        b = slot *)
+let ev_host_fwd = 4 (* a = (action lsl node_bits) lor node, b = slot *)
+
+(* ev_host_fwd actions; must be decided before the processing delay,
+   exactly as the closure version captured the scheme's answer at
+   misdelivery time. *)
+let act_reforward = 0
+let act_follow_me = 1
+
 type t = {
   cfg : config;
   engine : Engine.t;
@@ -49,7 +71,15 @@ type t = {
   gateways : int array; (* the replicas actually used *)
   mutable next_packet_id : int;
   env : Scheme.env;
-  flows : (int, Flow.t) Hashtbl.t;
+  (* Packet pool: [pool] maps slot -> packet (every pool-managed packet
+     keeps its slot in [pkt.pool_slot] for its whole life); [free_slots]
+     is a stack of recyclable slots. Both arrays grow together, so
+     [free_top <= pool_len <= capacity] always holds and a release
+     never needs its own bounds check. *)
+  mutable pool : Packet.t array;
+  mutable pool_len : int;
+  mutable free_slots : int array;
+  mutable free_top : int;
 }
 
 let fresh_packet_id t () =
@@ -64,54 +94,141 @@ let gateway_for_flow t flow_id =
 let transport_exn t =
   match t.transport with Some tr -> tr | None -> assert false
 
+(* --- packet pool ------------------------------------------------------- *)
+
+let pool_grow t =
+  let cap = Array.length t.pool in
+  let ncap = if cap = 0 then 256 else cap * 2 in
+  let npool = Array.make ncap t.pool.(0) in
+  Array.blit t.pool 0 npool 0 t.pool_len;
+  t.pool <- npool;
+  let nfree = Array.make ncap 0 in
+  Array.blit t.free_slots 0 nfree 0 t.free_top;
+  t.free_slots <- nfree
+
+(* Register [pkt] under a pool slot. Reuses a free slot when one is
+   available (the recycled packet previously living there is simply
+   replaced; this only happens for the rare scheme-built control
+   packets — data/acks go through [pool_acquire] and reuse the resident
+   packet itself). *)
+let pool_adopt t (pkt : Packet.t) =
+  if pkt.Packet.pool_slot < 0 then begin
+    let slot =
+      if t.free_top > 0 then begin
+        t.free_top <- t.free_top - 1;
+        t.free_slots.(t.free_top)
+      end
+      else begin
+        if t.pool_len = Array.length t.pool then pool_grow t;
+        let s = t.pool_len in
+        t.pool_len <- s + 1;
+        s
+      end
+    in
+    t.pool.(slot) <- pkt;
+    pkt.Packet.pool_slot <- slot
+  end
+
+(* A recycled (or, when the free list is empty, freshly allocated)
+   packet whose fields the caller must fully [Packet.reset]. *)
+let pool_acquire t =
+  if t.free_top > 0 then begin
+    t.free_top <- t.free_top - 1;
+    t.pool.(t.free_slots.(t.free_top))
+  end
+  else begin
+    if t.pool_len = Array.length t.pool then pool_grow t;
+    let slot = t.pool_len in
+    t.pool_len <- slot + 1;
+    let pkt =
+      Packet.make_data ~id:(-1) ~flow_id:(-1) ~seq:0 ~size:0
+        ~src_vip:(Vip.of_int 0) ~dst_vip:(Vip.of_int 0) ~src_pip:Pip.none
+        ~dst_pip:Pip.none ~now:Time_ns.zero
+    in
+    pkt.Packet.pool_slot <- slot;
+    t.pool.(slot) <- pkt;
+    pkt
+  end
+
+(* Called at every terminal point of a packet's life: delivery (after
+   all metric/telemetry/transport reads), any drop, or consumption by a
+   switch. Each in-flight packet has at most one pending event (hops
+   are strictly sequential), so release-at-terminal can never race with
+   a queued event still referencing the slot. *)
+let pool_release t (pkt : Packet.t) =
+  let slot = pkt.Packet.pool_slot in
+  if slot >= 0 then begin
+    (* Drop rider payloads now so a parked packet doesn't pin them. *)
+    pkt.Packet.misdelivery <- None;
+    pkt.Packet.spill <- None;
+    pkt.Packet.promo <- None;
+    pkt.Packet.mapping_payload <- None;
+    t.free_slots.(t.free_top) <- slot;
+    t.free_top <- t.free_top + 1
+  end
+
 (* --- forwarding ------------------------------------------------------- *)
 
 let salt_of (pkt : Packet.t) =
   if pkt.Packet.flow_id >= 0 then pkt.Packet.flow_id else pkt.Packet.id
 
-let rec transmit t ~from ~next (pkt : Packet.t) =
+let transmit t ~from ~next (pkt : Packet.t) =
   let link = Topology.link t.topo ~src:from ~dst:next in
-  match Topo.Link.transmit link ~now:(Engine.now t.engine) ~bytes:pkt.Packet.size with
-  | Some { Topo.Link.arrival; ce_marked } ->
-      if ce_marked then pkt.Packet.ecn <- true;
-      Engine.schedule t.engine ~at:arrival (fun () ->
-          Topo.Link.delivered link ~bytes:pkt.Packet.size;
-          arrive t ~node:next ~from pkt)
-  | None -> Metrics.packet_dropped t.metrics ~site:Metrics.Link_buffer pkt
+  let p =
+    Topo.Link.transmit_packed link ~now:(Engine.now t.engine)
+      ~bytes:pkt.Packet.size
+  in
+  if p = Topo.Link.dropped then begin
+    Metrics.packet_dropped t.metrics ~site:Metrics.Link_buffer pkt;
+    pool_release t pkt
+  end
+  else begin
+    if Topo.Link.packed_ce p then pkt.Packet.ecn <- true;
+    pool_adopt t pkt;
+    Engine.schedule_event t.engine
+      ~at:(Topo.Link.packed_arrival p)
+      ~code:ev_arrive
+      ~a:((from lsl node_bits) lor next)
+      ~b:pkt.Packet.pool_slot
+  end
 
-and forward_from t ~node (pkt : Packet.t) =
+let forward_from t ~node (pkt : Packet.t) =
   let dst = Topology.node_of_pip t.topo pkt.Packet.dst_pip in
-  if dst = node then ()
+  if dst = node then pool_release t pkt
   else
     let next = Topo.Routing.next_hop t.topo ~at:node ~dst ~salt:(salt_of pkt) in
     transmit t ~from:node ~next pkt
 
-and arrive t ~node ~from (pkt : Packet.t) =
+let rec arrive t ~node ~from (pkt : Packet.t) =
   match Topology.kind t.topo node with
   | Topo.Node.Tor _ | Topo.Node.Spine _ | Topo.Node.Core _ -> (
       Metrics.switch_processed t.metrics ~switch:node pkt;
       pkt.Packet.hops <- pkt.Packet.hops + 1;
       match t.scheme.Scheme.on_switch t.env ~switch:node ~from pkt with
       | Scheme.Forward -> forward_from t ~node pkt
-      | Scheme.Consume -> ()
+      | Scheme.Consume -> pool_release t pkt
       | Scheme.Delay d ->
-          Engine.schedule_after t.engine ~delay:d (fun () ->
-              forward_from t ~node pkt)
+          Engine.schedule_event_after t.engine ~delay:d ~code:ev_forward
+            ~a:node ~b:pkt.Packet.pool_slot
       | Scheme.Drop_pkt ->
-          Metrics.packet_dropped t.metrics ~site:Metrics.Failed_switch pkt)
-  | Topo.Node.Gateway _ -> gateway_receive t ~node pkt
+          Metrics.packet_dropped t.metrics ~site:Metrics.Failed_switch pkt;
+          pool_release t pkt)
+  | Topo.Node.Gateway _ ->
+      Metrics.gateway_arrival t.metrics pkt;
+      Engine.schedule_event_after t.engine ~delay:t.cfg.gw_proc_delay
+        ~code:ev_gateway ~a:node ~b:pkt.Packet.pool_slot
   | Topo.Node.Host _ -> host_receive t ~node pkt
 
-and gateway_receive t ~node (pkt : Packet.t) =
-  Metrics.gateway_arrival t.metrics pkt;
-  Engine.schedule_after t.engine ~delay:t.cfg.gw_proc_delay (fun () ->
-      match Netcore.Mapping.lookup_opt t.mapping pkt.Packet.dst_vip with
-      | Some pip ->
-          pkt.Packet.dst_pip <- pip;
-          pkt.Packet.resolved <- true;
-          pkt.Packet.gw_visited <- true;
-          forward_from t ~node pkt
-      | None -> Metrics.packet_dropped t.metrics ~site:Metrics.Gateway_miss pkt)
+and gateway_forward t ~node (pkt : Packet.t) =
+  match Netcore.Mapping.lookup t.mapping pkt.Packet.dst_vip with
+  | exception Not_found ->
+      Metrics.packet_dropped t.metrics ~site:Metrics.Gateway_miss pkt;
+      pool_release t pkt
+  | pip ->
+      pkt.Packet.dst_pip <- pip;
+      pkt.Packet.resolved <- true;
+      pkt.Packet.gw_visited <- true;
+      forward_from t ~node pkt
 
 and host_receive t ~node (pkt : Packet.t) =
   match pkt.Packet.kind with
@@ -124,29 +241,39 @@ and host_receive t ~node (pkt : Packet.t) =
       if vip_home = node then deliver t pkt
       else begin
         Metrics.misdelivered t.metrics pkt;
-        let action = t.scheme.Scheme.on_misdelivery t.env ~host:node pkt in
-        Engine.schedule_after t.engine ~delay:t.cfg.host_fwd_delay (fun () ->
-            match action with
-            | Scheme.Reforward_to_gateway ->
-                pkt.Packet.resolved <- false;
-                pkt.Packet.gw_visited <- false;
-                pkt.Packet.dst_pip <-
-                  Topology.pip t.topo (gateway_for_flow t pkt.Packet.flow_id);
-                if t.scheme.Scheme.host_tags_misdelivery then begin
-                  pkt.Packet.misdelivery <- Some (Topology.pip t.topo node);
-                  pkt.Packet.hit_switch <- -1
-                end;
-                transmit t ~from:node ~next:(Topology.tor_of t.topo node) pkt
-            | Scheme.Follow_me -> (
-                match Netcore.Mapping.lookup_opt t.mapping pkt.Packet.dst_vip with
-                | Some pip ->
-                    pkt.Packet.dst_pip <- pip;
-                    pkt.Packet.resolved <- true;
-                    pkt.Packet.misdelivery <- Some (Topology.pip t.topo node);
-                    transmit t ~from:node ~next:(Topology.tor_of t.topo node) pkt
-                | None ->
-                    Metrics.packet_dropped t.metrics ~site:Metrics.Host_miss pkt))
+        let action =
+          match t.scheme.Scheme.on_misdelivery t.env ~host:node pkt with
+          | Scheme.Reforward_to_gateway -> act_reforward
+          | Scheme.Follow_me -> act_follow_me
+        in
+        Engine.schedule_event_after t.engine ~delay:t.cfg.host_fwd_delay
+          ~code:ev_host_fwd
+          ~a:((action lsl node_bits) lor node)
+          ~b:pkt.Packet.pool_slot
       end
+
+and host_forward t ~node ~action (pkt : Packet.t) =
+  if action = act_reforward then begin
+    pkt.Packet.resolved <- false;
+    pkt.Packet.gw_visited <- false;
+    pkt.Packet.dst_pip <-
+      Topology.pip t.topo (gateway_for_flow t pkt.Packet.flow_id);
+    if t.scheme.Scheme.host_tags_misdelivery then begin
+      pkt.Packet.misdelivery <- Some (Topology.pip t.topo node);
+      pkt.Packet.hit_switch <- -1
+    end;
+    transmit t ~from:node ~next:(Topology.tor_of t.topo node) pkt
+  end
+  else
+    match Netcore.Mapping.lookup t.mapping pkt.Packet.dst_vip with
+    | exception Not_found ->
+        Metrics.packet_dropped t.metrics ~site:Metrics.Host_miss pkt;
+        pool_release t pkt
+    | pip ->
+        pkt.Packet.dst_pip <- pip;
+        pkt.Packet.resolved <- true;
+        pkt.Packet.misdelivery <- Some (Topology.pip t.topo node);
+        transmit t ~from:node ~next:(Topology.tor_of t.topo node) pkt
 
 and deliver t (pkt : Packet.t) =
   let first =
@@ -159,10 +286,32 @@ and deliver t (pkt : Packet.t) =
   if Packet.is_data pkt then
     Dessim.Telemetry.observe t.cfg.telemetry "packet_latency_s"
       (Time_ns.to_sec (Time_ns.sub (Engine.now t.engine) pkt.Packet.sent_at));
-  match pkt.Packet.kind with
+  (match pkt.Packet.kind with
   | Packet.Data -> Transport.on_data (transport_exn t) pkt
   | Packet.Ack -> Transport.on_ack (transport_exn t) pkt
-  | Packet.Learning | Packet.Invalidation -> ()
+  | Packet.Learning | Packet.Invalidation -> ());
+  (* The transport callbacks only read the packet (any ACK they send is
+     a fresh pool packet), so the slot can recycle now. *)
+  pool_release t pkt
+
+(* Typed-event dispatcher. The [b] operand of every code is a pool
+   slot; packets are adopted into the pool before their first hop, so
+   the slot is always live here. *)
+let handle_event t ~code ~a ~b =
+  let pkt = t.pool.(b) in
+  if code = ev_arrive then begin
+    let from = a lsr node_bits in
+    let node = a land node_mask in
+    let link = Topology.link t.topo ~src:from ~dst:node in
+    Topo.Link.delivered link ~bytes:pkt.Packet.size;
+    arrive t ~node ~from pkt
+  end
+  else if code = ev_gateway then gateway_forward t ~node:a pkt
+  else if code = ev_forward then forward_from t ~node:a pkt
+  else if code = ev_loopback then deliver t pkt
+  else if code = ev_host_fwd then
+    host_forward t ~node:(a land node_mask) ~action:(a lsr node_bits) pkt
+  else assert false
 
 (* --- sending ---------------------------------------------------------- *)
 
@@ -173,34 +322,33 @@ let send_tenant_packet t ~src_host (pkt : Packet.t) =
        translation. *)
     pkt.Packet.resolved <- true;
     pkt.Packet.dst_pip <- Topology.pip t.topo src_host;
-    Engine.schedule_after t.engine ~delay:t.cfg.loopback_delay (fun () ->
-        deliver t pkt)
+    pool_adopt t pkt;
+    Engine.schedule_event_after t.engine ~delay:t.cfg.loopback_delay
+      ~code:ev_loopback ~a:0 ~b:pkt.Packet.pool_slot
   end
   else begin
     (* Loopback packets are excluded from the hit-rate denominator:
        they involve no translation at all. *)
     Metrics.packet_sent t.metrics pkt;
-    let resolution =
+    match
       t.scheme.Scheme.resolve_at_host t.env ~host:src_host
         ~flow_id:pkt.Packet.flow_id ~dst_vip:pkt.Packet.dst_vip
-    in
-    let launch () =
-      transmit t ~from:src_host ~next:(Topology.tor_of t.topo src_host) pkt
-    in
-    match resolution with
+    with
     | Scheme.Send_resolved pip ->
         pkt.Packet.dst_pip <- pip;
         pkt.Packet.resolved <- true;
-        launch ()
+        transmit t ~from:src_host ~next:(Topology.tor_of t.topo src_host) pkt
     | Scheme.Send_via_gateway ->
         pkt.Packet.dst_pip <-
           Topology.pip t.topo (gateway_for_flow t pkt.Packet.flow_id);
-        launch ()
+        transmit t ~from:src_host ~next:(Topology.tor_of t.topo src_host) pkt
     | Scheme.Send_after (delay, pip) ->
         Engine.schedule_after t.engine ~delay (fun () ->
             pkt.Packet.dst_pip <- pip;
             pkt.Packet.resolved <- true;
-            launch ())
+            transmit t ~from:src_host
+              ~next:(Topology.tor_of t.topo src_host)
+              pkt)
   end
 
 let make_transport t =
@@ -208,23 +356,23 @@ let make_transport t =
   let schedule delay f = Engine.schedule_after t.engine ~delay f in
   let send_data flow ~seq ~size ~retransmit =
     let src_host = t.vm_host.(Vip.to_int flow.Flow.src_vip) in
-    let pkt =
-      Packet.make_data ~id:(fresh_packet_id t ()) ~flow_id:flow.Flow.id ~seq
-        ~size ~src_vip:flow.Flow.src_vip ~dst_vip:flow.Flow.dst_vip
-        ~src_pip:(Topology.pip t.topo src_host)
-        ~dst_pip:Pip.none ~now:(now ())
-    in
+    let pkt = pool_acquire t in
+    Packet.reset pkt ~id:(fresh_packet_id t ()) ~flow_id:flow.Flow.id
+      ~kind:Packet.Data ~seq ~size ~src_vip:flow.Flow.src_vip
+      ~dst_vip:flow.Flow.dst_vip
+      ~src_pip:(Topology.pip t.topo src_host)
+      ~dst_pip:Pip.none ~now:(now ());
     pkt.Packet.retransmit <- retransmit;
     send_tenant_packet t ~src_host pkt
   in
   let send_ack flow ~seq ~ecn_echo =
     let src_host = t.vm_host.(Vip.to_int flow.Flow.dst_vip) in
-    let pkt =
-      Packet.make_ack ~id:(fresh_packet_id t ()) ~flow_id:flow.Flow.id ~seq
-        ~src_vip:flow.Flow.dst_vip ~dst_vip:flow.Flow.src_vip
-        ~src_pip:(Topology.pip t.topo src_host)
-        ~dst_pip:Pip.none ~now:(now ())
-    in
+    let pkt = pool_acquire t in
+    Packet.reset pkt ~id:(fresh_packet_id t ()) ~flow_id:flow.Flow.id
+      ~kind:Packet.Ack ~seq ~size:Packet.ack_size ~src_vip:flow.Flow.dst_vip
+      ~dst_vip:flow.Flow.src_vip
+      ~src_pip:(Topology.pip t.topo src_host)
+      ~dst_pip:Pip.none ~now:(now ());
     pkt.Packet.ecn <- ecn_echo;
     send_tenant_packet t ~src_host pkt
   in
@@ -270,6 +418,12 @@ let create ?(config = default_config) topo ~scheme =
           invalid_arg "Network.create: gateways_used out of range";
         Array.sub all 0 k
   in
+  let pool_seed =
+    Packet.make_data ~id:(-1) ~flow_id:(-1) ~seq:0 ~size:0
+      ~src_vip:(Vip.of_int 0) ~dst_vip:(Vip.of_int 0) ~src_pip:Pip.none
+      ~dst_pip:Pip.none ~now:Time_ns.zero
+  in
+  pool_seed.Packet.pool_slot <- 0;
   let rec t =
     {
       cfg = config;
@@ -284,7 +438,11 @@ let create ?(config = default_config) topo ~scheme =
       gateways;
       next_packet_id = 0;
       env;
-      flows = Hashtbl.create 1024;
+      pool = Array.make 256 pool_seed;
+      pool_len = 1;
+      free_slots = Array.make 256 0;
+      free_top = 1;
+      (* slot 0 = pool_seed, already free *)
     }
   and env =
     {
@@ -300,6 +458,7 @@ let create ?(config = default_config) topo ~scheme =
           forward_from t ~node:src_switch pkt);
     }
   in
+  Engine.set_handler engine (fun ~code ~a ~b -> handle_event t ~code ~a ~b);
   t.transport <- Some (make_transport t);
   (match scheme.Scheme.telemetry with
   | Some hooks when Dessim.Telemetry.is_enabled config.telemetry ->
@@ -322,7 +481,6 @@ let host_of_vm_index t i = t.vm_host.(i)
 let run t flows ~migrations ~until =
   List.iter
     (fun (flow : Flow.t) ->
-      Hashtbl.replace t.flows flow.Flow.id flow;
       Engine.schedule t.engine ~at:flow.Flow.start (fun () ->
           Metrics.flow_started t.metrics;
           Transport.start (transport_exn t) flow))

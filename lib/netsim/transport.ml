@@ -39,13 +39,51 @@ type receiver = {
   mutable r_done : bool;
 }
 
+(* Flow-id keyed store. Flow ids are caller-assigned and in practice
+   dense small ints (experiments number flows sequentially), so the
+   common case is a flat array: lookup is a bounds check and a load,
+   no hashing. Ids outside the dense range spill into a hashtable so
+   pathological ids stay correct without unbounded memory. *)
+type 'a store = {
+  mutable dense : 'a option array;
+  big : (int, 'a) Hashtbl.t;
+}
+
+let dense_cap = 1 lsl 20
+
+let store_create () = { dense = Array.make 256 None; big = Hashtbl.create 16 }
+
+let store_set st id v =
+  if id >= 0 && id < dense_cap then begin
+    let cap = Array.length st.dense in
+    if id >= cap then begin
+      let ncap =
+        let c = ref (2 * cap) in
+        while id >= !c do
+          c := 2 * !c
+        done;
+        !c
+      in
+      let nd = Array.make ncap None in
+      Array.blit st.dense 0 nd 0 cap;
+      st.dense <- nd
+    end;
+    st.dense.(id) <- Some v
+  end
+  else Hashtbl.replace st.big id v
+
+let store_find st id =
+  if id >= 0 && id < dense_cap then
+    if id < Array.length st.dense then Array.unsafe_get st.dense id else None
+  else Hashtbl.find_opt st.big id
+
 type t = {
   cb : callbacks;
   mode : mode;
   window : int;
   rto : Time_ns.t;
-  senders : (int, sender) Hashtbl.t;
-  receivers : (int, receiver) Hashtbl.t;
+  senders : sender store;
+  receivers : receiver store;
   mutable completed : int;
   mutable reordering : int;
 }
@@ -59,8 +97,8 @@ let create ?(mode = Windowed) ?(window = 64) ?(rto = Time_ns.of_us 500) cb =
     mode;
     window;
     rto;
-    senders = Hashtbl.create 256;
-    receivers = Hashtbl.create 256;
+    senders = store_create ();
+    receivers = store_create ();
     completed = 0;
     reordering = 0;
   }
@@ -76,9 +114,9 @@ let flows_completed t = t.completed
 let reordering_events t = t.reordering
 
 let has_received_any t ~flow_id =
-  match Hashtbl.find_opt t.receivers flow_id with
-  | Some r -> r.got_first
+  match store_find t.receivers flow_id with
   | None -> false
+  | Some r -> r.got_first
 
 let effective_cwnd t s = max 1 (min t.window (int_of_float s.cwnd))
 
@@ -136,7 +174,7 @@ let start_reliable t flow =
       progress_stamp = 0;
     }
   in
-  Hashtbl.replace t.senders flow.Flow.id s;
+  store_set t.senders flow.Flow.id s;
   pump t s;
   arm_timeout t s
 
@@ -166,13 +204,13 @@ let make_receiver flow =
   }
 
 let start t flow =
-  Hashtbl.replace t.receivers flow.Flow.id (make_receiver flow);
+  store_set t.receivers flow.Flow.id (make_receiver flow);
   match flow.Flow.proto with
   | Flow.Tcpish -> start_reliable t flow
   | Flow.Udp { rate_bps } -> start_udp t flow rate_bps
 
 let on_data t (pkt : Packet.t) =
-  match Hashtbl.find_opt t.receivers pkt.Packet.flow_id with
+  match store_find t.receivers pkt.Packet.flow_id with
   | None -> ()
   | Some r when pkt.Packet.seq >= 0 && pkt.Packet.seq < r.r_total ->
       let seq = pkt.Packet.seq in
@@ -197,7 +235,7 @@ let on_data t (pkt : Packet.t) =
         t.cb.flow_done r.r_flow
           ~fct:(Time_ns.sub (t.cb.now ()) r.r_flow.Flow.start)
       end
-  | Some _ ->
+  | _ ->
       (* A sequence number outside [0, total) would index out of the
          bitmap; a corrupted or mis-filled packet must not crash the
          receiver. *)
@@ -232,7 +270,7 @@ let windowed_on_ack t s =
   if s.cwnd < float_of_int t.window then s.cwnd <- s.cwnd +. 1.0
 
 let on_ack t (pkt : Packet.t) =
-  match Hashtbl.find_opt t.senders pkt.Packet.flow_id with
+  match store_find t.senders pkt.Packet.flow_id with
   | None -> ()
   | Some s ->
       let seq = pkt.Packet.seq in
@@ -250,11 +288,11 @@ let on_ack t (pkt : Packet.t) =
       end
 
 let cwnd t ~flow_id =
-  match Hashtbl.find_opt t.senders flow_id with
+  match store_find t.senders flow_id with
   | Some s -> Some (effective_cwnd t s)
   | None -> None
 
 let alpha t ~flow_id =
-  match Hashtbl.find_opt t.senders flow_id with
+  match store_find t.senders flow_id with
   | Some s -> Some s.alpha
   | None -> None

@@ -1,10 +1,22 @@
 (** Discrete-event simulation engine.
 
-    Events are thunks scheduled at absolute {!Time_ns.t} timestamps and
-    executed in timestamp order (FIFO among ties). The engine is
-    single-threaded and deterministic. *)
+    Events execute in timestamp order (FIFO among ties, across both
+    event forms). The engine is single-threaded and deterministic.
+
+    Two event forms share one queue:
+
+    - {b Typed events}: a non-negative event [code] plus two integer
+      operands [a]/[b], dispatched to the installed {!handler}.
+      Scheduling one writes into the engine's struct-of-arrays queue
+      and allocates nothing — this is the hot path for per-packet
+      simulation events.
+    - {b Thunks}: [(unit -> unit)] closures, for rare or irregular
+      events where packing state into two ints isn't worth it. *)
 
 type t
+
+(** Dispatch function for typed events. *)
+type handler = code:int -> a:int -> b:int -> unit
 
 (** [create ()] is a fresh engine at time zero. [reserve] pre-sizes
     the event queue (default 4096 events) so steady-state simulations
@@ -14,12 +26,28 @@ val create : ?reserve:int -> unit -> t
 (** [now t] is the current simulation time. *)
 val now : t -> Time_ns.t
 
+(** [set_handler t h] installs the typed-event dispatcher. Executing a
+    typed event without a handler installed raises
+    [Invalid_argument]. *)
+val set_handler : t -> handler -> unit
+
 (** [schedule t ~at f] queues [f] to run at absolute time [at].
     Scheduling in the past raises [Invalid_argument]. *)
 val schedule : t -> at:Time_ns.t -> (unit -> unit) -> unit
 
 (** [schedule_after t ~delay f] queues [f] to run [delay] from now. *)
 val schedule_after : t -> delay:Time_ns.t -> (unit -> unit) -> unit
+
+(** [schedule_event t ~at ~code ~a ~b] queues a typed event for the
+    installed handler at absolute time [at]. Allocation-free unless
+    the queue must grow. Raises [Invalid_argument] if [code < 0] or
+    [at] is in the past. *)
+val schedule_event : t -> at:Time_ns.t -> code:int -> a:int -> b:int -> unit
+
+(** [schedule_event_after t ~delay ~code ~a ~b] is
+    {!schedule_event} at [delay] from now. *)
+val schedule_event_after :
+  t -> delay:Time_ns.t -> code:int -> a:int -> b:int -> unit
 
 (** [run t] executes events until the queue is empty. *)
 val run : t -> unit

@@ -1,89 +1,133 @@
-type 'a entry = { key : int; seq : int; value : 'a }
+(* Struct-of-arrays binary min-heap: unboxed [int] key/seq lanes plus
+   one payload lane. A push writes three array slots and allocates
+   nothing (after the backing arrays exist); the old representation
+   boxed every element in a [{ key; seq; value }] record, which at
+   simulator rates made the event queue the dominant minor-heap
+   producer.
+
+   The payload lane is an [Obj.t array] so that empty slots can hold a
+   shared immediate dummy — an ['a array] cannot be created without an
+   ['a] witness, which is what previously forced [reserve] on an empty
+   heap to defer its allocation (and [clear] to drop storage). Every
+   slot below [size] was written by [push] at type ['a], so the
+   [Obj.obj] in [pop]/[peek] only ever re-reads values at the type they
+   were stored with. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable keys : int array;
+  mutable seqs : int array;
+  mutable data : Obj.t array;
   mutable size : int;
   mutable next_seq : int;
-  mutable min_cap : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0; min_cap = 0 }
+let dummy = Obj.repr 0
+
+let create () =
+  { keys = [||]; seqs = [||]; data = [||]; size = 0; next_seq = 0 }
+
 let length t = t.size
 let is_empty t = t.size = 0
 
-let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+let set_capacity t cap =
+  let nkeys = Array.make cap 0 in
+  Array.blit t.keys 0 nkeys 0 t.size;
+  t.keys <- nkeys;
+  let nseqs = Array.make cap 0 in
+  Array.blit t.seqs 0 nseqs 0 t.size;
+  t.seqs <- nseqs;
+  let ndata = Array.make cap dummy in
+  Array.blit t.data 0 ndata 0 t.size;
+  t.data <- ndata
 
-let grow t entry =
-  let cap = Array.length t.data in
-  if t.size = cap then begin
-    let ncap = max (if cap = 0 then 64 else cap * 2) t.min_cap in
-    let ndata = Array.make ncap entry in
-    Array.blit t.data 0 ndata 0 t.size;
-    t.data <- ndata
-  end
-
-let reserve t n =
-  if n > t.min_cap then t.min_cap <- n;
-  (* [entry] is not constructible without an element, so an empty heap
-     only records the hint; the first push allocates at [min_cap]. *)
-  if t.size > 0 && Array.length t.data < n then begin
-    let ndata = Array.make n t.data.(0) in
-    Array.blit t.data 0 ndata 0 t.size;
-    t.data <- ndata
-  end
+let reserve t n = if n > Array.length t.keys then set_capacity t n
 
 let push t key value =
-  let entry = { key; seq = t.next_seq; value } in
-  t.next_seq <- t.next_seq + 1;
-  grow t entry;
-  (* Sift up. *)
+  let cap = Array.length t.keys in
+  if t.size = cap then set_capacity t (if cap = 0 then 64 else cap * 2);
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let keys = t.keys and seqs = t.seqs and data = t.data in
+  (* Sift up: move larger parents down into the hole, place once. *)
   let i = ref t.size in
   t.size <- t.size + 1;
-  let d = t.data in
-  d.(!i) <- entry;
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if less entry d.(parent) then begin
-      d.(!i) <- d.(parent);
-      d.(parent) <- entry;
+    let pk = keys.(parent) in
+    if key < pk || (key = pk && seq < seqs.(parent)) then begin
+      keys.(!i) <- pk;
+      seqs.(!i) <- seqs.(parent);
+      data.(!i) <- data.(parent);
       i := parent
     end
     else continue := false
-  done
+  done;
+  keys.(!i) <- key;
+  seqs.(!i) <- seq;
+  data.(!i) <- Obj.repr value
 
-let pop t =
-  if t.size = 0 then raise Not_found;
-  let d = t.data in
-  let top = d.(0) in
-  t.size <- t.size - 1;
-  if t.size > 0 then begin
-    let last = d.(t.size) in
-    d.(0) <- last;
-    (* Sift down. *)
-    let i = ref 0 in
-    let continue = ref true in
-    while !continue do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let smallest = ref !i in
-      if l < t.size && less d.(l) d.(!smallest) then smallest := l;
-      if r < t.size && less d.(r) d.(!smallest) then smallest := r;
-      if !smallest <> !i then begin
-        let tmp = d.(!i) in
-        d.(!i) <- d.(!smallest);
-        d.(!smallest) <- tmp;
-        i := !smallest
+(* Sift the (key, seq) element — currently logically at the root hole —
+   down to its place, moving smaller children up. *)
+let sift_down t key seq v =
+  let keys = t.keys and seqs = t.seqs and data = t.data in
+  let n = t.size in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    if l >= n then continue := false
+    else begin
+      let r = l + 1 in
+      let c =
+        if
+          r < n
+          && (keys.(r) < keys.(l)
+             || (keys.(r) = keys.(l) && seqs.(r) < seqs.(l)))
+        then r
+        else l
+      in
+      let ck = keys.(c) in
+      if ck < key || (ck = key && seqs.(c) < seq) then begin
+        keys.(!i) <- ck;
+        seqs.(!i) <- seqs.(c);
+        data.(!i) <- data.(c);
+        i := c
       end
       else continue := false
-    done
-  end;
-  (top.key, top.value)
+    end
+  done;
+  keys.(!i) <- key;
+  seqs.(!i) <- seq;
+  data.(!i) <- v
+
+let drop_min t =
+  if t.size = 0 then raise Not_found;
+  let n = t.size - 1 in
+  t.size <- n;
+  let last_key = t.keys.(n) and last_seq = t.seqs.(n) and last_v = t.data.(n) in
+  t.data.(n) <- dummy;
+  if n > 0 then sift_down t last_key last_seq last_v
 
 let peek_key t =
   if t.size = 0 then raise Not_found;
-  t.data.(0).key
+  t.keys.(0)
+
+let peek t : 'a =
+  if t.size = 0 then raise Not_found;
+  Obj.obj t.data.(0)
+
+let pop t =
+  if t.size = 0 then raise Not_found;
+  let key = t.keys.(0) in
+  let v : 'a = Obj.obj t.data.(0) in
+  drop_min t;
+  (key, v)
 
 let clear t =
-  t.data <- [||];
+  (* Keep the backing storage: engines are reused across sweep runs and
+     re-reserving defeated the point of [reserve]. Payload slots are
+     dropped so cleared elements don't keep their values alive. *)
+  Array.fill t.data 0 t.size dummy;
   t.size <- 0;
   t.next_seq <- 0

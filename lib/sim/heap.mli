@@ -1,9 +1,13 @@
-(** Array-backed binary min-heap keyed by integer priority.
+(** Struct-of-arrays binary min-heap keyed by integer priority.
 
-    The simulator's event queue: [O(log n)] push/pop, amortized O(1)
-    peek. Ties are broken by insertion order (FIFO among equal keys) so
-    that simultaneous events execute deterministically in the order
-    they were scheduled. *)
+    The simulator's event queue: [O(log n)] push/pop, O(1) peek. Ties
+    are broken by insertion order (FIFO among equal keys) so that
+    simultaneous events execute deterministically in the order they
+    were scheduled.
+
+    Keys and tie-break sequence numbers live in unboxed [int] arrays
+    and payloads in a third parallel array, so {!push} allocates
+    nothing once the backing storage exists. *)
 
 type 'a t
 
@@ -16,10 +20,11 @@ val length : 'a t -> int
 (** [is_empty t] is [length t = 0]. *)
 val is_empty : 'a t -> bool
 
-(** [push t key v] queues [v] with priority [key]. *)
+(** [push t key v] queues [v] with priority [key]. Allocation-free
+    unless the backing arrays must grow. *)
 val push : 'a t -> int -> 'a -> unit
 
-(** [reserve t n] pre-sizes the backing array for at least [n]
+(** [reserve t n] pre-sizes the backing arrays for at least [n]
     elements, avoiding the first few doubling copies on a heap whose
     eventual size is known. A no-op if already large enough. *)
 val reserve : 'a t -> int -> unit
@@ -32,7 +37,17 @@ val pop : 'a t -> int * 'a
     Raises [Not_found] on an empty heap. *)
 val peek_key : 'a t -> int
 
+(** [peek t] is the minimum-key payload without removing it.
+    Raises [Not_found] on an empty heap. *)
+val peek : 'a t -> 'a
+
+(** [drop_min t] removes the minimum element without returning it
+    (allocation-free pop: pair with {!peek_key}/{!peek}).
+    Raises [Not_found] on an empty heap. *)
+val drop_min : 'a t -> unit
+
 (** [clear t] removes all elements and resets the tie-breaking
     sequence counter, so a cleared heap behaves exactly like a fresh
-    one (FIFO order among equal keys restarts from zero). *)
+    one (FIFO order among equal keys restarts from zero). The backing
+    storage is kept, so a reused heap does not re-pay {!reserve}. *)
 val clear : 'a t -> unit

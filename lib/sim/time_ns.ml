@@ -13,11 +13,16 @@ let add = ( + )
 let sub = ( - )
 let max (a : t) b = if a >= b then a else b
 let min (a : t) b = if a <= b then a else b
-let compare (a : t) (b : t) = Stdlib.compare a b
+let compare (a : t) (b : t) = Int.compare a b
 
 let of_rate_bytes ~bits_per_sec bytes =
   let ns = float_of_int (bytes * 8) /. bits_per_sec *. 1e9 in
-  Stdlib.max 1 (int_of_float (Float.ceil ns))
+  (* Hand-rolled positive ceil: [Float.ceil] is a libm call and
+     [Stdlib.max] a polymorphic compare, and this runs per transmitted
+     packet. *)
+  let n = int_of_float ns in
+  let n = if float_of_int n < ns then n + 1 else n in
+  if n < 1 then 1 else n
 
 let pp ppf t =
   if t >= 1_000_000_000 then Format.fprintf ppf "%.3fs" (to_sec t)

@@ -11,6 +11,13 @@ type t = {
   mutable tx_packets : int;
   mutable drops : int;
   mutable marked : int;
+  (* Serialization-time memo: traffic uses very few distinct packet
+     sizes (MTU, ack, control), and the float divide in
+     [Time_ns.of_rate_bytes] is measurable per packet. Caching the
+     last (bytes, ns) pair keeps results bit-identical to computing
+     fresh every time. *)
+  mutable ser_bytes : int;
+  mutable ser_ns : Dessim.Time_ns.t;
 }
 
 type tx = { arrival : Dessim.Time_ns.t; ce_marked : bool }
@@ -29,31 +36,54 @@ let make ~ecn_threshold ~src ~dst ~rate_bps ~prop_delay ~buffer_bytes =
     tx_packets = 0;
     drops = 0;
     marked = 0;
+    ser_bytes = -1;
+    ser_ns = Dessim.Time_ns.zero;
   }
 
-let transmit t ~now ~bytes =
+let serialization_time t bytes =
+  if bytes = t.ser_bytes then t.ser_ns
+  else begin
+    let ns = Dessim.Time_ns.of_rate_bytes ~bits_per_sec:t.rate_bps bytes in
+    t.ser_bytes <- bytes;
+    t.ser_ns <- ns;
+    ns
+  end
+
+let dropped = -1
+
+let transmit_packed t ~now ~bytes =
   if t.queued_bytes + bytes > t.buffer_bytes then begin
     t.drops <- t.drops + 1;
-    None
+    dropped
   end
   else begin
     (* DCTCP step marking: judge the queue as seen on enqueue. *)
-    let ce_marked =
+    let ce =
       match t.ecn_threshold with
       | Some k when t.queued_bytes > k ->
           t.marked <- t.marked + 1;
-          true
-      | Some _ | None -> false
+          1
+      | Some _ | None -> 0
     in
     let start = Dessim.Time_ns.max now t.busy_until in
-    let ser = Dessim.Time_ns.of_rate_bytes ~bits_per_sec:t.rate_bps bytes in
+    let ser = serialization_time t bytes in
     let done_ser = Dessim.Time_ns.add start ser in
     t.busy_until <- done_ser;
     t.queued_bytes <- t.queued_bytes + bytes;
     t.tx_bytes <- t.tx_bytes + bytes;
     t.tx_packets <- t.tx_packets + 1;
-    Some { arrival = Dessim.Time_ns.add done_ser t.prop_delay; ce_marked }
+    (* Arrival fits in 62 bits (2^62 ns ~ 146 years of simulated time),
+       so the CE bit rides in bit 0 without loss. *)
+    (Dessim.Time_ns.add done_ser t.prop_delay lsl 1) lor ce
   end
+
+let packed_arrival p = p lsr 1
+let packed_ce p = p land 1 = 1
+
+let transmit t ~now ~bytes =
+  let p = transmit_packed t ~now ~bytes in
+  if p = dropped then None
+  else Some { arrival = packed_arrival p; ce_marked = packed_ce p }
 
 let delivered t ~bytes = t.queued_bytes <- t.queued_bytes - bytes
 

@@ -21,6 +21,9 @@ type t = {
   mutable tx_packets : int;
   mutable drops : int;
   mutable marked : int;  (** CE marks applied *)
+  mutable ser_bytes : int;
+      (** serialization-time memo key (last packet size); -1 = empty *)
+  mutable ser_ns : Dessim.Time_ns.t;  (** memoized result for [ser_bytes] *)
 }
 
 val make :
@@ -40,6 +43,20 @@ type tx = { arrival : Dessim.Time_ns.t; ce_marked : bool }
     Returns [Some tx] on success, or [None] if the packet was dropped.
     Caller must invoke {!delivered} when the arrival event fires. *)
 val transmit : t -> now:Dessim.Time_ns.t -> bytes:int -> tx option
+
+(** [transmit_packed] is {!transmit} without the option/record
+    allocation: the result is {!dropped} on a buffer overflow,
+    otherwise [(arrival lsl 1) lor ce_bit] — unpack with
+    {!packed_arrival} and {!packed_ce}. Arrival timestamps fit in 62
+    bits (2^62 ns is about 146 simulated years), so the packing is
+    lossless. *)
+val transmit_packed : t -> now:Dessim.Time_ns.t -> bytes:int -> int
+
+(** Sentinel result of {!transmit_packed} for a dropped packet. *)
+val dropped : int
+
+val packed_arrival : int -> Dessim.Time_ns.t
+val packed_ce : int -> bool
 
 (** [delivered t ~bytes] releases queue occupancy for a packet whose
     arrival event has fired. *)

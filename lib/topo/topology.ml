@@ -14,6 +14,10 @@ type t = {
   spine_ids : int array array; (* pod -> group -> id *)
   core_ids : int array array; (* group -> idx -> id *)
   links : (int, Link.t) Hashtbl.t; (* key: src * num_nodes + dst *)
+  link_dense : Link.t option array;
+      (* same keying, O(1) un-hashed lookup for the forwarding hot
+         path; [||] when the topology is too large for an n^2 table
+         (links are then found via [links]) *)
   neighbors : int array array;
   uplinks : int array array;
       (* node id -> upward ECMP candidates: ToR -> its pod's spines
@@ -61,10 +65,14 @@ let role t id =
 
 let link_key t src dst = (src * Array.length t.nodes) + dst
 
+(* Runs twice per hop (transmit + delivery): prefer the dense array —
+   one bounds-checked read, no hashing — over the hashtable. *)
 let link t ~src ~dst =
-  match Hashtbl.find_opt t.links (link_key t src dst) with
-  | Some l -> l
-  | None -> raise Not_found
+  if Array.length t.link_dense > 0 then
+    match t.link_dense.((src * Array.length t.nodes) + dst) with
+    | Some l -> l
+    | None -> raise Not_found
+  else Hashtbl.find t.links (link_key t src dst)
 
 let iter_links t f = Hashtbl.iter (fun _ l -> f l) t.links
 let neighbors t id = t.neighbors.(id)
@@ -201,6 +209,17 @@ let build (p : Params.t) =
         | Node.Host _ | Node.Gateway _ | Node.Core _ -> no_uplinks)
       nodes
   in
+  let link_dense =
+    (* n^2 option slots; capped at 8 MB of table (n = 1024). Every
+       topology this repo simulates is far below the cap — the
+       hashtable path is a safety net, not an expected mode. *)
+    if n <= 1024 then begin
+      let arr = Array.make (n * n) None in
+      Hashtbl.iter (fun key l -> arr.(key) <- Some l) links;
+      arr
+    end
+    else [||]
+  in
   {
     params = p;
     nodes;
@@ -217,6 +236,7 @@ let build (p : Params.t) =
     spine_ids;
     core_ids;
     links;
+    link_dense;
     neighbors = Array.map (fun l -> Array.of_list (List.rev l)) adjacency;
     uplinks;
   }

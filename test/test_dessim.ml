@@ -204,6 +204,102 @@ let heap_qcheck =
       in
       drain [] = List.sort compare keys)
 
+(* Pops must equal a *stable* sort by key: payloads tag each push with
+   its position, so any tie broken out of insertion order shows up as a
+   payload mismatch even though the key sequence looks fine. *)
+let heap_qcheck_stable =
+  QCheck.Test.make ~name:"heap pop order = stable sort by key" ~count:200
+    QCheck.(list (int_bound 50))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h k i) keys;
+      let rec drain acc =
+        if Heap.is_empty h then List.rev acc
+        else
+          let kv = Heap.pop h in
+          drain (kv :: acc)
+      in
+      let expected =
+        List.stable_sort
+          (fun (k1, _) (k2, _) -> compare k1 k2)
+          (List.mapi (fun i k -> (k, i)) keys)
+      in
+      drain [] = expected)
+
+let heap_qcheck_fifo_ties =
+  QCheck.Test.make ~name:"heap FIFO among equal keys" ~count:200
+    QCheck.(pair (int_bound 1000) small_nat)
+    (fun (key, n) ->
+      let h = Heap.create () in
+      for i = 0 to n - 1 do
+        Heap.push h key i
+      done;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let k, v = Heap.pop h in
+        if k <> key || v <> i then ok := false
+      done;
+      !ok && Heap.is_empty h)
+
+(* Model-checked interleaving: run a random sequence of
+   push/pop/reserve/clear against a sorted-list reference queue with
+   the same (key, insertion seq) order. [reserve] must never change
+   observable behaviour; [clear] must reset both contents and the
+   FIFO tie counter. *)
+let heap_qcheck_interleaved =
+  let op =
+    QCheck.(
+      oneof
+        [
+          map (fun k -> `Push k) (int_bound 20);
+          always `Pop;
+          map (fun n -> `Reserve n) (int_bound 64);
+          (* clear is rare so runs usually accumulate state *)
+          frequency [ (1, always `Clear); (6, always `Pop) ];
+        ])
+  in
+  QCheck.Test.make ~name:"heap interleaved push/pop/reserve/clear" ~count:300
+    (QCheck.list op)
+    (fun ops ->
+      let h = Heap.create () in
+      (* model: sorted (key, seq) list + next insertion seq *)
+      let model = ref [] and next = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun o ->
+          match o with
+          | `Push k ->
+              Heap.push h k !next;
+              let seq = !next in
+              incr next;
+              model :=
+                List.stable_sort
+                  (fun (k1, s1) (k2, s2) -> compare (k1, s1) (k2, s2))
+                  ((k, seq) :: !model)
+          | `Pop -> (
+              match (!model, Heap.is_empty h) with
+              | [], true -> ()
+              | [], false -> ok := false
+              | (mk, ms) :: rest, _ ->
+                  (match Heap.pop h with
+                  | k, v -> if k <> mk || v <> ms then ok := false
+                  | exception Not_found -> ok := false);
+                  model := rest)
+          | `Reserve n -> Heap.reserve h n
+          | `Clear ->
+              Heap.clear h;
+              model := [];
+              next := 0)
+        ops;
+      (* drain the tail: remaining contents must match the model *)
+      List.iter
+        (fun (mk, ms) ->
+          match Heap.pop h with
+          | k, v -> if k <> mk || v <> ms then ok := false
+          | exception Not_found -> ok := false)
+        !model;
+      !ok && Heap.is_empty h)
+
 (* --- Engine --- *)
 
 let test_engine_order () =
@@ -401,6 +497,9 @@ let () =
             test_heap_clear_resets_ties;
           Alcotest.test_case "reserve" `Quick test_heap_reserve;
           QCheck_alcotest.to_alcotest heap_qcheck;
+          QCheck_alcotest.to_alcotest heap_qcheck_stable;
+          QCheck_alcotest.to_alcotest heap_qcheck_fifo_ties;
+          QCheck_alcotest.to_alcotest heap_qcheck_interleaved;
         ] );
       ( "engine",
         [
