@@ -33,6 +33,9 @@ let records : target_record list ref = ref []
 (* Filled by [eventcore]; written into BENCH_sweep.json. *)
 let event_core_stats : (string * float) list ref = ref []
 
+(* Filled by [scheme_bench]; written into BENCH_sweep.json. *)
+let scheme_stats : (string * float) list ref = ref []
+
 let time_it ~key name f =
   Parallel.reset_counters ();
   let t0 = Unix.gettimeofday () in
@@ -74,6 +77,13 @@ let json_escape s =
 let baseline_event_core_json =
   "\"baseline_events_per_sec\": 5.0e6, \"baseline_words_per_event\": 28.58"
 
+(* Measured on this machine at the commit immediately before the
+   staged-pipeline refactor (the old [on_switch] adapter rebuilt the
+   [Dataplane.env] record on every switch visit, boxed the carrier
+   packet for spillover and allocated a tenant-scan closure per cache
+   access), same SwitchV2P hit-path workload as [scheme_bench]. *)
+let baseline_scheme_json = "\"baseline_words_per_dispatch\": 33.0"
+
 let write_sweep_json jobs =
   let path =
     match Sys.getenv_opt "REPRO_BENCH_JSON" with
@@ -100,6 +110,16 @@ let write_sweep_json jobs =
         Printf.sprintf "  \"event_core\": {%s},\n"
           (String.concat ", " (fields @ [ baseline_event_core_json ]))
   in
+  let scheme_json () =
+    match !scheme_stats with
+    | [] -> ""
+    | stats ->
+        let fields =
+          List.map (fun (k, v) -> Printf.sprintf "\"%s\": %.6g" k v) stats
+        in
+        Printf.sprintf "  \"scheme_pipeline\": {%s},\n"
+          (String.concat ", " (fields @ [ baseline_scheme_json ]))
+  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -111,11 +131,12 @@ let write_sweep_json jobs =
         \  \"scale\": \"%s\",\n\
         \  \"total_wall_s\": %.3f,\n\
          %s\
+         %s\
         \  \"targets\": [\n\
          %s\n\
         \  ]\n\
          }\n"
-        jobs (scale_name ()) total_wall (event_core_json ())
+        jobs (scale_name ()) total_wall (event_core_json ()) (scheme_json ())
         (String.concat ",\n" (List.map target_json rs)));
   Printf.printf "\n[sweep report written to %s]\n%!" path
 
@@ -236,6 +257,119 @@ let eventcore () =
       "eventcore: words/event %.2f exceeds ceiling %.2f — the forwarding \
        path regressed into allocating per event\n"
       words_per_event ceiling;
+    exit 1
+  end
+
+(* --- Scheme-pipeline benchmark: per-dispatch allocation ------------ *)
+
+(* Regression gate for CI: minor-heap words allocated per on-switch
+   dispatch through the full SwitchV2P pipeline (classify -> lookup ->
+   learn -> emit) on a warm regular-ToR hit. The staged pipeline builds
+   its [Dataplane.env] once at network creation, so the steady state
+   must be exactly zero. Override with REPRO_SCHEME_WORDS_CEILING for
+   experiments. *)
+let scheme_words_ceiling () =
+  match Sys.getenv_opt "REPRO_SCHEME_WORDS_CEILING" with
+  | Some s -> float_of_string s
+  | None -> 0.0
+
+let scheme_bench () =
+  let module Time_ns = Dessim.Time_ns in
+  let module Topology = Topo.Topology in
+  let module Packet = Netcore.Packet in
+  let topo =
+    Topology.build
+      (Topo.Params.scaled ~pods:2 ~racks_per_pod:2 ~hosts_per_rack:2
+         ~vms_per_host:2 ())
+  in
+  let scheme, dp =
+    Schemes.Switchv2p_scheme.make_with_dataplane topo
+      ~total_cache_slots:(64 * Array.length (Topology.switches topo))
+  in
+  let mapping = Netcore.Mapping.create () in
+  Array.iteri
+    (fun i host ->
+      Netcore.Mapping.install mapping
+        (Netcore.Addr.Vip.of_int i)
+        (Topology.pip topo host))
+    (Topology.hosts topo);
+  let next_id = ref 0 in
+  let env =
+    {
+      Netsim.Scheme.engine = Dessim.Engine.create ();
+      rng = Dessim.Rng.create 11;
+      topo;
+      mapping;
+      base_rtt = Time_ns.of_us 12;
+      fresh_packet_id =
+        (fun () ->
+          incr next_id;
+          !next_id);
+      emit_at_switch = (fun ~src_switch:_ _ -> ());
+    }
+  in
+  Netsim.Pipeline.prepare scheme.Netsim.Scheme.pipeline env;
+  (* A regular ToR serving a cached destination to an attached sender:
+     the paper's steady-state hit path (classify no-op, lookup hit +
+     rewrite, source learning updates in place, nothing to emit). *)
+  let tor =
+    Array.to_list (Topology.tors topo)
+    |> List.find (fun sw -> Topology.role topo sw = Topo.Node.Regular_tor)
+  in
+  let sender = (Topology.endpoints_of_tor topo tor).(0) in
+  let dst_vip = Netcore.Addr.Vip.of_int 100_000 in
+  let dst_host = (Topology.hosts topo).(Array.length (Topology.hosts topo) - 1) in
+  ignore
+    (Switchv2p.Cache.insert
+       (Switchv2p.Dataplane.cache dp ~switch:tor)
+       ~admission:`All dst_vip
+       (Topology.pip topo dst_host));
+  let gw_pip = Topology.pip topo (Topology.gateways topo).(0) in
+  let pkt =
+    Packet.make_data ~id:1 ~flow_id:1 ~seq:0 ~size:1500
+      ~src_vip:(Netcore.Addr.Vip.of_int 1_000)
+      ~dst_vip
+      ~src_pip:(Topology.pip topo sender)
+      ~dst_pip:gw_pip ~now:0
+  in
+  let pl = scheme.Netsim.Scheme.pipeline in
+  let dispatch () =
+    pkt.Packet.resolved <- false;
+    pkt.Packet.dst_pip <- gw_pip;
+    pkt.Packet.hit_switch <- -1;
+    ignore (Netsim.Pipeline.run pl env ~switch:tor ~from:sender pkt : int)
+  in
+  for _ = 1 to 1_000 do
+    dispatch () (* warm: first source-learning insert, cache lines *)
+  done;
+  let iters = 200_000 in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    dispatch ()
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  let per_dispatch = words /. float_of_int iters in
+  let per_sec = float_of_int iters /. wall in
+  Printf.printf
+    "\n== scheme pipeline (SwitchV2P hit path) ==\n\
+    \  dispatches        %d\n\
+    \  dispatches/sec    %.3e\n\
+    \  words/dispatch    %.2f\n"
+    iters per_sec per_dispatch;
+  scheme_stats :=
+    [
+      ("dispatches", float_of_int iters);
+      ("dispatches_per_sec", per_sec);
+      ("words_per_dispatch", per_dispatch);
+    ];
+  let ceiling = scheme_words_ceiling () in
+  if per_dispatch > ceiling then begin
+    Printf.eprintf
+      "scheme: words/dispatch %.2f exceeds ceiling %.2f — the on-switch \
+       path regressed into allocating per hop\n"
+      per_dispatch ceiling;
     exit 1
   end
 
@@ -466,6 +600,7 @@ let targets =
     ("cachegeo", ("Cache geometry study (§3.2)", cachegeo));
     ("micro", ("Micro-benchmarks", micro));
     ("eventcore", ("Event-core throughput (forwarding path)", eventcore));
+    ("scheme", ("Scheme pipeline (per-dispatch allocation)", scheme_bench));
   ]
 
 (* fig7 and fig8 share one runner; run it once in the full sweep. *)
@@ -473,7 +608,7 @@ let default_order =
   [
     "datasets"; "fig5a"; "fig5b"; "fig5c"; "fig5d"; "fig6"; "fig7"; "fig9";
     "fig10"; "tab4"; "tab5"; "tab6"; "appA2"; "ablation"; "multitenant";
-    "resilience"; "dht"; "cachegeo"; "micro"; "eventcore";
+    "resilience"; "dht"; "cachegeo"; "micro"; "eventcore"; "scheme";
   ]
 
 let () =

@@ -47,7 +47,7 @@ let () =
   show "with spill + promotion" riders;
 
   let tagged = Netcore.Wire.decode (Netcore.Wire.encode base) in
-  tagged.Packet.misdelivery <- Some (Pip.of_int 99);
+  tagged.Packet.misdelivery <- 99;
   show "misdelivery-tagged" tagged;
 
   let learning =

@@ -34,39 +34,53 @@ let create ~ways ~slots =
 let slots t = t.n
 let ways t = t.ways
 
-(* Same mix hash as the direct-mapped cache, for comparability. *)
-let set_of t vip =
-  let v = Vip.to_int vip in
-  let z = Int64.of_int (v * 0x9E3779B9) in
-  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
-  let h = Int64.to_int (Int64.shift_right_logical z 33) in
-  h mod Array.length t.sets
+(* Same mix hash as the direct-mapped cache, for comparability (see
+   [Cache.mix] for why it is int-limb arithmetic, not Int64). *)
+let mix v =
+  let a = v * 0x9E3779B9 in
+  let lo = a land 0xFFFFFFFF and hi = (a asr 32) land 0xFFFFFFFF in
+  let lo1 = (lo lxor ((hi lsl 2) lor (lo lsr 30))) land 0xFFFFFFFF in
+  let hi1 = hi lxor (hi lsr 30) in
+  let cl = 0x1CE4E5B9 and ch = 0xBF58476D in
+  let carry = (lo1 * cl) lsr 32 in
+  let mid =
+    ((((lo1 lsr 16) * ch) land 0xFFFF) lsl 16)
+    + ((lo1 land 0xFFFF) * ch)
+    + (hi1 * cl)
+    + carry
+  in
+  (mid land 0xFFFFFFFF) lsr 1
+
+let set_of t vip = mix (Vip.to_int vip) mod Array.length t.sets
 
 let tick t =
   t.clock <- t.clock + 1;
   t.clock
 
+let miss = -1
+let hit_pip h = Pip.of_int h
+
 let lookup t vip =
   if t.n = 0 then begin
     t.misses <- t.misses + 1;
-    None
+    miss
   end
   else begin
     let set = t.sets.(set_of t vip) in
     let k = Vip.to_int vip in
     let rec find i =
-      if i >= t.ways then None
-      else if set.(i).key = k then Some set.(i)
-      else find (i + 1)
-    in
-    match find 0 with
-    | Some line ->
+      if i >= t.ways then miss
+      else if set.(i).key = k then begin
+        let line = set.(i) in
         t.hits <- t.hits + 1;
         line.stamp <- tick t;
-        Some (Pip.of_int line.value)
-    | None ->
-        t.misses <- t.misses + 1;
-        None
+        line.value
+      end
+      else find (i + 1)
+    in
+    let r = find 0 in
+    if r = miss then t.misses <- t.misses + 1;
+    r
   end
 
 let insert t vip pip =

@@ -20,8 +20,16 @@ val create : ways:int -> slots:int -> t
 val slots : t -> int
 val ways : t -> int
 
-(** [lookup t vip] — on a hit, refreshes the line's LRU position. *)
-val lookup : t -> Netcore.Addr.Vip.t -> Netcore.Addr.Pip.t option
+val miss : int
+(** the (negative) sentinel {!lookup} returns on a miss *)
+
+(** [lookup t vip] — on a hit, refreshes the line's LRU position and
+    returns the mapped PIP as a non-negative int (decode with
+    {!hit_pip}); {!miss} otherwise. Same sentinel convention as
+    {!Cache.lookup} so geometry studies can swap the two. *)
+val lookup : t -> Netcore.Addr.Vip.t -> int
+
+val hit_pip : int -> Netcore.Addr.Pip.t
 
 (** [insert t vip pip] — installs the mapping, evicting the set's
     least-recently-used line if full. Re-inserting an existing key

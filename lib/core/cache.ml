@@ -38,34 +38,55 @@ let create ~slots =
 
 let slots t = t.n
 
-(* Fixed hash shared by all switches, standing in for the hardware CRC. *)
-let slot_of t vip =
-  let v = Vip.to_int vip in
-  let z = Int64.of_int (v * 0x9E3779B9) in
-  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
-  let h = Int64.to_int (Int64.shift_right_logical z 33) in
-  h mod t.n
+(* Fixed hash shared by all switches, standing in for the hardware CRC.
+   Bit-identical to the splitmix64 finalizer step
+     z = of_int (v * 0x9E3779B9);
+     to_int ((mul (logxor z (lsr z 30)) 0xBF58476D1CE4E5B9L) lsr 33)
+   but computed in native int limbs: boxed Int64 temporaries would cost
+   ~6 minor words per lookup, and this runs on the per-hop path. Only
+   the high 31 bits of the 64-bit product are needed, so the multiply
+   keeps just the carry into the high limb. *)
+let mix v =
+  let a = v * 0x9E3779B9 in
+  let lo = a land 0xFFFFFFFF and hi = (a asr 32) land 0xFFFFFFFF in
+  let lo1 = (lo lxor ((hi lsl 2) lor (lo lsr 30))) land 0xFFFFFFFF in
+  let hi1 = hi lxor (hi lsr 30) in
+  let cl = 0x1CE4E5B9 and ch = 0xBF58476D in
+  let carry = (lo1 * cl) lsr 32 in
+  let mid =
+    ((((lo1 lsr 16) * ch) land 0xFFFF) lsl 16)
+    + ((lo1 land 0xFFFF) * ch)
+    + (hi1 * cl)
+    + carry
+  in
+  (mid land 0xFFFFFFFF) lsr 1
+
+let slot_of t vip = mix (Vip.to_int vip) mod t.n
+
+let miss = -1
+let hit_pip h = Pip.of_int (h lsr 1)
+let hit_bit h = h land 1 = 1
 
 let lookup t vip =
   if t.n = 0 then begin
     t.misses <- t.misses + 1;
-    None
+    miss
   end
   else begin
     let i = slot_of t vip in
     let key = t.keys.(i) in
     if key = Vip.to_int vip then begin
       t.hits <- t.hits + 1;
-      let was_set = Bytes.get t.access i = '\001' in
+      let was_set = if Bytes.get t.access i = '\001' then 1 else 0 in
       Bytes.set t.access i '\001';
-      Some (Pip.of_int t.values.(i), was_set)
+      (t.values.(i) lsl 1) lor was_set
     end
     else begin
       t.misses <- t.misses + 1;
       (* A conflicting occupant loses its access bit: it was consulted
          and was not useful. *)
       if key >= 0 then Bytes.set t.access i '\000';
-      None
+      miss
     end
   end
 

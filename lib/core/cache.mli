@@ -33,12 +33,23 @@ val create : slots:int -> t
 
 val slots : t -> int
 
+val miss : int
+(** the (negative) sentinel {!lookup} returns on a miss *)
+
 (** [lookup t vip] applies the access-bit side effects described
-    above. On a hit it returns the mapped PIP together with the value
-    the access bit had {e before} this lookup — spine switches promote
-    an entry to the core tier only when a hit finds the bit already
-    set (§3.2.2). *)
-val lookup : t -> Netcore.Addr.Vip.t -> (Netcore.Addr.Pip.t * bool) option
+    above. Returns {!miss} on a miss; on a hit, a non-negative int
+    packing the mapped PIP together with the value the access bit had
+    {e before} this lookup — spine switches promote an entry to the
+    core tier only when a hit finds the bit already set (§3.2.2).
+    Decode with {!hit_pip} / {!hit_bit}. The packed form keeps the
+    per-hop path allocation-free (the option/tuple result was the last
+    per-lookup allocation). *)
+val lookup : t -> Netcore.Addr.Vip.t -> int
+
+(** [hit_pip h] / [hit_bit h] decode a non-[miss] {!lookup} result. *)
+val hit_pip : int -> Netcore.Addr.Pip.t
+
+val hit_bit : int -> bool
 
 (** [peek t vip] is a side-effect-free lookup (for tests and metrics). *)
 val peek : t -> Netcore.Addr.Vip.t -> Netcore.Addr.Pip.t option

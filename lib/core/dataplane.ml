@@ -276,19 +276,25 @@ let admission_of_role = function
       `A_bit_clear
 
 (* Insert a mapping and, when enabled and the packet has room, turn the
-   evicted occupant into a spillover rider. *)
-let insert_with_spill t env st (pkt : Packet.t option) ~admission vip pip =
+   evicted occupant into a spillover rider. Takes the packet directly
+   (not an option): this runs on the per-hop path, where a [Some pkt]
+   box would cost two minor words per dispatch. Install paths with no
+   carrier packet use [insert_no_spill]. *)
+let insert_with_spill t env st (pkt : Packet.t) ~admission vip pip =
   match Cache.insert (cache_for t st vip) ~admission vip pip with
   | Cache.Inserted (Some evicted) ->
-      if t.cfg.Config.spillover then begin
-        match pkt with
-        | Some p when p.Packet.spill = None ->
-            p.Packet.spill <- Some evicted;
-            t.spills_attached <- t.spills_attached + 1;
-            flight t env st p "spilled"
-        | Some _ | None -> ()
+      if t.cfg.Config.spillover && pkt.Packet.spill = None then begin
+        pkt.Packet.spill <- Some evicted;
+        t.spills_attached <- t.spills_attached + 1;
+        flight t env st pkt "spilled"
       end
   | Cache.Inserted None | Cache.Updated | Cache.Rejected -> ()
+
+(* Same insert, but with no carrier packet to attach spillover to
+   (learning-packet installs). *)
+let insert_no_spill t st ~admission vip pip =
+  match Cache.insert (cache_for t st vip) ~admission vip pip with
+  | Cache.Inserted _ | Cache.Updated | Cache.Rejected -> ()
 
 let rewrite_to st (pkt : Packet.t) pip =
   pkt.Packet.dst_pip <- pip;
@@ -351,41 +357,48 @@ let maybe_send_learning_packet t env st (pkt : Packet.t) =
    keeps the hit/miss counters consistent with the regular path — the
    old peek-then-lookup sequence bumped the hit counter twice on the
    trusted path and recorded no miss when the VIP was absent. *)
-let handle_tagged t env st (pkt : Packet.t) ~stale =
+let handle_tagged t env st (pkt : Packet.t) =
   let cache = cache_for t st pkt.Packet.dst_vip in
-  match Cache.lookup cache pkt.Packet.dst_vip with
-  | Some (cached, _) when Pip.equal cached stale ->
-      if Cache.invalidate cache pkt.Packet.dst_vip ~stale then begin
+  let r = Cache.lookup cache pkt.Packet.dst_vip in
+  if r >= 0 then begin
+    let stale = pkt.Packet.misdelivery in
+    if r lsr 1 = stale then begin
+      if
+        Cache.invalidate cache pkt.Packet.dst_vip ~stale:(Pip.of_int stale)
+      then begin
         t.entries_invalidated <- t.entries_invalidated + 1;
         flight t env st pkt "invalidated"
       end
-  | Some (fresh, _) ->
-      rewrite_to st pkt fresh;
+    end
+    else begin
+      rewrite_to st pkt (Cache.hit_pip r);
       flight t env st pkt "hit"
-  | None -> ()
+    end
+  end
 
 let regular_lookup t env st (pkt : Packet.t) =
-  match Cache.lookup (cache_for t st pkt.Packet.dst_vip) pkt.Packet.dst_vip with
-  | Some (pip, bit_was_set) ->
-      rewrite_to st pkt pip;
-      flight t env st pkt "hit";
-      (* Promotion: a popular entry hit at a regular spine by a packet
-         leaving the pod rides to the core tier. *)
-      if
-        t.cfg.Config.promotion && st.role = Topo.Node.Regular_spine
-        && bit_was_set
-        && pkt.Packet.promo = None
-      then begin
-        let dst_node = Topo.Topology.node_of_pip t.topo pip in
-        let own_pod = Topo.Node.pod_of (Topo.Topology.kind t.topo st.sw_id) in
-        let dst_pod = Topo.Node.pod_of (Topo.Topology.kind t.topo dst_node) in
-        if dst_pod <> own_pod then begin
-          pkt.Packet.promo <- Some (pkt.Packet.dst_vip, pip);
-          t.promotions <- t.promotions + 1;
-          flight t env st pkt "promoted"
-        end
+  let r = Cache.lookup (cache_for t st pkt.Packet.dst_vip) pkt.Packet.dst_vip in
+  if r >= 0 then begin
+    let pip = Cache.hit_pip r in
+    rewrite_to st pkt pip;
+    flight t env st pkt "hit";
+    (* Promotion: a popular entry hit at a regular spine by a packet
+       leaving the pod rides to the core tier. *)
+    if
+      t.cfg.Config.promotion && st.role = Topo.Node.Regular_spine
+      && Cache.hit_bit r
+      && pkt.Packet.promo = None
+    then begin
+      let dst_node = Topo.Topology.node_of_pip t.topo pip in
+      let own_pod = Topo.Node.pod_of (Topo.Topology.kind t.topo st.sw_id) in
+      let dst_pod = Topo.Node.pod_of (Topo.Topology.kind t.topo dst_node) in
+      if dst_pod <> own_pod then begin
+        pkt.Packet.promo <- Some (pkt.Packet.dst_vip, pip);
+        t.promotions <- t.promotions + 1;
+        flight t env st pkt "promoted"
       end
-  | None -> ()
+    end
+  end
 
 let absorb_spill t env st (pkt : Packet.t) =
   match pkt.Packet.spill with
@@ -401,30 +414,32 @@ let absorb_spill t env st (pkt : Packet.t) =
         | Cache.Rejected -> ())
   | Some _ | None -> ()
 
+(* Role-dependent learning (Table 1). The gateway-ToR's learning
+   packet is NOT sent here — that is the emit stage's job, so the
+   stage split matches the paper's pipeline (admission before
+   control-packet generation). *)
 let learn t env st (pkt : Packet.t) =
   match st.role with
   | Topo.Node.Gateway_tor ->
-      if pkt.Packet.resolved then begin
-        insert_with_spill t env st (Some pkt) ~admission:`All
-          pkt.Packet.dst_vip pkt.Packet.dst_pip;
-        maybe_send_learning_packet t env st pkt
-      end
+      if pkt.Packet.resolved then
+        insert_with_spill t env st pkt ~admission:`All
+          pkt.Packet.dst_vip pkt.Packet.dst_pip
   | Topo.Node.Gateway_spine ->
       if pkt.Packet.resolved then
-        insert_with_spill t env st (Some pkt) ~admission:`A_bit_clear
+        insert_with_spill t env st pkt ~admission:`A_bit_clear
           pkt.Packet.dst_vip pkt.Packet.dst_pip
   | Topo.Node.Regular_tor ->
       if t.cfg.Config.source_learning then
-        insert_with_spill t env st (Some pkt) ~admission:`All
+        insert_with_spill t env st pkt ~admission:`All
           pkt.Packet.src_vip pkt.Packet.src_pip
   | Topo.Node.Regular_spine ->
       if pkt.Packet.resolved then
-        insert_with_spill t env st (Some pkt) ~admission:`A_bit_clear
+        insert_with_spill t env st pkt ~admission:`A_bit_clear
           pkt.Packet.dst_vip pkt.Packet.dst_pip
   | Topo.Node.Core_switch -> (
       match pkt.Packet.promo with
       | Some (vip, pip) when t.cfg.Config.promotion ->
-          insert_with_spill t env st (Some pkt) ~admission:`A_bit_clear vip pip;
+          insert_with_spill t env st pkt ~admission:`A_bit_clear vip pip;
           pkt.Packet.promo <- None
       | Some _ | None -> ())
 
@@ -434,19 +449,27 @@ let is_tor st =
   | Topo.Node.Regular_spine | Topo.Node.Gateway_spine | Topo.Node.Core_switch ->
       false
 
-let process t env ~switch ~from (pkt : Packet.t) =
+(* The four pipeline stages (classify -> lookup -> learn -> emit).
+   Each returns an int {!Verdict}; [Verdict.next] means "no final
+   verdict, run the following stage". Control packets are fully
+   handled by [classify]; data/ack packets flow through all four
+   stages and end up forwarded. Stage order must not change: it fixes
+   the RNG draw sequence (learning-packet coin flips) and hence the
+   golden event transcripts. *)
+
+let classify t env ~switch ~from (pkt : Packet.t) =
   let st = state t switch in
-  let own_pip = Topo.Topology.pip t.topo switch in
   match pkt.Packet.kind with
   | Packet.Learning ->
-      if Pip.equal pkt.Packet.dst_pip own_pip then begin
+      if Pip.equal pkt.Packet.dst_pip (Topo.Topology.pip t.topo switch)
+      then begin
         (match pkt.Packet.mapping_payload with
         | Some (vip, pip) ->
-            insert_with_spill t env st None ~admission:`All vip pip
+            insert_no_spill t st ~admission:`All vip pip
         | None -> ());
-        Consume
+        Verdict.consume
       end
-      else Forward
+      else Verdict.forward
   | Packet.Invalidation ->
       (match pkt.Packet.mapping_payload with
       | Some (vip, stale) ->
@@ -455,36 +478,79 @@ let process t env ~switch ~from (pkt : Packet.t) =
             flight t env st pkt "invalidated"
           end
       | None -> ());
-      if Pip.equal pkt.Packet.dst_pip own_pip then Consume else Forward
+      if Pip.equal pkt.Packet.dst_pip (Topo.Topology.pip t.topo switch)
+      then Verdict.consume
+      else Verdict.forward
   | Packet.Data | Packet.Ack ->
-      (* 1. Misdelivery tagging: a packet entering from an attached
+      (* Misdelivery tagging: a packet entering from an attached
          server whose outer source is not that server was re-forwarded
          by the hypervisor after a misdelivery. *)
       if
         is_tor st
         && Hashtbl.mem st.attached_hosts from
         && not (Pip.equal pkt.Packet.src_pip (Topo.Topology.pip t.topo from))
-        && pkt.Packet.misdelivery = None
+        && pkt.Packet.misdelivery < 0
       then begin
         let stale = Topo.Topology.pip t.topo from in
-        pkt.Packet.misdelivery <- Some stale;
+        pkt.Packet.misdelivery <- Pip.to_int stale;
         t.misdelivery_tags <- t.misdelivery_tags + 1;
         flight t env st pkt "tagged";
         let target = pkt.Packet.hit_switch in
         pkt.Packet.hit_switch <- -1;
         send_invalidation t env st ~target ~vip:pkt.Packet.dst_vip ~stale
       end;
-      (* 2. Lookup (tagged packets use the conservative variant). *)
+      Verdict.next
+
+let lookup t env ~switch ~from:_ (pkt : Packet.t) =
+  (match pkt.Packet.kind with
+  | Packet.Data | Packet.Ack ->
+      (* Tagged packets use the conservative variant. *)
       if not pkt.Packet.resolved then begin
-        match pkt.Packet.misdelivery with
-        | Some stale -> handle_tagged t env st pkt ~stale
-        | None -> regular_lookup t env st pkt
-      end;
-      (* 3. Spillover absorption. *)
+        let st = state t switch in
+        if pkt.Packet.misdelivery >= 0 then handle_tagged t env st pkt
+        else regular_lookup t env st pkt
+      end
+  | Packet.Learning | Packet.Invalidation -> ());
+  Verdict.next
+
+let admit t env ~switch ~from:_ (pkt : Packet.t) =
+  (match pkt.Packet.kind with
+  | Packet.Data | Packet.Ack ->
+      let st = state t switch in
+      (* Spillover absorption, then role-dependent learning. *)
       absorb_spill t env st pkt;
-      (* 4. Role-dependent learning (Table 1). *)
-      learn t env st pkt;
-      Forward
+      learn t env st pkt
+  | Packet.Learning | Packet.Invalidation -> ());
+  Verdict.next
+
+let emit t env ~switch ~from:_ (pkt : Packet.t) =
+  (match pkt.Packet.kind with
+  | Packet.Data | Packet.Ack -> (
+      let st = state t switch in
+      match st.role with
+      | Topo.Node.Gateway_tor ->
+          if pkt.Packet.resolved then maybe_send_learning_packet t env st pkt
+      | Topo.Node.Gateway_spine | Topo.Node.Regular_tor
+      | Topo.Node.Regular_spine | Topo.Node.Core_switch ->
+          ())
+  | Packet.Learning | Packet.Invalidation -> ());
+  Verdict.next
+
+let process_packed t env ~switch ~from (pkt : Packet.t) =
+  let v = classify t env ~switch ~from pkt in
+  if v <> Verdict.next then v
+  else begin
+    (* The remaining stages never yield a final verdict for data/ack
+       traffic; data packets always keep forwarding. *)
+    ignore (lookup t env ~switch ~from pkt : int);
+    ignore (admit t env ~switch ~from pkt : int);
+    ignore (emit t env ~switch ~from pkt : int);
+    Verdict.forward
+  end
+
+let process t env ~switch ~from (pkt : Packet.t) =
+  let v = process_packed t env ~switch ~from pkt in
+  if Verdict.tag v = Verdict.tag_consume then Consume else Forward
 
 let reassign_role t ~switch role =
   let st = state t switch in

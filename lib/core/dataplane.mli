@@ -39,9 +39,38 @@ val create :
 
 val config : t -> Config.t
 
-(** [process t env ~switch ~from pkt] runs the pipeline for [pkt]
-    arriving at [switch] from neighbor [from] (endpoint or switch).
-    Mutates [pkt] in place (resolution, tags, spill/promo options). *)
+(** {1 Pipeline stages}
+
+    The §3 per-switch program, split along the paper's match-action
+    boundaries. Each stage takes the packet arriving at [switch] from
+    neighbor [from], mutates it in place, and returns an int
+    {!Verdict}: a final verdict ends processing; {!Verdict.next}
+    hands the packet to the following stage.
+
+    - {!classify} — control-packet handling (learning/invalidation
+      delivery) and ToR misdelivery tagging + invalidation emission;
+    - {!lookup} — cache lookup/rewrite (tagged packets use the
+      conservative variant) and spine promotion marking;
+    - {!admit} — spillover absorption and role-dependent learning
+      (Table 1 admission policies);
+    - {!emit} — gateway-ToR learning-packet generation.
+
+    Stage order is part of the simulation contract: it fixes the RNG
+    draw sequence and therefore the golden transcripts. *)
+
+val classify : t -> env -> switch:int -> from:int -> Netcore.Packet.t -> int
+val lookup : t -> env -> switch:int -> from:int -> Netcore.Packet.t -> int
+val admit : t -> env -> switch:int -> from:int -> Netcore.Packet.t -> int
+val emit : t -> env -> switch:int -> from:int -> Netcore.Packet.t -> int
+
+(** [process_packed t env ~switch ~from pkt] runs all four stages in
+    order and returns the final int verdict (allocation-free). *)
+val process_packed :
+  t -> env -> switch:int -> from:int -> Netcore.Packet.t -> int
+
+(** [process t env ~switch ~from pkt] is {!process_packed} with the
+    result decoded into a {!verdict} (data/ack traffic never delays or
+    drops, so the two-constructor variant is lossless here). *)
 val process : t -> env -> switch:int -> from:int -> Netcore.Packet.t -> verdict
 
 (** [cache t ~switch] is the switch's tenant-0 cache — the whole cache

@@ -32,6 +32,15 @@ let create_fn ~num_tenants ~shares f =
 
 let num_tenants t = Array.length t.shares
 
+(* Linear scan: tenant counts are tiny (the paper's partitioning is
+   per-VPC-enabled-on-demand, not per-VPC-everywhere). Top-level so no
+   closure is allocated — [tenant_of] runs once per cache access on
+   the per-hop path. *)
+let rec scan_ranges bounds n v i =
+  if i >= n - 1 then n - 1
+  else if v < bounds.(i) then i
+  else scan_ranges bounds n v (i + 1)
+
 let tenant_of t vip =
   match t.assign with
   | Fn f ->
@@ -41,13 +50,7 @@ let tenant_of t vip =
       i
   | Ranges bounds ->
       let v = Netcore.Addr.Vip.to_int vip in
-      let n = Array.length bounds in
-      (* Linear scan: tenant counts are tiny (the paper's partitioning
-         is per-VPC-enabled-on-demand, not per-VPC-everywhere). *)
-      let rec go i =
-        if i >= n - 1 then n - 1 else if v < bounds.(i) then i else go (i + 1)
-      in
-      go 0
+      scan_ranges bounds (Array.length bounds) v 0
 
 let split_slots t ~slots =
   if slots < 0 then invalid_arg "Partition.split_slots: negative slots";

@@ -1,0 +1,32 @@
+(* Packed like [Link.transmit_packed]: the action rides in the low two
+   bits and the (non-negative) delay in the bits above, so a verdict is
+   always a non-negative immediate int and the hot path never allocates
+   a constructor block. *)
+
+let forward = 0
+let consume = 1
+let drop = 2
+
+let delay d =
+  if d < 0 then invalid_arg "Verdict.delay: negative delay";
+  (d lsl 2) lor 3
+
+let tag v = v land 3
+let tag_forward = 0
+let tag_consume = 1
+let tag_drop = 2
+let tag_delay = 3
+let delay_ns v = v asr 2
+
+(* Stage-level fall-through: a stage that has nothing final to say
+   returns [next] and the pipeline tries the following stage. *)
+let next = -1
+
+let pp ppf v =
+  if v = next then Format.pp_print_string ppf "next"
+  else
+    match v land 3 with
+    | 0 -> Format.pp_print_string ppf "forward"
+    | 1 -> Format.pp_print_string ppf "consume"
+    | 2 -> Format.pp_print_string ppf "drop"
+    | _ -> Format.fprintf ppf "delay(%dns)" (v asr 2)

@@ -1,0 +1,47 @@
+(** Int-coded per-switch verdicts.
+
+    The old scheme layer returned a variant ([Forward | Consume |
+    Delay of t | Drop_pkt]) per hop; the [Delay] arm allocated a block
+    on Bluebird's detour path and the match compiled to a branch tree.
+    Verdicts are now plain ints packed like {!Topo.Link.transmit_packed}:
+    the action in the low two bits, the delay (when any) in the bits
+    above.
+
+    {v
+      forward      = 0
+      consume      = 1
+      drop         = 2
+      delay d      = (d lsl 2) lor 3     d in ns, d >= 0
+      next         = -1                  stage fall-through, never final
+    v} *)
+
+val forward : int
+(** keep routing toward (possibly rewritten) [dst_pip] *)
+
+val consume : int
+(** the packet terminated at this switch (control packets) *)
+
+val drop : int
+(** drop (e.g. control-plane queue overflow) *)
+
+val delay : int -> int
+(** [delay d] forwards after an extra processing delay of [d] ns
+    (Bluebird's data-to-control-plane detour). Raises
+    [Invalid_argument] if [d < 0]. *)
+
+val next : int
+(** Stage fall-through: not a final verdict. A pipeline whose stages
+    all return [next] forwards the packet. *)
+
+(** Decoding. [tag v] is one of the [tag_*] constants below;
+    [delay_ns] is meaningful only when [tag v = tag_delay]. *)
+
+val tag : int -> int
+
+val tag_forward : int
+val tag_consume : int
+val tag_drop : int
+val tag_delay : int
+val delay_ns : int -> int
+
+val pp : Format.formatter -> int -> unit

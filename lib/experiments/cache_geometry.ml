@@ -55,11 +55,11 @@ let direct_sim ~slots =
     name = "direct-mapped";
     lookup =
       (fun vip ->
-        match Switchv2p.Cache.lookup c vip with
-        | Some _ -> true
-        | None ->
-            ignore (Switchv2p.Cache.insert c ~admission:`All vip (Pip.of_int 1));
-            false);
+        if Switchv2p.Cache.lookup c vip >= 0 then true
+        else begin
+          ignore (Switchv2p.Cache.insert c ~admission:`All vip (Pip.of_int 1));
+          false
+        end);
   }
 
 let assoc_sim ~ways ~slots ~name =
@@ -71,11 +71,11 @@ let assoc_sim ~ways ~slots ~name =
     name;
     lookup =
       (fun vip ->
-        match Switchv2p.Assoc_cache.lookup c vip with
-        | Some _ -> true
-        | None ->
-            Switchv2p.Assoc_cache.insert c vip (Pip.of_int 1);
-            false);
+        if Switchv2p.Assoc_cache.lookup c vip >= 0 then true
+        else begin
+          Switchv2p.Assoc_cache.insert c vip (Pip.of_int 1);
+          false
+        end);
   }
 
 (* [None] when the organization does not fit in [slots] lines (a 4-way

@@ -11,7 +11,7 @@ type t = {
   mutable src_pip : Addr.Pip.t;
   mutable dst_pip : Addr.Pip.t;
   mutable resolved : bool;
-  mutable misdelivery : Addr.Pip.t option;
+  mutable misdelivery : int;
   mutable hit_switch : int;
   mutable spill : (Addr.Vip.t * Addr.Pip.t) option;
   mutable promo : (Addr.Vip.t * Addr.Pip.t) option;
@@ -41,7 +41,7 @@ let base ~id ~flow_id ~kind ~size ~seq ~src_vip ~dst_vip ~src_pip ~dst_pip
     src_pip;
     dst_pip;
     resolved = false;
-    misdelivery = None;
+    misdelivery = -1;
     hit_switch = -1;
     spill = None;
     promo = None;
@@ -69,7 +69,7 @@ let reset t ~id ~flow_id ~kind ~size ~seq ~src_vip ~dst_vip ~src_pip ~dst_pip
   t.src_pip <- src_pip;
   t.dst_pip <- dst_pip;
   t.resolved <- false;
-  t.misdelivery <- None;
+  t.misdelivery <- -1;
   t.hit_switch <- -1;
   t.spill <- None;
   t.promo <- None;
@@ -116,4 +116,4 @@ let pp ppf t =
     pp_kind t.kind t.flow_id t.seq Addr.Vip.pp t.src_vip Addr.Vip.pp t.dst_vip
     Addr.Pip.pp t.src_pip Addr.Pip.pp t.dst_pip
     (if t.resolved then " R" else "")
-    (match t.misdelivery with Some _ -> " MD" | None -> "")
+    (if t.misdelivery >= 0 then " MD" else "")

@@ -28,10 +28,13 @@ type t = {
   mutable src_pip : Addr.Pip.t;
   mutable dst_pip : Addr.Pip.t;
   mutable resolved : bool;
-  mutable misdelivery : Addr.Pip.t option;
+  mutable misdelivery : int;
       (** misdelivery tag (§3.3); carries the stale physical address
-          the packet was wrongly delivered to, so switches can tell
-          their cached entry is the stale one *)
+          (as a raw PIP int) the packet was wrongly delivered to, so
+          switches can tell their cached entry is the stale one.
+          [-1] = untagged — an int field rather than a [Pip.t option]
+          so setting and clearing the tag on the per-hop path never
+          allocates *)
   mutable hit_switch : int;  (** node id of the switch that served the hit; -1 if none *)
   mutable spill : (Addr.Vip.t * Addr.Pip.t) option;  (** spilled entry riding along *)
   mutable promo : (Addr.Vip.t * Addr.Pip.t) option;  (** promotion riding along *)

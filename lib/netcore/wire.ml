@@ -79,7 +79,7 @@ let encode (pkt : Packet.t) =
   (* Option block. *)
   let flags =
     (if pkt.Packet.resolved then flag_resolved else 0)
-    lor (match pkt.Packet.misdelivery with Some _ -> flag_misdelivery | None -> 0)
+    lor (if pkt.Packet.misdelivery >= 0 then flag_misdelivery else 0)
     lor (if pkt.Packet.gw_visited then flag_gw_visited else 0)
     lor (if pkt.Packet.retransmit then flag_retransmit else 0)
     lor if pkt.Packet.ecn then flag_ecn else 0
@@ -92,9 +92,8 @@ let encode (pkt : Packet.t) =
     put_u8 buf (4 * List.length payload_words);
     List.iter (put_u32 buf) payload_words
   in
-  (match pkt.Packet.misdelivery with
-  | Some stale -> tlv tlv_misdelivery [ Addr.Pip.to_int stale ]
-  | None -> ());
+  if pkt.Packet.misdelivery >= 0 then
+    tlv tlv_misdelivery [ pkt.Packet.misdelivery ];
   (match pkt.Packet.spill with
   | Some (v, p) -> tlv tlv_spill [ Addr.Vip.to_int v; Addr.Pip.to_int p ]
   | None -> ());
@@ -123,7 +122,7 @@ let decode b =
   let hit_switch_raw = get_u32 b (off + 2) in
   let off = off + 6 in
   (* TLVs until the 0 terminator. *)
-  let misdelivery = ref None and spill = ref None in
+  let misdelivery = ref (-1) and spill = ref None in
   let promo = ref None and mapping = ref None in
   let rec tlvs off =
     let ty = get_u8 b off in
@@ -134,7 +133,7 @@ let decode b =
       (match ty with
       | t when t = tlv_misdelivery ->
           if len <> 4 then invalid_arg "Wire.decode: bad misdelivery TLV";
-          misdelivery := Some (pip_unwire (word 0))
+          misdelivery := word 0
       | t when t = tlv_spill ->
           if len <> 8 then invalid_arg "Wire.decode: bad spill TLV";
           spill := Some (Addr.Vip.of_int (word 0), Addr.Pip.of_int (word 1))
@@ -177,7 +176,8 @@ let decode b =
   base.Packet.gw_visited <- flags land flag_gw_visited <> 0;
   base.Packet.retransmit <- flags land flag_retransmit <> 0;
   base.Packet.ecn <- flags land flag_ecn <> 0;
-  if flags land flag_misdelivery <> 0 then base.Packet.misdelivery <- !misdelivery;
+  if flags land flag_misdelivery <> 0 then
+    base.Packet.misdelivery <- !misdelivery;
   base.Packet.hit_switch <-
     (if hit_switch_raw = 0xffff_ffff then -1 else hit_switch_raw);
   base.Packet.spill <- !spill;

@@ -155,7 +155,7 @@ let delivered t (pkt : Packet.t) ~now ~first_of_flow =
     Stats.Summary.add t.stretch (float_of_int pkt.Packet.hops);
     Stats.Summary.add t.pkt_latency
       (Time_ns.to_sec (Time_ns.sub now pkt.Packet.sent_at));
-    if pkt.Packet.misdelivery <> None then
+    if pkt.Packet.misdelivery >= 0 then
       t.last_misdelivered_arrival <- Some now;
     let layer =
       if pkt.Packet.gw_visited then `Gateway

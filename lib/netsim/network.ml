@@ -6,6 +6,7 @@ module Flow = Netcore.Flow
 module Vip = Netcore.Addr.Vip
 module Pip = Netcore.Addr.Pip
 module Topology = Topo.Topology
+module Verdict = Switchv2p.Verdict
 
 type migration = { at : Time_ns.t; vip : Vip.t; to_host : int }
 
@@ -159,7 +160,7 @@ let pool_release t (pkt : Packet.t) =
   let slot = pkt.Packet.pool_slot in
   if slot >= 0 then begin
     (* Drop rider payloads now so a parked packet doesn't pin them. *)
-    pkt.Packet.misdelivery <- None;
+    pkt.Packet.misdelivery <- -1;
     pkt.Packet.spill <- None;
     pkt.Packet.promo <- None;
     pkt.Packet.mapping_payload <- None;
@@ -204,15 +205,17 @@ let rec arrive t ~node ~from (pkt : Packet.t) =
   | Topo.Node.Tor _ | Topo.Node.Spine _ | Topo.Node.Core _ -> (
       Metrics.switch_processed t.metrics ~switch:node pkt;
       pkt.Packet.hops <- pkt.Packet.hops + 1;
-      match t.scheme.Scheme.on_switch t.env ~switch:node ~from pkt with
-      | Scheme.Forward -> forward_from t ~node pkt
-      | Scheme.Consume -> pool_release t pkt
-      | Scheme.Delay d ->
-          Engine.schedule_event_after t.engine ~delay:d ~code:ev_forward
-            ~a:node ~b:pkt.Packet.pool_slot
-      | Scheme.Drop_pkt ->
-          Metrics.packet_dropped t.metrics ~site:Metrics.Failed_switch pkt;
-          pool_release t pkt)
+      let v = Pipeline.run t.scheme.Scheme.pipeline t.env ~switch:node ~from pkt in
+      let tag = Verdict.tag v in
+      if tag = Verdict.tag_forward then forward_from t ~node pkt
+      else if tag = Verdict.tag_consume then pool_release t pkt
+      else if tag = Verdict.tag_delay then
+        Engine.schedule_event_after t.engine ~delay:(Verdict.delay_ns v)
+          ~code:ev_forward ~a:node ~b:pkt.Packet.pool_slot
+      else begin
+        Metrics.packet_dropped t.metrics ~site:Metrics.Failed_switch pkt;
+        pool_release t pkt
+      end)
   | Topo.Node.Gateway _ ->
       Metrics.gateway_arrival t.metrics pkt;
       Engine.schedule_event_after t.engine ~delay:t.cfg.gw_proc_delay
@@ -259,7 +262,7 @@ and host_forward t ~node ~action (pkt : Packet.t) =
     pkt.Packet.dst_pip <-
       Topology.pip t.topo (gateway_for_flow t pkt.Packet.flow_id);
     if t.scheme.Scheme.host_tags_misdelivery then begin
-      pkt.Packet.misdelivery <- Some (Topology.pip t.topo node);
+      pkt.Packet.misdelivery <- Pip.to_int (Topology.pip t.topo node);
       pkt.Packet.hit_switch <- -1
     end;
     transmit t ~from:node ~next:(Topology.tor_of t.topo node) pkt
@@ -272,7 +275,7 @@ and host_forward t ~node ~action (pkt : Packet.t) =
     | pip ->
         pkt.Packet.dst_pip <- pip;
         pkt.Packet.resolved <- true;
-        pkt.Packet.misdelivery <- Some (Topology.pip t.topo node);
+        pkt.Packet.misdelivery <- Pip.to_int (Topology.pip t.topo node);
         transmit t ~from:node ~next:(Topology.tor_of t.topo node) pkt
 
 and deliver t (pkt : Packet.t) =
@@ -460,10 +463,11 @@ let create ?(config = default_config) topo ~scheme =
   in
   Engine.set_handler engine (fun ~code ~a ~b -> handle_event t ~code ~a ~b);
   t.transport <- Some (make_transport t);
-  (match scheme.Scheme.telemetry with
-  | Some hooks when Dessim.Telemetry.is_enabled config.telemetry ->
-      hooks.Scheme.attach config.telemetry
-  | Some _ | None -> ());
+  (* One-time pipeline setup: per-run scheme state (e.g. the memoized
+     dataplane env) is built here, never on the per-hop path. *)
+  Pipeline.prepare scheme.Scheme.pipeline env;
+  if Dessim.Telemetry.is_enabled config.telemetry then
+    Pipeline.attach scheme.Scheme.pipeline config.telemetry;
   t
 
 let metrics t = t.metrics
@@ -503,9 +507,7 @@ let run t flows ~migrations ~until =
        own once the engine reaches [until]. *)
     let probe now =
       let now_sec = Time_ns.to_sec now in
-      (match t.scheme.Scheme.telemetry with
-      | Some hooks -> hooks.Scheme.probe tel ~now_sec
-      | None -> ());
+      Pipeline.probe t.scheme.Scheme.pipeline tel ~now_sec;
       Dessim.Telemetry.sample tel "net/flows_completed" ~now_sec
         (float_of_int (Metrics.flows_completed t.metrics));
       Dessim.Telemetry.sample tel "net/packets_dropped" ~now_sec

@@ -1,4 +1,4 @@
-type env = {
+type env = Pipeline.env = {
   engine : Dessim.Engine.t;
   rng : Dessim.Rng.t;
   topo : Topo.Topology.t;
@@ -13,13 +13,7 @@ type host_resolution =
   | Send_via_gateway
   | Send_after of Dessim.Time_ns.t * Netcore.Addr.Pip.t
 
-type switch_verdict = Forward | Consume | Delay of Dessim.Time_ns.t | Drop_pkt
 type misdelivery_action = Reforward_to_gateway | Follow_me
-
-type telemetry_hooks = {
-  attach : Dessim.Telemetry.t -> unit;
-  probe : Dessim.Telemetry.t -> now_sec:float -> unit;
-}
 
 type t = {
   name : string;
@@ -29,8 +23,7 @@ type t = {
     flow_id:int ->
     dst_vip:Netcore.Addr.Vip.t ->
     host_resolution;
-  on_switch :
-    env -> switch:int -> from:int -> Netcore.Packet.t -> switch_verdict;
+  pipeline : Pipeline.t;
   on_misdelivery : env -> host:int -> Netcore.Packet.t -> misdelivery_action;
   on_mapping_update :
     env ->
@@ -40,7 +33,6 @@ type t = {
     unit;
   host_tags_misdelivery : bool;
   stats : unit -> (string * float) list;
-  telemetry : telemetry_hooks option;
 }
 
 let no_stats () = []

@@ -1,13 +1,14 @@
 (** Pluggable V2P translation schemes.
 
     The network engine is scheme-agnostic: every baseline from §5 of
-    the paper (and SwitchV2P itself) is a value of type {!t} — a
-    bundle of callbacks invoked at the three places where translation
-    logic lives: the sending host's hypervisor, every switch on the
-    path, and the receiving hypervisor on a misdelivery. *)
+    the paper (and SwitchV2P itself) is a value of type {!t} — host
+    hooks plus a staged per-switch {!Pipeline.t} run for every packet
+    a switch receives. *)
 
-(** Capabilities handed to scheme callbacks. *)
-type env = {
+(** Capabilities handed to scheme callbacks (an alias of
+    {!Pipeline.env}: host hooks and pipeline stages see the same
+    record, built once per {!Network.create}). *)
+type env = Pipeline.env = {
   engine : Dessim.Engine.t;
   rng : Dessim.Rng.t;
   topo : Topo.Topology.t;
@@ -27,15 +28,6 @@ type host_resolution =
       (** resolve after a fixed penalty (OnDemand's miss cost), then
           send directly *)
 
-(** What a switch tells the engine to do with a processed packet. *)
-type switch_verdict =
-  | Forward  (** continue ECMP routing toward (possibly new) [dst_pip] *)
-  | Consume  (** packet terminated here (control packets) *)
-  | Delay of Dessim.Time_ns.t
-      (** forward after an extra processing delay (Bluebird's
-          data-to-control-plane detour) *)
-  | Drop_pkt  (** drop (e.g. control-plane queue overflow) *)
-
 (** Hypervisor reaction to receiving a packet for a VM it no longer
     hosts. *)
 type misdelivery_action =
@@ -45,15 +37,6 @@ type misdelivery_action =
   | Follow_me
       (** forward straight to the VM's new location using the
           follow-me rule installed before migration (Andromeda) *)
-
-(** Optional telemetry integration for schemes with internal state
-    worth sampling. [attach] hands the scheme the run's collector (for
-    flight-recorder events); [probe] asks it to sample its internal
-    counters into the collector's time series. *)
-type telemetry_hooks = {
-  attach : Dessim.Telemetry.t -> unit;
-  probe : Dessim.Telemetry.t -> now_sec:float -> unit;
-}
 
 type t = {
   name : string;
@@ -66,10 +49,10 @@ type t = {
       (** called once per packet send at the source hypervisor (data
           and ACK directions alike; [flow_id] keeps the gateway choice
           stable per flow) *)
-  on_switch :
-    env -> switch:int -> from:int -> Netcore.Packet.t -> switch_verdict;
-      (** called for every packet arriving at a switch; may mutate the
-          packet (resolution, tags, riders) *)
+  pipeline : Pipeline.t;
+      (** the per-switch program, run for every packet arriving at a
+          switch; stages may mutate the packet (resolution, tags,
+          riders) and return int-coded {!Switchv2p.Verdict}s *)
   on_misdelivery : env -> host:int -> Netcore.Packet.t -> misdelivery_action;
   on_mapping_update :
     env ->
@@ -86,8 +69,6 @@ type t = {
           leaves this to its ToRs *)
   stats : unit -> (string * float) list;
       (** scheme-specific counters for reports *)
-  telemetry : telemetry_hooks option;
-      (** [None] for schemes with nothing to sample *)
 }
 
 (** [no_stats] is an empty stats thunk for simple schemes. *)

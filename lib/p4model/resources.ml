@@ -68,6 +68,76 @@ let estimate ~entries_per_switch =
     hash_bits;
   }
 
+type stage_kind = Classify | Lookup | Learn | Emit
+
+(* Per-stage split of the size-independent constants, following the
+   program structure: option-header parsing, role gates and the
+   misdelivery compare live in classify; the register-array reads in
+   lookup; admission logic and register writes in learn; the
+   clone/mirror path and outgoing header rewrites in emit. Fractions
+   are dyadic so the four shares of each resource re-sum to the
+   whole-switch figure without drift. *)
+let frac kind =
+  (* (crossbar, meter_alu, gateway, tcam, vliw) *)
+  match kind with
+  | Classify -> (0.25, 0.125, 0.375, 1.0, 0.25)
+  | Lookup -> (0.375, 0.375, 0.25, 0.0, 0.25)
+  | Learn -> (0.25, 0.375, 0.25, 0.0, 0.25)
+  | Emit -> (0.125, 0.125, 0.125, 0.0, 0.25)
+
+let stage_estimate ~entries_per_switch kind =
+  let whole = estimate ~entries_per_switch in
+  let fx, fa, fg, ft, fv = frac kind in
+  let total_sram = float_of_int (stages * sram_bytes_per_stage) in
+  (* SRAM: the register arrays (entry-scaled) are charged to lookup;
+     the constant floor (role config, port map, ECMP groups) to
+     classify. *)
+  let sram =
+    match kind with
+    | Lookup ->
+        100.0
+        *. (float_of_int entries_per_switch *. bytes_per_entry)
+        /. total_sram
+    | Classify -> 100.0 *. float_of_int const_sram_bytes /. total_sram
+    | Learn | Emit -> 0.0
+  in
+  (* Hash bits: two register-index hashes are consumed reading (keys,
+     values) at lookup, one writing the access-bit array at learn, and
+     the fixed ECMP/selector hash at classify. *)
+  let index_bits =
+    if entries_per_switch <= 1 then 1
+    else
+      int_of_float
+        (Float.ceil
+           (Float.log (float_of_int entries_per_switch) /. Float.log 2.0))
+  in
+  let used_hash =
+    match kind with
+    | Classify -> 14
+    | Lookup -> 2 * index_bits
+    | Learn -> index_bits
+    | Emit -> 0
+  in
+  let hash_bits =
+    100.0 *. float_of_int used_hash
+    /. float_of_int (stages * hash_bits_per_stage)
+  in
+  {
+    match_crossbar = fx *. whole.match_crossbar;
+    meter_alu = fa *. whole.meter_alu;
+    gateway = fg *. whole.gateway;
+    sram;
+    tcam = ft *. whole.tcam;
+    vliw = fv *. whole.vliw;
+    hash_bits;
+  }
+
+let stage_kind_name = function
+  | Classify -> "classify"
+  | Lookup -> "lookup"
+  | Learn -> "learn"
+  | Emit -> "emit"
+
 let rows u =
   [
     ("Match Crossbar", u.match_crossbar);

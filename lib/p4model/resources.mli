@@ -39,6 +39,22 @@ val paper_config_entries : int
 (** [max_entries] is the 192K per-switch capacity from Bluebird. *)
 val max_entries : int
 
+(** The four stages of the dataplane pipeline, mirroring
+    [Netsim.Pipeline.kind]; used to decompose the whole-switch
+    estimate along the stage boundary. *)
+type stage_kind = Classify | Lookup | Learn | Emit
+
+(** [stage_estimate ~entries_per_switch kind] is [kind]'s share of
+    {!estimate}: entry-scaled SRAM and the two register-read index
+    hashes are charged to [Lookup], the register-write hash to
+    [Learn], the constant SRAM floor and the fixed ECMP hash to
+    [Classify], and the size-independent logic resources are split by
+    fixed program-structure fractions. Summed over the four kinds the
+    shares reproduce the whole-switch estimate. *)
+val stage_estimate : entries_per_switch:int -> stage_kind -> usage
+
+val stage_kind_name : stage_kind -> string
+
 val pp : Format.formatter -> usage -> unit
 
 (** [rows u] renders the Table 6 layout as (resource, percent) rows. *)

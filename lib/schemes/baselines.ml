@@ -2,20 +2,19 @@ module Time_ns = Dessim.Time_ns
 module Packet = Netcore.Packet
 module Vip = Netcore.Addr.Vip
 module Scheme = Netsim.Scheme
+module Pipeline = Netsim.Pipeline
+module Verdict = Switchv2p.Verdict
 module Cache = Switchv2p.Cache
-
-let forward_only _env ~switch:_ ~from:_ _pkt = Scheme.Forward
 
 let nocache () =
   {
     Scheme.name = "NoCache";
     resolve_at_host = (fun _env ~host:_ ~flow_id:_ ~dst_vip:_ -> Scheme.Send_via_gateway);
-    on_switch = forward_only;
+    pipeline = Pipeline.passthrough;
     on_misdelivery = (fun _env ~host:_ _pkt -> Scheme.Follow_me);
     on_mapping_update = (fun _env _vip ~old_pip:_ ~new_pip:_ -> ());
     host_tags_misdelivery = false;
     stats = Scheme.no_stats;
-    telemetry = None;
   }
 
 let direct () =
@@ -27,12 +26,11 @@ let direct () =
            the ground truth models that (update costs are out of scope,
            as in the paper). *)
         Scheme.Send_resolved (Netcore.Mapping.lookup env.Scheme.mapping dst_vip));
-    on_switch = forward_only;
+    pipeline = Pipeline.passthrough;
     on_misdelivery = (fun _env ~host:_ _pkt -> Scheme.Follow_me);
     on_mapping_update = (fun _env _vip ~old_pip:_ ~new_pip:_ -> ());
     host_tags_misdelivery = false;
     stats = Scheme.no_stats;
-    telemetry = None;
   }
 
 let ondemand ?(miss_penalty = Time_ns.of_us 40) () =
@@ -55,7 +53,7 @@ let ondemand ?(miss_penalty = Time_ns.of_us 40) () =
             let pip = Netcore.Mapping.lookup env.Scheme.mapping dst_vip in
             Hashtbl.replace host_caches key pip;
             Scheme.Send_after (miss_penalty, pip));
-    on_switch = forward_only;
+    pipeline = Pipeline.passthrough;
     on_misdelivery = (fun _env ~host:_ _pkt -> Scheme.Follow_me);
     on_mapping_update =
       (fun _env _vip ~old_pip:_ ~new_pip:_ ->
@@ -69,7 +67,6 @@ let ondemand ?(miss_penalty = Time_ns.of_us 40) () =
           ("host_cache_misses", float_of_int !misses);
           ("host_lookups", float_of_int !lookups);
         ]);
-    telemetry = None;
   }
 
 let hoverboard ?(offload_threshold = 20) () =
@@ -106,7 +103,7 @@ let hoverboard ?(offload_threshold = 20) () =
                 (Netcore.Mapping.lookup env.Scheme.mapping dst_vip)
             end;
             Scheme.Send_via_gateway);
-    on_switch = forward_only;
+    pipeline = Pipeline.passthrough;
     on_misdelivery = (fun _env ~host:_ _pkt -> Scheme.Follow_me);
     on_mapping_update =
       (fun _env _vip ~old_pip:_ ~new_pip:_ ->
@@ -116,7 +113,6 @@ let hoverboard ?(offload_threshold = 20) () =
         ());
     host_tags_misdelivery = false;
     stats = (fun () -> [ ("rule_offloads", float_of_int !offloads) ]);
-    telemetry = None;
   }
 
 let flat_cache_scheme ~name ~switches ~total_slots ~topo =
@@ -127,10 +123,18 @@ let flat_cache_scheme ~name ~switches ~total_slots ~topo =
   {
     Scheme.name;
     resolve_at_host = (fun _env ~host:_ ~flow_id:_ ~dst_vip:_ -> Scheme.Send_via_gateway);
-    on_switch =
-      (fun _env ~switch ~from:_ pkt ->
-        Learning_cache.on_switch lc ~switch pkt;
-        Scheme.Forward);
+    pipeline =
+      Pipeline.make
+        [
+          Pipeline.stage ~kind:Pipeline.Lookup "lookup"
+            (fun _env ~switch ~from:_ pkt ->
+              Learning_cache.lookup lc ~switch pkt;
+              Verdict.next);
+          Pipeline.stage ~kind:Pipeline.Learn "learn"
+            (fun _env ~switch ~from:_ pkt ->
+              Learning_cache.learn lc ~switch pkt;
+              Verdict.next);
+        ];
     on_misdelivery = (fun _env ~host:_ _pkt -> Scheme.Reforward_to_gateway);
     on_mapping_update = (fun _env _vip ~old_pip:_ ~new_pip:_ -> ());
     host_tags_misdelivery = true;
@@ -140,7 +144,6 @@ let flat_cache_scheme ~name ~switches ~total_slots ~topo =
           ("cache_hits", float_of_int (Learning_cache.total_hits lc));
           ("cache_misses", float_of_int (Learning_cache.total_misses lc));
         ]);
-    telemetry = None;
   }
 
 let locallearning ~topo ~total_slots =
@@ -187,63 +190,70 @@ let bluebird ?(cp_rate_bps = 20e9) ?(cp_fwd_delay = Time_ns.of_ns 8_500)
     (* No gateways in Bluebird: the ToR always resolves. The initial
        outer destination is never reached. *)
     resolve_at_host = (fun _env ~host:_ ~flow_id:_ ~dst_vip:_ -> Scheme.Send_via_gateway);
-    on_switch =
-      (fun env ~switch ~from:_ pkt ->
-        match states.(switch) with
-        | None -> Scheme.Forward
-        | Some st -> (
-            match pkt.Packet.kind with
-            | Packet.Learning | Packet.Invalidation -> Scheme.Forward
-            | Packet.Data | Packet.Ack ->
-                if pkt.Packet.resolved then Scheme.Forward
-                else begin
-                  match Cache.lookup st.cache pkt.Packet.dst_vip with
-                  | Some (pip, _) ->
-                      pkt.Packet.dst_pip <- pip;
-                      pkt.Packet.resolved <- true;
-                      pkt.Packet.hit_switch <- switch;
-                      Scheme.Forward
-                  | None ->
-                      (* Route-cache miss: detour via the SFE over the
-                         bandwidth-limited data-to-CP channel. *)
-                      if st.cp_queued_bytes + pkt.Packet.size > cp_queue_bytes
-                      then begin
-                        incr cp_drops;
-                        Scheme.Drop_pkt
-                      end
+    pipeline =
+      Pipeline.make
+        [
+          Pipeline.stage ~kind:Pipeline.Lookup "tor-route-cache"
+            (fun env ~switch ~from:_ pkt ->
+              match states.(switch) with
+              | None -> Verdict.forward
+              | Some st -> (
+                  match pkt.Packet.kind with
+                  | Packet.Learning | Packet.Invalidation -> Verdict.forward
+                  | Packet.Data | Packet.Ack ->
+                      if pkt.Packet.resolved then Verdict.forward
                       else begin
-                        incr cp_detours;
-                        let now = Dessim.Engine.now env.Scheme.engine in
-                        let start = Time_ns.max now st.cp_busy_until in
-                        let ser =
-                          Time_ns.of_rate_bytes ~bits_per_sec:cp_rate_bps
-                            pkt.Packet.size
-                        in
-                        st.cp_busy_until <- Time_ns.add start ser;
-                        st.cp_queued_bytes <- st.cp_queued_bytes + pkt.Packet.size;
-                        let ready =
-                          Time_ns.add (Time_ns.sub st.cp_busy_until now)
-                            cp_fwd_delay
-                        in
-                        let bytes = pkt.Packet.size in
-                        Dessim.Engine.schedule_after env.Scheme.engine
-                          ~delay:ready (fun () ->
-                            st.cp_queued_bytes <- st.cp_queued_bytes - bytes);
-                        (* The SFE knows every mapping. *)
-                        let pip =
-                          Netcore.Mapping.lookup env.Scheme.mapping
-                            pkt.Packet.dst_vip
-                        in
-                        pkt.Packet.dst_pip <- pip;
-                        pkt.Packet.resolved <- true;
-                        let vip = pkt.Packet.dst_vip in
-                        Dessim.Engine.schedule_after env.Scheme.engine
-                          ~delay:cp_insert_delay (fun () ->
-                            ignore (Cache.insert st.cache ~admission:`All vip pip));
-                        Scheme.Delay ready
-                      end
-                end))
-    ;
+                        let r = Cache.lookup st.cache pkt.Packet.dst_vip in
+                        if r >= 0 then begin
+                          pkt.Packet.dst_pip <- Cache.hit_pip r;
+                          pkt.Packet.resolved <- true;
+                          pkt.Packet.hit_switch <- switch;
+                          Verdict.forward
+                        end
+                        else if
+                          (* Route-cache miss: detour via the SFE over
+                             the bandwidth-limited data-to-CP channel. *)
+                          st.cp_queued_bytes + pkt.Packet.size
+                          > cp_queue_bytes
+                        then begin
+                          incr cp_drops;
+                          Verdict.drop
+                        end
+                        else begin
+                          incr cp_detours;
+                          let now = Dessim.Engine.now env.Scheme.engine in
+                          let start = Time_ns.max now st.cp_busy_until in
+                          let ser =
+                            Time_ns.of_rate_bytes ~bits_per_sec:cp_rate_bps
+                              pkt.Packet.size
+                          in
+                          st.cp_busy_until <- Time_ns.add start ser;
+                          st.cp_queued_bytes <-
+                            st.cp_queued_bytes + pkt.Packet.size;
+                          let ready =
+                            Time_ns.add (Time_ns.sub st.cp_busy_until now)
+                              cp_fwd_delay
+                          in
+                          let bytes = pkt.Packet.size in
+                          Dessim.Engine.schedule_after env.Scheme.engine
+                            ~delay:ready (fun () ->
+                              st.cp_queued_bytes <- st.cp_queued_bytes - bytes);
+                          (* The SFE knows every mapping. *)
+                          let pip =
+                            Netcore.Mapping.lookup env.Scheme.mapping
+                              pkt.Packet.dst_vip
+                          in
+                          pkt.Packet.dst_pip <- pip;
+                          pkt.Packet.resolved <- true;
+                          let vip = pkt.Packet.dst_vip in
+                          Dessim.Engine.schedule_after env.Scheme.engine
+                            ~delay:cp_insert_delay (fun () ->
+                              ignore
+                                (Cache.insert st.cache ~admission:`All vip pip));
+                          Verdict.delay ready
+                        end
+                      end));
+        ];
     on_misdelivery = (fun _env ~host:_ _pkt -> Scheme.Follow_me);
     on_mapping_update = (fun _env _vip ~old_pip:_ ~new_pip:_ -> ());
     host_tags_misdelivery = false;
@@ -253,5 +263,4 @@ let bluebird ?(cp_rate_bps = 20e9) ?(cp_fwd_delay = Time_ns.of_ns 8_500)
           ("cp_detours", float_of_int !cp_detours);
           ("cp_drops", float_of_int !cp_drops);
         ]);
-    telemetry = None;
   }

@@ -2,6 +2,8 @@ module Time_ns = Dessim.Time_ns
 module Packet = Netcore.Packet
 module Vip = Netcore.Addr.Vip
 module Scheme = Netsim.Scheme
+module Pipeline = Netsim.Pipeline
+module Verdict = Switchv2p.Verdict
 module Topology = Topo.Topology
 module Routing = Topo.Routing
 
@@ -170,27 +172,33 @@ let make ?(gw_cost_hops = 40.0) ~topo ~total_slots ~interval () =
         end;
         record_demand st ~host ~vip:dst_vip;
         Scheme.Send_via_gateway);
-    on_switch =
-      (fun _env ~switch ~from:_ pkt ->
-        let pos = st.switch_pos.(switch) in
-        if pos >= 0 then begin
-          match pkt.Packet.kind with
-          | Packet.Data | Packet.Ack ->
-              if (not pkt.Packet.resolved) && pkt.Packet.misdelivery = None
-              then begin
-                match
-                  Hashtbl.find_opt st.installed.(pos)
-                    (Vip.to_int pkt.Packet.dst_vip)
-                with
-                | Some pip ->
-                    pkt.Packet.dst_pip <- pip;
-                    pkt.Packet.resolved <- true;
-                    pkt.Packet.hit_switch <- switch
-                | None -> ()
-              end
-          | Packet.Learning | Packet.Invalidation -> ()
-        end;
-        Scheme.Forward);
+    pipeline =
+      Pipeline.make
+        [
+          Pipeline.stage ~kind:Pipeline.Lookup "installed-table"
+            (fun _env ~switch ~from:_ pkt ->
+              let pos = st.switch_pos.(switch) in
+              if pos >= 0 then begin
+                match pkt.Packet.kind with
+                | Packet.Data | Packet.Ack ->
+                    if
+                      (not pkt.Packet.resolved)
+                      && pkt.Packet.misdelivery < 0
+                    then begin
+                      match
+                        Hashtbl.find_opt st.installed.(pos)
+                          (Vip.to_int pkt.Packet.dst_vip)
+                      with
+                      | Some pip ->
+                          pkt.Packet.dst_pip <- pip;
+                          pkt.Packet.resolved <- true;
+                          pkt.Packet.hit_switch <- switch
+                      | None -> ()
+                    end
+                | Packet.Learning | Packet.Invalidation -> ()
+              end;
+              Verdict.forward);
+        ];
     on_misdelivery = (fun _env ~host:_ _pkt -> Scheme.Reforward_to_gateway);
     on_mapping_update =
       (fun _env vip ~old_pip ~new_pip:_ ->
@@ -210,5 +218,4 @@ let make ?(gw_cost_hops = 40.0) ~topo ~total_slots ~interval () =
           ("controller_solves", float_of_int st.solves);
           ("entries_installed", float_of_int st.installed_total);
         ]);
-    telemetry = None;
   }

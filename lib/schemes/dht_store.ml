@@ -2,6 +2,8 @@ module Packet = Netcore.Packet
 module Vip = Netcore.Addr.Vip
 module Pip = Netcore.Addr.Pip
 module Scheme = Netsim.Scheme
+module Pipeline = Netsim.Pipeline
+module Verdict = Switchv2p.Verdict
 module Topology = Topo.Topology
 
 type control = {
@@ -58,55 +60,59 @@ let make_with_control topo =
          gateway is only reached on partition failure. *)
       resolve_at_host =
         (fun _env ~host:_ ~flow_id:_ ~dst_vip:_ -> Scheme.Send_via_gateway);
-      on_switch =
-        (fun env ~switch ~from pkt ->
-          match pkt.Packet.kind with
-          | Packet.Learning | Packet.Invalidation -> Scheme.Forward
-          | Packet.Data | Packet.Ack ->
-              if pkt.Packet.resolved then Scheme.Forward
-              else begin
-                let pos = home_pos c pkt.Packet.dst_vip in
-                let home = c.switches.(pos) in
-                let is_ingress =
-                  from < Topology.num_nodes c.topo
-                  && Topo.Node.is_endpoint (Topology.kind c.topo from)
-                in
-                if home = switch then begin
-                  (* At the home switch: authoritative resolution. *)
-                  if c.alive.(pos) then begin
-                    match
-                      Netcore.Mapping.lookup_opt env.Scheme.mapping
-                        pkt.Packet.dst_vip
-                    with
-                    | Some pip ->
-                        c.home_hits <- c.home_hits + 1;
-                        pkt.Packet.dst_pip <- pip;
-                        pkt.Packet.resolved <- true;
-                        pkt.Packet.hit_switch <- switch;
-                        Scheme.Forward
-                    | None -> Scheme.Drop_pkt
-                  end
-                  else begin
-                    (* Partition lost: fall back to a gateway. *)
-                    c.fallbacks <- c.fallbacks + 1;
-                    pkt.Packet.dst_pip <-
-                      Topology.pip c.topo (Topology.gateways c.topo).(0);
-                    Scheme.Forward
-                  end
-                end
-                else if is_ingress then begin
-                  (* Ingress ToR: steer toward the home switch (unless
-                     its partition is known-dead, in which case let
-                     the gateway path stand). *)
-                  if c.alive.(pos) then begin
-                    c.redirects <- c.redirects + 1;
-                    pkt.Packet.dst_pip <- Topology.pip c.topo home
-                  end
-                  else c.fallbacks <- c.fallbacks + 1;
-                  Scheme.Forward
-                end
-                else Scheme.Forward
-              end);
+      pipeline =
+        Pipeline.make
+          [
+            Pipeline.stage ~kind:Pipeline.Lookup "dht-partition"
+              (fun env ~switch ~from pkt ->
+                match pkt.Packet.kind with
+                | Packet.Learning | Packet.Invalidation -> Verdict.forward
+                | Packet.Data | Packet.Ack ->
+                    if pkt.Packet.resolved then Verdict.forward
+                    else begin
+                      let pos = home_pos c pkt.Packet.dst_vip in
+                      let home = c.switches.(pos) in
+                      let is_ingress =
+                        from < Topology.num_nodes c.topo
+                        && Topo.Node.is_endpoint (Topology.kind c.topo from)
+                      in
+                      if home = switch then begin
+                        (* At the home switch: authoritative resolution. *)
+                        if c.alive.(pos) then begin
+                          match
+                            Netcore.Mapping.lookup_opt env.Scheme.mapping
+                              pkt.Packet.dst_vip
+                          with
+                          | Some pip ->
+                              c.home_hits <- c.home_hits + 1;
+                              pkt.Packet.dst_pip <- pip;
+                              pkt.Packet.resolved <- true;
+                              pkt.Packet.hit_switch <- switch;
+                              Verdict.forward
+                          | None -> Verdict.drop
+                        end
+                        else begin
+                          (* Partition lost: fall back to a gateway. *)
+                          c.fallbacks <- c.fallbacks + 1;
+                          pkt.Packet.dst_pip <-
+                            Topology.pip c.topo (Topology.gateways c.topo).(0);
+                          Verdict.forward
+                        end
+                      end
+                      else if is_ingress then begin
+                        (* Ingress ToR: steer toward the home switch (unless
+                           its partition is known-dead, in which case let
+                           the gateway path stand). *)
+                        if c.alive.(pos) then begin
+                          c.redirects <- c.redirects + 1;
+                          pkt.Packet.dst_pip <- Topology.pip c.topo home
+                        end
+                        else c.fallbacks <- c.fallbacks + 1;
+                        Verdict.forward
+                      end
+                      else Verdict.forward
+                    end);
+          ];
       on_misdelivery = (fun _env ~host:_ _pkt -> Scheme.Follow_me);
       on_mapping_update = (fun _env _vip ~old_pip:_ ~new_pip:_ -> ());
       host_tags_misdelivery = false;
@@ -117,7 +123,6 @@ let make_with_control topo =
             ("dht_home_hits", float_of_int c.home_hits);
             ("dht_fallbacks", float_of_int c.fallbacks);
           ]);
-      telemetry = None;
     }
   in
   (scheme, c)

@@ -1,10 +1,19 @@
 module Packet = Netcore.Packet
+module Pip = Netcore.Addr.Pip
 module Cache = Switchv2p.Cache
 
 type t = { caches : Cache.t option array }
 
 let create ~switches ~total_slots ~num_nodes =
   if total_slots < 0 then invalid_arg "Learning_cache.create: negative slots";
+  Array.iter
+    (fun sw ->
+      if sw < 0 || sw >= num_nodes then
+        invalid_arg
+          (Printf.sprintf
+             "Learning_cache.create: switch id %d out of range for %d nodes"
+             sw num_nodes))
+    switches;
   let caches = Array.make num_nodes None in
   let n = Array.length switches in
   if n > 0 then begin
@@ -19,29 +28,34 @@ let create ~switches ~total_slots ~num_nodes =
 
 let cache t ~switch = t.caches.(switch)
 
-let on_switch t ~switch (pkt : Packet.t) =
+(* Lookup stage: tagged packets only clean up (they are resolved by
+   the gateway); unresolved packets consult the cache. *)
+let lookup t ~switch (pkt : Packet.t) =
   match t.caches.(switch) with
   | None -> ()
   | Some cache -> (
-      (match pkt.Packet.kind with
-      | Packet.Data | Packet.Ack -> (
-          match pkt.Packet.misdelivery with
-          | Some stale ->
-              (* Tagged packets only clean up; they are resolved by the
-                 gateway. *)
-              ignore (Cache.invalidate cache pkt.Packet.dst_vip ~stale)
-          | None ->
-              if not pkt.Packet.resolved then begin
-                match Cache.lookup cache pkt.Packet.dst_vip with
-                | Some (pip, _) ->
-                    pkt.Packet.dst_pip <- pip;
-                    pkt.Packet.resolved <- true;
-                    pkt.Packet.hit_switch <- switch
-                | None -> ()
-              end)
-      | Packet.Learning | Packet.Invalidation -> ());
-      (* Destination learning, admit-all (ACKs are tunneled tenant
-         packets and teach reverse-direction mappings too). *)
+      match pkt.Packet.kind with
+      | Packet.Data | Packet.Ack ->
+          if pkt.Packet.misdelivery >= 0 then
+            ignore
+              (Cache.invalidate cache pkt.Packet.dst_vip
+                 ~stale:(Pip.of_int pkt.Packet.misdelivery))
+          else if not pkt.Packet.resolved then begin
+            let r = Cache.lookup cache pkt.Packet.dst_vip in
+            if r >= 0 then begin
+              pkt.Packet.dst_pip <- Cache.hit_pip r;
+              pkt.Packet.resolved <- true;
+              pkt.Packet.hit_switch <- switch
+            end
+          end
+      | Packet.Learning | Packet.Invalidation -> ())
+
+(* Learn stage: destination learning, admit-all (ACKs are tunneled
+   tenant packets and teach reverse-direction mappings too). *)
+let learn t ~switch (pkt : Packet.t) =
+  match t.caches.(switch) with
+  | None -> ()
+  | Some cache ->
       let tenant =
         match pkt.Packet.kind with
         | Packet.Data | Packet.Ack -> true
@@ -50,7 +64,11 @@ let on_switch t ~switch (pkt : Packet.t) =
       if pkt.Packet.resolved && tenant then
         ignore
           (Cache.insert cache ~admission:`All pkt.Packet.dst_vip
-             pkt.Packet.dst_pip))
+             pkt.Packet.dst_pip)
+
+let on_switch t ~switch (pkt : Packet.t) =
+  lookup t ~switch pkt;
+  learn t ~switch pkt
 
 let fold_caches t f init =
   Array.fold_left

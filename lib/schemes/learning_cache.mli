@@ -7,12 +7,22 @@
 type t
 
 (** [create ~switches ~total_slots ~num_nodes] splits [total_slots]
-    equally (remainder round-robin) across [switches]. *)
+    equally (remainder round-robin) across [switches]. Raises
+    [Invalid_argument] if any switch id is outside [0 .. num_nodes-1]
+    (previously an out-of-range id surfaced later as a bare
+    out-of-bounds array access). *)
 val create : switches:int array -> total_slots:int -> num_nodes:int -> t
 
-(** [on_switch t ~switch pkt] runs lookup + destination learning if
-    [switch] is one of the caching switches; otherwise does nothing.
-    Always forwards. *)
+(** The two pipeline stages. [lookup] invalidates stale entries for
+    tagged packets and serves unresolved ones from cache; [learn]
+    installs the destination mapping of resolved tenant packets.
+    Both do nothing at non-caching switches. *)
+
+val lookup : t -> switch:int -> Netcore.Packet.t -> unit
+val learn : t -> switch:int -> Netcore.Packet.t -> unit
+
+(** [on_switch t ~switch pkt] is [lookup] then [learn] — the whole
+    per-switch program in one call (unit tests). Always forwards. *)
 val on_switch : t -> switch:int -> Netcore.Packet.t -> unit
 
 (** [cache t ~switch] — the switch's cache, or [None] for non-caching

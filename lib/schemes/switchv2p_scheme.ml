@@ -1,28 +1,59 @@
 module Scheme = Netsim.Scheme
+module Pipeline = Netsim.Pipeline
 module Dataplane = Switchv2p.Dataplane
 
 let make_with_dataplane ?(config = Switchv2p.Config.default) ?partition topo
     ~total_cache_slots =
   let dp = Dataplane.create ?partition config topo ~total_cache_slots in
-  let dp_env_of (env : Scheme.env) =
-    {
-      Dataplane.now = (fun () -> Dessim.Engine.now env.Scheme.engine);
-      emit =
-        (fun ~src_switch pkt -> env.Scheme.emit_at_switch ~src_switch pkt);
-      fresh_packet_id = env.Scheme.fresh_packet_id;
-      rng = env.Scheme.rng;
-    }
+  (* The [Dataplane.env] record is built once per network
+     ([Pipeline.prepare]) and memoized on the scheme env's identity —
+     the old adapter rebuilt it (four closures) on every switch visit.
+     The physical-equality fallback keeps harnesses that drive the
+     pipeline without a [Network.create] (unit tests) working, and
+     rebuilds correctly when one scheme value is reused across
+     networks. *)
+  let memo : (Scheme.env * Dataplane.env) option ref = ref None in
+  let dp_env (env : Scheme.env) =
+    match !memo with
+    | Some (e, de) when e == env -> de
+    | Some _ | None ->
+        let de =
+          {
+            Dataplane.now = (fun () -> Dessim.Engine.now env.Scheme.engine);
+            emit = env.Scheme.emit_at_switch;
+            fresh_packet_id = env.Scheme.fresh_packet_id;
+            rng = env.Scheme.rng;
+          }
+        in
+        memo := Some (env, de);
+        de
+  in
+  let pipeline =
+    Pipeline.make
+      ~attach:(fun tel -> Dataplane.set_telemetry dp tel)
+      ~prepare:(fun env -> ignore (dp_env env : Dataplane.env))
+      [
+        Pipeline.stage ~kind:Pipeline.Classify "classify"
+          (fun env ~switch ~from pkt ->
+            Dataplane.classify dp (dp_env env) ~switch ~from pkt);
+        Pipeline.stage ~kind:Pipeline.Lookup "lookup"
+          ~probe:(fun tel ~now_sec -> Dataplane.probe_telemetry dp tel ~now_sec)
+          (fun env ~switch ~from pkt ->
+            Dataplane.lookup dp (dp_env env) ~switch ~from pkt);
+        Pipeline.stage ~kind:Pipeline.Learn "learn"
+          (fun env ~switch ~from pkt ->
+            Dataplane.admit dp (dp_env env) ~switch ~from pkt);
+        Pipeline.stage ~kind:Pipeline.Emit "emit"
+          (fun env ~switch ~from pkt ->
+            Dataplane.emit dp (dp_env env) ~switch ~from pkt);
+      ]
   in
   let scheme =
     {
       Scheme.name = "SwitchV2P";
       resolve_at_host =
         (fun _env ~host:_ ~flow_id:_ ~dst_vip:_ -> Scheme.Send_via_gateway);
-      on_switch =
-        (fun env ~switch ~from pkt ->
-          match Dataplane.process dp (dp_env_of env) ~switch ~from pkt with
-          | Dataplane.Forward -> Scheme.Forward
-          | Dataplane.Consume -> Scheme.Consume);
+      pipeline;
       on_misdelivery = (fun _env ~host:_ _pkt -> Scheme.Reforward_to_gateway);
       on_mapping_update = (fun _env _vip ~old_pip:_ ~new_pip:_ -> ());
       host_tags_misdelivery = false;
@@ -42,12 +73,6 @@ let make_with_dataplane ?(config = Switchv2p.Config.default) ?partition topo
               float_of_int (Dataplane.entries_invalidated dp) );
             ("misdelivery_tags", float_of_int (Dataplane.misdelivery_tags dp));
           ]);
-      telemetry =
-        Some
-          {
-            Scheme.attach = (fun tel -> Dataplane.set_telemetry dp tel);
-            probe = (fun tel ~now_sec -> Dataplane.probe_telemetry dp tel ~now_sec);
-          };
     }
   in
   (scheme, dp)

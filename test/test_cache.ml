@@ -40,11 +40,10 @@ let test_lookup_after_insert () =
   (match Cache.insert c ~admission:`All (vip 1) (pip 10) with
   | Cache.Inserted None -> ()
   | _ -> Alcotest.fail "expected clean insert");
-  match Cache.lookup c (vip 1) with
-  | Some (p, was_set) ->
-      checki "value" 10 (Pip.to_int p);
-      checkb "fresh entry bit clear" false was_set
-  | None -> Alcotest.fail "expected hit"
+  let r = Cache.lookup c (vip 1) in
+  checkb "hit" true (r <> Cache.miss);
+  checki "value" 10 (Pip.to_int (Cache.hit_pip r));
+  checkb "fresh entry bit clear" false (Cache.hit_bit r)
 
 let test_access_bit_set_on_hit () =
   let c = Cache.create ~slots:64 in
@@ -52,9 +51,9 @@ let test_access_bit_set_on_hit () =
   checkb "bit starts clear" false (Option.get (Cache.access_bit c (vip 1)));
   ignore (Cache.lookup c (vip 1));
   checkb "bit set after hit" true (Option.get (Cache.access_bit c (vip 1)));
-  match Cache.lookup c (vip 1) with
-  | Some (_, was_set) -> checkb "second hit sees bit" true was_set
-  | None -> Alcotest.fail "expected hit"
+  let r = Cache.lookup c (vip 1) in
+  checkb "hit" true (r <> Cache.miss);
+  checkb "second hit sees bit" true (Cache.hit_bit r)
 
 let test_conflict_miss_clears_bit () =
   let c = Cache.create ~slots:8 in
@@ -63,7 +62,7 @@ let test_conflict_miss_clears_bit () =
   ignore (Cache.lookup c (vip 0));
   checkb "bit set" true (Option.get (Cache.access_bit c (vip 0)));
   (* A conflicting lookup misses and clears the occupant's bit. *)
-  checkb "conflict misses" true (Cache.lookup c (vip v2) = None);
+  checkb "conflict misses" true (Cache.lookup c (vip v2) = Cache.miss);
   checkb "occupant bit cleared" false (Option.get (Cache.access_bit c (vip 0)))
 
 let test_admission_all_evicts () =
@@ -116,7 +115,7 @@ let test_invalidate_matching_only () =
 
 let test_zero_slot_cache () =
   let c = Cache.create ~slots:0 in
-  checkb "lookup misses" true (Cache.lookup c (vip 1) = None);
+  checkb "lookup misses" true (Cache.lookup c (vip 1) = Cache.miss);
   (match Cache.insert c ~admission:`All (vip 1) (pip 1) with
   | Cache.Rejected -> ()
   | _ -> Alcotest.fail "zero-slot insert must reject");
@@ -203,8 +202,8 @@ let test_assoc_basic () =
   checki "slots" 8 (Assoc.slots c);
   checki "ways" 2 (Assoc.ways c);
   Assoc.insert c (vip 1) (pip 10);
-  checkb "hit" true (Assoc.lookup c (vip 1) = Some (pip 10));
-  checkb "miss" true (Assoc.lookup c (vip 2) = None);
+  checkb "hit" true (Assoc.lookup c (vip 1) = 10);
+  checkb "miss" true (Assoc.lookup c (vip 2) = Assoc.miss);
   checki "hits" 1 (Assoc.hits c);
   checki "misses" 1 (Assoc.misses c)
 
@@ -212,7 +211,7 @@ let test_assoc_update_in_place () =
   let c = Assoc.create ~ways:2 ~slots:8 in
   Assoc.insert c (vip 1) (pip 10);
   Assoc.insert c (vip 1) (pip 99);
-  checkb "updated" true (Assoc.lookup c (vip 1) = Some (pip 99));
+  checkb "updated" true (Assoc.lookup c (vip 1) = 99);
   checki "occupancy" 1 (Assoc.occupancy c)
 
 let test_assoc_lru_eviction () =
@@ -222,9 +221,9 @@ let test_assoc_lru_eviction () =
   Assoc.insert c (vip 2) (pip 2);
   ignore (Assoc.lookup c (vip 1)) (* 1 is now the most recent *);
   Assoc.insert c (vip 3) (pip 3) (* evicts 2 *);
-  checkb "recent survives" true (Assoc.lookup c (vip 1) <> None);
-  checkb "lru evicted" true (Assoc.lookup c (vip 2) = None);
-  checkb "new present" true (Assoc.lookup c (vip 3) <> None)
+  checkb "recent survives" true (Assoc.lookup c (vip 1) <> Assoc.miss);
+  checkb "lru evicted" true (Assoc.lookup c (vip 2) = Assoc.miss);
+  checkb "new present" true (Assoc.lookup c (vip 3) <> Assoc.miss)
 
 let test_assoc_validation () =
   Alcotest.check_raises "ways must divide"
@@ -236,9 +235,9 @@ let test_assoc_validation () =
 
 let test_assoc_zero_slots () =
   let c = Assoc.create ~ways:1 ~slots:0 in
-  checkb "always miss" true (Assoc.lookup c (vip 1) = None);
+  checkb "always miss" true (Assoc.lookup c (vip 1) = Assoc.miss);
   Assoc.insert c (vip 1) (pip 1);
-  checkb "insert no-op" true (Assoc.lookup c (vip 1) = None)
+  checkb "insert no-op" true (Assoc.lookup c (vip 1) = Assoc.miss)
 
 (* Fully-associative cache agrees with a reference LRU model. *)
 let assoc_lru_model_qcheck =
@@ -275,10 +274,44 @@ let assoc_lru_model_qcheck =
           else
             let got = Assoc.lookup c (vip k) in
             let expect = model_lookup k in
-            (match (got, expect) with
-            | Some g, Some e -> Pip.to_int g = e
-            | None, None -> true
-            | Some _, None | None, Some _ -> false))
+            (match expect with
+            | Some e -> got = e
+            | None -> got = Assoc.miss))
+        ops)
+
+(* A 1-way set-associative cache is the direct-mapped cache: both use
+   the same mix hash over the same number of sets, so on any op stream
+   every lookup's hit/miss outcome (and hit value), every insert's
+   occupancy delta (the eviction sequence), and the running counters
+   must agree. *)
+let assoc_ways1_equiv_direct_qcheck =
+  QCheck.Test.make ~name:"1-way assoc equals direct-mapped" ~count:300
+    QCheck.(list (pair bool (pair (int_bound 200) (int_bound 1000))))
+    (fun ops ->
+      let slots = 16 in
+      let dm = Cache.create ~slots in
+      let ac = Assoc.create ~ways:1 ~slots in
+      List.for_all
+        (fun (is_insert, (k, v)) ->
+          if is_insert then begin
+            let occ_before = Assoc.occupancy ac in
+            let r = Cache.insert dm ~admission:`All (vip k) (pip v) in
+            Assoc.insert ac (vip k) (pip v);
+            let delta = Assoc.occupancy ac - occ_before in
+            match r with
+            | Cache.Inserted None -> delta = 1
+            | Cache.Inserted (Some _) | Cache.Updated -> delta = 0
+            | Cache.Rejected -> false
+          end
+          else begin
+            let rd = Cache.lookup dm (vip k) in
+            let ra = Assoc.lookup ac (vip k) in
+            (if rd = Cache.miss then ra = Assoc.miss
+             else ra <> Assoc.miss && Pip.to_int (Cache.hit_pip rd) = ra)
+            && Cache.hits dm = Assoc.hits ac
+            && Cache.misses dm = Assoc.misses ac
+            && Cache.occupancy dm = Assoc.occupancy ac
+          end)
         ops)
 
 (* --- Ts_vector --- *)
@@ -356,6 +389,7 @@ let () =
           Alcotest.test_case "validation" `Quick test_assoc_validation;
           Alcotest.test_case "zero slots" `Quick test_assoc_zero_slots;
           QCheck_alcotest.to_alcotest assoc_lru_model_qcheck;
+          QCheck_alcotest.to_alcotest assoc_ways1_equiv_direct_qcheck;
         ] );
       ( "ts_vector",
         [

@@ -76,7 +76,7 @@ let mk_data ?(seq = 0) ?(id = 0) () =
 let test_packet_data_initial_state () =
   let p = mk_data () in
   checkb "unresolved" false p.Packet.resolved;
-  checkb "no tag" true (p.Packet.misdelivery = None);
+  checkb "no tag" true (p.Packet.misdelivery < 0);
   checki "no hit switch" (-1) p.Packet.hit_switch;
   checkb "no spill" true (p.Packet.spill = None);
   checkb "is data" true (Packet.is_data p);
@@ -159,7 +159,7 @@ let test_wire_roundtrip_decorated () =
   p.Packet.gw_visited <- true;
   p.Packet.retransmit <- true;
   p.Packet.hit_switch <- 42;
-  p.Packet.misdelivery <- Some (Pip.of_int 7);
+  p.Packet.misdelivery <- 7;
   p.Packet.spill <- Some (Vip.of_int 3, Pip.of_int 30);
   p.Packet.promo <- Some (Vip.of_int 4, Pip.of_int 40);
   let q = Netcore.Wire.decode (Netcore.Wire.encode p) in
@@ -221,7 +221,7 @@ let wire_qcheck =
       in
       p.Packet.resolved <- resolved;
       if with_spill then p.Packet.spill <- Some (Vip.of_int decor, Pip.of_int b);
-      if with_md then p.Packet.misdelivery <- Some (Pip.of_int decor);
+      if with_md then p.Packet.misdelivery <- decor;
       if decor > 1 then p.Packet.promo <- Some (Vip.of_int a, Pip.of_int decor);
       packet_equal p (Netcore.Wire.decode (Netcore.Wire.encode p)))
 

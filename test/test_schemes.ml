@@ -2,6 +2,8 @@
    simulations where the behavior is inherently end-to-end). *)
 
 module Scheme = Netsim.Scheme
+module Pipeline = Netsim.Pipeline
+module Verdict = Switchv2p.Verdict
 module Network = Netsim.Network
 module Metrics = Netsim.Metrics
 module Topology = Topo.Topology
@@ -103,7 +105,7 @@ let test_learning_cache_tagged_conservative () =
   Schemes.Learning_cache.on_switch lc ~switch:sw p1;
   (* A tagged packet removes the stale entry and is never rewritten. *)
   let p2 = mk_pkt t ~src_host:(Topology.hosts t).(1) ~dst_vip:(Vip.of_int 12) in
-  p2.Packet.misdelivery <- Some (Topology.pip t stale_host);
+  p2.Packet.misdelivery <- Pip.to_int (Topology.pip t stale_host);
   Schemes.Learning_cache.on_switch lc ~switch:sw p2;
   checkb "not rewritten" false p2.Packet.resolved;
   let p3 = mk_pkt t ~src_host:(Topology.hosts t).(1) ~dst_vip:(Vip.of_int 12) in
@@ -129,13 +131,13 @@ let test_gwcache_caches_only_gateway_tors () =
     let p = mk_pkt t ~src_host:(Topology.hosts t).(0) ~dst_vip:(Vip.of_int 12) in
     p.Packet.resolved <- true;
     p.Packet.dst_pip <- Topology.pip t dst_host;
-    ignore (scheme.Scheme.on_switch env ~switch:sw ~from:0 p)
+    ignore (Pipeline.run scheme.Scheme.pipeline env ~switch:sw ~from:0 p)
   in
   teach gw_tor;
   teach other;
   let probe sw =
     let p = mk_pkt t ~src_host:(Topology.hosts t).(1) ~dst_vip:(Vip.of_int 12) in
-    ignore (scheme.Scheme.on_switch env ~switch:sw ~from:0 p);
+    ignore (Pipeline.run scheme.Scheme.pipeline env ~switch:sw ~from:0 p);
     p.Packet.resolved
   in
   checkb "gateway ToR resolves" true (probe gw_tor);
@@ -318,21 +320,21 @@ let test_bluebird_detour_and_insert_delay () =
   in
   let tor = (Topology.tors t).(0) in
   let p = mk_pkt t ~src_host:(Topology.hosts t).(0) ~dst_vip:(Vip.of_int 12) in
-  (match scheme.Scheme.on_switch env ~switch:tor ~from:0 p with
-  | Scheme.Delay d ->
-      checkb "detour includes CP latency" true (d >= Time_ns.of_ns 8_500);
-      checkb "resolved by SFE" true p.Packet.resolved
-  | _ -> Alcotest.fail "expected a CP detour");
+  let v = Pipeline.run scheme.Scheme.pipeline env ~switch:tor ~from:0 p in
+  checkb "expected a CP detour" true (Verdict.tag v = Verdict.tag_delay);
+  checkb "detour includes CP latency" true
+    (Verdict.delay_ns v >= Time_ns.of_ns 8_500);
+  checkb "resolved by SFE" true p.Packet.resolved;
   (* The route cache is installed only after the 2 ms insertion delay. *)
   let p2 = mk_pkt t ~src_host:(Topology.hosts t).(1) ~dst_vip:(Vip.of_int 12) in
-  (match scheme.Scheme.on_switch env ~switch:tor ~from:0 p2 with
-  | Scheme.Delay _ -> ()
-  | _ -> Alcotest.fail "still a miss before the insert completes");
+  let v2 = Pipeline.run scheme.Scheme.pipeline env ~switch:tor ~from:0 p2 in
+  checkb "still a miss before the insert completes" true
+    (Verdict.tag v2 = Verdict.tag_delay);
   Engine.run_until env.Scheme.engine ~limit:(Time_ns.of_ms 3);
   let p3 = mk_pkt t ~src_host:(Topology.hosts t).(1) ~dst_vip:(Vip.of_int 12) in
-  (match scheme.Scheme.on_switch env ~switch:tor ~from:0 p3 with
-  | Scheme.Forward -> checkb "hit after insert" true p3.Packet.resolved
-  | _ -> Alcotest.fail "expected a data-plane hit")
+  let v3 = Pipeline.run scheme.Scheme.pipeline env ~switch:tor ~from:0 p3 in
+  checkb "expected a data-plane hit" true (Verdict.tag v3 = Verdict.tag_forward);
+  checkb "hit after insert" true p3.Packet.resolved
 
 let test_bluebird_cp_overload_drops () =
   let t = topo () in
@@ -344,11 +346,11 @@ let test_bluebird_cp_overload_drops () =
   let send i =
     let p = mk_pkt t ~src_host:(Topology.hosts t).(0) ~dst_vip:(Vip.of_int 12) in
     ignore i;
-    scheme.Scheme.on_switch env ~switch:tor ~from:0 p
+    Pipeline.run scheme.Scheme.pipeline env ~switch:tor ~from:0 p
   in
   let dropped = ref 0 in
   for i = 0 to 9 do
-    match send i with Scheme.Drop_pkt -> incr dropped | _ -> ()
+    if Verdict.tag (send i) = Verdict.tag_drop then incr dropped
   done;
   checkb "overload drops" true (!dropped > 0)
 
@@ -375,6 +377,92 @@ let test_controller_installs_and_serves () =
   let stats = scheme.Scheme.stats () in
   checkb "controller solved at least once" true
     (List.assoc "controller_solves" stats > 0.0)
+
+(* --- pipeline mechanics --- *)
+
+let test_pipeline_stage_order () =
+  let t = topo () in
+  let env = make_env t in
+  let trace = ref [] in
+  let record name v =
+    Pipeline.stage ~kind:Pipeline.Lookup name (fun _env ~switch:_ ~from:_ _pkt ->
+        trace := name :: !trace;
+        v)
+  in
+  let pl =
+    Pipeline.make
+      [ record "a" Verdict.next; record "b" Verdict.next; record "c" Verdict.next ]
+  in
+  let p = mk_pkt t ~src_host:(Topology.hosts t).(0) ~dst_vip:(Vip.of_int 12) in
+  let v = Pipeline.run pl env ~switch:0 ~from:0 p in
+  checkb "all-next falls through to forward" true
+    (Verdict.tag v = Verdict.tag_forward);
+  Alcotest.check
+    (Alcotest.list Alcotest.string)
+    "stages run in declaration order" [ "a"; "b"; "c" ] (List.rev !trace);
+  (* A final verdict short-circuits the remaining stages. *)
+  trace := [];
+  let pl2 =
+    Pipeline.make [ record "a" Verdict.next; record "b" Verdict.consume; record "c" Verdict.next ]
+  in
+  let v2 = Pipeline.run pl2 env ~switch:0 ~from:0 p in
+  checkb "verdict surfaces" true (Verdict.tag v2 = Verdict.tag_consume);
+  Alcotest.check
+    (Alcotest.list Alcotest.string)
+    "later stages skipped" [ "a"; "b" ] (List.rev !trace);
+  (* The empty pipeline forwards. *)
+  checkb "passthrough forwards" true
+    (Verdict.tag (Pipeline.run Pipeline.passthrough env ~switch:0 ~from:0 p)
+    = Verdict.tag_forward)
+
+let test_pipeline_stage_listing () =
+  let scheme = Schemes.Switchv2p_scheme.make (topo ()) ~total_cache_slots:64 in
+  Alcotest.check
+    (Alcotest.list Alcotest.string)
+    "switchv2p stage names"
+    [ "classify"; "lookup"; "learn"; "emit" ]
+    (List.map fst (Pipeline.stages scheme.Scheme.pipeline));
+  Alcotest.check
+    (Alcotest.list Alcotest.string)
+    "stage kinds"
+    [ "classify"; "lookup"; "learn"; "emit" ]
+    (List.map
+       (fun (_, k) -> P4model.Resources.stage_kind_name (Pipeline.p4_kind k))
+       (Pipeline.stages scheme.Scheme.pipeline))
+
+let test_pipeline_stage_resources_sum () =
+  let scheme = Schemes.Switchv2p_scheme.make (topo ()) ~total_cache_slots:64 in
+  let entries = 1000 in
+  let per_stage =
+    Pipeline.resources scheme.Scheme.pipeline ~entries_per_switch:entries
+  in
+  let whole = P4model.Resources.estimate ~entries_per_switch:entries in
+  let sum f = List.fold_left (fun acc (_, u) -> acc +. f u) 0.0 per_stage in
+  let close what got want =
+    Alcotest.check (Alcotest.float 1e-9) what want got
+  in
+  checki "four stages" 4 (List.length per_stage);
+  close "crossbar shares re-sum"
+    (sum (fun u -> u.P4model.Resources.match_crossbar))
+    whole.P4model.Resources.match_crossbar;
+  close "meter alu shares re-sum"
+    (sum (fun u -> u.P4model.Resources.meter_alu))
+    whole.P4model.Resources.meter_alu;
+  close "gateway shares re-sum"
+    (sum (fun u -> u.P4model.Resources.gateway))
+    whole.P4model.Resources.gateway;
+  close "tcam shares re-sum"
+    (sum (fun u -> u.P4model.Resources.tcam))
+    whole.P4model.Resources.tcam;
+  close "vliw shares re-sum"
+    (sum (fun u -> u.P4model.Resources.vliw))
+    whole.P4model.Resources.vliw;
+  close "sram shares re-sum"
+    (sum (fun u -> u.P4model.Resources.sram))
+    whole.P4model.Resources.sram;
+  close "hash-bit shares re-sum"
+    (sum (fun u -> u.P4model.Resources.hash_bits))
+    whole.P4model.Resources.hash_bits
 
 (* --- scheme metadata --- *)
 
@@ -453,6 +541,13 @@ let () =
         [
           Alcotest.test_case "installs and serves" `Quick
             test_controller_installs_and_serves;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "stage order" `Quick test_pipeline_stage_order;
+          Alcotest.test_case "stage listing" `Quick test_pipeline_stage_listing;
+          Alcotest.test_case "stage resources re-sum" `Quick
+            test_pipeline_stage_resources_sum;
         ] );
       ("metadata", [ Alcotest.test_case "names" `Quick test_scheme_names ]);
     ]
