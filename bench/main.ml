@@ -577,6 +577,40 @@ let micro () =
     (List.sort compare names);
   flush stdout
 
+(* --- DST smoke sweep ------------------------------------------------ *)
+
+(* Seeded random fault plans over the default scheme set; any
+   invariant violation writes the failing seeds (with replay commands)
+   to DST_failures.txt and fails the run, so CI can upload the file as
+   an artifact. Seed count override: REPRO_DST_SEEDS. *)
+let dst () =
+  let num_seeds =
+    match Sys.getenv_opt "REPRO_DST_SEEDS" with
+    | Some s -> int_of_string s
+    | None -> 25
+  in
+  let module Dst = Experiments.Dst in
+  let outcomes =
+    Dst.run_seeds ~schemes:Dst.default_schemes
+      ~seeds:(List.init num_seeds (fun i -> i + 1))
+  in
+  Printf.printf "dst: %d runs (%s x %d seeds), %d failed\n%!"
+    (List.length outcomes)
+    (String.concat "," Dst.default_schemes)
+    num_seeds
+    (List.length (Dst.failed outcomes));
+  match Dst.failed outcomes with
+  | [] -> ()
+  | failed ->
+      let oc = open_out "DST_failures.txt" in
+      List.iter
+        (fun o -> output_string oc (Format.asprintf "%a" Dst.pp_failure o))
+        failed;
+      close_out oc;
+      List.iter (fun o -> Format.eprintf "%a" Dst.pp_failure o) failed;
+      Printf.eprintf "dst: failing seeds written to DST_failures.txt\n";
+      exit 1
+
 let targets =
   [
     ("fig5a", ("Figure 5a (Hadoop)", fig5 Fig5.Hadoop));
@@ -601,6 +635,7 @@ let targets =
     ("micro", ("Micro-benchmarks", micro));
     ("eventcore", ("Event-core throughput (forwarding path)", eventcore));
     ("scheme", ("Scheme pipeline (per-dispatch allocation)", scheme_bench));
+    ("dst", ("DST smoke sweep (seeded fault plans)", dst));
   ]
 
 (* fig7 and fig8 share one runner; run it once in the full sweep. *)
@@ -608,7 +643,7 @@ let default_order =
   [
     "datasets"; "fig5a"; "fig5b"; "fig5c"; "fig5d"; "fig6"; "fig7"; "fig9";
     "fig10"; "tab4"; "tab5"; "tab6"; "appA2"; "ablation"; "multitenant";
-    "resilience"; "dht"; "cachegeo"; "micro"; "eventcore"; "scheme";
+    "resilience"; "dht"; "cachegeo"; "micro"; "eventcore"; "scheme"; "dst";
   ]
 
 let () =

@@ -75,6 +75,14 @@ let telemetry_arg =
   in
   Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"DIR" ~doc)
 
+let faults_arg =
+  let doc =
+    "Run under a fault plan: $(b,random) draws one from --seed, anything else \
+     is parsed as a literal plan (seed=N;@T:ACTION;... — the form printed by \
+     a run and by DST failure reports)."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN" ~doc)
+
 let make_scheme name topo ~slots =
   match name with
   | "nocache" -> Schemes.Baselines.nocache ()
@@ -101,7 +109,8 @@ let make_trace name setup =
   | _ -> assert false
 
 let run_cmd =
-  let run scale cache_pct seed scheme_name trace_name gateways telemetry =
+  let run scale cache_pct seed scheme_name trace_name gateways telemetry
+      faults_spec =
     Experiments.Report.set_telemetry_dir telemetry;
     let setup =
       if trace_name = "alibaba" then Experiments.Setup.ft16 ~seed scale
@@ -114,10 +123,23 @@ let run_cmd =
     let net_config =
       { Netsim.Network.default_config with seed; gateways_used = gateways }
     in
+    let faults =
+      match faults_spec with
+      | None -> None
+      | Some "random" ->
+          Some
+            (Netsim.Faultplan.generate ~seed
+               ~horizon:(Experiments.Setup.horizon flows)
+               topo)
+      | Some s -> Some (Dessim.Fault.of_string_exn s)
+    in
+    Option.iter
+      (fun p -> Printf.printf "faults          %s\n" (Dessim.Fault.to_string p))
+      faults;
     let report_name = Printf.sprintf "run/%s/%s" scheme_name trace_name in
     let r =
-      Experiments.Runner.run ~net_config ~report_name setup ~scheme ~flows
-        ~migrations:[] ~until:(Experiments.Setup.horizon flows)
+      Experiments.Runner.run ~net_config ~report_name ?faults setup ~scheme
+        ~flows ~migrations:[] ~until:(Experiments.Setup.horizon flows)
     in
     let core, spine, tor, gw, host = r.Experiments.Runner.layer_hits in
     Printf.printf "scheme          %s\n" r.Experiments.Runner.scheme;
@@ -155,7 +177,51 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const run $ scale_arg $ cache_pct_arg $ seed_arg $ scheme_arg $ trace_arg
-      $ gateways_arg $ telemetry_arg)
+      $ gateways_arg $ telemetry_arg $ faults_arg)
+
+(* --- dst: deterministic simulation testing --- *)
+
+let dst_cmd =
+  let run seed seeds scheme_name =
+    let module Dst = Experiments.Dst in
+    let schemes =
+      if scheme_name = "all" then Dst.all_schemes else [ scheme_name ]
+    in
+    let outcomes =
+      match seeds with
+      | None ->
+          List.map (fun scheme -> Dst.run_one ~seed ~scheme ()) schemes
+      | Some n ->
+          Dst.run_seeds ~schemes ~seeds:(List.init n (fun i -> seed + i))
+    in
+    (* A single replay prints its full transcript; sweeps stay quiet
+       unless an invariant breaks. *)
+    (match (seeds, outcomes) with
+    | None, [ o ] -> print_string o.Dst.transcript
+    | _ ->
+        Printf.printf "dst: %d runs (%s), %d failed\n" (List.length outcomes)
+          (String.concat "," schemes)
+          (List.length (Dst.failed outcomes)));
+    match Dst.failed outcomes with
+    | [] -> ()
+    | failed ->
+        List.iter (fun o -> Format.printf "%a" Dst.pp_failure o) failed;
+        exit 1
+  in
+  let seeds_arg =
+    let doc = "Sweep $(docv) consecutive seeds starting at --seed." in
+    Arg.(value & opt (some int) None & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let dst_scheme_arg =
+    let doc = "Scheme to test (or $(b,all))." in
+    Arg.(value & opt string "switchv2p" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+  in
+  let doc =
+    "Deterministic simulation test: run seeded random fault plans and check \
+     the DST invariants, printing a byte-identical replay transcript."
+  in
+  Cmd.v (Cmd.info "dst" ~doc)
+    Term.(const run $ seed_arg $ seeds_arg $ dst_scheme_arg)
 
 (* --- reproduce: paper artifacts --- *)
 
@@ -169,6 +235,7 @@ let fig5_cmd key kind doc =
 let cmds =
   [
     run_cmd;
+    dst_cmd;
     fig5_cmd "fig5a" Experiments.Fig5.Hadoop "Figure 5a: Hadoop cache sweep.";
     fig5_cmd "fig5b" Experiments.Fig5.Microbursts "Figure 5b: Microbursts cache sweep.";
     fig5_cmd "fig5c" Experiments.Fig5.Websearch "Figure 5c: WebSearch cache sweep.";

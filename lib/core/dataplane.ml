@@ -370,10 +370,26 @@ let handle_tagged t env st (pkt : Packet.t) =
         flight t env st pkt "invalidated"
       end
     end
-    else begin
+    else if not pkt.Packet.gw_pinned then begin
       rewrite_to st pkt (Cache.hit_pip r);
       flight t env st pkt "hit"
     end
+  end
+
+(* A pinned packet (misdelivered at its own source host, where the
+   ToR's outer-source heuristic cannot tag it) must reach the gateway
+   untranslated; a cached value equal to its source is the very entry
+   that hairpinned it, so it is provably stale. *)
+let handle_pinned t env st (pkt : Packet.t) =
+  let cache = cache_for t st pkt.Packet.dst_vip in
+  let r = Cache.lookup cache pkt.Packet.dst_vip in
+  if
+    r >= 0
+    && r lsr 1 = Pip.to_int pkt.Packet.src_pip
+    && Cache.invalidate cache pkt.Packet.dst_vip ~stale:pkt.Packet.src_pip
+  then begin
+    t.entries_invalidated <- t.entries_invalidated + 1;
+    flight t env st pkt "invalidated"
   end
 
 let regular_lookup t env st (pkt : Packet.t) =
@@ -508,6 +524,7 @@ let lookup t env ~switch ~from:_ (pkt : Packet.t) =
       if not pkt.Packet.resolved then begin
         let st = state t switch in
         if pkt.Packet.misdelivery >= 0 then handle_tagged t env st pkt
+        else if pkt.Packet.gw_pinned then handle_pinned t env st pkt
         else regular_lookup t env st pkt
       end
   | Packet.Learning | Packet.Invalidation -> ());

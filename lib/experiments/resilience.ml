@@ -1,4 +1,5 @@
 module Time_ns = Dessim.Time_ns
+module Fault = Dessim.Fault
 
 type t = {
   flows_started : int;
@@ -6,6 +7,7 @@ type t = {
   hit_before : float;
   hit_with_failure : float;
   recovered_occupancy : int;
+  recovery_time_s : float option;
 }
 
 let run ?(scale = `Small) ?(cache_pct = 100) () =
@@ -20,30 +22,56 @@ let run ?(scale = `Small) ?(cache_pct = 100) () =
       ~scheme:(Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots)
       ~flows ~migrations:[] ~until
   in
-  (* Disturbed run: wipe all spine and core caches at mid-trace. *)
+  (* Disturbed run: a declarative fault plan wipes every spine and
+     core cache at mid-trace (half of the last flow's start time). *)
   let scheme, dp =
     Schemes.Switchv2p_scheme.make_with_dataplane topo ~total_cache_slots:slots
   in
   let net = Netsim.Network.create topo ~scheme in
-  (* Fail mid-traffic: half of the last flow's start time. *)
   let last_start =
     List.fold_left
       (fun acc (f : Netcore.Flow.t) -> max acc (Time_ns.to_ns f.Netcore.Flow.start))
       0 flows
   in
   let half = Time_ns.of_ns (last_start / 2) in
-  Dessim.Engine.schedule (Netsim.Network.engine net) ~at:half (fun () ->
-      Array.iter
-        (fun sw -> Switchv2p.Dataplane.fail_switch dp ~switch:sw)
-        (Array.append (Topo.Topology.spines topo) (Topo.Topology.cores topo)));
-  Netsim.Network.run net flows ~migrations:[] ~until;
+  let wiped = Array.append (Topo.Topology.spines topo) (Topo.Topology.cores topo) in
+  Netsim.Network.install_faults net
+    {
+      Fault.seed = 0;
+      specs =
+        Fault.sort_specs
+          (Array.map
+             (fun sw -> { Fault.at = half; action = Fault.Switch_fail sw })
+             wiped);
+    };
+  (* Windowed hit-rate probes measure the time until the fabric has
+     re-taught itself: recovery = first post-failure window whose hit
+     rate is within 0.05 of the undisturbed run's. *)
   let m = Netsim.Network.metrics net in
+  let eng = Netsim.Network.engine net in
+  let window = Time_ns.of_ns (max 1 (last_start / 40)) in
+  let recovered_at = ref None in
+  let last_gw = ref 0 and last_sent = ref 0 in
+  let rec probe () =
+    let gw = Netsim.Metrics.gateway_packets m in
+    let sent = Netsim.Metrics.packets_sent m in
+    let dgw = gw - !last_gw and dsent = sent - !last_sent in
+    last_gw := gw;
+    last_sent := sent;
+    let now = Dessim.Engine.now eng in
+    (if now > Time_ns.to_ns half && !recovered_at = None && dsent > 0 then
+       let w_hit = 1.0 -. (float_of_int dgw /. float_of_int dsent) in
+       if w_hit >= reference.Runner.hit_rate -. 0.05 then
+         recovered_at := Some now);
+    Dessim.Engine.schedule_after eng ~delay:window probe
+  in
+  Dessim.Engine.schedule_after eng ~delay:window probe;
+  Netsim.Network.run net flows ~migrations:[] ~until;
   let recovered =
     Array.fold_left
       (fun acc sw ->
         acc + Switchv2p.Cache.occupancy (Switchv2p.Dataplane.cache dp ~switch:sw))
-      0
-      (Array.append (Topo.Topology.spines topo) (Topo.Topology.cores topo))
+      0 wiped
   in
   {
     flows_started = Netsim.Metrics.flows_started m;
@@ -51,6 +79,10 @@ let run ?(scale = `Small) ?(cache_pct = 100) () =
     hit_before = reference.Runner.hit_rate;
     hit_with_failure = Netsim.Metrics.hit_rate m;
     recovered_occupancy = recovered;
+    recovery_time_s =
+      Option.map
+        (fun at -> Time_ns.to_sec (Time_ns.of_ns (at - Time_ns.to_ns half)))
+        !recovered_at;
   }
 
 let print t =
@@ -62,4 +94,10 @@ let print t =
       [ "hit rate, undisturbed"; Report.fpct t.hit_before ];
       [ "hit rate, with failure"; Report.fpct t.hit_with_failure ];
       [ "entries relearned by end"; string_of_int t.recovered_occupancy ];
+      [
+        "hit-rate recovery time";
+        (match t.recovery_time_s with
+        | Some s -> Printf.sprintf "%.1f us" (s *. 1e6)
+        | None -> "not within horizon");
+      ];
     ]

@@ -3,9 +3,11 @@
     forwarding correctness — it only costs hit rate until the traffic
     re-teaches the fabric).
 
-    A steady Hadoop workload runs while every spine and core cache is
-    wiped mid-trace; we report hit rates before/after the failure and
-    verify every flow still completes. *)
+    A steady Hadoop workload runs while a declarative
+    {!Dessim.Fault.plan} of [Switch_fail] actions wipes every spine
+    and core cache mid-trace; we report hit rates before/after the
+    failure, the time the fabric needs to re-teach itself, and verify
+    every flow still completes. *)
 
 type t = {
   flows_started : int;
@@ -14,6 +16,10 @@ type t = {
   hit_with_failure : float;  (** whole-run hit rate with the mid-trace wipe *)
   recovered_occupancy : int;
       (** cache entries relearned by the end of the disturbed run *)
+  recovery_time_s : float option;
+      (** time from the wipe to the first probe window whose hit rate
+          is back within 0.05 of the undisturbed run's; [None] if that
+          never happens before the horizon *)
 }
 
 val run : ?scale:Setup.scale -> ?cache_pct:int -> unit -> t

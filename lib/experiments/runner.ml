@@ -77,8 +77,8 @@ let results_json (r : result) =
         Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.extra) );
     ]
 
-let run ?net_config ?report_name (setup : Setup.t) ~scheme ~flows ~migrations
-    ~until =
+let run ?net_config ?report_name ?faults (setup : Setup.t) ~scheme ~flows
+    ~migrations ~until =
   let tel, net_config =
     match (report_name, Report.telemetry_dir ()) with
     | Some _, Some _ ->
@@ -90,6 +90,7 @@ let run ?net_config ?report_name (setup : Setup.t) ~scheme ~flows ~migrations
     | _ -> (Telemetry.disabled, net_config)
   in
   let net = Netsim.Network.create ?config:net_config setup.Setup.topo ~scheme in
+  Option.iter (Netsim.Network.install_faults net) faults;
   Netsim.Network.run net flows ~migrations ~until;
   let m = Netsim.Network.metrics net in
   let topo = setup.Setup.topo in

@@ -28,8 +28,11 @@ type result = {
   bytes_by_switch : (int * int) array;  (** (switch node id, bytes) *)
 }
 
-(** [run ?net_config ?report_name setup ~scheme ~flows ~migrations
-    ~until] builds a fresh network and executes the trace. When
+(** [run ?net_config ?report_name ?faults setup ~scheme ~flows
+    ~migrations ~until] builds a fresh network and executes the trace.
+    [faults] is installed with {!Netsim.Network.install_faults} before
+    the run, so any experiment can execute under a declarative fault
+    plan. When
     [report_name] is given {e and} a telemetry directory is set (see
     {!Report.set_telemetry_dir}), the run is instrumented with a fresh
     {!Dessim.Telemetry} collector and the full report — manifest,
@@ -40,6 +43,7 @@ type result = {
 val run :
   ?net_config:Netsim.Network.config ->
   ?report_name:string ->
+  ?faults:Dessim.Fault.plan ->
   Setup.t ->
   scheme:Netsim.Scheme.t ->
   flows:Netcore.Flow.t list ->

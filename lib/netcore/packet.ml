@@ -12,6 +12,7 @@ type t = {
   mutable dst_pip : Addr.Pip.t;
   mutable resolved : bool;
   mutable misdelivery : int;
+  mutable gw_pinned : bool;
   mutable hit_switch : int;
   mutable spill : (Addr.Vip.t * Addr.Pip.t) option;
   mutable promo : (Addr.Vip.t * Addr.Pip.t) option;
@@ -42,6 +43,7 @@ let base ~id ~flow_id ~kind ~size ~seq ~src_vip ~dst_vip ~src_pip ~dst_pip
     dst_pip;
     resolved = false;
     misdelivery = -1;
+    gw_pinned = false;
     hit_switch = -1;
     spill = None;
     promo = None;
@@ -70,6 +72,7 @@ let reset t ~id ~flow_id ~kind ~size ~seq ~src_vip ~dst_vip ~src_pip ~dst_pip
   t.dst_pip <- dst_pip;
   t.resolved <- false;
   t.misdelivery <- -1;
+  t.gw_pinned <- false;
   t.hit_switch <- -1;
   t.spill <- None;
   t.promo <- None;

@@ -35,6 +35,12 @@ type t = {
           [-1] = untagged — an int field rather than a [Pip.t option]
           so setting and clearing the tag on the per-hop path never
           allocates *)
+  mutable gw_pinned : bool;
+      (** set when a tagged packet is misdelivered a second time (the
+          VIP moved more than once and some switch "trusted" a cached
+          value that was itself stale): a pinned packet may no longer
+          be translated from any cache, only by the gateway, which
+          breaks ping-pong loops between two stale entries *)
   mutable hit_switch : int;  (** node id of the switch that served the hit; -1 if none *)
   mutable spill : (Addr.Vip.t * Addr.Pip.t) option;  (** spilled entry riding along *)
   mutable promo : (Addr.Vip.t * Addr.Pip.t) option;  (** promotion riding along *)

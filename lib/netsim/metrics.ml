@@ -2,10 +2,17 @@ module Time_ns = Dessim.Time_ns
 module Stats = Dessim.Stats
 module Packet = Netcore.Packet
 
-type drop_site = Link_buffer | Failed_switch | Gateway_miss | Host_miss
+type drop_site =
+  | Link_buffer
+  | Failed_switch
+  | Gateway_miss
+  | Host_miss
+  | Fault_blackhole
+  | Fault_loss
+  | Fault_gateway
 
 let num_kinds = 4
-let num_sites = 4
+let num_sites = 7
 
 let kind_index (k : Packet.kind) =
   match k with
@@ -19,6 +26,9 @@ let site_index = function
   | Failed_switch -> 1
   | Gateway_miss -> 2
   | Host_miss -> 3
+  | Fault_blackhole -> 4
+  | Fault_loss -> 5
+  | Fault_gateway -> 6
 
 let kind_name = function
   | Packet.Data -> "data"
@@ -31,9 +41,22 @@ let site_name = function
   | Failed_switch -> "failed_switch"
   | Gateway_miss -> "gateway_miss"
   | Host_miss -> "host_miss"
+  | Fault_blackhole -> "fault_blackhole"
+  | Fault_loss -> "fault_loss"
+  | Fault_gateway -> "fault_gateway"
 
 let all_kinds = [ Packet.Data; Packet.Ack; Packet.Learning; Packet.Invalidation ]
-let all_sites = [ Link_buffer; Failed_switch; Gateway_miss; Host_miss ]
+
+let all_sites =
+  [
+    Link_buffer;
+    Failed_switch;
+    Gateway_miss;
+    Host_miss;
+    Fault_blackhole;
+    Fault_loss;
+    Fault_gateway;
+  ]
 
 type t = {
   topo : Topo.Topology.t;
@@ -43,6 +66,8 @@ type t = {
   mutable flows_started : int;
   mutable flows_completed : int;
   mutable packets_sent : int;
+  mutable retransmits : int;
+  mutable delivered_packets : int;
   drops : int array; (* kind-major [kind * num_sites + site] matrix *)
   mutable gateway_packets : int;
   fct : Stats.Reservoir.t;
@@ -73,6 +98,8 @@ let create ?classify topo rng =
     flows_started = 0;
     flows_completed = 0;
     packets_sent = 0;
+    retransmits = 0;
+    delivered_packets = 0;
     drops = Array.make (num_kinds * num_sites) 0;
     gateway_packets = 0;
     fct = Stats.Reservoir.create rng;
@@ -112,6 +139,7 @@ let classify_into t table pkt =
 let packet_sent t pkt =
   if tenant_packet pkt then begin
     t.packets_sent <- t.packets_sent + 1;
+    if pkt.Packet.retransmit then t.retransmits <- t.retransmits + 1;
     classify_into t t.class_sent pkt
   end
 
@@ -151,6 +179,7 @@ let switch_processed t ~switch (pkt : Packet.t) =
   t.switch_bytes.(switch) <- t.switch_bytes.(switch) + pkt.Packet.size
 
 let delivered t (pkt : Packet.t) ~now ~first_of_flow =
+  t.delivered_packets <- t.delivered_packets + 1;
   if Packet.is_data pkt then begin
     Stats.Summary.add t.stretch (float_of_int pkt.Packet.hops);
     Stats.Summary.add t.pkt_latency
@@ -216,6 +245,8 @@ let class_hit_rate t cls =
 
 let gateway_packets t = t.gateway_packets
 let packets_sent t = t.packets_sent
+let retransmits_sent t = t.retransmits
+let delivered_packets t = t.delivered_packets
 let packets_dropped t = Array.fold_left ( + ) 0 t.drops
 let mean_fct t = Stats.Reservoir.mean t.fct
 let fct_percentile t p = Stats.Reservoir.percentile t.fct p

@@ -12,8 +12,20 @@ type t
 (** Where a packet was lost. [Link_buffer] — the egress queue was
     full; [Failed_switch] — a failed/rebooting switch blackholed it;
     [Gateway_miss] — the gateway had no mapping for the destination
-    VIP; [Host_miss] — a host could not re-resolve a moved VM. *)
-type drop_site = Link_buffer | Failed_switch | Gateway_miss | Host_miss
+    VIP; [Host_miss] — a host could not re-resolve a moved VM.
+    The [Fault_*] sites are injected-fault losses: [Fault_blackhole] —
+    every candidate next hop was behind a downed link;
+    [Fault_loss] — a per-link loss channel (Bernoulli or
+    Gilbert-Elliott) discarded the packet; [Fault_gateway] — the
+    packet arrived at a gateway inside an outage window. *)
+type drop_site =
+  | Link_buffer
+  | Failed_switch
+  | Gateway_miss
+  | Host_miss
+  | Fault_blackhole
+  | Fault_loss
+  | Fault_gateway
 
 (** [create ?classify topo rng] — when [classify] is given, tenant-level
     sent/gateway counters are kept per class (e.g. per VPC), queryable
@@ -64,12 +76,21 @@ val class_packets_sent : t -> int -> int
 val gateway_packets : t -> int
 val packets_sent : t -> int
 
+(** [retransmits_sent t] — tenant packets sent with the retransmit
+    flag set (RTO-driven resends under loss/failure). *)
+val retransmits_sent : t -> int
+
+(** [delivered_packets t] — packets of every kind delivered to their
+    final destination host (one side of the conservation invariant). *)
+val delivered_packets : t -> int
+
 (** [packets_dropped t] — total losses across all kinds and sites. *)
 val packets_dropped : t -> int
 
 (** [drops_by_kind t] / [drops_by_site t] break the total down, in a
     fixed order (data, ack, learning, invalidation / link_buffer,
-    failed_switch, gateway_miss, host_miss). *)
+    failed_switch, gateway_miss, host_miss, fault_blackhole,
+    fault_loss, fault_gateway). *)
 val drops_by_kind : t -> (string * int) list
 
 val drops_by_site : t -> (string * int) list

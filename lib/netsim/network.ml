@@ -52,6 +52,7 @@ let ev_gateway = 1 (* a = gateway node,                 b = slot *)
 let ev_forward = 2 (* a = switch node (scheme Delay),   b = slot *)
 let ev_loopback = 3 (* a unused,                        b = slot *)
 let ev_host_fwd = 4 (* a = (action lsl node_bits) lor node, b = slot *)
+let ev_fault = 5 (* a = index into the installed fault plan, b unused *)
 
 (* ev_host_fwd actions; must be decided before the processing delay,
    exactly as the closure version captured the scheme's answer at
@@ -81,6 +82,24 @@ type t = {
   mutable pool_len : int;
   mutable free_slots : int array;
   mutable free_top : int;
+  (* Fault injection. [faults_on] stays [false] until a plan is
+     installed, so fault-free runs pay only dead branches on the hot
+     path (no RNG draws, no behavior change). Fault firings are typed
+     [ev_fault] events whose [a] operand indexes [fault_specs] — no
+     closures. [fault_rng] is a dedicated stream (seeded from the
+     plan) so per-packet loss draws and churn victim selection never
+     perturb the simulation's own RNG sequences. *)
+  mutable faults_on : bool;
+  mutable fault_specs : Dessim.Fault.spec array;
+  mutable fault_rng : Rng.t;
+  fault_counts : int array; (* firings per Fault kind *)
+  gw_down : bool array; (* indexed by node id; true inside an outage *)
+  (* Conservation accounting for the DST harness: every packet that
+     enters the network is injected; terminal states are delivered
+     (Metrics.delivered_packets), dropped (Metrics.packets_dropped),
+     consumed by a switch, or still pooled at the horizon. *)
+  mutable injected_pkts : int;
+  mutable consumed_pkts : int;
 }
 
 let fresh_packet_id t () =
@@ -173,31 +192,68 @@ let pool_release t (pkt : Packet.t) =
 let salt_of (pkt : Packet.t) =
   if pkt.Packet.flow_id >= 0 then pkt.Packet.flow_id else pkt.Packet.id
 
+(* One-shot corruption: mangle the sequence number far out of any
+   flow's valid range (the transport's bounds guard treats it as
+   garbage and never acks, so the sender recovers by RTO) and strip
+   rider payloads (a corrupted learning/invalidation packet carries
+   nothing a switch would act on). *)
+let corrupt_seq_offset = 1 lsl 40
+
+let corrupt_packet (pkt : Packet.t) =
+  pkt.Packet.seq <- pkt.Packet.seq + corrupt_seq_offset;
+  pkt.Packet.mapping_payload <- None;
+  pkt.Packet.promo <- None;
+  pkt.Packet.spill <- None
+
+let drop_faulted t ~site (pkt : Packet.t) =
+  Metrics.packet_dropped t.metrics ~site pkt;
+  pool_release t pkt
+
 let transmit t ~from ~next (pkt : Packet.t) =
-  let link = Topology.link t.topo ~src:from ~dst:next in
-  let p =
-    Topo.Link.transmit_packed link ~now:(Engine.now t.engine)
-      ~bytes:pkt.Packet.size
-  in
-  if p = Topo.Link.dropped then begin
-    Metrics.packet_dropped t.metrics ~site:Metrics.Link_buffer pkt;
-    pool_release t pkt
-  end
+  if t.faults_on && next = Topo.Routing.blackhole then
+    (* Every candidate next hop is behind a downed link. *)
+    drop_faulted t ~site:Metrics.Fault_blackhole pkt
   else begin
-    if Topo.Link.packed_ce p then pkt.Packet.ecn <- true;
-    pool_adopt t pkt;
-    Engine.schedule_event t.engine
-      ~at:(Topo.Link.packed_arrival p)
-      ~code:ev_arrive
-      ~a:((from lsl node_bits) lor next)
-      ~b:pkt.Packet.pool_slot
+    let link = Topology.link t.topo ~src:from ~dst:next in
+    if t.faults_on && not link.Topo.Link.up then
+      (* Forced first hop (host/gateway uplink) onto a dead link. *)
+      drop_faulted t ~site:Metrics.Fault_blackhole pkt
+    else if t.faults_on && Topo.Link.loss_step link t.fault_rng then
+      drop_faulted t ~site:Metrics.Fault_loss pkt
+    else begin
+      if t.faults_on && Topo.Link.take_corrupt link then corrupt_packet pkt;
+      let p =
+        Topo.Link.transmit_packed link ~now:(Engine.now t.engine)
+          ~bytes:pkt.Packet.size
+      in
+      if p = Topo.Link.dropped then begin
+        Metrics.packet_dropped t.metrics ~site:Metrics.Link_buffer pkt;
+        pool_release t pkt
+      end
+      else begin
+        if Topo.Link.packed_ce p then pkt.Packet.ecn <- true;
+        pool_adopt t pkt;
+        Engine.schedule_event t.engine
+          ~at:(Topo.Link.packed_arrival p)
+          ~code:ev_arrive
+          ~a:((from lsl node_bits) lor next)
+          ~b:pkt.Packet.pool_slot
+      end
+    end
   end
 
 let forward_from t ~node (pkt : Packet.t) =
   let dst = Topology.node_of_pip t.topo pkt.Packet.dst_pip in
-  if dst = node then pool_release t pkt
+  if dst = node then begin
+    t.consumed_pkts <- t.consumed_pkts + 1;
+    pool_release t pkt
+  end
   else
-    let next = Topo.Routing.next_hop t.topo ~at:node ~dst ~salt:(salt_of pkt) in
+    let next =
+      if t.faults_on then
+        Topo.Routing.next_hop_alive t.topo ~at:node ~dst ~salt:(salt_of pkt)
+      else Topo.Routing.next_hop t.topo ~at:node ~dst ~salt:(salt_of pkt)
+    in
     transmit t ~from:node ~next pkt
 
 let rec arrive t ~node ~from (pkt : Packet.t) =
@@ -208,7 +264,10 @@ let rec arrive t ~node ~from (pkt : Packet.t) =
       let v = Pipeline.run t.scheme.Scheme.pipeline t.env ~switch:node ~from pkt in
       let tag = Verdict.tag v in
       if tag = Verdict.tag_forward then forward_from t ~node pkt
-      else if tag = Verdict.tag_consume then pool_release t pkt
+      else if tag = Verdict.tag_consume then begin
+        t.consumed_pkts <- t.consumed_pkts + 1;
+        pool_release t pkt
+      end
       else if tag = Verdict.tag_delay then
         Engine.schedule_event_after t.engine ~delay:(Verdict.delay_ns v)
           ~code:ev_forward ~a:node ~b:pkt.Packet.pool_slot
@@ -217,9 +276,14 @@ let rec arrive t ~node ~from (pkt : Packet.t) =
         pool_release t pkt
       end)
   | Topo.Node.Gateway _ ->
-      Metrics.gateway_arrival t.metrics pkt;
-      Engine.schedule_event_after t.engine ~delay:t.cfg.gw_proc_delay
-        ~code:ev_gateway ~a:node ~b:pkt.Packet.pool_slot
+      if t.faults_on && t.gw_down.(node) then
+        (* Outage window: the gateway black-holes arrivals. *)
+        drop_faulted t ~site:Metrics.Fault_gateway pkt
+      else begin
+        Metrics.gateway_arrival t.metrics pkt;
+        Engine.schedule_event_after t.engine ~delay:t.cfg.gw_proc_delay
+          ~code:ev_gateway ~a:node ~b:pkt.Packet.pool_slot
+      end
   | Topo.Node.Host _ -> host_receive t ~node pkt
 
 and gateway_forward t ~node (pkt : Packet.t) =
@@ -244,6 +308,18 @@ and host_receive t ~node (pkt : Packet.t) =
       if vip_home = node then deliver t pkt
       else begin
         Metrics.misdelivered t.metrics pkt;
+        (* Two ways a reforwarded packet can loop forever on stale
+           cache entries, both broken by pinning it to gateway-only
+           resolution: a second misdelivery (the VIP moved more than
+           once and a switch "trusted" a cached value that was itself
+           stale), and a misdelivery at the packet's own source host
+           (the ToR's outer-source tagging heuristic cannot mark the
+           reforward, so the stale entry would hairpin it back every
+           time). *)
+        if
+          pkt.Packet.misdelivery >= 0
+          || Pip.equal pkt.Packet.src_pip (Topology.pip t.topo node)
+        then pkt.Packet.gw_pinned <- true;
         let action =
           match t.scheme.Scheme.on_misdelivery t.env ~host:node pkt with
           | Scheme.Reforward_to_gateway -> act_reforward
@@ -297,28 +373,92 @@ and deliver t (pkt : Packet.t) =
      a fresh pool packet), so the slot can recycle now. *)
   pool_release t pkt
 
-(* Typed-event dispatcher. The [b] operand of every code is a pool
-   slot; packets are adopted into the pool before their first hop, so
-   the slot is always live here. *)
+(* --- fault execution --------------------------------------------------- *)
+
+let migrate_now t ~vip ~to_host =
+  let old_host = t.vm_host.(Vip.to_int vip) in
+  let old_pip = Topology.pip t.topo old_host in
+  let new_pip = Topology.pip t.topo to_host in
+  t.vm_host.(Vip.to_int vip) <- to_host;
+  Netcore.Mapping.migrate t.mapping vip new_pip;
+  t.scheme.Scheme.on_mapping_update t.env vip ~old_pip ~new_pip
+
+module Fault = Dessim.Fault
+
+let fault_series =
+  Array.init Fault.num_kinds (fun i -> "fault/" ^ Fault.kind_name i)
+
+let apply_action t (action : Fault.action) =
+  match action with
+  | Fault.Link_down (src, dst) ->
+      (Topology.link t.topo ~src ~dst).Topo.Link.up <- false
+  | Fault.Link_up (src, dst) ->
+      (Topology.link t.topo ~src ~dst).Topo.Link.up <- true
+  | Fault.Set_loss (src, dst, model) ->
+      let l = Topology.link t.topo ~src ~dst in
+      l.Topo.Link.loss <- model;
+      l.Topo.Link.loss_state <- 0
+  | Fault.Corrupt_next (src, dst) ->
+      let l = Topology.link t.topo ~src ~dst in
+      l.Topo.Link.corrupt_next <- l.Topo.Link.corrupt_next + 1
+  | Fault.Switch_fail switch ->
+      Pipeline.reset_switch t.scheme.Scheme.pipeline ~switch
+  | Fault.Gateway_down g -> t.gw_down.(g) <- true
+  | Fault.Gateway_up g -> t.gw_down.(g) <- false
+  | Fault.Churn n ->
+      let num_vms = Array.length t.vm_host in
+      let hosts = Topology.hosts t.topo in
+      let num_hosts = Array.length hosts in
+      for _ = 1 to n do
+        let vip = Rng.int t.fault_rng num_vms in
+        let h = Rng.int t.fault_rng num_hosts in
+        (* Never a no-op migration: bump to the next host if the draw
+           landed on the VM's current placement. *)
+        let to_host =
+          if hosts.(h) = t.vm_host.(vip) then hosts.((h + 1) mod num_hosts)
+          else hosts.(h)
+        in
+        migrate_now t ~vip:(Vip.of_int vip) ~to_host
+      done
+
+let apply_fault t ~index =
+  let spec = t.fault_specs.(index) in
+  let k = Fault.kind_index spec.Fault.action in
+  t.fault_counts.(k) <- t.fault_counts.(k) + 1;
+  apply_action t spec.Fault.action;
+  if Dessim.Telemetry.is_enabled t.cfg.telemetry then
+    Dessim.Telemetry.sample t.cfg.telemetry
+      fault_series.(k)
+      ~now_sec:(Time_ns.to_sec (Engine.now t.engine))
+      (float_of_int t.fault_counts.(k))
+
+(* Typed-event dispatcher. The [b] operand of every packet-carrying
+   code is a pool slot; packets are adopted into the pool before their
+   first hop, so the slot is always live here. [ev_fault] events carry
+   no packet and must be dispatched before the slot dereference. *)
 let handle_event t ~code ~a ~b =
-  let pkt = t.pool.(b) in
-  if code = ev_arrive then begin
-    let from = a lsr node_bits in
-    let node = a land node_mask in
-    let link = Topology.link t.topo ~src:from ~dst:node in
-    Topo.Link.delivered link ~bytes:pkt.Packet.size;
-    arrive t ~node ~from pkt
+  if code = ev_fault then apply_fault t ~index:a
+  else begin
+    let pkt = t.pool.(b) in
+    if code = ev_arrive then begin
+      let from = a lsr node_bits in
+      let node = a land node_mask in
+      let link = Topology.link t.topo ~src:from ~dst:node in
+      Topo.Link.delivered link ~bytes:pkt.Packet.size;
+      arrive t ~node ~from pkt
+    end
+    else if code = ev_gateway then gateway_forward t ~node:a pkt
+    else if code = ev_forward then forward_from t ~node:a pkt
+    else if code = ev_loopback then deliver t pkt
+    else if code = ev_host_fwd then
+      host_forward t ~node:(a land node_mask) ~action:(a lsr node_bits) pkt
+    else assert false
   end
-  else if code = ev_gateway then gateway_forward t ~node:a pkt
-  else if code = ev_forward then forward_from t ~node:a pkt
-  else if code = ev_loopback then deliver t pkt
-  else if code = ev_host_fwd then
-    host_forward t ~node:(a land node_mask) ~action:(a lsr node_bits) pkt
-  else assert false
 
 (* --- sending ---------------------------------------------------------- *)
 
 let send_tenant_packet t ~src_host (pkt : Packet.t) =
+  t.injected_pkts <- t.injected_pkts + 1;
   let dst_home = t.vm_host.(Vip.to_int pkt.Packet.dst_vip) in
   if dst_home = src_host then begin
     (* Hypervisor-local switching for co-located VMs: no network, no
@@ -446,6 +586,13 @@ let create ?(config = default_config) topo ~scheme =
       free_slots = Array.make 256 0;
       free_top = 1;
       (* slot 0 = pool_seed, already free *)
+      faults_on = false;
+      fault_specs = [||];
+      fault_rng = Rng.create (config.seed lxor 0x5afe);
+      fault_counts = Array.make Dessim.Fault.num_kinds 0;
+      gw_down = Array.make (Topology.num_nodes topo) false;
+      injected_pkts = 0;
+      consumed_pkts = 0;
     }
   and env =
     {
@@ -457,6 +604,7 @@ let create ?(config = default_config) topo ~scheme =
       fresh_packet_id = (fun () -> fresh_packet_id t ());
       emit_at_switch =
         (fun ~src_switch pkt ->
+          t.injected_pkts <- t.injected_pkts + 1;
           Metrics.packet_sent t.metrics pkt;
           forward_from t ~node:src_switch pkt);
     }
@@ -470,6 +618,63 @@ let create ?(config = default_config) topo ~scheme =
     Pipeline.attach scheme.Scheme.pipeline config.telemetry;
   t
 
+(* --- fault plans ------------------------------------------------------- *)
+
+let validate_action t (action : Fault.action) =
+  let check_link src dst =
+    match Topology.link t.topo ~src ~dst with
+    | (_ : Topo.Link.t) -> ()
+    | exception Not_found ->
+        invalid_arg
+          (Printf.sprintf "Network.install_faults: no link %d -> %d" src dst)
+  in
+  let check_switch sw =
+    if
+      sw < 0
+      || sw >= Topology.num_nodes t.topo
+      || Topo.Node.is_endpoint (Topology.kind t.topo sw)
+    then
+      invalid_arg (Printf.sprintf "Network.install_faults: %d is not a switch" sw)
+  in
+  let check_gateway g =
+    match Topology.kind t.topo g with
+    | Topo.Node.Gateway _ -> ()
+    | _ | (exception Invalid_argument _) ->
+        invalid_arg
+          (Printf.sprintf "Network.install_faults: %d is not a gateway" g)
+  in
+  match action with
+  | Fault.Link_down (s, d) | Fault.Link_up (s, d)
+  | Fault.Set_loss (s, d, _)
+  | Fault.Corrupt_next (s, d) ->
+      check_link s d
+  | Fault.Switch_fail sw -> check_switch sw
+  | Fault.Gateway_down g | Fault.Gateway_up g -> check_gateway g
+  | Fault.Churn n ->
+      if n < 0 then invalid_arg "Network.install_faults: negative churn batch"
+
+let install_faults t (plan : Fault.plan) =
+  if t.faults_on then invalid_arg "Network.install_faults: plan already installed";
+  let specs = Fault.sort_specs plan.Fault.specs in
+  Array.iter (fun s -> validate_action t s.Fault.action) specs;
+  t.faults_on <- true;
+  t.fault_specs <- specs;
+  t.fault_rng <- Rng.create plan.Fault.seed;
+  Array.iteri
+    (fun i (s : Fault.spec) ->
+      Engine.schedule_event t.engine ~at:s.Fault.at ~code:ev_fault ~a:i ~b:0)
+    specs
+
+let faults_installed t = t.faults_on
+
+let fault_counts t =
+  Array.to_list
+    (Array.mapi (fun i c -> (Fault.kind_name i, c)) t.fault_counts)
+
+let injected_packets t = t.injected_pkts
+let consumed_at_switch t = t.consumed_pkts
+let live_packets t = t.pool_len - t.free_top
+let gateway_is_down t node = t.gw_down.(node)
 let metrics t = t.metrics
 
 let transport t =
@@ -492,12 +697,7 @@ let run t flows ~migrations ~until =
   List.iter
     (fun m ->
       Engine.schedule t.engine ~at:m.at (fun () ->
-          let old_host = t.vm_host.(Vip.to_int m.vip) in
-          let old_pip = Topology.pip t.topo old_host in
-          let new_pip = Topology.pip t.topo m.to_host in
-          t.vm_host.(Vip.to_int m.vip) <- m.to_host;
-          Netcore.Mapping.migrate t.mapping m.vip new_pip;
-          t.scheme.Scheme.on_mapping_update t.env m.vip ~old_pip ~new_pip))
+          migrate_now t ~vip:m.vip ~to_host:m.to_host))
     migrations;
   let tel = t.cfg.telemetry in
   if Dessim.Telemetry.is_enabled tel then begin

@@ -74,3 +74,55 @@ val host_of_vm_index : t -> int -> int
 (** [gateway_for_flow t flow_id] — the gateway replica serving a flow
     (per-flow load balancing). *)
 val gateway_for_flow : t -> int -> int
+
+(** {2 Fault injection}
+
+    A {!Dessim.Fault.plan} installed before {!run} schedules every
+    fault as a typed engine event. With no plan installed the fault
+    layer is dead branches: no RNG draws, no behavior change, and
+    byte-identical event transcripts. *)
+
+(** [install_faults t plan] validates the plan against the topology
+    (link endpoints must be adjacent, switch/gateway ids must name
+    switches/gateways) and schedules its specs. The runtime fault RNG
+    (per-packet loss draws, churn victim selection) is re-seeded from
+    [plan.seed], so equal plans replay byte-identically. Raises
+    [Invalid_argument] on an invalid plan or if a plan is already
+    installed. *)
+val install_faults : t -> Dessim.Fault.plan -> unit
+
+(** [faults_installed t] — whether a plan has been installed. *)
+val faults_installed : t -> bool
+
+(** [fault_counts t] — fault firings so far, per
+    {!Dessim.Fault.kind_name}, in kind order. *)
+val fault_counts : t -> (string * int) list
+
+(** [migrate_now t ~vip ~to_host] performs a migration immediately
+    (ground truth + scheme notification); churn faults and scheduled
+    migrations both land here. *)
+val migrate_now : t -> vip:Netcore.Addr.Vip.t -> to_host:int -> unit
+
+(** [gateway_is_down t node] — whether gateway [node] is inside an
+    outage window. *)
+val gateway_is_down : t -> int -> bool
+
+(** {2 Conservation accounting}
+
+    Every packet entering the network ([injected_packets]: tenant
+    sends including hypervisor loopbacks, plus scheme-emitted control
+    packets) ends in exactly one of: delivered
+    ({!Metrics.delivered_packets}), dropped ({!Metrics.packets_dropped},
+    any site), consumed by a switch ([consumed_at_switch]), or still
+    in flight ([live_packets]). The DST harness checks the sum. *)
+
+val injected_packets : t -> int
+
+(** [consumed_at_switch t] — packets that terminated at a switch: a
+    pipeline [consume] verdict or a control packet reaching the switch
+    it was addressed to. *)
+val consumed_at_switch : t -> int
+
+(** [live_packets t] — pool slots currently held by in-flight
+    packets. *)
+val live_packets : t -> int

@@ -23,16 +23,19 @@ type t = {
   stages : stage array;
   attach : Dessim.Telemetry.t -> unit;
   prepare : env -> unit;
+  reset : switch:int -> unit;
 }
 
 let no_probe (_ : Dessim.Telemetry.t) ~now_sec:(_ : float) = ()
 let no_attach (_ : Dessim.Telemetry.t) = ()
 let no_prepare (_ : env) = ()
+let no_reset ~switch:(_ : int) = ()
 
 let stage ?(probe = no_probe) ~kind name exec = { name; kind; exec; probe }
 
-let make ?(attach = no_attach) ?(prepare = no_prepare) stages =
-  { stages = Array.of_list stages; attach; prepare }
+let make ?(attach = no_attach) ?(prepare = no_prepare) ?(reset = no_reset)
+    stages =
+  { stages = Array.of_list stages; attach; prepare; reset }
 
 let passthrough = make []
 
@@ -52,6 +55,7 @@ let run t env ~switch ~from pkt =
 
 let prepare t env = t.prepare env
 let attach t tel = t.attach tel
+let reset_switch t ~switch = t.reset ~switch
 let probe t tel ~now_sec = Array.iter (fun s -> s.probe tel ~now_sec) t.stages
 let stages t = Array.to_list (Array.map (fun s -> (s.name, s.kind)) t.stages)
 

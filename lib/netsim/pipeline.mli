@@ -56,14 +56,18 @@ val stage :
   (env -> switch:int -> from:int -> Netcore.Packet.t -> int) ->
   stage
 
-(** [make ?attach ?prepare stages] builds a pipeline. [prepare] runs
-    once per {!Network.create} with the network's [env] — the place to
-    build per-run state (e.g. the memoized [Dataplane.env]) instead of
-    on the per-hop path. [attach] hands the run's telemetry collector
-    to the scheme (flight recorder). *)
+(** [make ?attach ?prepare ?reset stages] builds a pipeline. [prepare]
+    runs once per {!Network.create} with the network's [env] — the
+    place to build per-run state (e.g. the memoized [Dataplane.env])
+    instead of on the per-hop path. [attach] hands the run's telemetry
+    collector to the scheme (flight recorder). [reset ~switch] models
+    a switch failure/reboot: the scheme must discard all soft state it
+    holds for [switch] (cached mappings, installed table entries);
+    defaults to a no-op for stateless schemes. *)
 val make :
   ?attach:(Dessim.Telemetry.t -> unit) ->
   ?prepare:(env -> unit) ->
+  ?reset:(switch:int -> unit) ->
   stage list ->
   t
 
@@ -77,6 +81,11 @@ val run : t -> env -> switch:int -> from:int -> Netcore.Packet.t -> int
 
 val prepare : t -> env -> unit
 val attach : t -> Dessim.Telemetry.t -> unit
+
+(** [reset_switch t ~switch] invokes the scheme's switch-failure hook:
+    all soft state held for [switch] is wiped (the switch "reboots
+    empty"). Used by the fault-injection layer's [Switch_fail]. *)
+val reset_switch : t -> switch:int -> unit
 
 (** [probe t tel ~now_sec] runs every stage's telemetry probe. *)
 val probe : t -> Dessim.Telemetry.t -> now_sec:float -> unit

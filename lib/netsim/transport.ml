@@ -118,6 +118,16 @@ let has_received_any t ~flow_id =
   | None -> false
   | Some r -> r.got_first
 
+let receiver_done t ~flow_id =
+  match store_find t.receivers flow_id with
+  | None -> false
+  | Some r -> r.r_done
+
+let received_distinct t ~flow_id =
+  match store_find t.receivers flow_id with
+  | None -> 0
+  | Some r -> r.n_received
+
 let effective_cwnd t s = max 1 (min t.window (int_of_float s.cwnd))
 
 (* Reliable sender: keep the congestion window full. *)

@@ -51,6 +51,16 @@ val flows_completed : t -> int
     data packet of the flow (used to classify "first packet" hits). *)
 val has_received_any : t -> flow_id:int -> bool
 
+(** [receiver_done t ~flow_id] — whether the receiver has accepted
+    every distinct sequence number of the flow. Exposed for the DST
+    harness's stale-delivery invariant. *)
+val receiver_done : t -> flow_id:int -> bool
+
+(** [received_distinct t ~flow_id] — distinct sequence numbers the
+    receiver has accepted so far (duplicates from retransmission are
+    not double-counted). *)
+val received_distinct : t -> flow_id:int -> int
+
 (** [reordering_events t] counts data arrivals with a sequence number
     lower than one already received (per flow, first-arrival only). *)
 val reordering_events : t -> int

@@ -120,11 +120,12 @@ let flat_cache_scheme ~name ~switches ~total_slots ~topo =
     Learning_cache.create ~switches ~total_slots
       ~num_nodes:(Topo.Topology.num_nodes topo)
   in
-  {
+  ( {
     Scheme.name;
     resolve_at_host = (fun _env ~host:_ ~flow_id:_ ~dst_vip:_ -> Scheme.Send_via_gateway);
     pipeline =
       Pipeline.make
+        ~reset:(fun ~switch -> Learning_cache.fail_switch lc ~switch)
         [
           Pipeline.stage ~kind:Pipeline.Lookup "lookup"
             (fun _env ~switch ~from:_ pkt ->
@@ -144,14 +145,18 @@ let flat_cache_scheme ~name ~switches ~total_slots ~topo =
           ("cache_hits", float_of_int (Learning_cache.total_hits lc));
           ("cache_misses", float_of_int (Learning_cache.total_misses lc));
         ]);
-  }
+  },
+    lc )
 
-let locallearning ~topo ~total_slots =
+let locallearning_with_cache ~topo ~total_slots =
   flat_cache_scheme ~name:"LocalLearning"
     ~switches:(Topo.Topology.switches topo)
     ~total_slots ~topo
 
-let gwcache ~topo ~total_slots =
+let locallearning ~topo ~total_slots =
+  fst (locallearning_with_cache ~topo ~total_slots)
+
+let gwcache_with_cache ~topo ~total_slots =
   let gateway_tors =
     Array.of_list
       (List.filter
@@ -159,6 +164,8 @@ let gwcache ~topo ~total_slots =
          (Array.to_list (Topo.Topology.tors topo)))
   in
   flat_cache_scheme ~name:"GwCache" ~switches:gateway_tors ~total_slots ~topo
+
+let gwcache ~topo ~total_slots = fst (gwcache_with_cache ~topo ~total_slots)
 
 type bluebird_tor = {
   cache : Cache.t;
@@ -192,6 +199,13 @@ let bluebird ?(cp_rate_bps = 20e9) ?(cp_fwd_delay = Time_ns.of_ns 8_500)
     resolve_at_host = (fun _env ~host:_ ~flow_id:_ ~dst_vip:_ -> Scheme.Send_via_gateway);
     pipeline =
       Pipeline.make
+        ~reset:(fun ~switch ->
+          match states.(switch) with
+          | None -> ()
+          | Some st ->
+              Cache.clear st.cache;
+              st.cp_busy_until <- Time_ns.zero;
+              st.cp_queued_bytes <- 0)
         [
           Pipeline.stage ~kind:Pipeline.Lookup "tor-route-cache"
             (fun env ~switch ~from:_ pkt ->

@@ -33,8 +33,17 @@ val hoverboard : ?offload_threshold:int -> unit -> Netsim.Scheme.t
     over all switches. *)
 val locallearning : topo:Topo.Topology.t -> total_slots:int -> Netsim.Scheme.t
 
+(** [locallearning_with_cache] also returns the underlying
+    {!Learning_cache.t}, so harnesses (e.g. the DST occupancy
+    invariant) can inspect per-switch cache state. *)
+val locallearning_with_cache :
+  topo:Topo.Topology.t -> total_slots:int -> Netsim.Scheme.t * Learning_cache.t
+
 (** GwCache — Sailfish-like: caches only at gateway ToRs. *)
 val gwcache : topo:Topo.Topology.t -> total_slots:int -> Netsim.Scheme.t
+
+val gwcache_with_cache :
+  topo:Topo.Topology.t -> total_slots:int -> Netsim.Scheme.t * Learning_cache.t
 
 (** Bluebird — ToR route-caches backed by the switch-local control
     plane (SFE): a miss detours the packet through a

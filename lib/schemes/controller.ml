@@ -174,6 +174,9 @@ let make ?(gw_cost_hops = 40.0) ~topo ~total_slots ~interval () =
         Scheme.Send_via_gateway);
     pipeline =
       Pipeline.make
+        ~reset:(fun ~switch ->
+          let pos = st.switch_pos.(switch) in
+          if pos >= 0 then Hashtbl.reset st.installed.(pos))
         [
           Pipeline.stage ~kind:Pipeline.Lookup "installed-table"
             (fun _env ~switch ~from:_ pkt ->

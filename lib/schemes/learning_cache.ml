@@ -28,6 +28,9 @@ let create ~switches ~total_slots ~num_nodes =
 
 let cache t ~switch = t.caches.(switch)
 
+let fail_switch t ~switch =
+  match t.caches.(switch) with None -> () | Some c -> Cache.clear c
+
 (* Lookup stage: tagged packets only clean up (they are resolved by
    the gateway); unresolved packets consult the cache. *)
 let lookup t ~switch (pkt : Packet.t) =
@@ -40,7 +43,7 @@ let lookup t ~switch (pkt : Packet.t) =
             ignore
               (Cache.invalidate cache pkt.Packet.dst_vip
                  ~stale:(Pip.of_int pkt.Packet.misdelivery))
-          else if not pkt.Packet.resolved then begin
+          else if not pkt.Packet.resolved && not pkt.Packet.gw_pinned then begin
             let r = Cache.lookup cache pkt.Packet.dst_vip in
             if r >= 0 then begin
               pkt.Packet.dst_pip <- Cache.hit_pip r;

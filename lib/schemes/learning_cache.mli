@@ -29,6 +29,10 @@ val on_switch : t -> switch:int -> Netcore.Packet.t -> unit
     switches. *)
 val cache : t -> switch:int -> Switchv2p.Cache.t option
 
+(** [fail_switch t ~switch] wipes [switch]'s cache (switch
+    failure/reboot); a no-op for switches without a cache. *)
+val fail_switch : t -> switch:int -> unit
+
 (** Aggregate hits/misses over all caches. *)
 val total_hits : t -> int
 

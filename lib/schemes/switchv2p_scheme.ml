@@ -32,6 +32,7 @@ let make_with_dataplane ?(config = Switchv2p.Config.default) ?partition topo
     Pipeline.make
       ~attach:(fun tel -> Dataplane.set_telemetry dp tel)
       ~prepare:(fun env -> ignore (dp_env env : Dataplane.env))
+      ~reset:(fun ~switch -> Dataplane.fail_switch dp ~switch)
       [
         Pipeline.stage ~kind:Pipeline.Classify "classify"
           (fun env ~switch ~from pkt ->

@@ -1,0 +1,217 @@
+type gilbert_elliott = {
+  p_enter_bad : float;
+  p_exit_bad : float;
+  loss_good : float;
+  loss_bad : float;
+}
+
+type loss_model =
+  | No_loss
+  | Bernoulli of float
+  | Gilbert_elliott of gilbert_elliott
+
+let state_good = 0
+let state_bad = 1
+
+let step_packed model ~state rng =
+  match model with
+  | No_loss -> state lsl 1
+  | Bernoulli p -> (state_good lsl 1) lor Bool.to_int (Rng.bernoulli rng p)
+  | Gilbert_elliott g ->
+      let state' =
+        if state = state_good then
+          if Rng.bernoulli rng g.p_enter_bad then state_bad else state_good
+        else if Rng.bernoulli rng g.p_exit_bad then state_good
+        else state_bad
+      in
+      let p = if state' = state_bad then g.loss_bad else g.loss_good in
+      (state' lsl 1) lor Bool.to_int (Rng.bernoulli rng p)
+
+type action =
+  | Link_down of int * int
+  | Link_up of int * int
+  | Set_loss of int * int * loss_model
+  | Corrupt_next of int * int
+  | Switch_fail of int
+  | Gateway_down of int
+  | Gateway_up of int
+  | Churn of int
+
+type spec = { at : Time_ns.t; action : action }
+type plan = { seed : int; specs : spec array }
+
+let empty = { seed = 0; specs = [||] }
+
+let sort_specs specs =
+  let a = Array.copy specs in
+  (* stable: ties keep their original relative order, which pins the
+     execution order of same-timestamp faults in replays *)
+  let tagged = Array.mapi (fun i s -> (s.at, i, s)) a in
+  Array.sort
+    (fun (t0, i0, _) (t1, i1, _) ->
+      if t0 <> t1 then compare t0 t1 else compare i0 i1)
+    tagged;
+  Array.map (fun (_, _, s) -> s) tagged
+
+let num_kinds = 8
+
+let kind_index = function
+  | Link_down _ -> 0
+  | Link_up _ -> 1
+  | Set_loss _ -> 2
+  | Corrupt_next _ -> 3
+  | Switch_fail _ -> 4
+  | Gateway_down _ -> 5
+  | Gateway_up _ -> 6
+  | Churn _ -> 7
+
+let kind_names =
+  [|
+    "link_down";
+    "link_up";
+    "set_loss";
+    "corrupt";
+    "switch_fail";
+    "gateway_down";
+    "gateway_up";
+    "churn";
+  |]
+
+let kind_name i = kind_names.(i)
+
+(* Floats print as %h so the textual form round-trips bit-exactly. *)
+let loss_to_string = function
+  | No_loss -> "none"
+  | Bernoulli p -> Printf.sprintf "b%h" p
+  | Gilbert_elliott g ->
+      Printf.sprintf "ge%h,%h,%h,%h" g.p_enter_bad g.p_exit_bad g.loss_good
+        g.loss_bad
+
+let action_to_string = function
+  | Link_down (a, b) -> Printf.sprintf "linkdown=%d-%d" a b
+  | Link_up (a, b) -> Printf.sprintf "linkup=%d-%d" a b
+  | Set_loss (a, b, m) ->
+      Printf.sprintf "loss=%d-%d:%s" a b (loss_to_string m)
+  | Corrupt_next (a, b) -> Printf.sprintf "corrupt=%d-%d" a b
+  | Switch_fail s -> Printf.sprintf "switchfail=%d" s
+  | Gateway_down g -> Printf.sprintf "gwdown=%d" g
+  | Gateway_up g -> Printf.sprintf "gwup=%d" g
+  | Churn n -> Printf.sprintf "churn=%d" n
+
+let pp_action fmt a = Format.pp_print_string fmt (action_to_string a)
+
+let to_string plan =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "seed=%d" plan.seed);
+  Array.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf ";@%d:%s" s.at (action_to_string s.action)))
+    plan.specs;
+  Buffer.contents b
+
+exception Parse of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse m)) fmt
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail "bad %s %S" what s
+
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail "bad %s %S" what s
+
+let parse_pair what s =
+  match String.index_opt s '-' with
+  | Some i ->
+      ( parse_int what (String.sub s 0 i),
+        parse_int what (String.sub s (i + 1) (String.length s - i - 1)) )
+  | None -> fail "expected SRC-DST in %S" s
+
+let parse_loss s =
+  if s = "none" then No_loss
+  else if String.length s > 1 && s.[0] = 'b' then
+    Bernoulli (parse_float "loss probability" (String.sub s 1 (String.length s - 1)))
+  else if String.length s > 2 && s.[0] = 'g' && s.[1] = 'e' then
+    match String.split_on_char ',' (String.sub s 2 (String.length s - 2)) with
+    | [ pe; px; lg; lb ] ->
+        Gilbert_elliott
+          {
+            p_enter_bad = parse_float "ge p_enter_bad" pe;
+            p_exit_bad = parse_float "ge p_exit_bad" px;
+            loss_good = parse_float "ge loss_good" lg;
+            loss_bad = parse_float "ge loss_bad" lb;
+          }
+    | _ -> fail "expected ge<p>,<p>,<p>,<p> in %S" s
+  else fail "bad loss model %S" s
+
+let parse_action s =
+  match String.index_opt s '=' with
+  | None -> fail "bad action %S" s
+  | Some i -> (
+      let key = String.sub s 0 i in
+      let v = String.sub s (i + 1) (String.length s - i - 1) in
+      match key with
+      | "linkdown" ->
+          let a, b = parse_pair "link endpoint" v in
+          Link_down (a, b)
+      | "linkup" ->
+          let a, b = parse_pair "link endpoint" v in
+          Link_up (a, b)
+      | "loss" -> (
+          match String.index_opt v ':' with
+          | Some j ->
+              let a, b = parse_pair "link endpoint" (String.sub v 0 j) in
+              let m =
+                parse_loss (String.sub v (j + 1) (String.length v - j - 1))
+              in
+              Set_loss (a, b, m)
+          | None -> fail "expected loss=SRC-DST:MODEL in %S" s)
+      | "corrupt" ->
+          let a, b = parse_pair "link endpoint" v in
+          Corrupt_next (a, b)
+      | "switchfail" -> Switch_fail (parse_int "switch id" v)
+      | "gwdown" -> Gateway_down (parse_int "gateway id" v)
+      | "gwup" -> Gateway_up (parse_int "gateway id" v)
+      | "churn" -> Churn (parse_int "churn batch size" v)
+      | _ -> fail "unknown action %S" key)
+
+let parse_spec s =
+  if String.length s < 2 || s.[0] <> '@' then fail "expected @TIME:ACTION in %S" s
+  else
+    match String.index_opt s ':' with
+    | Some i ->
+        {
+          at = parse_int "time" (String.sub s 1 (i - 1));
+          action =
+            parse_action (String.sub s (i + 1) (String.length s - i - 1));
+        }
+    | None -> fail "expected @TIME:ACTION in %S" s
+
+let of_string s =
+  try
+    match String.split_on_char ';' (String.trim s) with
+    | [] -> Error "empty plan"
+    | seed :: rest ->
+        let seed =
+          match String.index_opt seed '=' with
+          | Some i when String.sub seed 0 i = "seed" ->
+              parse_int "seed"
+                (String.sub seed (i + 1) (String.length seed - i - 1))
+          | _ -> fail "plan must start with seed=N, got %S" seed
+        in
+        let specs =
+          rest
+          |> List.filter (fun s -> String.trim s <> "")
+          |> List.map parse_spec |> Array.of_list
+        in
+        Ok { seed; specs = sort_specs specs }
+  with Parse m -> Error m
+
+let of_string_exn s =
+  match of_string s with
+  | Ok p -> p
+  | Error m -> invalid_arg ("Fault.of_string: " ^ m)

@@ -1,0 +1,86 @@
+(** Declarative, seeded fault schedules for the simulator.
+
+    A {!plan} is a time-sorted array of {!spec}s — "at [at], apply
+    [action]" — plus the RNG seed that governs every stochastic choice
+    made while the plan executes (per-packet loss draws, churn victim
+    selection). Plans are pure data: the network layer installs them
+    as ordinary typed events in the allocation-free event core, so
+    executing a fault allocates nothing on the packet hot path.
+
+    Plans round-trip through {!to_string}/{!of_string} losslessly
+    (floats are printed as hex), which is what makes byte-identical
+    replay from a failure report possible. *)
+
+(** Parameters of a two-state Gilbert-Elliott burst-loss channel. The
+    chain steps once per transmitted packet; the loss probability
+    depends on the state {e after} the step. *)
+type gilbert_elliott = {
+  p_enter_bad : float;  (** good->bad transition probability *)
+  p_exit_bad : float;  (** bad->good transition probability *)
+  loss_good : float;  (** per-packet loss probability in the good state *)
+  loss_bad : float;  (** per-packet loss probability in the bad state *)
+}
+
+type loss_model =
+  | No_loss
+  | Bernoulli of float  (** i.i.d. per-packet loss probability *)
+  | Gilbert_elliott of gilbert_elliott
+
+(** [step_packed model ~state rng] advances a per-link loss channel by
+    one packet. [state] is the packed channel state from the previous
+    call (0 initially). The result packs the successor state in the
+    high bits and the "drop this packet" decision in bit 0:
+    [(state' lsl 1) lor drop]. [No_loss] draws nothing from [rng], so
+    installing the fault layer does not perturb fault-free RNG
+    streams. *)
+val step_packed : loss_model -> state:int -> Rng.t -> int
+
+type action =
+  | Link_down of int * int  (** sever the directed link [src -> dst] *)
+  | Link_up of int * int  (** restore the directed link [src -> dst] *)
+  | Set_loss of int * int * loss_model
+      (** install (or clear, with [No_loss]) a loss channel on the
+          directed link [src -> dst] *)
+  | Corrupt_next of int * int
+      (** mangle the next packet transmitted on the directed link
+          [src -> dst] (one-shot) *)
+  | Switch_fail of int  (** wipe all cached state on one switch *)
+  | Gateway_down of int  (** gateway starts black-holing arrivals *)
+  | Gateway_up of int  (** gateway resumes service *)
+  | Churn of int
+      (** migrate [n] randomly chosen VMs to random new hosts, in one
+          batch (a mapping-churn storm is several of these) *)
+
+type spec = { at : Time_ns.t; action : action }
+
+type plan = {
+  seed : int;
+      (** seeds the runtime fault RNG (loss draws, churn victims) *)
+  specs : spec array;  (** sorted by [at] (ties keep array order) *)
+}
+
+val empty : plan
+
+(** [sort_specs specs] is [specs] stably sorted by firing time. *)
+val sort_specs : spec array -> spec array
+
+(** Number of distinct fault kinds, for fixed-size counter arrays. *)
+val num_kinds : int
+
+(** [kind_index action] is a dense index in [0, num_kinds). *)
+val kind_index : action -> int
+
+(** [kind_name i] is a stable label ("link_down", "churn", ...). *)
+val kind_name : int -> string
+
+(** Exact textual round-trip: ["seed=S;@T:ACTION;@T:ACTION;..."] with
+    times in ns and floats in hexadecimal notation. *)
+val to_string : plan -> string
+
+val of_string : string -> (plan, string) result
+
+(** [of_string_exn s] is [of_string s], raising [Invalid_argument] on
+    malformed input. *)
+val of_string_exn : string -> plan
+
+val pp_action : Format.formatter -> action -> unit

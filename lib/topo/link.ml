@@ -18,6 +18,11 @@ type t = {
      fresh every time. *)
   mutable ser_bytes : int;
   mutable ser_ns : Dessim.Time_ns.t;
+  (* Fault-injection state, driven by Dessim.Fault plans. *)
+  mutable up : bool;
+  mutable loss : Dessim.Fault.loss_model;
+  mutable loss_state : int;
+  mutable corrupt_next : int;
 }
 
 type tx = { arrival : Dessim.Time_ns.t; ce_marked : bool }
@@ -38,6 +43,10 @@ let make ~ecn_threshold ~src ~dst ~rate_bps ~prop_delay ~buffer_bytes =
     marked = 0;
     ser_bytes = -1;
     ser_ns = Dessim.Time_ns.zero;
+    up = true;
+    loss = Dessim.Fault.No_loss;
+    loss_state = 0;
+    corrupt_next = 0;
   }
 
 let serialization_time t bytes =
@@ -93,7 +102,26 @@ let reset t =
   t.tx_bytes <- 0;
   t.tx_packets <- 0;
   t.drops <- 0;
-  t.marked <- 0
+  t.marked <- 0;
+  t.up <- true;
+  t.loss <- Dessim.Fault.No_loss;
+  t.loss_state <- 0;
+  t.corrupt_next <- 0
+
+let loss_step t rng =
+  match t.loss with
+  | Dessim.Fault.No_loss -> false
+  | m ->
+      let packed = Dessim.Fault.step_packed m ~state:t.loss_state rng in
+      t.loss_state <- packed lsr 1;
+      packed land 1 = 1
+
+let take_corrupt t =
+  t.corrupt_next > 0
+  && begin
+       t.corrupt_next <- t.corrupt_next - 1;
+       true
+     end
 
 let queueing_delay t ~now =
   if Dessim.Time_ns.compare t.busy_until now > 0 then

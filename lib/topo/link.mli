@@ -24,6 +24,14 @@ type t = {
   mutable ser_bytes : int;
       (** serialization-time memo key (last packet size); -1 = empty *)
   mutable ser_ns : Dessim.Time_ns.t;  (** memoized result for [ser_bytes] *)
+  mutable up : bool;
+      (** fault injection: [false] while a [Link_down] fault is active;
+          routing avoids dead links and transmissions on them black-hole *)
+  mutable loss : Dessim.Fault.loss_model;
+      (** fault injection: per-packet loss channel (default [No_loss]) *)
+  mutable loss_state : int;  (** packed channel state for {!loss_step} *)
+  mutable corrupt_next : int;
+      (** fault injection: number of upcoming packets to corrupt *)
 }
 
 val make :
@@ -66,6 +74,15 @@ val delivered : t -> bytes:int -> unit
     wait before starting serialization. *)
 val queueing_delay : t -> now:Dessim.Time_ns.t -> Dessim.Time_ns.t
 
-(** [reset t] clears all dynamic state (queue, counters) so the link
-    can serve a fresh simulation run. *)
+(** [reset t] clears all dynamic state (queue, counters, fault state)
+    so the link can serve a fresh simulation run. *)
 val reset : t -> unit
+
+(** [loss_step t rng] advances the link's loss channel by one packet
+    and reports whether that packet is lost. Draws nothing from [rng]
+    when the model is [No_loss], so fault-free runs are byte-identical
+    with or without the fault layer. *)
+val loss_step : t -> Dessim.Rng.t -> bool
+
+(** [take_corrupt t] consumes one pending one-shot corruption, if any. *)
+val take_corrupt : t -> bool

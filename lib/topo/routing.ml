@@ -88,6 +88,96 @@ let next_hop topo ~at ~dst ~salt =
       | Node.Core _ ->
           invalid_arg "Routing.next_hop: core-to-core packets are not routable")
 
+(* Fault-aware variant of [next_hop]: same case analysis and same
+   primary ECMP hash, but each candidate hop is checked against
+   [Link.up] and, where ECMP siblings exist, dead candidates are
+   skipped by probing the candidate ring from the hashed index. With
+   every link up this is hop-for-hop identical to [next_hop] (the ring
+   probe stops at its first candidate), which is property-tested, so
+   goldens are unaffected by compiling the fault layer in. Forced hops
+   (unique next hop) return [blackhole] when their link is down. *)
+let blackhole = -1
+
+let link_up topo ~src ~dst = (Topology.link topo ~src ~dst).Link.up
+
+(* First live candidate in ring order starting at [start]; [blackhole]
+   if every candidate's link is dead. *)
+let probe_ring topo ~at (arr : int array) start =
+  let n = Array.length arr in
+  let rec go i =
+    if i = n then blackhole
+    else
+      let cand = arr.((start + i) mod n) in
+      if link_up topo ~src:at ~dst:cand then cand else go (i + 1)
+  in
+  go 0
+
+let next_hop_alive topo ~at ~dst ~salt =
+  if at = dst then
+    invalid_arg "Routing.next_hop_alive: already at destination";
+  let forced hop = if link_up topo ~src:at ~dst:hop then hop else blackhole in
+  let dst_kind = Topology.kind topo dst in
+  match Topology.kind topo at with
+  | Node.Host _ | Node.Gateway _ -> forced (Topology.tor_of topo at)
+  | Node.Tor { pod; _ } -> (
+      match dst_kind with
+      | Node.Host { pod = dp; _ } | Node.Gateway { pod = dp; _ }
+        when dp = pod && Topology.tor_of topo dst = at ->
+          forced dst
+      | Node.Spine { pod = dp; group; _ } when dp = pod ->
+          forced (Topology.uplinks topo at).(group)
+      | Node.Core { group; _ } -> forced (Topology.uplinks topo at).(group)
+      | Node.Spine { group; _ } -> forced (Topology.uplinks topo at).(group)
+      | Node.Host _ | Node.Gateway _ | Node.Tor _ ->
+          let ups = Topology.uplinks topo at in
+          probe_ring topo ~at ups
+            (ecmp_hash ~salt ~a:at ~b:dst mod Array.length ups))
+  | Node.Spine { pod; group; _ } -> (
+      let down_in_pod dp dst =
+        match dst with
+        | Node.Host { rack; _ } | Node.Gateway { rack; _ } ->
+            Topology.tor_id topo ~pod:dp ~rack
+        | Node.Tor { rack; _ } -> Topology.tor_id topo ~pod:dp ~rack
+        | Node.Spine _ | Node.Core _ -> assert false
+      in
+      (* Descend to a local ToR: any live-linked rack serves, so probe
+         the rack ring from the hashed rack. *)
+      let descend () =
+        let racks = (Topology.params topo).Params.racks_per_pod in
+        let start = ecmp_hash ~salt ~a:at ~b:dst mod racks in
+        let rec go i =
+          if i = racks then blackhole
+          else
+            let tor = Topology.tor_id topo ~pod ~rack:((start + i) mod racks) in
+            if link_up topo ~src:at ~dst:tor then tor else go (i + 1)
+        in
+        go 0
+      in
+      match dst_kind with
+      | (Node.Host { pod = dp; _ } | Node.Gateway { pod = dp; _ } | Node.Tor { pod = dp; _ })
+        when dp = pod ->
+          forced (down_in_pod pod dst_kind)
+      | Node.Core { group = g; idx } when g = group ->
+          forced (Topology.uplinks topo at).(idx)
+      | Node.Core _ -> descend ()
+      | Node.Spine { group = g; _ } when g <> group -> descend ()
+      | Node.Host _ | Node.Gateway _ | Node.Tor _ | Node.Spine _ ->
+          let cores = Topology.uplinks topo at in
+          if Array.length cores = 0 then
+            invalid_arg
+              "Routing.next_hop_alive: destination unreachable (no cores)"
+          else
+            probe_ring topo ~at cores
+              (ecmp_hash ~salt ~a:(at + dst) ~b:dst mod Array.length cores))
+  | Node.Core { group; _ } -> (
+      match dst_kind with
+      | Node.Host { pod; _ } | Node.Gateway { pod; _ } | Node.Tor { pod; _ } ->
+          forced (Topology.spine_id topo ~pod ~group)
+      | Node.Spine { pod; _ } -> forced (Topology.spine_id topo ~pod ~group)
+      | Node.Core _ ->
+          invalid_arg
+            "Routing.next_hop_alive: core-to-core packets are not routable")
+
 (* The original implementation: next hops recomputed from node
    coordinates on every call (including an [Array.init] of the core
    candidate set). Retained as the oracle for the table-based path. *)

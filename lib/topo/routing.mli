@@ -21,6 +21,20 @@
     ({!Topology.uplinks}) and allocates nothing. *)
 val next_hop : Topology.t -> at:int -> dst:int -> salt:int -> int
 
+(** Sentinel returned by {!next_hop_alive} when every candidate next
+    hop is behind a downed link. *)
+val blackhole : int
+
+(** [next_hop_alive topo ~at ~dst ~salt] is {!next_hop} made
+    fault-aware: candidates whose link has [Link.up = false] are
+    skipped by probing the ECMP candidate ring from the hashed index,
+    and {!blackhole} is returned when no live candidate remains (a
+    forced hop with a dead link, or all siblings dead). When every
+    link is up it returns exactly [next_hop topo ~at ~dst ~salt] —
+    link recovery therefore restores the pre-failure ECMP table
+    (property-tested against {!next_hop_oracle}). Allocates nothing. *)
+val next_hop_alive : Topology.t -> at:int -> dst:int -> salt:int -> int
+
 (** [next_hop_oracle] is the original implementation that recomputes
     candidate sets from node coordinates on every call (allocating the
     spine's core candidate array each time). It returns the same hop

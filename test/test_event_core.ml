@@ -38,6 +38,8 @@ let dump_metrics b (m : Metrics.t) topo =
   addf b "packets_sent=%d\n" (Metrics.packets_sent m);
   addf b "gateway_packets=%d\n" (Metrics.gateway_packets m);
   addf b "packets_dropped=%d\n" (Metrics.packets_dropped m);
+  addf b "delivered_packets=%d\n" (Metrics.delivered_packets m);
+  addf b "retransmits=%d\n" (Metrics.retransmits_sent m);
   List.iter
     (fun (k, n) -> addf b "drops_by_kind/%s=%d\n" k n)
     (Metrics.drops_by_kind m);
@@ -157,10 +159,99 @@ let scenario_incast b =
   Network.run net flows ~migrations:[] ~until:(Time_ns.of_ms 10);
   dump_network b ~name:"incast" net scheme
 
+(* Scenario C (separate golden file): a handcrafted fault plan
+   exercising every fault kind on SwitchV2P — a bidirectional link
+   down/up window (ECMP fallback), Bernoulli and Gilbert-Elliott loss
+   windows, a one-shot corruption, a switch failure (cache wipe), a
+   gateway outage window and a churn batch. Locks the typed fault
+   events, the fault RNG stream and the recovery paths byte-for-byte.
+   Regenerate with:
+
+     REPRO_WRITE_GOLDEN_FAULTS=$PWD/test/golden_faults.txt \
+       dune exec test/test_event_core.exe *)
+let scenario_faults b =
+  let module Fault = Dessim.Fault in
+  let params =
+    Params.scaled ~pods:2 ~racks_per_pod:2 ~hosts_per_rack:2 ~vms_per_host:2 ()
+  in
+  let topo = Topology.build params in
+  let scheme, _dp =
+    Schemes.Switchv2p_scheme.make_with_dataplane topo ~total_cache_slots:64
+  in
+  let net =
+    Network.create
+      ~config:{ Network.default_config with Network.seed = 4242 }
+      topo ~scheme
+  in
+  let pairs = Netsim.Faultplan.fabric_pairs topo in
+  let a0, b0 = pairs.(0) and a1, b1 = pairs.(1) and a2, b2 = pairs.(2) in
+  let sw0 = (Topology.switches topo).(0) in
+  let gw = (Topology.gateways topo).(0) in
+  let ms = Time_ns.of_ms in
+  let spec at action = { Fault.at; action } in
+  let plan =
+    {
+      Fault.seed = 2026;
+      specs =
+        Fault.sort_specs
+          [|
+            spec (ms 1) (Fault.Link_down (a0, b0));
+            spec (ms 1) (Fault.Link_down (b0, a0));
+            spec (ms 6) (Fault.Link_up (a0, b0));
+            spec (ms 6) (Fault.Link_up (b0, a0));
+            spec (ms 2) (Fault.Set_loss (a1, b1, Fault.Bernoulli 0.05));
+            spec (ms 7) (Fault.Set_loss (a1, b1, Fault.No_loss));
+            spec (ms 2)
+              (Fault.Set_loss
+                 ( a2,
+                   b2,
+                   Fault.Gilbert_elliott
+                     {
+                       Fault.p_enter_bad = 0.05;
+                       p_exit_bad = 0.4;
+                       loss_good = 0.0;
+                       loss_bad = 0.5;
+                     } ));
+            spec (ms 8) (Fault.Set_loss (a2, b2, Fault.No_loss));
+            spec (ms 3) (Fault.Corrupt_next (a1, b1));
+            spec (ms 4) (Fault.Switch_fail sw0);
+            spec (ms 5) (Fault.Gateway_down gw);
+            spec (ms 9) (Fault.Gateway_up gw);
+            spec (ms 5) (Fault.Churn 3);
+          |];
+    }
+  in
+  Network.install_faults net plan;
+  let num_vms = Network.num_vms net in
+  let flows =
+    List.init 24 (fun id ->
+        Flow.make ~pkt_bytes:1500 ~id
+          ~src_vip:(Vip.of_int (id mod num_vms))
+          ~dst_vip:(Vip.of_int (((id * 5) + 3) mod num_vms))
+          ~size_bytes:(8 * 1500)
+          ~start:(Time_ns.of_us (id * 250))
+          Flow.Tcpish)
+  in
+  Network.run net flows ~migrations:[] ~until:(ms 30);
+  dump_network b ~name:"faults" net scheme;
+  addf b "plan=%s\n" (Fault.to_string plan);
+  List.iter
+    (fun (k, v) -> addf b "fault_count/%s=%d\n" k v)
+    (Network.fault_counts net);
+  addf b "injected=%d consumed=%d live=%d\n"
+    (Network.injected_packets net)
+    (Network.consumed_at_switch net)
+    (Network.live_packets net)
+
 let render () =
   let b = Buffer.create (1 lsl 16) in
   scenario_switchv2p b;
   scenario_incast b;
+  Buffer.contents b
+
+let render_faults () =
+  let b = Buffer.create 4096 in
+  scenario_faults b;
   Buffer.contents b
 
 let read_file path =
@@ -180,30 +271,42 @@ let first_diff a b =
   in
   go 1 la lb
 
-let test_byte_identical () =
-  let got = render () in
-  match Sys.getenv_opt "REPRO_WRITE_GOLDEN" with
-  | Some path ->
-      let oc = open_out_bin path in
+let check_golden ~env_var ~path ~what got =
+  match Sys.getenv_opt env_var with
+  | Some out ->
+      let oc = open_out_bin out in
       output_string oc got;
       close_out oc;
-      Printf.printf "golden written to %s (%d bytes)\n" path (String.length got)
+      Printf.printf "golden written to %s (%d bytes)\n" out (String.length got)
   | None ->
-      let want = read_file golden_path in
+      let want = read_file path in
       if not (String.equal got want) then begin
         (match first_diff want got with
         | Some (line, w, g) ->
             Alcotest.failf
-              "event core output diverged from golden at line %d:\n\
+              "%s output diverged from golden at line %d:\n\
               \  golden: %s\n\
               \  got:    %s"
-              line w g
+              what line w g
         | None -> Alcotest.fail "length mismatch with identical lines?")
       end
+
+let test_byte_identical () =
+  check_golden ~env_var:"REPRO_WRITE_GOLDEN" ~path:golden_path
+    ~what:"event core" (render ())
+
+let test_faults_byte_identical () =
+  check_golden ~env_var:"REPRO_WRITE_GOLDEN_FAULTS" ~path:"golden_faults.txt"
+    ~what:"fault scenario" (render_faults ())
 
 let () =
   Alcotest.run "event_core"
     [
       ( "determinism",
-        [ Alcotest.test_case "byte-identical golden run" `Quick test_byte_identical ] );
+        [
+          Alcotest.test_case "byte-identical golden run" `Quick
+            test_byte_identical;
+          Alcotest.test_case "byte-identical fault-plan run" `Quick
+            test_faults_byte_identical;
+        ] );
     ]

@@ -259,6 +259,81 @@ let test_out_of_range_seq_ignored () =
   checki "valid data acked" 2 (List.length !(w.acks_sent));
   checki "flow completes" 1 (List.length !(w.completed))
 
+(* --- lossy channels ------------------------------------------------- *)
+
+(* A closed loop: data and ACKs traverse a lossy channel with a fixed
+   propagation delay, the loss decisions coming from
+   [Fault.step_packed] — exactly the channel models the network layer
+   installs on links. The transport must complete the flow under loss
+   (liveness) with a retransmit count in a sane band (no retransmit
+   storms). Fixed seeds keep the assertions exact. *)
+let run_lossy ~packets ~model ~seed =
+  let eng = Engine.create () in
+  let rng = Dessim.Rng.create seed in
+  let state = ref 0 in
+  let drop () =
+    let packed = Dessim.Fault.step_packed model ~state:!state rng in
+    state := packed lsr 1;
+    packed land 1 = 1
+  in
+  let delay = Time_ns.of_us 5 in
+  let retransmits = ref 0 and completed = ref 0 in
+  let tr_ref = ref None in
+  let tr () = Option.get !tr_ref in
+  let cb =
+    {
+      Transport.now = (fun () -> Engine.now eng);
+      schedule = (fun d f -> Engine.schedule_after eng ~delay:d f);
+      send_data =
+        (fun f ~seq ~size:_ ~retransmit ->
+          if retransmit then incr retransmits;
+          if not (drop ()) then
+            Engine.schedule_after eng ~delay (fun () ->
+                Transport.on_data (tr ())
+                  (mk_pkt ~kind:`Data ~flow_id:f.Flow.id ~seq)));
+      send_ack =
+        (fun f ~seq ~ecn_echo:_ ->
+          if not (drop ()) then
+            Engine.schedule_after eng ~delay (fun () ->
+                Transport.on_ack (tr ())
+                  (mk_pkt ~kind:`Ack ~flow_id:f.Flow.id ~seq)));
+      flow_done = (fun _f ~fct:_ -> incr completed);
+      first_packet = (fun _f ~latency:_ -> ());
+    }
+  in
+  tr_ref := Some (Transport.create ~window:4 ~rto:(Time_ns.of_us 100) cb);
+  Transport.start (tr ()) (flow ~packets ());
+  Engine.run_until eng ~limit:(Time_ns.of_ms 100);
+  (!completed, !retransmits)
+
+let check_lossy ~name ~model ~seed ~max_retx =
+  let completed, retx = run_lossy ~packets:30 ~model ~seed in
+  checki (name ^ ": flow completes under loss") 1 completed;
+  if retx > max_retx then
+    Alcotest.failf "%s: %d retransmits exceeds the %d bound" name retx max_retx
+
+let test_loss_1pct () =
+  check_lossy ~name:"bernoulli 1%" ~model:(Dessim.Fault.Bernoulli 0.01) ~seed:5
+    ~max_retx:20
+
+let test_loss_10pct () =
+  let model = Dessim.Fault.Bernoulli 0.1 in
+  check_lossy ~name:"bernoulli 10%" ~model ~seed:6 ~max_retx:120;
+  let _, retx = run_lossy ~packets:30 ~model ~seed:6 in
+  checkb "10% loss actually forces retransmissions" true (retx > 0)
+
+let test_loss_gilbert_elliott () =
+  let model =
+    Dessim.Fault.Gilbert_elliott
+      {
+        Dessim.Fault.p_enter_bad = 0.05;
+        p_exit_bad = 0.3;
+        loss_good = 0.0;
+        loss_bad = 0.5;
+      }
+  in
+  check_lossy ~name:"gilbert-elliott" ~model ~seed:7 ~max_retx:150
+
 let () =
   Alcotest.run "transport"
     [
@@ -292,5 +367,12 @@ let () =
           Alcotest.test_case "unknown flow" `Quick test_unknown_flow_ignored;
           Alcotest.test_case "out-of-range seq" `Quick
             test_out_of_range_seq_ignored;
+        ] );
+      ( "loss",
+        [
+          Alcotest.test_case "1% bernoulli" `Quick test_loss_1pct;
+          Alcotest.test_case "10% bernoulli" `Quick test_loss_10pct;
+          Alcotest.test_case "gilbert-elliott bursts" `Quick
+            test_loss_gilbert_elliott;
         ] );
     ]
