@@ -186,12 +186,13 @@ let words_per_event_ceiling () =
   | Some s -> float_of_string s
   | None -> 6.0
 
-let eventcore () =
-  (* Cross-pod single-flow UDP traffic through the full simulator
-     (transport, links, engine, metrics) with the Direct scheme: every
-     packet takes the 6-link host-ToR-spine-core-spine-ToR-host path,
-     so executed events are almost exclusively forwarding-path packet
-     events (one arrival per link plus per-packet transport sends). *)
+(* One timed eventcore run on a given scheduler backend. Cross-pod
+   single-flow UDP traffic through the full simulator (transport,
+   links, engine, metrics) with the Direct scheme: every packet takes
+   the 6-link host-ToR-spine-core-spine-ToR-host path, so executed
+   events are almost exclusively forwarding-path packet events (one
+   arrival per link plus per-packet transport sends). *)
+let eventcore_measure ~sched =
   let module Time_ns = Dessim.Time_ns in
   let module Flow = Netcore.Flow in
   let topo =
@@ -199,7 +200,13 @@ let eventcore () =
       (Topo.Params.scaled ~pods:2 ~racks_per_pod:2 ~hosts_per_rack:2
          ~vms_per_host:2 ())
   in
-  let net = Netsim.Network.create topo ~scheme:(Schemes.Baselines.direct ()) in
+  let net =
+    Netsim.Network.create
+      ~config:
+        { Netsim.Network.default_config with Netsim.Network.sched = Some sched }
+      topo
+      ~scheme:(Schemes.Baselines.direct ())
+  in
   let num_vms = Netsim.Network.num_vms net in
   let run_one i ~packets =
     let src = 2 * i mod (num_vms / 2) in
@@ -237,28 +244,78 @@ let eventcore () =
   let wall = Unix.gettimeofday () -. t0 in
   let words = Gc.minor_words () -. w0 in
   let events = Dessim.Engine.executed eng - ev0 in
-  let events_per_sec = float_of_int events /. wall in
-  let words_per_event = words /. float_of_int events in
+  (events, float_of_int events /. wall, words /. float_of_int events)
+
+(* Optional CI regression gate on wheel-backend throughput, in
+   events/sec (e.g. REPRO_EV_S_FLOOR=4e6). Off when unset: absolute
+   throughput is machine-dependent, so a hard-coded local floor would
+   only measure the machine. CI pins a conservative value for its own
+   runner class. *)
+let ev_s_floor () =
+  match Sys.getenv_opt "REPRO_EV_S_FLOOR" with
+  | Some s -> Some (float_of_string s)
+  | None -> None
+
+let eventcore () =
+  (* Both backends, heap first: the heap is the reference oracle, and
+     measuring it in the same process makes the speedup ratio robust
+     to machine-to-machine absolute variation. *)
+  let h_events, h_eps, h_wpe = eventcore_measure ~sched:Dessim.Engine.Heap in
+  let w_events, w_eps, w_wpe = eventcore_measure ~sched:Dessim.Engine.Wheel in
   Printf.printf
     "\n== event core (forwarding path) ==\n\
-    \  events executed   %d\n\
-    \  events/sec        %.3e\n\
-    \  words/event       %.2f\n"
-    events events_per_sec words_per_event;
+    \  backend            heap        wheel\n\
+    \  events executed   %9d   %9d\n\
+    \  events/sec        %.3e   %.3e\n\
+    \  words/event       %9.2f   %9.2f\n\
+    \  wheel/heap        %.2fx\n"
+    h_events w_events h_eps w_eps h_wpe w_wpe (w_eps /. h_eps);
   event_core_stats :=
     [
-      ("events", float_of_int events);
-      ("events_per_sec", events_per_sec);
-      ("words_per_event", words_per_event);
+      ("events", float_of_int w_events);
+      ("events_per_sec", w_eps);
+      ("words_per_event", w_wpe);
+      ("heap_events_per_sec", h_eps);
+      ("heap_words_per_event", h_wpe);
     ];
+  (let oc = open_out "BENCH_eventcore.json" in
+   Fun.protect
+     ~finally:(fun () -> close_out oc)
+     (fun () ->
+       Printf.fprintf oc
+         "{\n\
+         \  \"schema\": \"bench_eventcore/v1\",\n\
+         \  \"workload\": \"32-packet cross-pod UDP flows, Direct scheme, 2-pod \
+          FatTree\",\n\
+         \  \"heap\": {\"events\": %d, \"events_per_sec\": %.6g, \
+          \"words_per_event\": %.3f},\n\
+         \  \"wheel\": {\"events\": %d, \"events_per_sec\": %.6g, \
+          \"words_per_event\": %.3f},\n\
+         \  \"wheel_over_heap\": %.3f\n\
+          }\n"
+         h_events h_eps h_wpe w_events w_eps w_wpe (w_eps /. h_eps));
+   Printf.printf "[eventcore report written to BENCH_eventcore.json]\n%!");
   let ceiling = words_per_event_ceiling () in
-  if words_per_event > ceiling then begin
-    Printf.eprintf
-      "eventcore: words/event %.2f exceeds ceiling %.2f — the forwarding \
-       path regressed into allocating per event\n"
-      words_per_event ceiling;
-    exit 1
-  end
+  List.iter
+    (fun (name, wpe) ->
+      if wpe > ceiling then begin
+        Printf.eprintf
+          "eventcore(%s): words/event %.2f exceeds ceiling %.2f — the \
+           forwarding path regressed into allocating per event\n"
+          name wpe ceiling;
+        exit 1
+      end)
+    [ ("heap", h_wpe); ("wheel", w_wpe) ];
+  match ev_s_floor () with
+  | None -> ()
+  | Some floor ->
+      if w_eps < floor then begin
+        Printf.eprintf
+          "eventcore(wheel): %.3e events/sec below floor %.3e — scheduler \
+           throughput regressed\n"
+          w_eps floor;
+        exit 1
+      end
 
 (* --- Scheme-pipeline benchmark: per-dispatch allocation ------------ *)
 
@@ -593,6 +650,7 @@ let dst () =
   let outcomes =
     Dst.run_seeds ~schemes:Dst.default_schemes
       ~seeds:(List.init num_seeds (fun i -> i + 1))
+      ()
   in
   Printf.printf "dst: %d runs (%s x %d seeds), %d failed\n%!"
     (List.length outcomes)

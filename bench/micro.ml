@@ -1,0 +1,45 @@
+(* Engine-only scheduler microbench: self-scheduling typed events with
+   hop-delay-like deltas, trivial handler. Isolates scheduler cost from
+   the network dataplane — use it to compare backends and sweep wheel
+   geometry (argv: sched, event count, wheel_shift). *)
+
+let () =
+  let sched =
+    match Sys.argv.(1) with
+    | "heap" -> Dessim.Engine.Heap
+    | _ -> Dessim.Engine.Wheel
+  in
+  let n = try int_of_string Sys.argv.(2) with _ -> 5_000_000 in
+  let eng =
+    match int_of_string Sys.argv.(3) with
+    | wheel_shift -> Dessim.Engine.create ~sched ~wheel_shift ()
+    | exception _ -> Dessim.Engine.create ~sched ()
+  in
+  (* Delay mix mirroring the sim: dense same-quantum sends (12 ns),
+     link delays (1-5 us), host fwd (10 us), gateway (40 us). *)
+  let deltas = [| 12; 12; 12; 12; 1_000; 2_000; 5_000; 10_000; 40_000 |] in
+  let executed = ref 0 in
+  let handler ~code ~a ~b:_ =
+    if !executed < n then begin
+      incr executed;
+      let d = Array.unsafe_get deltas (a mod 9) in
+      Dessim.Engine.schedule_event_after eng ~delay:(Dessim.Time_ns.of_ns d)
+        ~code ~a:(a + 1) ~b:0
+    end
+  in
+  Dessim.Engine.set_handler eng handler;
+  (* 64 concurrent chains to keep the queue populated. *)
+  for i = 0 to 63 do
+    Dessim.Engine.schedule_event eng ~at:(Dessim.Time_ns.of_ns i) ~code:1 ~a:i
+      ~b:0
+  done;
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  Dessim.Engine.run eng;
+  let wall = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  Printf.printf "%s: %d events, %.1f ns/event, %.2f words/event\n"
+    (Dessim.Engine.sched_name sched)
+    (Dessim.Engine.executed eng)
+    (wall *. 1e9 /. float_of_int (Dessim.Engine.executed eng))
+    (words /. float_of_int (Dessim.Engine.executed eng))

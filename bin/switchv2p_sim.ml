@@ -192,7 +192,7 @@ let dst_cmd =
       | None ->
           List.map (fun scheme -> Dst.run_one ~seed ~scheme ()) schemes
       | Some n ->
-          Dst.run_seeds ~schemes ~seeds:(List.init n (fun i -> seed + i))
+          Dst.run_seeds ~schemes ~seeds:(List.init n (fun i -> seed + i)) ()
     in
     (* A single replay prints its full transcript; sweeps stay quiet
        unless an invariant breaks. *)

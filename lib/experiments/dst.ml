@@ -162,12 +162,12 @@ let transcript_of net ~seed ~scheme ~plan_str =
   List.iter (fun (k, v) -> addf "fault %s=%d\n" k v) (Network.fault_counts net);
   Buffer.contents b
 
-let run_one ~seed ~scheme () =
+let run_one ?sched ~seed ~scheme () =
   let topo = Topology.build params in
   let s, occupancy = scheme_with_occupancy scheme topo in
   let net =
     Network.create
-      ~config:{ Network.default_config with Network.seed }
+      ~config:{ Network.default_config with Network.seed; Network.sched }
       topo ~scheme:s
   in
   let plan = Netsim.Faultplan.generate ~seed ~horizon:fault_horizon topo in
@@ -183,9 +183,9 @@ let run_one ~seed ~scheme () =
     failures = check_invariants net flows occupancy;
   }
 
-let run_seeds ~schemes ~seeds =
+let run_seeds ?sched ~schemes ~seeds () =
   List.concat_map
-    (fun scheme -> List.map (fun seed -> run_one ~seed ~scheme ()) seeds)
+    (fun scheme -> List.map (fun seed -> run_one ?sched ~seed ~scheme ()) seeds)
     schemes
 
 let failed outcomes = List.filter (fun o -> o.failures <> []) outcomes

@@ -38,10 +38,18 @@ val all_schemes : string list
 (** Subset exercised by [dune runtest] (3 schemes for speed). *)
 val default_schemes : string list
 
-val run_one : seed:int -> scheme:string -> unit -> outcome
+(** [sched] selects the engine backend for the run ([None] defers to
+    {!Dessim.Engine.default_sched}); transcripts are byte-identical
+    across backends, which the test suite checks differentially. *)
+val run_one : ?sched:Dessim.Engine.sched -> seed:int -> scheme:string -> unit -> outcome
 
-(** [run_seeds ~schemes ~seeds] — the cartesian product, in order. *)
-val run_seeds : schemes:string list -> seeds:int list -> outcome list
+(** [run_seeds ~schemes ~seeds ()] — the cartesian product, in order. *)
+val run_seeds :
+  ?sched:Dessim.Engine.sched ->
+  schemes:string list ->
+  seeds:int list ->
+  unit ->
+  outcome list
 
 (** [failed outcomes] — outcomes with at least one violated invariant. *)
 val failed : outcome list -> outcome list

@@ -20,14 +20,14 @@ let report_failures outcomes =
    a regression names the exact seed to replay. *)
 let invariants_default_schemes () =
   report_failures
-    (Dst.run_seeds ~schemes:Dst.default_schemes ~seeds:[ 1; 2; 3; 4; 5 ])
+    (Dst.run_seeds ~schemes:Dst.default_schemes ~seeds:[ 1; 2; 3; 4; 5 ] ())
 
 (* The remaining known schemes get a lighter sweep. *)
 let invariants_remaining_schemes () =
   let rest =
     List.filter (fun s -> not (List.mem s Dst.default_schemes)) Dst.all_schemes
   in
-  report_failures (Dst.run_seeds ~schemes:rest ~seeds:[ 6; 7 ])
+  report_failures (Dst.run_seeds ~schemes:rest ~seeds:[ 6; 7 ] ())
 
 (* Replaying a seed must reproduce the run byte-identically — this is
    what makes a printed failing seed actionable. *)
@@ -39,6 +39,23 @@ let replay_byte_identical () =
       Alcotest.(check string)
         (Printf.sprintf "transcript replay (%s)" scheme)
         a.Dst.transcript b.Dst.transcript)
+    Dst.default_schemes
+
+(* The two scheduler backends must be observationally identical: the
+   same (seed, scheme) run under the heap oracle and the calendar
+   wheel yields the same transcript byte-for-byte, including fault
+   injection, churn, retransmit timers, and the executed-event count. *)
+let backends_byte_identical () =
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun seed ->
+          let h = Dst.run_one ~sched:Dessim.Engine.Heap ~seed ~scheme () in
+          let w = Dst.run_one ~sched:Dessim.Engine.Wheel ~seed ~scheme () in
+          Alcotest.(check string)
+            (Printf.sprintf "heap vs wheel transcript (%s, seed %d)" scheme seed)
+            h.Dst.transcript w.Dst.transcript)
+        [ 2; 9 ])
     Dst.default_schemes
 
 (* The plan embedded in an outcome round-trips through the textual
@@ -64,6 +81,8 @@ let () =
         [
           Alcotest.test_case "same seed, byte-identical transcript" `Quick
             replay_byte_identical;
+          Alcotest.test_case "heap vs wheel, byte-identical transcript" `Quick
+            backends_byte_identical;
           Alcotest.test_case "plan text round-trip" `Quick plan_roundtrip;
         ] );
     ]

@@ -302,8 +302,11 @@ let heap_qcheck_interleaved =
 
 (* --- Engine --- *)
 
-let test_engine_order () =
-  let eng = Engine.create () in
+(* Every engine test runs on both scheduler backends: the heap is the
+   reference oracle, the calendar wheel must be indistinguishable. *)
+
+let test_engine_order sched () =
+  let eng = Engine.create ~sched () in
   let log = ref [] in
   Engine.schedule eng ~at:30 (fun () -> log := 30 :: !log);
   Engine.schedule eng ~at:10 (fun () -> log := 10 :: !log);
@@ -313,8 +316,8 @@ let test_engine_order () =
     (List.rev !log);
   checki "clock at last event" 30 (Engine.now eng)
 
-let test_engine_nested_scheduling () =
-  let eng = Engine.create () in
+let test_engine_nested_scheduling sched () =
+  let eng = Engine.create ~sched () in
   let log = ref [] in
   Engine.schedule eng ~at:10 (fun () ->
       log := `A :: !log;
@@ -323,15 +326,15 @@ let test_engine_nested_scheduling () =
   Engine.run eng;
   checkb "nested event runs in order" true (List.rev !log = [ `A; `C; `B ])
 
-let test_engine_past_rejected () =
-  let eng = Engine.create () in
+let test_engine_past_rejected sched () =
+  let eng = Engine.create ~sched () in
   Engine.schedule eng ~at:10 (fun () ->
       Alcotest.check_raises "past" (Invalid_argument "Engine.schedule: event in the past")
         (fun () -> Engine.schedule eng ~at:5 (fun () -> ())));
   Engine.run eng
 
-let test_engine_run_until () =
-  let eng = Engine.create () in
+let test_engine_run_until sched () =
+  let eng = Engine.create ~sched () in
   let log = ref [] in
   List.iter
     (fun t -> Engine.schedule eng ~at:t (fun () -> log := t :: !log))
@@ -344,6 +347,57 @@ let test_engine_run_until () =
   Engine.run_until eng ~limit:100;
   checki "drained" 0 (Engine.pending eng);
   checki "executed total" 4 (Engine.executed eng)
+
+(* Differential test: drive both backends through the same random
+   schedule and require byte-identical traces. The delay table is
+   chosen to hit every wheel path — 0-delay FIFO ties, sub-quantum
+   deltas that land in the current batch (the side heap), in-window
+   deltas across bucket boundaries, and multi-ms deltas far beyond the
+   wheel window (the overflow heap and its lazy demotion). Handler
+   respawns exercise mid-drain enqueues; thunk ops interleave the
+   closure lane with typed events; draining happens through several
+   run_until windows before the final run, exercising parking and
+   clock-advance-to-limit on a non-empty queue. *)
+let engine_differential =
+  let delays =
+    [|
+      0; 1; 3; 12; 900; 1_024; 16_383; 16_384; 65_537; 1_000_000; 5_000_000;
+      12_345_678;
+    |]
+  in
+  QCheck.Test.make ~name:"engine wheel trace = heap trace" ~count:150
+    QCheck.(list (triple (int_bound (Array.length delays - 1)) (int_bound 3) small_nat))
+    (fun ops ->
+      let run sched =
+        let eng = Engine.create ~sched () in
+        let b = Buffer.create 1024 in
+        let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+        Engine.set_handler eng (fun ~code ~a ~b:gen ->
+            addf "e t=%d c=%d a=%d\n" (Engine.now eng) code a;
+            (* First-generation events respawn once from inside the
+               handler: delay [a land 15] keeps most respawns inside
+               the batch being drained. *)
+            if gen = 0 then
+              Engine.schedule_event_after eng ~delay:(a land 15) ~code ~a ~b:1);
+        List.iter
+          (fun (d, code, a) ->
+            let delay = delays.(d) in
+            if code = 3 then
+              Engine.schedule_after eng ~delay (fun () ->
+                  addf "f t=%d a=%d\n" (Engine.now eng) a;
+                  Engine.schedule_event_after eng ~delay:0 ~code:9 ~a ~b:1)
+            else Engine.schedule_event_after eng ~delay ~code ~a ~b:0)
+          ops;
+        for _ = 1 to 3 do
+          Engine.run_until eng
+            ~limit:(Time_ns.add (Engine.now eng) 100_000)
+        done;
+        Engine.run eng;
+        addf "now=%d executed=%d pending=%d\n" (Engine.now eng)
+          (Engine.executed eng) (Engine.pending eng);
+        Buffer.contents b
+      in
+      String.equal (run Engine.Heap) (run Engine.Wheel))
 
 (* --- Distributions --- *)
 
@@ -502,12 +556,22 @@ let () =
           QCheck_alcotest.to_alcotest heap_qcheck_interleaved;
         ] );
       ( "engine",
-        [
-          Alcotest.test_case "event order" `Quick test_engine_order;
-          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
-          Alcotest.test_case "past events rejected" `Quick test_engine_past_rejected;
-          Alcotest.test_case "run_until" `Quick test_engine_run_until;
-        ] );
+        (List.concat_map
+           (fun sched ->
+             let s = Engine.sched_name sched in
+             List.map
+               (fun (name, f) ->
+                 Alcotest.test_case
+                   (Printf.sprintf "%s (%s)" name s)
+                   `Quick (f sched))
+               [
+                 ("event order", test_engine_order);
+                 ("nested scheduling", test_engine_nested_scheduling);
+                 ("past events rejected", test_engine_past_rejected);
+                 ("run_until", test_engine_run_until);
+               ])
+           [ Engine.Heap; Engine.Wheel ])
+        @ [ QCheck_alcotest.to_alcotest engine_differential ] );
       ( "dist",
         [
           Alcotest.test_case "exponential mean" `Quick test_exponential_mean;

@@ -86,7 +86,7 @@ let dump_network b ~name net (scheme : Netsim.Scheme.t) =
    low ECN step threshold (so DCTCP reacts to real CE marks), a Hadoop
    TCP workload, two VM migrations (misdelivery + invalidation paths)
    and full telemetry (histograms, series, flight recorder). *)
-let scenario_switchv2p b =
+let scenario_switchv2p ~sched b =
   let params =
     {
       (Params.scaled ~pods:2 ~racks_per_pod:2 ~hosts_per_rack:2 ~vms_per_host:4
@@ -109,6 +109,7 @@ let scenario_switchv2p b =
       Network.default_config with
       transport_mode = Transport.Dctcp;
       telemetry;
+      sched;
     }
   in
   let net = Network.create ~config topo ~scheme in
@@ -139,7 +140,7 @@ let scenario_switchv2p b =
 (* Scenario B: gateway-only baseline under a UDP incast on 1G host
    links with 3-MTU buffers — guaranteed link_buffer drops (the
    packet-drop recycling path) and CE marks from a 1-MTU threshold. *)
-let scenario_incast b =
+let scenario_incast ~sched b =
   let params =
     {
       (Params.scaled ~pods:2 ~racks_per_pod:2 ~hosts_per_rack:2 ~vms_per_host:2
@@ -150,7 +151,10 @@ let scenario_incast b =
   in
   let topo = Topology.build params in
   let scheme = Schemes.Baselines.nocache () in
-  let net = Network.create topo ~scheme in
+  let net =
+    Network.create ~config:{ Network.default_config with Network.sched } topo
+      ~scheme
+  in
   let flows =
     Workloads.Tracegen.incast (Dessim.Rng.create 77)
       ~num_vms:(Network.num_vms net) ~senders:6 ~dst_vip:(Vip.of_int 0)
@@ -169,7 +173,7 @@ let scenario_incast b =
 
      REPRO_WRITE_GOLDEN_FAULTS=$PWD/test/golden_faults.txt \
        dune exec test/test_event_core.exe *)
-let scenario_faults b =
+let scenario_faults ~sched b =
   let module Fault = Dessim.Fault in
   let params =
     Params.scaled ~pods:2 ~racks_per_pod:2 ~hosts_per_rack:2 ~vms_per_host:2 ()
@@ -180,7 +184,7 @@ let scenario_faults b =
   in
   let net =
     Network.create
-      ~config:{ Network.default_config with Network.seed = 4242 }
+      ~config:{ Network.default_config with Network.seed = 4242; Network.sched }
       topo ~scheme
   in
   let pairs = Netsim.Faultplan.fabric_pairs topo in
@@ -243,15 +247,15 @@ let scenario_faults b =
     (Network.consumed_at_switch net)
     (Network.live_packets net)
 
-let render () =
+let render ~sched () =
   let b = Buffer.create (1 lsl 16) in
-  scenario_switchv2p b;
-  scenario_incast b;
+  scenario_switchv2p ~sched b;
+  scenario_incast ~sched b;
   Buffer.contents b
 
-let render_faults () =
+let render_faults ~sched () =
   let b = Buffer.create 4096 in
-  scenario_faults b;
+  scenario_faults ~sched b;
   Buffer.contents b
 
 let read_file path =
@@ -291,22 +295,31 @@ let check_golden ~env_var ~path ~what got =
         | None -> Alcotest.fail "length mismatch with identical lines?")
       end
 
-let test_byte_identical () =
+(* Both scheduler backends must reproduce the same golden bytes: the
+   wheel's batched dispatch preserves exact (timestamp, seq) order, so
+   the backend is unobservable from inside the simulation. *)
+let test_byte_identical sched () =
   check_golden ~env_var:"REPRO_WRITE_GOLDEN" ~path:golden_path
-    ~what:"event core" (render ())
+    ~what:("event core/" ^ Dessim.Engine.sched_name sched)
+    (render ~sched:(Some sched) ())
 
-let test_faults_byte_identical () =
+let test_faults_byte_identical sched () =
   check_golden ~env_var:"REPRO_WRITE_GOLDEN_FAULTS" ~path:"golden_faults.txt"
-    ~what:"fault scenario" (render_faults ())
+    ~what:("fault scenario/" ^ Dessim.Engine.sched_name sched)
+    (render_faults ~sched:(Some sched) ())
 
 let () =
+  let case name f =
+    List.map
+      (fun sched ->
+        Alcotest.test_case
+          (Printf.sprintf "%s (%s)" name (Dessim.Engine.sched_name sched))
+          `Quick (f sched))
+      [ Dessim.Engine.Heap; Dessim.Engine.Wheel ]
+  in
   Alcotest.run "event_core"
     [
       ( "determinism",
-        [
-          Alcotest.test_case "byte-identical golden run" `Quick
-            test_byte_identical;
-          Alcotest.test_case "byte-identical fault-plan run" `Quick
-            test_faults_byte_identical;
-        ] );
+        case "byte-identical golden run" test_byte_identical
+        @ case "byte-identical fault-plan run" test_faults_byte_identical );
     ]
