@@ -36,6 +36,9 @@ let event_core_stats : (string * float) list ref = ref []
 (* Filled by [scheme_bench]; written into BENCH_sweep.json. *)
 let scheme_stats : (string * float) list ref = ref []
 
+(* Filled by [ft16]; written into BENCH_sweep.json. *)
+let ft16_stats : (string * float) list ref = ref []
+
 let time_it ~key name f =
   Parallel.reset_counters ();
   let t0 = Unix.gettimeofday () in
@@ -120,6 +123,15 @@ let write_sweep_json jobs =
         Printf.sprintf "  \"scheme_pipeline\": {%s},\n"
           (String.concat ", " (fields @ [ baseline_scheme_json ]))
   in
+  let ft16_json () =
+    match !ft16_stats with
+    | [] -> ""
+    | stats ->
+        let fields =
+          List.map (fun (k, v) -> Printf.sprintf "\"%s\": %.6g" k v) stats
+        in
+        Printf.sprintf "  \"ft16_400k\": {%s},\n" (String.concat ", " fields)
+  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -132,11 +144,13 @@ let write_sweep_json jobs =
         \  \"total_wall_s\": %.3f,\n\
          %s\
          %s\
+         %s\
         \  \"targets\": [\n\
          %s\n\
         \  ]\n\
          }\n"
         jobs (scale_name ()) total_wall (event_core_json ()) (scheme_json ())
+        (ft16_json ())
         (String.concat ",\n" (List.map target_json rs)));
   Printf.printf "\n[sweep report written to %s]\n%!" path
 
@@ -430,6 +444,149 @@ let scheme_bench () =
     exit 1
   end
 
+(* --- FT16-400K scale run -------------------------------------------- *)
+
+(* Peak RSS (VmHWM) in MB from /proc/self/status; 0 when the proc
+   interface is unavailable (non-Linux). *)
+let peak_rss_mb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0.0
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go () =
+            match input_line ic with
+            | exception End_of_file -> 0.0
+            | line ->
+                if String.length line >= 6 && String.sub line 0 6 = "VmHWM:"
+                then
+                  let kb =
+                    String.to_seq line
+                    |> Seq.filter (fun c -> c >= '0' && c <= '9')
+                    |> String.of_seq |> float_of_string
+                  in
+                  kb /. 1024.0
+                else go ()
+          in
+          go ())
+
+(* Regression gate for CI: peak RSS of the single-process FT16-400K
+   run, in MB (e.g. REPRO_FT16_RSS_CEILING=4096). Off when unset. *)
+let ft16_rss_ceiling_mb () =
+  match Sys.getenv_opt "REPRO_FT16_RSS_CEILING" with
+  | Some s -> Some (float_of_string s)
+  | None -> None
+
+(* The full FT16-400K preset of the paper's Table 3, in one process:
+   build the 12,866-node topology, stand up a SwitchV2P network over it
+   (one ground-truth mapping per VM = 384,000, topped up with synthetic
+   extra VIPs — endpoints holding several addresses — past 10^6
+   mappings), drive a short cross-pod workload, and record peak RSS and
+   words/host. Before the CSR topology this preset silently fell off
+   the dense-table fast path (built only for n <= 1024) and paid two
+   hashtable probes per hop; now every structure is O(n + E) or
+   O(num_vms) words, so the whole thing fits comfortably in CI. *)
+let ft16 () =
+  let module Time_ns = Dessim.Time_ns in
+  let module Flow = Netcore.Flow in
+  let module Topology = Topo.Topology in
+  let t0 = Unix.gettimeofday () in
+  let setup = Experiments.Setup.ft16 `Paper in
+  let topo = setup.Experiments.Setup.topo in
+  let build_s = Unix.gettimeofday () -. t0 in
+  let num_vms = setup.Experiments.Setup.num_vms in
+  let slots = Experiments.Setup.cache_slots setup ~pct:10 in
+  let t1 = Unix.gettimeofday () in
+  let net =
+    Netsim.Network.create topo
+      ~scheme:(Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots)
+  in
+  (* Table 3 evaluates mapping tables in the millions; install
+     synthetic extra VIPs round-robin over the hosts until the
+     ground-truth store crosses 10^6 entries. No traffic targets them —
+     they exist to size the gateway tables realistically. *)
+  let mapping = Netsim.Network.mapping net in
+  let hosts = Topology.hosts topo in
+  let extra = max 0 (1_000_000 - num_vms) in
+  for i = 0 to extra - 1 do
+    Netcore.Mapping.install mapping
+      (Netcore.Addr.Vip.of_int (num_vms + i))
+      (Topology.pip topo hosts.(i mod Array.length hosts))
+  done;
+  let create_s = Unix.gettimeofday () -. t1 in
+  let num_flows =
+    match Sys.getenv_opt "REPRO_FT16_FLOWS" with
+    | Some s -> int_of_string s
+    | None -> 2_000
+  in
+  let rng = Dessim.Rng.create setup.Experiments.Setup.seed in
+  let flows =
+    List.init num_flows (fun i ->
+        let src = Dessim.Rng.int rng num_vms in
+        let dst = (src + (num_vms / 2)) mod num_vms (* cross-pod *) in
+        Flow.make ~id:i ~pkt_bytes:1500
+          ~src_vip:(Netcore.Addr.Vip.of_int src)
+          ~dst_vip:(Netcore.Addr.Vip.of_int dst)
+          ~size_bytes:(32 * 1500)
+          ~start:(Time_ns.of_ns (10 * i))
+          (Flow.Udp { rate_bps = 1e12 }))
+  in
+  let t2 = Unix.gettimeofday () in
+  Netsim.Network.run net flows ~migrations:[] ~until:(Time_ns.of_ms 50);
+  let run_s = Unix.gettimeofday () -. t2 in
+  let events = Dessim.Engine.executed (Netsim.Network.engine net) in
+  Gc.full_major ();
+  let live_words = float_of_int (Gc.stat ()).Gc.live_words in
+  let mappings = float_of_int (Netcore.Mapping.size mapping) in
+  (* "Hosts" in the paper's Table 3 sense — the 400K addressable
+     endpoints are our VMs. *)
+  let words_per_host = live_words /. float_of_int num_vms in
+  let rss = peak_rss_mb () in
+  Printf.printf
+    "\n== FT16-400K (single process) ==\n\
+    \  nodes              %9d\n\
+    \  directed links     %9d\n\
+    \  vms (paper hosts)  %9d\n\
+    \  mappings           %9.0f\n\
+    \  flows run          %9d\n\
+    \  events executed    %9d\n\
+    \  build/create/run   %.2fs / %.2fs / %.2fs\n\
+    \  live words         %.3e (%.1f words/host)\n\
+    \  peak RSS           %.0f MB\n"
+    (Topology.num_nodes topo) (Topology.num_links topo) num_vms mappings
+    num_flows events build_s create_s run_s live_words words_per_host rss;
+  ft16_stats :=
+    [
+      ("num_nodes", float_of_int (Topology.num_nodes topo));
+      ("num_links", float_of_int (Topology.num_links topo));
+      ("num_vms", float_of_int num_vms);
+      ("mappings", mappings);
+      ("flows", float_of_int num_flows);
+      ("events", float_of_int events);
+      ("build_s", build_s);
+      ("create_s", create_s);
+      ("run_s", run_s);
+      ("live_words", live_words);
+      ("words_per_host", words_per_host);
+      ("peak_rss_mb", rss);
+    ];
+  if mappings < 1_000_000.0 then begin
+    Printf.eprintf "ft16: only %.0f mappings installed (need >= 10^6)\n"
+      mappings;
+    exit 1
+  end;
+  match ft16_rss_ceiling_mb () with
+  | None -> ()
+  | Some ceiling ->
+      if rss > ceiling then begin
+        Printf.eprintf
+          "ft16: peak RSS %.0f MB exceeds ceiling %.0f MB — per-node or \
+           per-VIP state regressed to a superlinear structure\n"
+          rss ceiling;
+        exit 1
+      end
+
 (* --- Bechamel micro-benchmarks of the primitives ------------------- *)
 
 let micro () =
@@ -693,6 +850,7 @@ let targets =
     ("micro", ("Micro-benchmarks", micro));
     ("eventcore", ("Event-core throughput (forwarding path)", eventcore));
     ("scheme", ("Scheme pipeline (per-dispatch allocation)", scheme_bench));
+    ("ft16", ("FT16-400K scale (CSR topology, 10^6 mappings)", ft16));
     ("dst", ("DST smoke sweep (seeded fault plans)", dst));
   ]
 
@@ -701,7 +859,8 @@ let default_order =
   [
     "datasets"; "fig5a"; "fig5b"; "fig5c"; "fig5d"; "fig6"; "fig7"; "fig9";
     "fig10"; "tab4"; "tab5"; "tab6"; "appA2"; "ablation"; "multitenant";
-    "resilience"; "dht"; "cachegeo"; "micro"; "eventcore"; "scheme"; "dst";
+    "resilience"; "dht"; "cachegeo"; "micro"; "eventcore"; "scheme"; "ft16";
+    "dst";
   ]
 
 let () =

@@ -118,6 +118,13 @@ let create ?(partition = Partition.single) cfg topo ~total_cache_slots =
   let num_nodes = Topo.Topology.num_nodes topo in
   let base_rtt = Topo.Params.base_rtt (Topo.Topology.params topo) in
   let states = Array.make num_nodes None in
+  (* Switch ids are contiguous above the endpoints; size timestamp
+     vectors to the switch range, not the whole node space. *)
+  let all_switches = Topo.Topology.switches topo in
+  let first_switch =
+    Array.fold_left min num_nodes all_switches
+  in
+  let num_switches = Array.length all_switches in
   Array.iter
     (fun sw ->
       let role = Topo.Topology.role topo sw in
@@ -125,7 +132,7 @@ let create ?(partition = Partition.single) cfg topo ~total_cache_slots =
       let ts_vector =
         match role with
         | Topo.Node.Regular_tor | Topo.Node.Gateway_tor ->
-            Some (Ts_vector.create ~num_switches:num_nodes ~base_rtt)
+            Some (Ts_vector.create ~first_switch ~num_switches ~base_rtt ())
         | Topo.Node.Regular_spine | Topo.Node.Gateway_spine | Topo.Node.Core_switch
           ->
             None

@@ -1,20 +1,23 @@
 type t = {
   last : Dessim.Time_ns.t array;
+  first_switch : int;
   base_rtt : Dessim.Time_ns.t;
   mutable suppressed : int;
 }
 
-let create ~num_switches ~base_rtt =
-  { last = Array.make num_switches min_int; base_rtt; suppressed = 0 }
+let create ?(first_switch = 0) ~num_switches ~base_rtt () =
+  { last = Array.make num_switches min_int; first_switch; base_rtt;
+    suppressed = 0 }
 
 let should_send t ~switch ~now =
-  let last = t.last.(switch) in
+  let slot = switch - t.first_switch in
+  let last = t.last.(slot) in
   if last <> min_int && Dessim.Time_ns.sub now last < t.base_rtt then begin
     t.suppressed <- t.suppressed + 1;
     false
   end
   else begin
-    t.last.(switch) <- now;
+    t.last.(slot) <- now;
     true
   end
 

@@ -8,9 +8,15 @@
 
 type t
 
-(** [create ~num_switches ~base_rtt] is a vector of [num_switches]
-    entries, all "long ago". Switch ids index the vector. *)
-val create : num_switches:int -> base_rtt:Dessim.Time_ns.t -> t
+(** [create ~num_switches ~base_rtt ()] is a vector of [num_switches]
+    entries, all "long ago". Switch id [s] indexes slot
+    [s - first_switch] (default 0). Switch ids are a contiguous range
+    above the endpoint ids, so passing the first switch id lets each
+    ToR hold one word per switch instead of one word per node — at
+    FT16-400K that is the difference between ~100 KB and ~100 MB of
+    timestamp lanes across the 400 ToRs. *)
+val create :
+  ?first_switch:int -> num_switches:int -> base_rtt:Dessim.Time_ns.t -> unit -> t
 
 (** [should_send t ~switch ~now] decides whether an invalidation to
     [switch] may be sent now; when it returns [true] the timestamp is

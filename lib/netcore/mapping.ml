@@ -10,8 +10,9 @@ type t = {
   mutable installed : int;
 }
 
-let create () =
-  { pips = Array.make 1024 0; versions = Array.make 1024 0; installed = 0 }
+let create ?(initial_capacity = 1024) () =
+  let cap = max 1 initial_capacity in
+  { pips = Array.make cap 0; versions = Array.make cap 0; installed = 0 }
 
 let ensure t vip =
   let cap = Array.length t.pips in

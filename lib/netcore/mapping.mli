@@ -8,8 +8,11 @@
 
 type t
 
-(** [create ()] is an empty store. *)
-val create : unit -> t
+(** [create ()] is an empty store. [initial_capacity] (default 1024)
+    pre-sizes both lanes; pass the deployment's VM count so the install
+    storm at setup writes each slot once instead of re-blitting the
+    lanes ~log2(num_vms/1024) times. *)
+val create : ?initial_capacity:int -> unit -> t
 
 (** [install t vip pip] installs or overwrites the mapping (version is
     bumped on overwrite). *)

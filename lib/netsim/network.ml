@@ -542,11 +542,14 @@ let create ?(config = default_config) topo ~scheme =
   Topology.iter_links topo Topo.Link.reset;
   let engine = Engine.create ?sched:config.sched () in
   let rng = Rng.create config.seed in
-  let mapping = Netcore.Mapping.create () in
   let params = Topology.params topo in
   let hosts = Topology.hosts topo in
   let vms_per_host = params.Topo.Params.vms_per_host in
   let num_vms = Array.length hosts * vms_per_host in
+  (* Size both mapping lanes once; the install storm below touches
+     every VIP, so starting at 1024 would re-blit the lanes
+     ~log2(num_vms/1024) times at large presets. *)
+  let mapping = Netcore.Mapping.create ~initial_capacity:num_vms () in
   let vm_host =
     Array.init num_vms (fun vip -> hosts.(vip / vms_per_host))
   in

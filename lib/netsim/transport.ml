@@ -42,39 +42,70 @@ type receiver = {
 (* Flow-id keyed store. Flow ids are caller-assigned and in practice
    dense small ints (experiments number flows sequentially), so the
    common case is a flat array: lookup is a bounds check and a load,
-   no hashing. Ids outside the dense range spill into a hashtable so
-   pathological ids stay correct without unbounded memory. *)
+   no hashing. Dense growth is population-gated: the array only grows
+   to cover an id while [id < 4 x entries-ever-stored] (so a genuinely
+   dense id space doubles as before), and everything else spills into
+   a hashtable. Without the gate, one sparse id — e.g. flow 10^6 in an
+   otherwise empty store — committed ~2^20 boxed option slots (~8 MB)
+   per lane. When later growth makes a spilled id dense-addressable,
+   [store_grow] migrates it out of the hashtable, preserving the
+   invariant that an id inside the dense range lives only in the dense
+   array — so [store_find] stays one compare and one load. *)
 type 'a store = {
   mutable dense : 'a option array;
+  mutable population : int; (* entries ever stored (dense + spilled) *)
   big : (int, 'a) Hashtbl.t;
 }
 
 let dense_cap = 1 lsl 20
 
-let store_create () = { dense = Array.make 256 None; big = Hashtbl.create 16 }
+let store_create () =
+  { dense = Array.make 256 None; population = 0; big = Hashtbl.create 16 }
+
+let store_grow st id =
+  let cap = Array.length st.dense in
+  let ncap =
+    let c = ref (2 * cap) in
+    while id >= !c do
+      c := 2 * !c
+    done;
+    !c
+  in
+  let nd = Array.make ncap None in
+  Array.blit st.dense 0 nd 0 cap;
+  st.dense <- nd;
+  (* Re-home previously spilled ids that the grown array now covers. *)
+  if Hashtbl.length st.big > 0 then begin
+    let moved = ref [] in
+    Hashtbl.iter
+      (fun id v -> if id < ncap then moved := (id, v) :: !moved)
+      st.big;
+    List.iter
+      (fun (id, v) ->
+        Hashtbl.remove st.big id;
+        nd.(id) <- Some v)
+      !moved
+  end
 
 let store_set st id v =
-  if id >= 0 && id < dense_cap then begin
-    let cap = Array.length st.dense in
-    if id >= cap then begin
-      let ncap =
-        let c = ref (2 * cap) in
-        while id >= !c do
-          c := 2 * !c
-        done;
-        !c
-      in
-      let nd = Array.make ncap None in
-      Array.blit st.dense 0 nd 0 cap;
-      st.dense <- nd
-    end;
+  if id >= 0 && id < Array.length st.dense then begin
+    if st.dense.(id) = None then st.population <- st.population + 1;
     st.dense.(id) <- Some v
   end
-  else Hashtbl.replace st.big id v
+  else if id >= 0 && id < dense_cap && id < 4 * (st.population + 1) then begin
+    store_grow st id;
+    (* [store_grow] may have migrated this very id out of the spill
+       table; only a genuinely fresh id counts toward the population. *)
+    if st.dense.(id) = None then st.population <- st.population + 1;
+    st.dense.(id) <- Some v
+  end
+  else begin
+    if not (Hashtbl.mem st.big id) then st.population <- st.population + 1;
+    Hashtbl.replace st.big id v
+  end
 
 let store_find st id =
-  if id >= 0 && id < dense_cap then
-    if id < Array.length st.dense then Array.unsafe_get st.dense id else None
+  if id >= 0 && id < Array.length st.dense then Array.unsafe_get st.dense id
   else Hashtbl.find_opt st.big id
 
 type t = {
@@ -296,6 +327,9 @@ let on_ack t (pkt : Packet.t) =
         | Dctcp -> dctcp_on_ack t s ~marked:pkt.Packet.ecn);
         if s.n_acked = s.total then s.done_ <- true else pump t s
       end
+
+let dense_capacities t =
+  (Array.length t.senders.dense, Array.length t.receivers.dense)
 
 let cwnd t ~flow_id =
   match store_find t.senders flow_id with

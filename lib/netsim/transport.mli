@@ -65,6 +65,13 @@ val received_distinct : t -> flow_id:int -> int
     lower than one already received (per flow, first-arrival only). *)
 val reordering_events : t -> int
 
+(** [dense_capacities t] is the current dense-lane capacity of the
+    (sender, receiver) flow stores, in option slots. Exposed so tests
+    can pin the population-gated growth policy: a single sparse flow id
+    must spill to the hashtable instead of committing up to 2^20 boxed
+    slots (~8 MB) per lane. *)
+val dense_capacities : t -> int * int
+
 (** [cwnd t ~flow_id] is the sender's current congestion window in
     packets, or [None] for unknown/UDP flows (tests, debugging). *)
 val cwnd : t -> flow_id:int -> int option

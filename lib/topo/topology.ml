@@ -13,12 +13,19 @@ type t = {
   tor_ids : int array array; (* pod -> rack -> id *)
   spine_ids : int array array; (* pod -> group -> id *)
   core_ids : int array array; (* group -> idx -> id *)
-  links : (int, Link.t) Hashtbl.t; (* key: src * num_nodes + dst *)
-  link_dense : Link.t option array;
-      (* same keying, O(1) un-hashed lookup for the forwarding hot
-         path; [||] when the topology is too large for an n^2 table
-         (links are then found via [links]) *)
+  (* CSR adjacency: node [id]'s row spans [csr_off.(id), csr_off.(id+1))
+     in [csr_nbr] (neighbor ids, sorted ascending) and [csr_links] (the
+     directed link id -> neighbor at the same index). O(n + E) words at
+     any scale; [link] is a branch-free-bounds binary search over a
+     row of at most max-degree entries. This replaced both the links
+     hashtable and the n^2 dense table (which was silently dropped
+     above n = 1024, falling back to two hashtable probes per hop). *)
+  csr_off : int array; (* length n+1 *)
+  csr_nbr : int array; (* length E (directed edges) *)
+  csr_links : Link.t array; (* length E, parallel to csr_nbr *)
   neighbors : int array array;
+      (* per-node views of the CSR rows (sorted ascending); built once,
+         rows are stable across calls — treat as read-only *)
   uplinks : int array array;
       (* node id -> upward ECMP candidates: ToR -> its pod's spines
          (indexed by group), spine -> its group's cores (indexed by
@@ -28,6 +35,7 @@ type t = {
 
 let params t = t.params
 let num_nodes t = Array.length t.nodes
+let num_links t = Array.length t.csr_links
 
 let node t id =
   if id < 0 || id >= Array.length t.nodes then
@@ -63,18 +71,27 @@ let role t id =
   | Some r -> r
   | None -> invalid_arg "Topology.role: not a switch"
 
-let link_key t src dst = (src * Array.length t.nodes) + dst
+(* Runs twice per hop (transmit + delivery): a bounded binary search of
+   the source's CSR row. Rows are short (max degree = max(hosts per
+   rack, pods)), so this is a handful of int compares on hot cache
+   lines — the same single code path at 10 nodes or 10^5. *)
+(* Top level with every operand passed explicitly: a local [let rec]
+   would capture [t] and [dst] and allocate a closure on each call —
+   measurable at two calls per event on the forwarding path. *)
+let rec csr_search nbr (links : Link.t array) dst lo hi =
+  if lo >= hi then raise Not_found
+  else
+    let mid = (lo + hi) lsr 1 in
+    let v = nbr.(mid) in
+    if v = dst then links.(mid)
+    else if v < dst then csr_search nbr links dst (mid + 1) hi
+    else csr_search nbr links dst lo mid
 
-(* Runs twice per hop (transmit + delivery): prefer the dense array —
-   one bounds-checked read, no hashing — over the hashtable. *)
 let link t ~src ~dst =
-  if Array.length t.link_dense > 0 then
-    match t.link_dense.((src * Array.length t.nodes) + dst) with
-    | Some l -> l
-    | None -> raise Not_found
-  else Hashtbl.find t.links (link_key t src dst)
+  if src < 0 || src >= Array.length t.nodes then raise Not_found;
+  csr_search t.csr_nbr t.csr_links dst t.csr_off.(src) t.csr_off.(src + 1)
 
-let iter_links t f = Hashtbl.iter (fun _ l -> f l) t.links
+let iter_links t f = Array.iter f t.csr_links
 let neighbors t id = t.neighbors.(id)
 let uplinks t id = t.uplinks.(id)
 
@@ -143,20 +160,17 @@ let build (p : Params.t) =
     arr
   in
   let n = Array.length nodes in
-  let links = Hashtbl.create (4 * n) in
+  (* Per-node (neighbor, link) rows, collected in construction order
+     and flattened into CSR below. *)
   let adjacency = Array.make n [] in
   let connect a b rate =
     let mk src dst =
-      Hashtbl.replace links
-        ((src * n) + dst)
-        (Link.make ~ecn_threshold:p.ecn_threshold_bytes ~src ~dst
-           ~rate_bps:rate ~prop_delay:p.prop_delay
-           ~buffer_bytes:p.buffer_bytes)
+      ( dst,
+        Link.make ~ecn_threshold:p.ecn_threshold_bytes ~src ~dst ~rate_bps:rate
+          ~prop_delay:p.prop_delay ~buffer_bytes:p.buffer_bytes )
     in
-    mk a b;
-    mk b a;
-    adjacency.(a) <- b :: adjacency.(a);
-    adjacency.(b) <- a :: adjacency.(b)
+    adjacency.(a) <- mk a b :: adjacency.(a);
+    adjacency.(b) <- mk b a :: adjacency.(b)
   in
   let tor_of = Array.make n (-1) in
   let tor_pos = Array.make n (-1) in
@@ -209,17 +223,47 @@ let build (p : Params.t) =
         | Node.Host _ | Node.Gateway _ | Node.Core _ -> no_uplinks)
       nodes
   in
-  let link_dense =
-    (* n^2 option slots; capped at 8 MB of table (n = 1024). Every
-       topology this repo simulates is far below the cap — the
-       hashtable path is a safety net, not an expected mode. *)
-    if n <= 1024 then begin
-      let arr = Array.make (n * n) None in
-      Hashtbl.iter (fun key l -> arr.(key) <- Some l) links;
-      arr
-    end
-    else [||]
+  (* Flatten adjacency into CSR: sort each row by neighbor id (the
+     binary search in [link] depends on it), then fill the flat
+     offset/neighbor/link arrays. The FatTree constructor connects each
+     node pair exactly once; the duplicate check makes that a hard
+     invariant rather than a silent last-writer-wins. *)
+  let rows =
+    Array.map
+      (fun l ->
+        let row = Array.of_list l in
+        Array.sort (fun (a, _) (b, _) -> Int.compare a b) row;
+        Array.iteri
+          (fun i (d, _) ->
+            if i > 0 && fst row.(i - 1) = d then
+              invalid_arg "Topology.build: duplicate link")
+          row;
+        row)
+      adjacency
   in
+  let csr_off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    csr_off.(i + 1) <- csr_off.(i) + Array.length rows.(i)
+  done;
+  let num_links = csr_off.(n) in
+  let csr_nbr = Array.make num_links (-1) in
+  let csr_links =
+    let seed = ref None in
+    Array.iter
+      (fun row -> if !seed = None && Array.length row > 0 then seed := Some (snd row.(0)))
+      rows;
+    match !seed with
+    | None -> [||]
+    | Some l -> Array.make num_links l
+  in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j (d, l) ->
+          csr_nbr.(csr_off.(i) + j) <- d;
+          csr_links.(csr_off.(i) + j) <- l)
+        row)
+    rows;
   {
     params = p;
     nodes;
@@ -235,8 +279,9 @@ let build (p : Params.t) =
     tor_ids;
     spine_ids;
     core_ids;
-    links;
-    link_dense;
-    neighbors = Array.map (fun l -> Array.of_list (List.rev l)) adjacency;
+    csr_off;
+    csr_nbr;
+    csr_links;
+    neighbors = Array.map (Array.map fst) rows;
     uplinks;
   }

@@ -16,6 +16,10 @@ val params : t -> Params.t
 (** [num_nodes t] is the total node count (endpoints + switches). *)
 val num_nodes : t -> int
 
+(** [num_links t] is the total directed-link count (each physical cable
+    is two directed links). *)
+val num_links : t -> int
+
 (** [node t id] is the node record. Raises [Invalid_argument] for out
     of range ids. *)
 val node : t -> int -> Node.t
@@ -61,13 +65,19 @@ val core_id : t -> group:int -> idx:int -> int
 val role : t -> int -> Node.role
 
 (** [link t ~src ~dst] is the directed link between adjacent nodes.
-    Raises [Not_found] if they are not adjacent. *)
+    Raises [Not_found] if they are not adjacent. One code path at every
+    scale: a binary search of [src]'s CSR adjacency row (a handful of
+    int compares — rows are at most max-degree long), no hashing, no
+    allocation, no n^2 table. *)
 val link : t -> src:int -> dst:int -> Link.t
 
-(** [iter_links t f] applies [f] to every directed link. *)
+(** [iter_links t f] applies [f] to every directed link, in CSR order
+    (ascending source id, then ascending destination id). *)
 val iter_links : t -> (Link.t -> unit) -> unit
 
-(** [neighbors t id] is the adjacent node ids. *)
+(** [neighbors t id] is the adjacent node ids, sorted ascending. The
+    returned rows are the topology's own CSR views — stable across
+    calls; treat them as read-only. *)
 val neighbors : t -> int -> int array
 
 (** [uplinks t id] is the precomputed upward ECMP candidate table of

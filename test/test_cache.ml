@@ -317,7 +317,7 @@ let assoc_ways1_equiv_direct_qcheck =
 (* --- Ts_vector --- *)
 
 let test_ts_vector_suppression () =
-  let v = Ts_vector.create ~num_switches:4 ~base_rtt:(Dessim.Time_ns.of_us 12) in
+  let v = Ts_vector.create ~num_switches:4 ~base_rtt:(Dessim.Time_ns.of_us 12) () in
   checkb "first send allowed" true (Ts_vector.should_send v ~switch:1 ~now:0);
   checkb "burst suppressed" false
     (Ts_vector.should_send v ~switch:1 ~now:(Dessim.Time_ns.of_us 5));
@@ -328,7 +328,7 @@ let test_ts_vector_suppression () =
   checki "suppressed count" 1 (Ts_vector.suppressed v)
 
 let test_ts_vector_retransmit_window () =
-  let v = Ts_vector.create ~num_switches:2 ~base_rtt:(Dessim.Time_ns.of_us 12) in
+  let v = Ts_vector.create ~num_switches:2 ~base_rtt:(Dessim.Time_ns.of_us 12) () in
   ignore (Ts_vector.should_send v ~switch:0 ~now:0);
   (* Exactly at base RTT the packet may be resent (covers drops). *)
   checkb "at rtt boundary" true

@@ -281,6 +281,151 @@ let next_hop_table_vs_oracle_qcheck =
       || Routing.next_hop t ~at ~dst ~salt
          = Routing.next_hop_oracle t ~at ~dst ~salt)
 
+(* --- CSR adjacency vs a coordinate-derived Hashtbl oracle --- *)
+
+(* Rebuild the expected adjacency purely from FatTree coordinates
+   (endpoint <-> its ToR, ToR <-> every pod spine, spine g <-> every
+   group-g core) into a hashtable — the representation the production
+   code no longer uses — and check the CSR accessors against it. *)
+let oracle_adjacency t =
+  let tbl = Hashtbl.create 1024 in
+  let add a b =
+    Hashtbl.replace tbl (a, b) ();
+    Hashtbl.replace tbl (b, a) ()
+  in
+  let p = Topology.params t in
+  Array.iter
+    (fun tor ->
+      Array.iter (fun ep -> add ep tor) (Topology.endpoints_of_tor t tor))
+    (Topology.tors t);
+  for pod = 0 to p.Params.pods - 1 do
+    for rack = 0 to p.Params.racks_per_pod - 1 do
+      let tor = Topology.tor_id t ~pod ~rack in
+      for group = 0 to p.Params.spines_per_pod - 1 do
+        add tor (Topology.spine_id t ~pod ~group)
+      done
+    done
+  done;
+  for group = 0 to p.Params.spines_per_pod - 1 do
+    for idx = 0 to p.Params.cores_per_group - 1 do
+      let core = Topology.core_id t ~group ~idx in
+      for pod = 0 to p.Params.pods - 1 do
+        add (Topology.spine_id t ~pod ~group) core
+      done
+    done
+  done;
+  tbl
+
+let csr_vs_oracle_qcheck =
+  QCheck.Test.make ~name:"CSR link/neighbors/uplinks agree with oracle"
+    ~count:12
+    QCheck.(
+      quad (int_range 1 4) (int_range 2 4) (int_range 1 3) (int_range 1 3))
+    (fun (pods, racks_per_pod, hosts_per_rack, spines_per_pod) ->
+      let t =
+        Topology.build
+          (Params.scaled ~pods ~racks_per_pod ~hosts_per_rack ~spines_per_pod
+             ~vms_per_host:2 ())
+      in
+      let p = Topology.params t in
+      let n = Topology.num_nodes t in
+      let oracle = Hashtbl.copy (oracle_adjacency t) in
+      (* Directed-edge count matches the oracle exactly. *)
+      if Topology.num_links t <> Hashtbl.length oracle then
+        QCheck.Test.fail_reportf "num_links %d <> oracle %d"
+          (Topology.num_links t) (Hashtbl.length oracle);
+      (* Every oracle edge resolves to a correctly-oriented link... *)
+      Hashtbl.iter
+        (fun (src, dst) () ->
+          let l = Topology.link t ~src ~dst in
+          if l.Link.src <> src || l.Link.dst <> dst then
+            QCheck.Test.fail_reportf "link %d->%d carries %d->%d" src dst
+              l.Link.src l.Link.dst)
+        oracle;
+      (* ...and every node's CSR row is exactly the oracle's neighbor
+         set, sorted ascending. *)
+      for id = 0 to n - 1 do
+        let nbrs = Topology.neighbors t id in
+        Array.iteri
+          (fun i d ->
+            if i > 0 && nbrs.(i - 1) >= d then
+              QCheck.Test.fail_reportf "neighbors of %d not sorted" id;
+            if not (Hashtbl.mem oracle (id, d)) then
+              QCheck.Test.fail_reportf "CSR edge %d->%d not in oracle" id d)
+          nbrs;
+        let deg =
+          Hashtbl.fold
+            (fun (s, _) () acc -> if s = id then acc + 1 else acc)
+            oracle 0
+        in
+        if Array.length nbrs <> deg then
+          QCheck.Test.fail_reportf "degree of %d: CSR %d oracle %d" id
+            (Array.length nbrs) deg;
+        (* Non-adjacent lookups raise, including self-loops. *)
+        (match Topology.link t ~src:id ~dst:id with
+        | exception Not_found -> ()
+        | _ -> QCheck.Test.fail_reportf "self-link %d did not raise" id);
+        (* Uplink rows come straight from coordinates. *)
+        let expected_uplinks =
+          match Topology.kind t id with
+          | Node.Tor { pod; _ } ->
+              Array.init p.Params.spines_per_pod (fun group ->
+                  Topology.spine_id t ~pod ~group)
+          | Node.Spine { group; _ } ->
+              Array.init p.Params.cores_per_group (fun idx ->
+                  Topology.core_id t ~group ~idx)
+          | Node.Host _ | Node.Gateway _ | Node.Core _ -> [||]
+        in
+        if Topology.uplinks t id <> expected_uplinks then
+          QCheck.Test.fail_reportf "uplinks of %d wrong" id
+      done;
+      (* Out-of-range sources raise rather than reading wild memory
+         (lib/topo compiles with -unsafe; [link] guards explicitly). *)
+      (match Topology.link t ~src:(-1) ~dst:0 with
+      | exception Not_found -> ()
+      | _ -> QCheck.Test.fail_report "src -1 did not raise");
+      (match Topology.link t ~src:n ~dst:0 with
+      | exception Not_found -> ()
+      | _ -> QCheck.Test.fail_report "src n did not raise");
+      true)
+
+(* The FT16-400K preset used to silently fall off the dense-table fast
+   path (n > 1024); route it for real against the coordinate oracle. *)
+let ft16 = lazy (Topology.build (Params.ft16_400k ()))
+
+let ft16_next_hop_qcheck =
+  QCheck.Test.make ~name:"FT16-400K next_hop agrees with oracle" ~count:500
+    QCheck.(triple (int_bound 1_000_000) (int_bound 1_000_000) small_nat)
+    (fun (a, b, salt) ->
+      let t = Lazy.force ft16 in
+      let n = Topology.num_nodes t in
+      let at = a mod n and dst = b mod n in
+      let is_core id =
+        match Topology.kind t id with Node.Core _ -> true | _ -> false
+      in
+      at = dst
+      || (is_core at && is_core dst)
+      || Routing.next_hop t ~at ~dst ~salt
+         = Routing.next_hop_oracle t ~at ~dst ~salt)
+
+let ft16_link_qcheck =
+  QCheck.Test.make ~name:"FT16-400K CSR link agrees with tor_of/uplinks"
+    ~count:300 QCheck.(pair (int_bound 1_000_000) small_nat)
+    (fun (a, salt) ->
+      let t = Lazy.force ft16 in
+      let hosts = Topology.hosts t in
+      let host = hosts.(a mod Array.length hosts) in
+      let tor = Topology.tor_of t host in
+      let up = Topology.uplinks t tor in
+      let spine = up.(salt mod Array.length up) in
+      let l1 = Topology.link t ~src:host ~dst:tor in
+      let l2 = Topology.link t ~src:tor ~dst:spine in
+      l1.Link.src = host && l1.Link.dst = tor && l2.Link.src = tor
+      && l2.Link.dst = spine
+      && (match Topology.link t ~src:host ~dst:spine with
+         | exception Not_found -> true
+         | _ -> false))
+
 let routing_qcheck =
   QCheck.Test.make ~name:"random host pairs route correctly" ~count:300
     QCheck.(triple small_nat small_nat small_nat)
@@ -313,6 +458,12 @@ let () =
           Alcotest.test_case "endpoint/tor symmetry" `Quick test_endpoint_tor_symmetry;
           Alcotest.test_case "links bidirectional" `Quick test_links_bidirectional;
           Alcotest.test_case "link rates" `Quick test_link_rates;
+          QCheck_alcotest.to_alcotest csr_vs_oracle_qcheck;
+        ] );
+      ( "ft16",
+        [
+          QCheck_alcotest.to_alcotest ft16_next_hop_qcheck;
+          QCheck_alcotest.to_alcotest ft16_link_qcheck;
         ] );
       ( "routing",
         [

@@ -334,6 +334,47 @@ let test_loss_gilbert_elliott () =
   in
   check_lossy ~name:"gilbert-elliott" ~model ~seed:7 ~max_retx:150
 
+(* --- flow-store growth policy ------------------------------------- *)
+
+(* Regression: a single sparse flow id used to double the dense lane
+   all the way to dense_cap = 2^20 option slots (~8 MB per lane, all
+   boxed). Growth is now population-gated, so one sparse id spills to
+   the hashtable and the lanes stay at their initial size. *)
+let test_sparse_flow_id_spills () =
+  let w = make_world () in
+  Transport.start w.tr (flow ~id:900_000 ~packets:2 ());
+  let sd, rd = Transport.dense_capacities w.tr in
+  checki "sender lane unchanged" 256 sd;
+  checki "receiver lane unchanged" 256 rd;
+  (* The spilled flow is fully functional. *)
+  checkb "sender addressable" true (Transport.cwnd w.tr ~flow_id:900_000 <> None);
+  Transport.on_data w.tr (mk_pkt ~kind:`Data ~flow_id:900_000 ~seq:0);
+  checkb "receiver saw data" true
+    (Transport.has_received_any w.tr ~flow_id:900_000);
+  Transport.on_ack w.tr (mk_pkt ~kind:`Ack ~flow_id:900_000 ~seq:0);
+  checkb "ack landed" true (Transport.cwnd w.tr ~flow_id:900_000 <> None)
+
+let test_dense_growth_resumes_and_migrates () =
+  let w = make_world () in
+  (* One sparse id spills without growing the lane... *)
+  Transport.start w.tr (flow ~id:2000 ~packets:1 ());
+  let sd0, _ = Transport.dense_capacities w.tr in
+  checki "sparse id did not grow lane" 256 sd0;
+  (* ...a genuinely dense population still doubles as before, and the
+     growth that first covers id 2000 re-homes it out of the spill
+     table (store_find never probes the hashtable for in-range ids). *)
+  for id = 0 to 1199 do
+    Transport.start w.tr (flow ~id ~packets:1 ())
+  done;
+  let sd1, rd1 = Transport.dense_capacities w.tr in
+  checki "sender lane grew for dense ids" 2048 sd1;
+  checki "receiver lane grew for dense ids" 2048 rd1;
+  checkb "migrated sender addressable" true
+    (Transport.cwnd w.tr ~flow_id:2000 <> None);
+  Transport.on_data w.tr (mk_pkt ~kind:`Data ~flow_id:2000 ~seq:0);
+  checkb "migrated receiver completes" true
+    (Transport.receiver_done w.tr ~flow_id:2000)
+
 let () =
   Alcotest.run "transport"
     [
@@ -367,6 +408,13 @@ let () =
           Alcotest.test_case "unknown flow" `Quick test_unknown_flow_ignored;
           Alcotest.test_case "out-of-range seq" `Quick
             test_out_of_range_seq_ignored;
+        ] );
+      ( "flow-store",
+        [
+          Alcotest.test_case "sparse id spills" `Quick
+            test_sparse_flow_id_spills;
+          Alcotest.test_case "dense growth resumes and migrates" `Quick
+            test_dense_growth_resumes_and_migrates;
         ] );
       ( "loss",
         [
