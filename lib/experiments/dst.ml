@@ -162,30 +162,152 @@ let transcript_of net ~seed ~scheme ~plan_str =
   List.iter (fun (k, v) -> addf "fault %s=%d\n" k v) (Network.fault_counts net);
   Buffer.contents b
 
-let run_one ?sched ~seed ~scheme () =
-  let topo = Topology.build params in
-  let s, occupancy = scheme_with_occupancy scheme topo in
-  let net =
-    Network.create
-      ~config:{ Network.default_config with Network.seed; Network.sched }
-      topo ~scheme:s
+(* Sharded variants of the invariants and transcript: the quantities
+   aggregate across the per-shard networks (a flow's receiver lives on
+   exactly one shard, so transport sums see each flow once), and
+   conservation gains the cross-shard mailbox term. *)
+let check_invariants_sharded par flows occupancies =
+  let m = Netsim.Parnet.metrics par in
+  let nets = Netsim.Parnet.nets par in
+  let failures = ref [] in
+  let fail inv fmt =
+    Printf.ksprintf (fun d -> failures := (inv, d) :: !failures) fmt
   in
-  let plan = Netsim.Faultplan.generate ~seed ~horizon:fault_horizon topo in
-  Netsim.Faultplan.apply net plan;
-  let flows = gen_flows ~seed ~num_vms:(Network.num_vms net) in
-  Network.run net flows ~migrations:[] ~until:run_until;
-  let plan_str = Fault.to_string plan in
-  {
-    seed;
-    scheme;
-    plan = plan_str;
-    transcript = transcript_of net ~seed ~scheme ~plan_str;
-    failures = check_invariants net flows occupancy;
-  }
+  let injected = Netsim.Parnet.injected_packets par in
+  let delivered = Metrics.delivered_packets m in
+  let dropped = Metrics.packets_dropped m in
+  let consumed = Netsim.Parnet.consumed_at_switch par in
+  let live = Netsim.Parnet.live_packets par in
+  let in_hand = Netsim.Parnet.handoffs_in_flight par in
+  if injected <> delivered + dropped + consumed + live + in_hand then
+    fail "packet-conservation"
+      "injected %d <> delivered %d + dropped %d + consumed %d + in-flight %d \
+       + handoffs %d"
+      injected delivered dropped consumed live in_hand;
+  List.iter
+    (fun (f : Flow.t) ->
+      let total = Flow.packet_count f in
+      let got =
+        Array.fold_left
+          (fun acc net ->
+            acc
+            + Netsim.Transport.received_distinct (Network.transport net)
+                ~flow_id:f.Flow.id)
+          0 nets
+      in
+      let done_ =
+        Array.exists
+          (fun net ->
+            Netsim.Transport.receiver_done (Network.transport net)
+              ~flow_id:f.Flow.id)
+          nets
+      in
+      if got > total then
+        fail "stale-delivery" "flow %d: %d distinct packets for a %d-packet flow"
+          f.Flow.id got total;
+      if done_ <> (got = total) then
+        fail "stale-delivery" "flow %d: done=%b but %d/%d packets received"
+          f.Flow.id done_ got total)
+    flows;
+  let started = Metrics.flows_started m in
+  let completed = Metrics.flows_completed m in
+  let expected = List.length flows in
+  if started <> expected then
+    fail "liveness" "only %d of %d flows started" started expected;
+  if completed <> expected then
+    fail "liveness" "%d of %d flows completed by the horizon" completed expected;
+  if Netsim.Parnet.transport_flows_completed par <> completed then
+    fail "liveness" "transport completed %d flows but metrics recorded %d"
+      (Netsim.Parnet.transport_flows_completed par)
+      completed;
+  List.iter
+    (fun occupancy -> List.iter (fun d -> fail "cache-occupancy" "%s" d) (occupancy ()))
+    occupancies;
+  List.rev !failures
 
-let run_seeds ?sched ~schemes ~seeds () =
+let transcript_of_sharded par ~seed ~scheme ~plan_str =
+  let m = Netsim.Parnet.metrics par in
+  let nets = Netsim.Parnet.nets par in
+  let b = Buffer.create 512 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  addf "dst seed=%d scheme=%s shards=%d\n" seed scheme
+    (Netsim.Parnet.shards par);
+  addf "plan %s\n" plan_str;
+  let executed =
+    Array.fold_left
+      (fun acc net -> acc + Engine.executed (Network.engine net))
+      0 nets
+  in
+  let now =
+    Array.fold_left
+      (fun acc net -> max acc (Engine.now (Network.engine net)))
+      0 nets
+  in
+  addf "engine executed=%d now=%d windows=%d\n" executed now
+    (Netsim.Parnet.windows par);
+  addf "injected=%d delivered=%d dropped=%d consumed=%d live=%d handoffs=%d\n"
+    (Netsim.Parnet.injected_packets par)
+    (Metrics.delivered_packets m)
+    (Metrics.packets_dropped m)
+    (Netsim.Parnet.consumed_at_switch par)
+    (Netsim.Parnet.live_packets par)
+    (Netsim.Parnet.handoffs_in_flight par);
+  addf "flows started=%d completed=%d retransmits=%d misdelivered=%d\n"
+    (Metrics.flows_started m) (Metrics.flows_completed m)
+    (Metrics.retransmits_sent m)
+    (Metrics.misdelivered_packets m);
+  addf "hit_rate=%h\n" (Metrics.hit_rate m);
+  List.iter (fun (k, v) -> addf "drop site=%s %d\n" k v) (Metrics.drops_by_site m);
+  List.iter (fun (k, v) -> addf "drop kind=%s %d\n" k v) (Metrics.drops_by_kind m);
+  List.iter (fun (k, v) -> addf "fault %s=%d\n" k v) (Netsim.Parnet.fault_counts par);
+  Buffer.contents b
+
+let run_one ?sched ?(shards = 1) ~seed ~scheme () =
+  let topo = Topology.build params in
+  let plan = Netsim.Faultplan.generate ~seed ~horizon:fault_horizon topo in
+  let plan_str = Fault.to_string plan in
+  let config = { Network.default_config with Network.seed; Network.sched } in
+  let num_vms =
+    Array.length (Topology.hosts topo) * params.Topo.Params.vms_per_host
+  in
+  let flows = gen_flows ~seed ~num_vms in
+  if shards <= 1 then begin
+    let s, occupancy = scheme_with_occupancy scheme topo in
+    let net = Network.create ~config topo ~scheme:s in
+    Netsim.Faultplan.apply net plan;
+    Network.run net flows ~migrations:[] ~until:run_until;
+    {
+      seed;
+      scheme;
+      plan = plan_str;
+      transcript = transcript_of net ~seed ~scheme ~plan_str;
+      failures = check_invariants net flows occupancy;
+    }
+  end
+  else begin
+    let occupancies = ref [] in
+    let make_scheme ~shard:_ =
+      let s, occ = scheme_with_occupancy scheme topo in
+      occupancies := occ :: !occupancies;
+      s
+    in
+    let par =
+      Netsim.Parnet.run ~config ~faults:plan ~shards topo ~make_scheme ~flows
+        ~migrations:[] ~until:run_until
+    in
+    {
+      seed;
+      scheme;
+      plan = plan_str;
+      transcript = transcript_of_sharded par ~seed ~scheme ~plan_str;
+      failures = check_invariants_sharded par flows !occupancies;
+    }
+  end
+
+let run_seeds ?sched ?shards ~schemes ~seeds () =
   List.concat_map
-    (fun scheme -> List.map (fun seed -> run_one ?sched ~seed ~scheme ()) seeds)
+    (fun scheme ->
+      List.map (fun seed -> run_one ?sched ?shards ~seed ~scheme ()) seeds)
     schemes
 
 let failed outcomes = List.filter (fun o -> o.failures <> []) outcomes

@@ -40,12 +40,25 @@ val default_schemes : string list
 
 (** [sched] selects the engine backend for the run ([None] defers to
     {!Dessim.Engine.default_sched}); transcripts are byte-identical
-    across backends, which the test suite checks differentially. *)
-val run_one : ?sched:Dessim.Engine.sched -> seed:int -> scheme:string -> unit -> outcome
+    across backends, which the test suite checks differentially.
+    [shards > 1] executes the same seed as a domain-sharded run
+    ({!Netsim.Parnet}) and checks the same invariants — conservation
+    gains the cross-shard mailbox term, per-flow transport state is
+    read from the flow's home shard. Sharded transcripts are
+    deterministic for a fixed shard count but differ from single-shard
+    transcripts (a different, equally valid, event interleaving). *)
+val run_one :
+  ?sched:Dessim.Engine.sched ->
+  ?shards:int ->
+  seed:int ->
+  scheme:string ->
+  unit ->
+  outcome
 
 (** [run_seeds ~schemes ~seeds ()] — the cartesian product, in order. *)
 val run_seeds :
   ?sched:Dessim.Engine.sched ->
+  ?shards:int ->
   schemes:string list ->
   seeds:int list ->
   unit ->

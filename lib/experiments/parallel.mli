@@ -16,6 +16,12 @@
     [Domain.recommended_domain_count]. *)
 val default_jobs : unit -> int
 
+(** [shards ()] is the per-run shard count implied by [REPRO_SHARDS]
+    (1 when unset or invalid) — the number of domains one sharded
+    simulation occupies ({!Netsim.Parnet}). {!default_jobs} divides
+    its worker budget by this. *)
+val shards : unit -> int
+
 (** [map ?jobs tasks] runs every [(name, thunk)] task and returns the
     thunk results in submission order. Tasks are claimed from a shared
     atomic cursor, so scheduling is work-conserving; each task's

@@ -142,5 +142,55 @@ let run ?net_config ?report_name ?faults (setup : Setup.t) ~scheme ~flows
   | _ -> ());
   result
 
+(* Sharded variant: same trace, executed as [shards] lock-step domains
+   over one logical simulation (Netsim.Parnet). Telemetry reports are
+   not supported here; [extra] scheme stats are per-shard and not
+   generically mergeable, so they are omitted. *)
+let run_sharded ?net_config ?faults ~shards (setup : Setup.t) ~make_scheme
+    ~flows ~migrations ~until =
+  let scheme_name = ref "" in
+  let make_scheme ~shard =
+    let s = make_scheme ~shard in
+    if shard = 0 then scheme_name := s.Netsim.Scheme.name;
+    s
+  in
+  let par =
+    Netsim.Parnet.run ?config:net_config ?faults ~shards setup.Setup.topo
+      ~make_scheme ~flows ~migrations ~until
+  in
+  let m = Netsim.Parnet.metrics par in
+  let topo = setup.Setup.topo in
+  let pods = (Topo.Topology.params topo).Topo.Params.pods in
+  let result =
+    {
+      scheme = !scheme_name;
+      hit_rate = Netsim.Metrics.hit_rate m;
+      mean_fct = Netsim.Metrics.mean_fct m;
+      mean_fpl = Netsim.Metrics.mean_first_packet_latency m;
+      mean_pkt_latency = Netsim.Metrics.mean_packet_latency m;
+      gw_packets = Netsim.Metrics.gateway_packets m;
+      packets_sent = Netsim.Metrics.packets_sent m;
+      packets_dropped = Netsim.Metrics.packets_dropped m;
+      drops_by_kind = Netsim.Metrics.drops_by_kind m;
+      drops_by_site = Netsim.Metrics.drops_by_site m;
+      misdelivered = Netsim.Metrics.misdelivered_packets m;
+      flows_started = Netsim.Metrics.flows_started m;
+      flows_completed = Netsim.Metrics.flows_completed m;
+      stretch = Netsim.Metrics.mean_stretch m;
+      layer_hits = Netsim.Metrics.layer_hits m;
+      fp_layer_hits = Netsim.Metrics.first_packet_layer_hits m;
+      last_misdelivered_arrival = Netsim.Metrics.last_misdelivered_arrival m;
+      reordering_events = Netsim.Parnet.reordering_events par;
+      extra = [];
+      bytes_by_pod =
+        Array.init pods (fun pod -> (pod, Netsim.Metrics.bytes_of_pod m pod));
+      bytes_by_switch =
+        Array.map
+          (fun sw -> (sw, Netsim.Metrics.bytes_of_switch m sw))
+          (Topo.Topology.switches topo);
+    }
+  in
+  (par, result)
+
 let improvement ~baseline ~v =
   if baseline <= 0.0 || v <= 0.0 then 1.0 else baseline /. v

@@ -51,6 +51,25 @@ val run :
   until:Dessim.Time_ns.t ->
   result
 
+(** [run_sharded ~shards setup ~make_scheme ...] executes the same
+    kind of trace as {!run} but as one domain-sharded simulation
+    ({!Netsim.Parnet}); [make_scheme ~shard] must build a fresh scheme
+    per shard. Returns the Parnet handle (per-shard inspection,
+    window/handoff counters) alongside the result row. Telemetry
+    reports are not supported; the result's [extra] scheme stats are
+    empty (per-shard stats are not generically mergeable). Pick
+    [shards] from [REPRO_SHARDS] via {!Parallel.shards}. *)
+val run_sharded :
+  ?net_config:Netsim.Network.config ->
+  ?faults:Dessim.Fault.plan ->
+  shards:int ->
+  Setup.t ->
+  make_scheme:(shard:int -> Netsim.Scheme.t) ->
+  flows:Netcore.Flow.t list ->
+  migrations:Netsim.Network.migration list ->
+  until:Dessim.Time_ns.t ->
+  Netsim.Parnet.t * result
+
 (** [improvement ~baseline ~v] is [baseline /. v] guarded against
     division by zero (returns 1.0 when either side is degenerate) —
     the paper's "improvement factor normalized by NoCache". *)

@@ -121,6 +121,60 @@ let create ?classify topo rng =
     last_misdelivered_arrival = None;
   }
 
+(* Elementwise sum of two per-class counter tables into a fresh one. *)
+let merge_tables a b =
+  let out = Hashtbl.create (Hashtbl.length a + Hashtbl.length b) in
+  let add table =
+    Hashtbl.iter
+      (fun k r ->
+        match Hashtbl.find_opt out k with
+        | Some acc -> acc := !acc + !r
+        | None -> Hashtbl.add out k (ref !r))
+      table
+  in
+  add a;
+  add b;
+  out
+
+let merge a b =
+  if Array.length a.switch_bytes <> Array.length b.switch_bytes then
+    invalid_arg "Metrics.merge: different topologies";
+  {
+    topo = a.topo;
+    classify = a.classify;
+    class_sent = merge_tables a.class_sent b.class_sent;
+    class_gateway = merge_tables a.class_gateway b.class_gateway;
+    flows_started = a.flows_started + b.flows_started;
+    flows_completed = a.flows_completed + b.flows_completed;
+    packets_sent = a.packets_sent + b.packets_sent;
+    retransmits = a.retransmits + b.retransmits;
+    delivered_packets = a.delivered_packets + b.delivered_packets;
+    drops = Array.init (num_kinds * num_sites) (fun i -> a.drops.(i) + b.drops.(i));
+    gateway_packets = a.gateway_packets + b.gateway_packets;
+    fct = Stats.Reservoir.merge a.fct b.fct;
+    fpl = Stats.Summary.merge a.fpl b.fpl;
+    pkt_latency = Stats.Summary.merge a.pkt_latency b.pkt_latency;
+    stretch = Stats.Summary.merge a.stretch b.stretch;
+    hits_core = a.hits_core + b.hits_core;
+    hits_spine = a.hits_spine + b.hits_spine;
+    hits_tor = a.hits_tor + b.hits_tor;
+    resolved_gateway = a.resolved_gateway + b.resolved_gateway;
+    resolved_host = a.resolved_host + b.resolved_host;
+    fp_hits_core = a.fp_hits_core + b.fp_hits_core;
+    fp_hits_spine = a.fp_hits_spine + b.fp_hits_spine;
+    fp_hits_tor = a.fp_hits_tor + b.fp_hits_tor;
+    fp_resolved_gateway = a.fp_resolved_gateway + b.fp_resolved_gateway;
+    fp_resolved_host = a.fp_resolved_host + b.fp_resolved_host;
+    switch_bytes =
+      Array.init (Array.length a.switch_bytes) (fun i ->
+          a.switch_bytes.(i) + b.switch_bytes.(i));
+    misdelivered = a.misdelivered + b.misdelivered;
+    last_misdelivered_arrival =
+      (match (a.last_misdelivered_arrival, b.last_misdelivered_arrival) with
+      | None, x | x, None -> x
+      | Some x, Some y -> Some (Time_ns.max x y));
+  }
+
 let tenant_packet (pkt : Packet.t) =
   match pkt.Packet.kind with
   | Packet.Data | Packet.Ack -> true

@@ -33,6 +33,16 @@ type drop_site =
 val create :
   ?classify:(Netcore.Packet.t -> int) -> Topo.Topology.t -> Dessim.Rng.t -> t
 
+(** [merge a b] is a fresh collector equivalent to having recorded
+    both event streams into one: counters and the drop matrix add,
+    per-class tables add keywise, latency/stretch summaries and the
+    FCT reservoir merge exactly, [last_misdelivered_arrival] takes the
+    later time. Commutative; [a] and [b] are left untouched. Both must
+    come from the same topology ([Invalid_argument] otherwise); the
+    result keeps [a]'s classifier. Used by the sharded runtime to
+    combine per-shard collectors after a run. *)
+val merge : t -> t -> t
+
 (** Recording hooks (called by the engine). *)
 
 val packet_sent : t -> Netcore.Packet.t -> unit

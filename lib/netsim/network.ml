@@ -1,6 +1,7 @@
 module Engine = Dessim.Engine
 module Time_ns = Dessim.Time_ns
 module Rng = Dessim.Rng
+module Spsc = Dessim.Spsc
 module Packet = Netcore.Packet
 module Flow = Netcore.Flow
 module Vip = Netcore.Addr.Vip
@@ -55,12 +56,53 @@ let ev_forward = 2 (* a = switch node (scheme Delay),   b = slot *)
 let ev_loopback = 3 (* a unused,                        b = slot *)
 let ev_host_fwd = 4 (* a = (action lsl node_bits) lor node, b = slot *)
 let ev_fault = 5 (* a = index into the installed fault plan, b unused *)
+let ev_link_deq = 6 (* a = (from lsl node_bits) lor next, b = BYTES, no packet *)
+let ev_arrive_remote = 7 (* like ev_arrive, but the link dequeue runs remotely *)
 
 (* ev_host_fwd actions; must be decided before the processing delay,
    exactly as the closure version captured the scheme's answer at
    misdelivery time. *)
 let act_reforward = 0
 let act_follow_me = 1
+
+(* --- domain sharding ---------------------------------------------------
+
+   In a sharded run (see Parnet) each OCaml domain owns one Network.t
+   covering a partition of the nodes; a node's state — its links'
+   source-side queues, its pipeline tables, its hosts' caches — is
+   only ever touched by its owning shard. Packets cross the partition
+   as serialized int records over SPSC mailboxes, injected back at the
+   owner by {!receive_handoff}. Three message families:
+
+   mode 0 — link hop: the source owner ran the full egress (loss
+   draws, queue admission, ECN), so the record carries the computed
+   arrival time; the owner of the destination node replays the arrival
+   while a local [ev_link_deq] event drains the source-side queue at
+   the same timestamp.
+
+   mode 1 — fresh tenant send whose VM has migrated to a host another
+   shard owns: the owner re-runs the whole send (resolution, metrics)
+   one lookahead later. Charged to [injected_pkts] once, at the
+   original origin, so a message still in a mailbox at the horizon
+   shows up in the handoff counters and conservation still balances.
+
+   modes 2/3 — final delivery of a data (2) or ack (3) packet whose
+   transport endpoint lives on another shard: flows keep their
+   sender/receiver state at the shards owning the flow's *initial*
+   hosts, so a packet chasing a migrated VM is delivered where the
+   transport actually is. *)
+
+type handoff = {
+  hs_my : int; (* this network's shard id *)
+  hs_owner : int array; (* node id -> owning shard *)
+  hs_out : Spsc.t array; (* outbound mailbox per destination shard *)
+  hs_buf : int array; (* scratch serialization record *)
+  hs_lookahead : Time_ns.t; (* min cross-shard link latency *)
+  hs_send_home : int array; (* flow id -> shard holding the sender *)
+  hs_recv_home : int array; (* flow id -> shard holding the receiver *)
+  mutable hs_sent : int; (* records pushed (conservation: in-flight) *)
+  mutable hs_recv : int; (* records injected *)
+}
 
 type t = {
   cfg : config;
@@ -94,6 +136,13 @@ type t = {
   mutable faults_on : bool;
   mutable fault_specs : Dessim.Fault.spec array;
   mutable fault_rng : Rng.t;
+  (* Churn victim selection. In a single-shard run this is the same
+     physical stream as [fault_rng] (loss draws and churn interleave
+     exactly as the goldens recorded); a sharded run splits them so
+     every shard can replay identical churn from a shared seed while
+     loss draws stay private to the link owner. *)
+  mutable churn_rng : Rng.t;
+  mutable shard : handoff option;
   fault_counts : int array; (* firings per Fault kind *)
   gw_down : bool array; (* indexed by node id; true inside an outage *)
   (* Conservation accounting for the DST harness: every packet that
@@ -189,6 +238,140 @@ let pool_release t (pkt : Packet.t) =
     t.free_top <- t.free_top + 1
   end
 
+(* --- cross-shard handoff serialization --------------------------------- *)
+
+(* Record layout (all ints): 0 mode, 1 arrival, 2 packed from/next
+   (mode 0 only), 3 id, 4 flow_id, 5 kind+flags, 6 size, 7 seq,
+   8 src_vip, 9 dst_vip, 10 src_pip, 11 dst_pip, 12 misdelivery,
+   13 hit_switch, 14 hops, 15 sent_at, 16-21 the three optional
+   (vip, pip) riders (spill, promo, mapping payload), present iff the
+   matching flag bit is set. *)
+let hoff_stride = 22
+
+(* Word 5: 2-bit kind code below the flag bits. *)
+let hf_resolved = 4
+let hf_gw_pinned = 8
+let hf_ecn = 16
+let hf_gw_visited = 32
+let hf_retransmit = 64
+let hf_spill = 128
+let hf_promo = 256
+let hf_mp = 512
+
+let kind_code = function
+  | Packet.Data -> 0
+  | Packet.Ack -> 1
+  | Packet.Learning -> 2
+  | Packet.Invalidation -> 3
+
+let kind_of_code = function
+  | 0 -> Packet.Data
+  | 1 -> Packet.Ack
+  | 2 -> Packet.Learning
+  | _ -> Packet.Invalidation
+
+let hoff_push sc ~dst_shard ~mode ~arrival ~a (pkt : Packet.t) =
+  let buf = sc.hs_buf in
+  buf.(0) <- mode;
+  buf.(1) <- Time_ns.to_ns arrival;
+  buf.(2) <- a;
+  buf.(3) <- pkt.Packet.id;
+  buf.(4) <- pkt.Packet.flow_id;
+  buf.(6) <- pkt.Packet.size;
+  buf.(7) <- pkt.Packet.seq;
+  buf.(8) <- Vip.to_int pkt.Packet.src_vip;
+  buf.(9) <- Vip.to_int pkt.Packet.dst_vip;
+  buf.(10) <- Pip.to_int pkt.Packet.src_pip;
+  buf.(11) <- Pip.to_int pkt.Packet.dst_pip;
+  buf.(12) <- pkt.Packet.misdelivery;
+  buf.(13) <- pkt.Packet.hit_switch;
+  buf.(14) <- pkt.Packet.hops;
+  buf.(15) <- Time_ns.to_ns pkt.Packet.sent_at;
+  let fl = ref (kind_code pkt.Packet.kind) in
+  if pkt.Packet.resolved then fl := !fl lor hf_resolved;
+  if pkt.Packet.gw_pinned then fl := !fl lor hf_gw_pinned;
+  if pkt.Packet.ecn then fl := !fl lor hf_ecn;
+  if pkt.Packet.gw_visited then fl := !fl lor hf_gw_visited;
+  if pkt.Packet.retransmit then fl := !fl lor hf_retransmit;
+  (match pkt.Packet.spill with
+  | Some (v, p) ->
+      fl := !fl lor hf_spill;
+      buf.(16) <- Vip.to_int v;
+      buf.(17) <- Pip.to_int p
+  | None ->
+      buf.(16) <- 0;
+      buf.(17) <- 0);
+  (match pkt.Packet.promo with
+  | Some (v, p) ->
+      fl := !fl lor hf_promo;
+      buf.(18) <- Vip.to_int v;
+      buf.(19) <- Pip.to_int p
+  | None ->
+      buf.(18) <- 0;
+      buf.(19) <- 0);
+  (match pkt.Packet.mapping_payload with
+  | Some (v, p) ->
+      fl := !fl lor hf_mp;
+      buf.(20) <- Vip.to_int v;
+      buf.(21) <- Pip.to_int p
+  | None ->
+      buf.(20) <- 0;
+      buf.(21) <- 0);
+  buf.(5) <- !fl;
+  sc.hs_sent <- sc.hs_sent + 1;
+  Spsc.push sc.hs_out.(dst_shard) buf
+
+(* Materialize a handoff record into a pooled packet. *)
+let hoff_read t buf off =
+  let pkt = pool_acquire t in
+  let fl = buf.(off + 5) in
+  pkt.Packet.id <- buf.(off + 3);
+  pkt.Packet.flow_id <- buf.(off + 4);
+  pkt.Packet.kind <- kind_of_code (fl land 3);
+  pkt.Packet.size <- buf.(off + 6);
+  pkt.Packet.seq <- buf.(off + 7);
+  pkt.Packet.src_vip <- Vip.of_int buf.(off + 8);
+  pkt.Packet.dst_vip <- Vip.of_int buf.(off + 9);
+  pkt.Packet.src_pip <- Pip.of_int buf.(off + 10);
+  pkt.Packet.dst_pip <- Pip.of_int buf.(off + 11);
+  pkt.Packet.misdelivery <- buf.(off + 12);
+  pkt.Packet.hit_switch <- buf.(off + 13);
+  pkt.Packet.hops <- buf.(off + 14);
+  pkt.Packet.sent_at <- Time_ns.of_ns buf.(off + 15);
+  pkt.Packet.resolved <- fl land hf_resolved <> 0;
+  pkt.Packet.gw_pinned <- fl land hf_gw_pinned <> 0;
+  pkt.Packet.ecn <- fl land hf_ecn <> 0;
+  pkt.Packet.gw_visited <- fl land hf_gw_visited <> 0;
+  pkt.Packet.retransmit <- fl land hf_retransmit <> 0;
+  pkt.Packet.spill <-
+    (if fl land hf_spill <> 0 then
+       Some (Vip.of_int buf.(off + 16), Pip.of_int buf.(off + 17))
+     else None);
+  pkt.Packet.promo <-
+    (if fl land hf_promo <> 0 then
+       Some (Vip.of_int buf.(off + 18), Pip.of_int buf.(off + 19))
+     else None);
+  pkt.Packet.mapping_payload <-
+    (if fl land hf_mp <> 0 then
+       Some (Vip.of_int buf.(off + 20), Pip.of_int buf.(off + 21))
+     else None);
+  pkt
+
+(* The shard holding a tenant packet's transport endpoint: the
+   receiver for data, the sender for acks — fixed at setup from the
+   flows' initial placement. Control packets (and unknown flow ids,
+   which never reach a transport) are local. *)
+let hoff_home sc (pkt : Packet.t) =
+  let f = pkt.Packet.flow_id in
+  match pkt.Packet.kind with
+  | Packet.Data ->
+      if f >= 0 && f < Array.length sc.hs_recv_home then sc.hs_recv_home.(f)
+      else sc.hs_my
+  | Packet.Ack ->
+      if f >= 0 && f < Array.length sc.hs_send_home then sc.hs_send_home.(f)
+      else sc.hs_my
+  | Packet.Learning | Packet.Invalidation -> sc.hs_my
+
 (* --- forwarding ------------------------------------------------------- *)
 
 let salt_of (pkt : Packet.t) =
@@ -234,12 +417,24 @@ let transmit t ~from ~next (pkt : Packet.t) =
       end
       else begin
         if Topo.Link.packed_ce p then pkt.Packet.ecn <- true;
-        pool_adopt t pkt;
-        Engine.schedule_event t.engine
-          ~at:(Topo.Link.packed_arrival p)
-          ~code:ev_arrive
-          ~a:((from lsl node_bits) lor next)
-          ~b:pkt.Packet.pool_slot
+        let arrival = Topo.Link.packed_arrival p in
+        let a = (from lsl node_bits) lor next in
+        match t.shard with
+        | Some sc when sc.hs_owner.(next) <> sc.hs_my ->
+            (* Cross-shard hop: the destination owner replays the
+               arrival; a local typed event drains this side's link
+               queue at the same timestamp. The arrival is at least
+               one lookahead away (the lookahead is the minimum
+               cross-shard propagation delay), which is what lets the
+               window protocol drain mailboxes only at barriers. *)
+            Engine.schedule_event t.engine ~at:arrival ~code:ev_link_deq ~a
+              ~b:pkt.Packet.size;
+            hoff_push sc ~dst_shard:sc.hs_owner.(next) ~mode:0 ~arrival ~a pkt;
+            pool_release t pkt
+        | _ ->
+            pool_adopt t pkt;
+            Engine.schedule_event t.engine ~at:arrival ~code:ev_arrive ~a
+              ~b:pkt.Packet.pool_slot
       end
     end
   end
@@ -357,6 +552,27 @@ and host_forward t ~node ~action (pkt : Packet.t) =
         transmit t ~from:node ~next:(Topology.tor_of t.topo node) pkt
 
 and deliver t (pkt : Packet.t) =
+  let remote =
+    match t.shard with
+    | Some sc ->
+        let home = hoff_home sc pkt in
+        if home <> sc.hs_my then Some (sc, home) else None
+    | None -> None
+  in
+  match remote with
+  | Some (sc, dst_shard) ->
+      (* The flow's transport endpoint lives on another shard (its VM
+         migrated across the partition): hand the finished packet to
+         the home shard, which re-runs [deliver] one lookahead later —
+         delivery metrics and the transport callbacks both run where
+         the flow state is. *)
+      let arrival = Time_ns.add (Engine.now t.engine) sc.hs_lookahead in
+      let mode = match pkt.Packet.kind with Packet.Ack -> 3 | _ -> 2 in
+      hoff_push sc ~dst_shard ~mode ~arrival ~a:0 pkt;
+      pool_release t pkt
+  | None -> deliver_local t pkt
+
+and deliver_local t (pkt : Packet.t) =
   let first =
     Packet.is_data pkt
     && not
@@ -412,8 +628,8 @@ let apply_action t (action : Fault.action) =
       let hosts = Topology.hosts t.topo in
       let num_hosts = Array.length hosts in
       for _ = 1 to n do
-        let vip = Rng.int t.fault_rng num_vms in
-        let h = Rng.int t.fault_rng num_hosts in
+        let vip = Rng.int t.churn_rng num_vms in
+        let h = Rng.int t.churn_rng num_hosts in
         (* Never a no-op migration: bump to the next host if the draw
            landed on the VM's current placement. *)
         let to_host =
@@ -426,9 +642,16 @@ let apply_action t (action : Fault.action) =
 let apply_fault t ~index =
   let spec = t.fault_specs.(index) in
   let k = Fault.kind_index spec.Fault.action in
-  t.fault_counts.(k) <- t.fault_counts.(k) + 1;
+  (* Churn is the one fault replayed on every shard (each replica
+     migrates its own copies of the victims); count it once. *)
+  let count_here =
+    match (spec.Fault.action, t.shard) with
+    | Fault.Churn _, Some sc -> sc.hs_my = 0
+    | _ -> true
+  in
+  if count_here then t.fault_counts.(k) <- t.fault_counts.(k) + 1;
   apply_action t spec.Fault.action;
-  if Dessim.Telemetry.is_enabled t.cfg.telemetry then
+  if count_here && Dessim.Telemetry.is_enabled t.cfg.telemetry then
     Dessim.Telemetry.sample t.cfg.telemetry
       fault_series.(k)
       ~now_sec:(Time_ns.to_sec (Engine.now t.engine))
@@ -440,6 +663,14 @@ let apply_fault t ~index =
    no packet and must be dispatched before the slot dereference. *)
 let handle_event t ~code ~a ~b =
   if code = ev_fault then apply_fault t ~index:a
+  else if code = ev_link_deq then
+    (* [b] is a byte count, not a pool slot — dispatched before the
+       slot dereference below. Source-side half of a cross-shard hop:
+       the packet itself arrives on the peer shard. *)
+    let link =
+      Topology.link t.topo ~src:(a lsr node_bits) ~dst:(a land node_mask)
+    in
+    Topo.Link.delivered link ~bytes:b
   else begin
     let pkt = t.pool.(b) in
     if code = ev_arrive then begin
@@ -449,6 +680,10 @@ let handle_event t ~code ~a ~b =
       Topo.Link.delivered link ~bytes:pkt.Packet.size;
       arrive t ~node ~from pkt
     end
+    else if code = ev_arrive_remote then
+      (* Cross-shard arrival: the sender's shard already drained its
+         link queue via [ev_link_deq]. *)
+      arrive t ~node:(a land node_mask) ~from:(a lsr node_bits) pkt
     else if code = ev_gateway then gateway_forward t ~node:a pkt
     else if code = ev_forward then forward_from t ~node:a pkt
     else if code = ev_loopback then deliver t pkt
@@ -459,8 +694,7 @@ let handle_event t ~code ~a ~b =
 
 (* --- sending ---------------------------------------------------------- *)
 
-let send_tenant_packet t ~src_host (pkt : Packet.t) =
-  t.injected_pkts <- t.injected_pkts + 1;
+let send_tenant_body t ~src_host (pkt : Packet.t) =
   let dst_home = t.vm_host.(Vip.to_int pkt.Packet.dst_vip) in
   if dst_home = src_host then begin
     (* Hypervisor-local switching for co-located VMs: no network, no
@@ -496,6 +730,36 @@ let send_tenant_packet t ~src_host (pkt : Packet.t) =
               pkt)
   end
 
+let send_tenant_packet t ~src_host pkt =
+  t.injected_pkts <- t.injected_pkts + 1;
+  send_tenant_body t ~src_host pkt
+
+(* Entry point for fresh tenant sends: a migrated VM may live on a
+   host another shard owns, in which case the whole send (scheme
+   resolution, host cache reads, metrics) is replayed at the owner one
+   lookahead later — a mode-1 handoff. [counted] says the packet was
+   already charged to [injected_pkts]: the charge happens exactly once
+   at the original origin, so an undrained mode-1 message at the
+   horizon is balanced by the handoff counters like any other
+   in-flight record. A single-shard network always takes the direct
+   branch. *)
+let send_from_host t ~counted (pkt : Packet.t) =
+  let src_host = t.vm_host.(Vip.to_int pkt.Packet.src_vip) in
+  match t.shard with
+  | Some sc when sc.hs_owner.(src_host) <> sc.hs_my ->
+      if not counted then t.injected_pkts <- t.injected_pkts + 1;
+      let arrival = Time_ns.add (Engine.now t.engine) sc.hs_lookahead in
+      hoff_push sc ~dst_shard:sc.hs_owner.(src_host) ~mode:1 ~arrival ~a:0 pkt;
+      pool_release t pkt
+  | _ ->
+      if counted then begin
+        (* Replayed at the owner: stamp the outer source with the
+           actual sending host, as the origin would have. *)
+        pkt.Packet.src_pip <- Topology.pip t.topo src_host;
+        send_tenant_body t ~src_host pkt
+      end
+      else send_tenant_packet t ~src_host pkt
+
 let make_transport t =
   let now () = Engine.now t.engine in
   let schedule delay f = Engine.schedule_after t.engine ~delay f in
@@ -508,7 +772,7 @@ let make_transport t =
       ~src_pip:(Topology.pip t.topo src_host)
       ~dst_pip:Pip.none ~now:(now ());
     pkt.Packet.retransmit <- retransmit;
-    send_tenant_packet t ~src_host pkt
+    send_from_host t ~counted:false pkt
   in
   let send_ack flow ~seq ~ecn_echo =
     let src_host = t.vm_host.(Vip.to_int flow.Flow.dst_vip) in
@@ -519,7 +783,7 @@ let make_transport t =
       ~src_pip:(Topology.pip t.topo src_host)
       ~dst_pip:Pip.none ~now:(now ());
     pkt.Packet.ecn <- ecn_echo;
-    send_tenant_packet t ~src_host pkt
+    send_from_host t ~counted:false pkt
   in
   let flow_done _flow ~fct =
     Metrics.flow_completed t.metrics ~fct;
@@ -572,6 +836,9 @@ let create ?(config = default_config) topo ~scheme =
       ~dst_pip:Pip.none ~now:Time_ns.zero
   in
   pool_seed.Packet.pool_slot <- 0;
+  (* One physical stream for loss draws and churn until a sharded run
+     re-seeds them separately (see [install_faults]). *)
+  let frng = Rng.create (config.seed lxor 0x5afe) in
   let rec t =
     {
       cfg = config;
@@ -593,7 +860,9 @@ let create ?(config = default_config) topo ~scheme =
       (* slot 0 = pool_seed, already free *)
       faults_on = false;
       fault_specs = [||];
-      fault_rng = Rng.create (config.seed lxor 0x5afe);
+      fault_rng = frng;
+      churn_rng = frng;
+      shard = None;
       fault_counts = Array.make Dessim.Fault.num_kinds 0;
       gw_down = Array.make (Topology.num_nodes topo) false;
       injected_pkts = 0;
@@ -658,16 +927,50 @@ let validate_action t (action : Fault.action) =
   | Fault.Churn n ->
       if n < 0 then invalid_arg "Network.install_faults: negative churn batch"
 
+(* The shard whose state a fault mutates: link faults live with the
+   source endpoint (all link state is source-side), switch and gateway
+   faults with the node; churn is replayed everywhere. *)
+let fault_owner_node (a : Fault.action) =
+  match a with
+  | Fault.Link_down (src, _)
+  | Fault.Link_up (src, _)
+  | Fault.Set_loss (src, _, _)
+  | Fault.Corrupt_next (src, _) ->
+      Some src
+  | Fault.Switch_fail sw -> Some sw
+  | Fault.Gateway_down g | Fault.Gateway_up g -> Some g
+  | Fault.Churn _ -> None
+
 let install_faults t (plan : Fault.plan) =
   if t.faults_on then invalid_arg "Network.install_faults: plan already installed";
   let specs = Fault.sort_specs plan.Fault.specs in
   Array.iter (fun s -> validate_action t s.Fault.action) specs;
   t.faults_on <- true;
   t.fault_specs <- specs;
-  t.fault_rng <- Rng.create plan.Fault.seed;
+  (match t.shard with
+  | None ->
+      let r = Rng.create plan.Fault.seed in
+      t.fault_rng <- r;
+      t.churn_rng <- r
+  | Some sc ->
+      (* Loss draws happen at the owner of each link's source side, so
+         every shard gets a private stream; churn replays on all shards
+         from one shared-seed stream, so the replicas pick identical
+         victims in identical order. *)
+      t.fault_rng <- Rng.create (plan.Fault.seed lxor (0x9e3779b9 * (sc.hs_my + 1)));
+      t.churn_rng <- Rng.create (plan.Fault.seed lxor 0x2c07));
   Array.iteri
     (fun i (s : Fault.spec) ->
-      Engine.schedule_event t.engine ~at:s.Fault.at ~code:ev_fault ~a:i ~b:0)
+      let mine =
+        match t.shard with
+        | None -> true
+        | Some sc -> (
+            match fault_owner_node s.Fault.action with
+            | None -> true
+            | Some node -> sc.hs_owner.(node) = sc.hs_my)
+      in
+      if mine then
+        Engine.schedule_event t.engine ~at:s.Fault.at ~code:ev_fault ~a:i ~b:0)
     specs
 
 let faults_installed t = t.faults_on
@@ -679,6 +982,54 @@ let fault_counts t =
 let injected_packets t = t.injected_pkts
 let consumed_at_switch t = t.consumed_pkts
 let live_packets t = t.pool_len - t.free_top
+
+(* --- sharded execution hooks ------------------------------------------- *)
+
+let handoff_stride = hoff_stride
+
+let set_shard t ~my ~owner ~out ~lookahead ~send_home ~recv_home =
+  (match t.shard with
+  | Some _ -> invalid_arg "Network.set_shard: already sharded"
+  | None -> ());
+  if t.faults_on then
+    invalid_arg "Network.set_shard: install faults after set_shard";
+  if Time_ns.compare lookahead Time_ns.zero <= 0 then
+    invalid_arg "Network.set_shard: lookahead must be positive";
+  t.shard <-
+    Some
+      {
+        hs_my = my;
+        hs_owner = owner;
+        hs_out = out;
+        hs_buf = Array.make hoff_stride 0;
+        hs_lookahead = lookahead;
+        hs_send_home = send_home;
+        hs_recv_home = recv_home;
+        hs_sent = 0;
+        hs_recv = 0;
+      }
+
+let receive_handoff t buf off =
+  let sc =
+    match t.shard with
+    | Some sc -> sc
+    | None -> invalid_arg "Network.receive_handoff: not sharded"
+  in
+  sc.hs_recv <- sc.hs_recv + 1;
+  let mode = buf.(off) in
+  let arrival = Time_ns.of_ns buf.(off + 1) in
+  let a = buf.(off + 2) in
+  let pkt = hoff_read t buf off in
+  if mode = 0 then
+    Engine.schedule_event t.engine ~at:arrival ~code:ev_arrive_remote ~a
+      ~b:pkt.Packet.pool_slot
+  else if mode = 1 then
+    Engine.schedule t.engine ~at:arrival (fun () ->
+        send_from_host t ~counted:true pkt)
+  else Engine.schedule t.engine ~at:arrival (fun () -> deliver t pkt)
+
+let handoffs_sent t = match t.shard with Some sc -> sc.hs_sent | None -> 0
+let handoffs_received t = match t.shard with Some sc -> sc.hs_recv | None -> 0
 let gateway_is_down t node = t.gw_down.(node)
 let metrics t = t.metrics
 

@@ -131,3 +131,46 @@ val consumed_at_switch : t -> int
 (** [live_packets t] — pool slots currently held by in-flight
     packets. *)
 val live_packets : t -> int
+
+(** {2 Domain sharding}
+
+    Hooks used by {!Parnet} to run one logical simulation as [n]
+    per-domain networks under the conservative window protocol of
+    {!Dessim.Shard}. Each shard owns the state of its nodes; packets
+    cross the partition as fixed-stride int records over
+    {!Dessim.Spsc} mailboxes. A network with no shard context behaves
+    exactly as before — the sharded branches are dead. *)
+
+(** Ints per serialized handoff record. *)
+val handoff_stride : int
+
+(** [set_shard t ~my ~owner ~out ~lookahead ~send_home ~recv_home]
+    turns [t] into shard [my]: [owner] maps node id to owning shard,
+    [out.(s)] is the outbound mailbox to shard [s] (stride
+    {!handoff_stride}), [lookahead] is the minimum cross-shard link
+    latency, and [send_home]/[recv_home] map flow ids to the shards
+    holding the flow's transport sender/receiver. Must run before
+    {!install_faults} (fault events are partitioned by ownership). *)
+val set_shard :
+  t ->
+  my:int ->
+  owner:int array ->
+  out:Dessim.Spsc.t array ->
+  lookahead:Dessim.Time_ns.t ->
+  send_home:int array ->
+  recv_home:int array ->
+  unit
+
+(** [receive_handoff t buf off] injects one serialized record (at
+    [off] of [buf]) into this shard's engine — the [drain] callback of
+    {!Dessim.Shard.run} feeds every inbound mailbox through this, in
+    fixed source-shard order. *)
+val receive_handoff : t -> int array -> int -> unit
+
+(** Conservation counters for sharded runs: records pushed to /
+    injected from mailboxes. Summed across shards,
+    [sent - received] is the number of packets in flight between
+    shards; both are 0 on an unsharded network. *)
+val handoffs_sent : t -> int
+
+val handoffs_received : t -> int

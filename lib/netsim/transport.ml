@@ -244,11 +244,16 @@ let make_receiver flow =
     r_done = false;
   }
 
-let start t flow =
-  store_set t.receivers flow.Flow.id (make_receiver flow);
+let start_receiver t flow = store_set t.receivers flow.Flow.id (make_receiver flow)
+
+let start_sender t flow =
   match flow.Flow.proto with
   | Flow.Tcpish -> start_reliable t flow
   | Flow.Udp { rate_bps } -> start_udp t flow rate_bps
+
+let start t flow =
+  start_receiver t flow;
+  start_sender t flow
 
 let on_data t (pkt : Packet.t) =
   match store_find t.receivers pkt.Packet.flow_id with

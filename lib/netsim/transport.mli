@@ -35,8 +35,20 @@ type t
 val create :
   ?mode:mode -> ?window:int -> ?rto:Dessim.Time_ns.t -> callbacks -> t
 
-(** [start t flow] begins transmission at the current time. *)
+(** [start t flow] begins transmission at the current time — equivalent
+    to [start_receiver] then [start_sender] on the same instance. *)
 val start : t -> Netcore.Flow.t -> unit
+
+(** [start_receiver t flow] registers only the receiver-side state.
+    The sharded runtime calls this on the instance owning the flow's
+    receiving host while [start_sender] runs on the instance owning the
+    sending host; in a single-shard run both live in one instance and
+    plain [start] is used. *)
+val start_receiver : t -> Netcore.Flow.t -> unit
+
+(** [start_sender t flow] begins transmission without touching the
+    receiver side. *)
+val start_sender : t -> Netcore.Flow.t -> unit
 
 (** [on_data t pkt] — a data packet arrived at the correct receiving
     host. Generates ACKs for reliable flows; records latency hooks. *)

@@ -749,3 +749,36 @@ let run_until t ~limit =
 
 let pending t = t.size
 let executed t = t.executed
+
+(* Earliest pending timestamp, or [max_int] when the queue is empty.
+   Under [Wheel] the minimum ranges over four structures: the sorted
+   run's head (a [run_until] can park mid-run), the same-quantum side
+   heap, the earliest occupied bucket (the window maps quanta onto
+   buckets injectively, so the first occupied bucket holds the
+   earliest bucketed event; a bucket itself is unsorted and must be
+   scanned), and the overflow heap's root (lazy demotion means an
+   overflow event can predate later-bucket events). Used by the
+   domain-sharded runtime to agree on the next conservative window —
+   never on the single-shard dispatch path. *)
+let next_at t =
+  if t.size = 0 then max_int
+  else
+    match t.sched with
+    | Heap -> t.ev.(0)
+    | Wheel ->
+        let m = ref max_int in
+        if t.run_pos < t.run_len then m := t.run.(stride * t.run_pos);
+        if t.side_size > 0 && t.side.(0) < !m then m := t.side.(0);
+        if t.heap_size > 0 && t.ev.(0) < !m then m := t.ev.(0);
+        let bucketed =
+          t.size - t.heap_size - (t.run_len - t.run_pos) - t.side_size
+        in
+        if bucketed > 0 then begin
+          let idx = next_occupied t land t.mask in
+          let arr = t.buckets.(idx) in
+          for i = 0 to t.bucket_len.(idx) - 1 do
+            let k = arr.(stride * i) in
+            if k < !m then m := k
+          done
+        end;
+        !m

@@ -107,3 +107,9 @@ val pending : t -> int
 
 (** [executed t] is the total number of events executed so far. *)
 val executed : t -> int
+
+(** [next_at t] is the timestamp of the earliest pending event, or
+    [max_int] when the queue is empty. Read-only (never advances the
+    clock or cursor); used by the domain-sharded runtime
+    ({!Shard.run}) to agree on the next conservative window. *)
+val next_at : t -> Time_ns.t

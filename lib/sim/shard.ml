@@ -1,0 +1,136 @@
+(* Conservative-lookahead parallel runtime: one engine per OCaml
+   domain, advanced in lock-step windows.
+
+   Protocol. All shards repeatedly agree on the global minimum pending
+   timestamp [m] and then execute their local events in the window
+   [m, m + lookahead) concurrently. Any event a shard hands to a peer
+   mid-window (through an {!Spsc} mailbox) must carry a timestamp at
+   least [send_time + lookahead] — for the network layer the lookahead
+   is the minimum cross-shard link propagation delay, so this is the
+   classic conservative (null-message-free) bound: nothing generated
+   inside a window can land inside that same window, on any shard.
+   Each iteration is then:
+
+     drain inboxes -> publish next_at -> BARRIER A ->
+       m := min over shards;
+       if m > until then advance clocks to until and stop
+       else run_until (min (m + lookahead, until+1) - 1) -> BARRIER C
+
+   Barrier A orders every publish before every read of [m] (all shards
+   compute the same [m], so they take the same branch and the barrier
+   counts stay aligned — including unanimous exit). Barrier C ends the
+   window: it orders all mid-window mailbox pushes before the next
+   iteration's drains, which is what makes the drained message set —
+   and therefore the merged execution order — deterministic. A shard
+   resets its outbox spills right after barrier A, i.e. one full
+   barrier after the consumer drained them.
+
+   Determinism. Within a shard the engine preserves its byte-identical
+   (key, seq) dispatch contract. Across shards, every drain consumes
+   inboxes in fixed source order 0..n-1 and FIFO within each, so
+   cross-shard ties at a timestamp resolve by (key, src_shard,
+   arrival_seq) — a fixed shard count replays byte-identically from a
+   seed. Wall-clock scheduling never affects the message sets a drain
+   observes, because drains happen only between barriers.
+
+   Barrier. Generation-counting with a bounded spin before parking on
+   a Mutex/Condition pair: on a machine with spare cores the spin path
+   costs ~a cache miss, while an oversubscribed machine (more shards
+   than cores — e.g. CI smoke on small runners) degrades to condvar
+   wakeups instead of burning whole scheduler quanta spinning. *)
+
+type barrier = {
+  n : int;
+  count : int Atomic.t;
+  gen : int Atomic.t;
+  mu : Mutex.t;
+  cv : Condition.t;
+}
+
+let make_barrier n =
+  {
+    n;
+    count = Atomic.make 0;
+    gen = Atomic.make 0;
+    mu = Mutex.create ();
+    cv = Condition.create ();
+  }
+
+let spin_limit = 4096
+
+let await b =
+  let gen = Atomic.get b.gen in
+  if Atomic.fetch_and_add b.count 1 = b.n - 1 then begin
+    Atomic.set b.count 0;
+    Atomic.incr b.gen;
+    (* The empty lock/unlock orders the generation bump against any
+       waiter that checked the generation and is about to park, so the
+       broadcast cannot be missed. *)
+    Mutex.lock b.mu;
+    Mutex.unlock b.mu;
+    Condition.broadcast b.cv
+  end
+  else begin
+    let spins = ref 0 in
+    while Atomic.get b.gen = gen && !spins < spin_limit do
+      incr spins;
+      Domain.cpu_relax ()
+    done;
+    if Atomic.get b.gen = gen then begin
+      Mutex.lock b.mu;
+      while Atomic.get b.gen = gen do
+        Condition.wait b.cv b.mu
+      done;
+      Mutex.unlock b.mu
+    end
+  end
+
+let run ~lookahead ~until ~(engines : Engine.t array) ~drain ~begin_window =
+  if lookahead <= 0 then invalid_arg "Shard.run: lookahead must be positive";
+  let n = Array.length engines in
+  if n = 0 then invalid_arg "Shard.run: no engines";
+  let bar = make_barrier n in
+  let next = Array.init n (fun _ -> Atomic.make max_int) in
+  let windows = ref 0 in
+  let worker shard =
+    let e = engines.(shard) in
+    let continue = ref true in
+    while !continue do
+      drain ~shard;
+      Atomic.set next.(shard) (Engine.next_at e);
+      await bar;
+      (* Every shard reads the same published values and computes the
+         same [m]; re-publication only happens after barrier C of this
+         iteration, which cannot complete before these reads do. *)
+      let m = ref max_int in
+      for i = 0 to n - 1 do
+        let v = Atomic.get next.(i) in
+        if v < !m then m := v
+      done;
+      if !m > until then begin
+        (* Nothing pending at or before the horizon anywhere: advance
+           the local clock and exit — unanimously, keeping barrier
+           arrival counts aligned. *)
+        Engine.run_until e ~limit:until;
+        continue := false
+      end
+      else begin
+        begin_window ~shard;
+        if shard = 0 then incr windows;
+        (* Window [m, m + lookahead), clipped to the horizon. Events
+           generated inside it have timestamps >= m + lookahead >
+           wend, so they cannot execute before the next drain. *)
+        let wend =
+          if !m + lookahead - 1 < until then !m + lookahead - 1 else until
+        in
+        Engine.run_until e ~limit:wend;
+        await bar
+      end
+    done
+  in
+  let domains =
+    Array.init (n - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+  in
+  worker 0;
+  Array.iter Domain.join domains;
+  !windows

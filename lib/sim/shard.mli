@@ -1,0 +1,39 @@
+(** Conservative-lookahead parallel runtime: one {!Engine} per OCaml
+    domain, advanced in lock-step simulated-time windows.
+
+    The caller partitions its model across [n] engines and wires
+    cross-shard event handoff through {!Spsc} mailboxes; this module
+    only owns the synchronization protocol. Correctness contract: any
+    event a shard generates for a peer during a window must be
+    timestamped at least [lookahead] after the sending shard's current
+    time — in the network layer the lookahead is the minimum
+    cross-shard link propagation delay, which guarantees exactly
+    that. *)
+
+(** [run ~lookahead ~until ~engines ~drain ~begin_window] drives all
+    engines to simulated time [until] and returns the number of
+    windows executed. Shard 0 runs on the calling domain; shards
+    [1..n-1] each get a fresh domain, joined before returning.
+
+    Per window, on every shard: [drain ~shard] (inject mailbox
+    messages into the local engine — called between barriers, so
+    spills are safe to read), a barrier, then if any shard still has
+    work at or before [until]: [begin_window ~shard] (reset own outbox
+    spills), execute local events in [[m, m + lookahead) ∩ [0,
+    until]] where [m] is the global minimum pending timestamp, and a
+    closing barrier.
+
+    Determinism: [drain] must consume mailboxes in fixed source-shard
+    order, FIFO within each; combined with the engines' [(key, seq)]
+    dispatch order this makes an [n]-shard run replay byte-identically
+    for fixed [n], regardless of wall-clock interleaving.
+
+    Raises [Invalid_argument] if [lookahead <= 0] or [engines] is
+    empty. *)
+val run :
+  lookahead:int ->
+  until:Time_ns.t ->
+  engines:Engine.t array ->
+  drain:(shard:int -> unit) ->
+  begin_window:(shard:int -> unit) ->
+  int

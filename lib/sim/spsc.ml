@@ -1,0 +1,90 @@
+(* Single-producer / single-consumer mailbox of fixed-stride int
+   records, for cross-shard event handoff in the domain-sharded
+   runtime (see shard.ml).
+
+   The bounded ring carries the common case: the producer publishes a
+   record with a plain blit followed by an atomic store of [tail]; the
+   consumer reads [tail] atomically and then the records plainly, so
+   the ring alone is safe under concurrent push/drain (the atomics on
+   [head]/[tail] order the plain buffer accesses). Overflow spills
+   into a producer-owned growable vector with NO atomic protection —
+   the sharded runtime only drains mailboxes at synchronization
+   barriers, whose own atomics provide the happens-before edge for the
+   spill (and the producer only resets it one barrier after the
+   drain). Push order is preserved across the spill boundary: the ring
+   is only consumed at barriers, so once a push spills, every later
+   push in that window spills too — drain replays ring first, spill
+   second, which is exactly FIFO.
+
+   Record contents are opaque to this module; the owner defines the
+   layout (network.ml packs a serialized packet per record). *)
+
+type t = {
+  stride : int;
+  cap : int; (* ring capacity in records, a power of two *)
+  buf : int array; (* cap * stride *)
+  head : int Atomic.t; (* records consumed, monotone *)
+  tail : int Atomic.t; (* records published, monotone *)
+  mutable spill : int array; (* producer-owned overflow, stride-packed *)
+  mutable spill_len : int; (* records currently in the spill *)
+  mutable pushed : int; (* total records ever pushed (producer-owned) *)
+}
+
+let create ?(capacity = 1024) ~stride () =
+  if stride <= 0 then invalid_arg "Spsc.create: stride must be positive";
+  if capacity <= 0 || capacity land (capacity - 1) <> 0 then
+    invalid_arg "Spsc.create: capacity must be a power of two";
+  {
+    stride;
+    cap = capacity;
+    buf = Array.make (capacity * stride) 0;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    spill = [||];
+    spill_len = 0;
+    pushed = 0;
+  }
+
+let stride t = t.stride
+
+(* [push t record] copies [record.(0 .. stride-1)] in. Producer-side
+   only. *)
+let push t (record : int array) =
+  t.pushed <- t.pushed + 1;
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head < t.cap then begin
+    Array.blit record 0 t.buf ((tail land (t.cap - 1)) * t.stride) t.stride;
+    Atomic.set t.tail (tail + 1)
+  end
+  else begin
+    if t.spill_len * t.stride = Array.length t.spill then begin
+      let ncap = max (2 * Array.length t.spill) (t.stride * 64) in
+      let ns = Array.make ncap 0 in
+      Array.blit t.spill 0 ns 0 (t.spill_len * t.stride);
+      t.spill <- ns
+    end;
+    Array.blit record 0 t.spill (t.spill_len * t.stride) t.stride;
+    t.spill_len <- t.spill_len + 1
+  end
+
+(* [drain t f] consumes every published record in FIFO order, calling
+   [f buf off] with a stride-record at offset [off]. Consumer-side
+   only; including the spill is only safe at a barrier (see above). *)
+let drain t f =
+  let head = Atomic.get t.head and tail = Atomic.get t.tail in
+  if tail > head then begin
+    let m = t.cap - 1 in
+    for i = head to tail - 1 do
+      f t.buf ((i land m) * t.stride)
+    done;
+    Atomic.set t.head tail
+  end;
+  for j = 0 to t.spill_len - 1 do
+    f t.spill (j * t.stride)
+  done
+
+(* [reset_spill t] forgets drained spill records. Producer-side, and
+   only once a barrier separates it from the consumer's drain. *)
+let reset_spill t = t.spill_len <- 0
+
+let pushed t = t.pushed

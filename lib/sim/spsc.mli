@@ -1,0 +1,34 @@
+(** Single-producer / single-consumer mailbox of fixed-stride int
+    records, used for cross-shard event handoff by {!Shard}.
+
+    A bounded ring (atomic head/tail over a plain int buffer) with a
+    producer-owned overflow spill. Ring pushes and drains are safe
+    under concurrency; the spill is only safe to drain at a
+    synchronization barrier, which is the only place the sharded
+    runtime drains mailboxes. FIFO order is preserved end to end. *)
+
+type t
+
+(** [create ~stride ()] — records are [stride] ints; [capacity] is the
+    ring size in records (power of two, default 1024). Raises
+    [Invalid_argument] on a non-positive stride or non-power-of-two
+    capacity. *)
+val create : ?capacity:int -> stride:int -> unit -> t
+
+val stride : t -> int
+
+(** [push t record] copies [record.(0..stride-1)] into the mailbox.
+    Producer-side only; never blocks (overflow goes to the spill). *)
+val push : t -> int array -> unit
+
+(** [drain t f] consumes all published records in push order, calling
+    [f buf off] for each record at offset [off] of [buf]. Consumer-side
+    only, and only at a barrier (the spill is unsynchronized). *)
+val drain : t -> (int array -> int -> unit) -> unit
+
+(** [reset_spill t] releases drained spill storage for reuse.
+    Producer-side, one barrier after the consumer's drain. *)
+val reset_spill : t -> unit
+
+(** [pushed t] — total records ever pushed (producer-side counter). *)
+val pushed : t -> int

@@ -19,6 +19,16 @@ module Summary = struct
   let min t = if t.count = 0 then raise Not_found else t.min
   let max t = if t.count = 0 then raise Not_found else t.max
   let sum t = t.sum
+
+  (* Exact and commutative: count/sum are additive, min/max associative
+     (the empty-summary sentinels are the identities). *)
+  let merge a b =
+    {
+      count = a.count + b.count;
+      sum = a.sum +. b.sum;
+      min = Stdlib.min a.min b.min;
+      max = Stdlib.max a.max b.max;
+    }
 end
 
 module Reservoir = struct
@@ -62,6 +72,30 @@ module Reservoir = struct
 
   let count t = t.seen
   let mean t = if t.seen = 0 then 0.0 else t.sum /. float_of_int t.seen
+
+  (* Only defined for unbounded reservoirs (capacity [None]), where the
+     stored samples are exactly the observed samples: the merge is a
+     concatenation, so count/sum/percentiles all match single-stream
+     accounting regardless of argument order (percentile sorts). A
+     capacity-bounded reservoir has no exact merge — subsampling is not
+     closed under union — so that case is rejected rather than silently
+     approximated. *)
+  let merge a b =
+    (match (a.capacity, b.capacity) with
+    | None, None -> ()
+    | _ -> invalid_arg "Stats.Reservoir.merge: bounded reservoir");
+    let data = Array.make (Stdlib.max 1 (a.size + b.size)) 0.0 in
+    Array.blit a.data 0 data 0 a.size;
+    Array.blit b.data 0 data a.size b.size;
+    {
+      data;
+      size = a.size + b.size;
+      seen = a.seen + b.seen;
+      sum = a.sum +. b.sum;
+      capacity = None;
+      rng = a.rng;
+      sorted = false;
+    }
 
   let percentile t p =
     if t.size = 0 then raise Not_found;

@@ -15,6 +15,10 @@ module Summary : sig
 
   val max : t -> float
   val sum : t -> float
+
+  (** [merge a b] is a fresh summary equivalent to having added both
+      sample streams to one accumulator. Exact and commutative. *)
+  val merge : t -> t -> t
 end
 
 module Reservoir : sig
@@ -32,6 +36,13 @@ module Reservoir : sig
   (** [percentile t p] with [p] in [0,100]; exact over stored samples
       (nearest-rank). Raises [Not_found] when empty. *)
   val percentile : t -> float -> float
+
+  (** [merge a b] is a fresh reservoir holding both sample sets —
+      count, mean and percentiles all match single-stream accounting,
+      in either argument order. Only defined for unbounded reservoirs
+      (no [capacity]); raises [Invalid_argument] otherwise, since a
+      subsampled reservoir has no exact merge. *)
+  val merge : t -> t -> t
 end
 
 module Counter : sig
