@@ -39,6 +39,9 @@ let scheme_stats : (string * float) list ref = ref []
 (* Filled by [ft16]; written into BENCH_sweep.json. *)
 let ft16_stats : (string * float) list ref = ref []
 
+(* Filled by [churn_bench]; written into BENCH_sweep.json. *)
+let churn_stats : (string * float) list ref = ref []
+
 let time_it ~key name f =
   Parallel.reset_counters ();
   let t0 = Unix.gettimeofday () in
@@ -132,6 +135,16 @@ let write_sweep_json jobs =
         in
         Printf.sprintf "  \"ft16_400k\": {%s},\n" (String.concat ", " fields)
   in
+  let churn_json () =
+    match !churn_stats with
+    | [] -> ""
+    | stats ->
+        let fields =
+          List.map (fun (k, v) -> Printf.sprintf "\"%s\": %.6g" k v) stats
+        in
+        Printf.sprintf "  \"container_churn\": {%s},\n"
+          (String.concat ", " fields)
+  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -145,12 +158,13 @@ let write_sweep_json jobs =
          %s\
          %s\
          %s\
+         %s\
         \  \"targets\": [\n\
          %s\n\
         \  ]\n\
          }\n"
         jobs (scale_name ()) total_wall (event_core_json ()) (scheme_json ())
-        (ft16_json ())
+        (ft16_json ()) (churn_json ())
         (String.concat ",\n" (List.map target_json rs)));
   Printf.printf "\n[sweep report written to %s]\n%!" path
 
@@ -923,6 +937,64 @@ let micro () =
     (List.sort compare names);
   flush stdout
 
+(* --- Container-churn benchmark: sustained remapping pressure ------- *)
+
+(* A container-overlay migration storm (Workloads.Container_churn)
+   against a steady Hadoop workload, expressed as two declarative
+   scenarios that differ only in the churn line: the reference run has
+   no churn, the storm sustains ~20,000 mappings/sec for 20 ms. Reports
+   the remap rate actually scheduled, the invalidation traffic it
+   triggers, and how much of the reference hit rate survives. *)
+let churn_bench () =
+  let module Spec = Netsim.Scenario in
+  let module Churn = Workloads.Container_churn in
+  let module Time_ns = Dessim.Time_ns in
+  let episode =
+    Churn.make ~start:(Time_ns.of_ms 1) ~kind:Churn.Migration_storm
+      ~rate:20_000.0 ~duration:(Time_ns.of_ms 20) ()
+  in
+  let run name churn =
+    let spec =
+      Spec.make ~name
+        ~topo:(Spec.preset `FT8 !scale)
+        ~streams:[ Spec.stream Spec.Hadoop ]
+        ?churn
+        [ Spec.scheme ~label:"SwitchV2P" (Spec.switchv2p (Spec.Pct 50)) ]
+    in
+    Experiments.Scenario.run_scheme spec (List.hd spec.Netsim.Scenario.schemes)
+  in
+  let reference = run "bench-churn/reference" None in
+  let stormed = run "bench-churn/storm" (Some episode) in
+  let extra (r : Experiments.Runner.result) k =
+    Option.value ~default:0.0 (List.assoc_opt k r.Experiments.Runner.extra)
+  in
+  let ref_hit = reference.Experiments.Runner.hit_rate in
+  let storm_hit = stormed.Experiments.Runner.hit_rate in
+  let recovery = if ref_hit > 0.0 then storm_hit /. ref_hit else 1.0 in
+  Printf.printf
+    "\n== container churn (migration storm vs quiet reference) ==\n\
+    \  mappings remapped  %9d (%d batches)\n\
+    \  sustained rate     %9.0f mappings/sec\n\
+    \  invalidations      %9.0f packets (%.0f entries wiped)\n\
+    \  hit rate           %8.2f%% quiet -> %.2f%% under storm (%.1f%% retained)\n"
+    (Churn.total_mappings episode)
+    (Churn.num_batches episode)
+    (Churn.sustained_rate episode)
+    (extra stormed "invalidation_packets")
+    (extra stormed "entries_invalidated")
+    (100.0 *. ref_hit) (100.0 *. storm_hit) (100.0 *. recovery);
+  churn_stats :=
+    [
+      ("mappings", float_of_int (Churn.total_mappings episode));
+      ("batches", float_of_int (Churn.num_batches episode));
+      ("sustained_mappings_per_sec", Churn.sustained_rate episode);
+      ("invalidation_packets", extra stormed "invalidation_packets");
+      ("entries_invalidated", extra stormed "entries_invalidated");
+      ("hit_rate_reference", ref_hit);
+      ("hit_rate_storm", storm_hit);
+      ("hit_rate_retained", recovery);
+    ]
+
 (* --- DST smoke sweep ------------------------------------------------ *)
 
 (* Seeded random fault plans over the default scheme set; any
@@ -985,6 +1057,7 @@ let targets =
     ("eventcore", ("Event-core throughput (forwarding path)", eventcore));
     ("scheme", ("Scheme pipeline (per-dispatch allocation)", scheme_bench));
     ("ft16", ("FT16-400K scale (CSR topology, 10^6 mappings)", ft16));
+    ("churn", ("Container churn (migration storm, mappings/sec)", churn_bench));
     ("dst", ("DST smoke sweep (seeded fault plans)", dst));
   ]
 
@@ -994,7 +1067,7 @@ let default_order =
     "datasets"; "fig5a"; "fig5b"; "fig5c"; "fig5d"; "fig6"; "fig7"; "fig9";
     "fig10"; "tab4"; "tab5"; "tab6"; "appA2"; "ablation"; "multitenant";
     "resilience"; "dht"; "cachegeo"; "micro"; "eventcore"; "scheme"; "ft16";
-    "dst";
+    "churn"; "dst";
   ]
 
 let () =

@@ -75,13 +75,28 @@ let telemetry_arg =
   in
   Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"DIR" ~doc)
 
+let faults_conv =
+  let parse = function
+    | "random" -> Ok `Random
+    | s -> (
+        match Netsim.Scenario.fault_plan_of_string s with
+        | Ok p -> Ok (`Plan p)
+        | Error e -> Error (`Msg (Netsim.Scenario.error_to_string e)))
+  in
+  let print ppf = function
+    | `Random -> Format.pp_print_string ppf "random"
+    | `Plan p -> Format.pp_print_string ppf (Dessim.Fault.to_string p)
+  in
+  Arg.conv (parse, print)
+
 let faults_arg =
   let doc =
     "Run under a fault plan: $(b,random) draws one from --seed, anything else \
      is parsed as a literal plan (seed=N;@T:ACTION;... — the form printed by \
-     a run and by DST failure reports)."
+     a run and by DST failure reports). Parse errors name the offending \
+     segment."
   in
-  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN" ~doc)
+  Arg.(value & opt (some faults_conv) None & info [ "faults" ] ~docv:"PLAN" ~doc)
 
 let make_scheme name topo ~slots =
   match name with
@@ -108,10 +123,56 @@ let make_trace name setup =
   | "video" -> Experiments.Setup.video_trace setup
   | _ -> assert false
 
+(* The standard metric block, shared by [run] and [run --scenario]. *)
+let print_metrics (r : Experiments.Runner.result) =
+  let core, spine, tor, gw, host = r.Experiments.Runner.layer_hits in
+  Printf.printf "scheme          %s\n" r.Experiments.Runner.scheme;
+  Printf.printf "flows completed %d / %d\n" r.Experiments.Runner.flows_completed
+    r.Experiments.Runner.flows_started;
+  Printf.printf "hit rate        %.2f%%\n" (100.0 *. r.Experiments.Runner.hit_rate);
+  Printf.printf "mean FCT        %.1f us\n" (r.Experiments.Runner.mean_fct *. 1e6);
+  Printf.printf "mean FP latency %.1f us\n" (r.Experiments.Runner.mean_fpl *. 1e6);
+  Printf.printf "packet stretch  %.2f switches\n" r.Experiments.Runner.stretch;
+  Printf.printf "gateway packets %d / %d sent\n" r.Experiments.Runner.gw_packets
+    r.Experiments.Runner.packets_sent;
+  Printf.printf "drops           %d (%s)\n"
+    r.Experiments.Runner.packets_dropped
+    (String.concat " "
+       (List.map
+          (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+          r.Experiments.Runner.drops_by_kind));
+  Printf.printf "hit layers      core=%d spine=%d tor=%d gateway=%d host=%d\n"
+    core spine tor gw host;
+  List.iter
+    (fun (c, h) -> Printf.printf "class %-9d %.2f%%\n" c (100.0 *. h))
+    r.Experiments.Runner.class_hit_rates;
+  List.iter
+    (fun (k, v) -> Printf.printf "%-15s %.0f\n" k v)
+    r.Experiments.Runner.extra
+
+let run_scenario_file file =
+  match Experiments.Scenario.run_file file with
+  | Error e ->
+      Printf.eprintf "%s: %s\n" file (Netsim.Scenario.error_to_string e);
+      exit 1
+  | Ok (spec, results) ->
+      Printf.printf "scenario        %s (%d flows, %d schemes)\n"
+        spec.Netsim.Scenario.name
+        (List.length (Netsim.Scenario.flows spec))
+        (List.length results);
+      List.iter
+        (fun (name, r) ->
+          Printf.printf "--- %s ---\n" name;
+          print_metrics r)
+        results
+
 let run_cmd =
   let run scale cache_pct seed scheme_name trace_name gateways telemetry
-      faults_spec =
+      faults_spec scenario_file =
     Experiments.Report.set_telemetry_dir telemetry;
+    match scenario_file with
+    | Some file -> run_scenario_file file
+    | None ->
     let setup =
       if trace_name = "alibaba" then Experiments.Setup.ft16 ~seed scale
       else Experiments.Setup.ft8 ~seed scale
@@ -126,12 +187,12 @@ let run_cmd =
     let faults =
       match faults_spec with
       | None -> None
-      | Some "random" ->
+      | Some `Random ->
           Some
             (Netsim.Faultplan.generate ~seed
                ~horizon:(Experiments.Setup.horizon flows)
                topo)
-      | Some s -> Some (Dessim.Fault.of_string_exn s)
+      | Some (`Plan p) -> Some p
     in
     Option.iter
       (fun p -> Printf.printf "faults          %s\n" (Dessim.Fault.to_string p))
@@ -141,43 +202,90 @@ let run_cmd =
       Experiments.Runner.run ~net_config ~report_name ?faults setup ~scheme
         ~flows ~migrations:[] ~until:(Experiments.Setup.horizon flows)
     in
-    let core, spine, tor, gw, host = r.Experiments.Runner.layer_hits in
-    Printf.printf "scheme          %s\n" r.Experiments.Runner.scheme;
     Printf.printf "trace           %s (%d flows, %d VMs)\n" trace_name
       (List.length flows) setup.Experiments.Setup.num_vms;
     Printf.printf "cache           %d%% of VIP space (%d entries total)\n"
       cache_pct slots;
-    Printf.printf "flows completed %d / %d\n" r.Experiments.Runner.flows_completed
-      r.Experiments.Runner.flows_started;
-    Printf.printf "hit rate        %.2f%%\n" (100.0 *. r.Experiments.Runner.hit_rate);
-    Printf.printf "mean FCT        %.1f us\n" (r.Experiments.Runner.mean_fct *. 1e6);
-    Printf.printf "mean FP latency %.1f us\n" (r.Experiments.Runner.mean_fpl *. 1e6);
-    Printf.printf "packet stretch  %.2f switches\n" r.Experiments.Runner.stretch;
-    Printf.printf "gateway packets %d / %d sent\n" r.Experiments.Runner.gw_packets
-      r.Experiments.Runner.packets_sent;
-    Printf.printf "drops           %d (%s)\n"
-      r.Experiments.Runner.packets_dropped
-      (String.concat " "
-         (List.map
-            (fun (k, v) -> Printf.sprintf "%s=%d" k v)
-            r.Experiments.Runner.drops_by_kind));
-    Printf.printf "hit layers      core=%d spine=%d tor=%d gateway=%d host=%d\n"
-      core spine tor gw host;
-    List.iter
-      (fun (k, v) -> Printf.printf "%-15s %.0f\n" k v)
-      r.Experiments.Runner.extra;
+    print_metrics r;
     match telemetry with
     | Some dir ->
         Printf.printf "telemetry       %s/%s.json\n"
           dir (Experiments.Report.slug report_name)
     | None -> ()
   in
+  let scenario_file_arg =
+    let doc =
+      "Replay a committed scenario file instead of building the run from \
+       flags ($(b,--scheme), $(b,--trace), ... are ignored): parse, \
+       validate, and run every scheme alternative the spec declares. \
+       Byte-identical to the programmatic run the file was printed from."
+    in
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "scenario" ] ~docv:"FILE" ~doc)
+  in
   let doc = "Run one simulation and print the standard metrics." in
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(
       const run $ scale_arg $ cache_pct_arg $ seed_arg $ scheme_arg $ trace_arg
-      $ gateways_arg $ telemetry_arg $ faults_arg)
+      $ gateways_arg $ telemetry_arg $ faults_arg $ scenario_file_arg)
+
+(* --- scenario: spec-file tooling --- *)
+
+let scenario_cmd =
+  let files_arg =
+    let doc = "Scenario spec file(s)." in
+    Arg.(non_empty & pos_all non_dir_file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let print_cmd =
+    let run files =
+      List.iter
+        (fun file ->
+          match Netsim.Scenario.of_file file with
+          | Ok t -> print_string (Netsim.Scenario.to_string t)
+          | Error e ->
+              Printf.eprintf "%s: %s\n" file
+                (Netsim.Scenario.error_to_string e);
+              exit 1)
+        files
+    in
+    let doc =
+      "Parse scenario files and reprint their canonical form (every field \
+       explicit, floats in hex — the lossless round-trip form)."
+    in
+    Cmd.v (Cmd.info "print" ~doc) Term.(const run $ files_arg)
+  in
+  let validate_cmd =
+    let run files =
+      let ok = ref true in
+      List.iter
+        (fun file ->
+          match Netsim.Scenario.validate_file file with
+          | Ok t ->
+              Printf.printf "%s: ok (scenario %s, %d schemes)\n" file
+                t.Netsim.Scenario.name
+                (List.length t.Netsim.Scenario.schemes)
+          | Error errs ->
+              ok := false;
+              List.iter
+                (fun e ->
+                  Printf.eprintf "%s: %s\n" file
+                    (Netsim.Scenario.error_to_string e))
+                errs)
+        files;
+      if not !ok then exit 1
+    in
+    let doc =
+      "Validate scenario files: parse, then report every semantic error \
+       with its line number (stream parameters, share vectors, gateway \
+       counts, fault-plan targets against the realized topology)."
+    in
+    Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ files_arg)
+  in
+  let doc = "Inspect and validate declarative scenario spec files." in
+  Cmd.group (Cmd.info "scenario" ~doc) [ print_cmd; validate_cmd ]
 
 (* --- dst: deterministic simulation testing --- *)
 
@@ -235,6 +343,7 @@ let fig5_cmd key kind doc =
 let cmds =
   [
     run_cmd;
+    scenario_cmd;
     dst_cmd;
     fig5_cmd "fig5a" Experiments.Fig5.Hadoop "Figure 5a: Hadoop cache sweep.";
     fig5_cmd "fig5b" Experiments.Fig5.Microbursts "Figure 5b: Microbursts cache sweep.";

@@ -1,36 +1,35 @@
+module Spec = Netsim.Scenario
+
 type row = { variant : string; hit : float; fct_x : float; fpl_x : float }
 type t = { rows : row list }
 
-let run ?(scale = `Small) ?(cache_pct = 50) () =
-  let spec = Setup.spec_ft8 scale in
-  let flows = Setup.hadoop_trace (Setup.pooled spec) in
-  let until = Setup.horizon flows in
-  let task name mk_scheme =
-    ( "ablation/" ^ name,
-      fun () ->
-        let s = Setup.pooled spec in
-        Runner.run s ~scheme:(mk_scheme s) ~flows ~migrations:[] ~until )
-  in
-  let variants =
-    [
-      ("full", Switchv2p.Config.default);
-      ("no learning packets", Switchv2p.Config.make ~learning_packets:false ());
-      ("no spillover", Switchv2p.Config.make ~spillover:false ());
-      ("no promotion", Switchv2p.Config.make ~promotion:false ());
-      ("no source learning", Switchv2p.Config.make ~source_learning:false ());
-      ("ToR-only cache", Switchv2p.Config.make ~tor_only:true ());
-    ]
-  in
-  let tasks =
-    task "NoCache" (fun _ -> Schemes.Baselines.nocache ())
+let variants =
+  [
+    ("full", Switchv2p.Config.default);
+    ("no learning packets", Switchv2p.Config.make ~learning_packets:false ());
+    ("no spillover", Switchv2p.Config.make ~spillover:false ());
+    ("no promotion", Switchv2p.Config.make ~promotion:false ());
+    ("no source learning", Switchv2p.Config.make ~source_learning:false ());
+    ("ToR-only cache", Switchv2p.Config.make ~tor_only:true ());
+  ]
+
+(* One scenario: the NoCache baseline plus every config variant as a
+   labeled SwitchV2P alternative (labels contain spaces — the spec
+   grammar's label-consumes-the-rest-of-line rule exists for these). *)
+let scenario ?(scale = `Small) ?(cache_pct = 50) () =
+  Spec.make ~name:"ablation"
+    ~topo:(Spec.preset `FT8 scale)
+    ~streams:[ Spec.stream Spec.Hadoop ]
+    (Spec.scheme ~label:"NoCache" Spec.Nocache
     :: List.map
-         (fun (variant, cfg) ->
-           task variant (fun s ->
-               Schemes.Switchv2p_scheme.make ~config:cfg s.Setup.topo
-                 ~total_cache_slots:(Setup.cache_slots s ~pct:cache_pct)))
-         variants
-  in
-  match Parallel.map tasks with
+         (fun (variant, config) ->
+           Spec.scheme ~label:variant
+             (Spec.switchv2p ~config (Spec.Pct cache_pct)))
+         variants)
+
+let run ?scale ?cache_pct () =
+  let spec = scenario ?scale ?cache_pct () in
+  match Parallel.map (Scenario.tasks spec) with
   | [] -> assert false
   | base :: results ->
       let rows =

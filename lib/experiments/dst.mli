@@ -55,6 +55,17 @@ val run_one :
   unit ->
   outcome
 
+(** Churn DST: a {!Workloads.Container_churn} episode (kind, rate and
+    batch size derived from the seed) replaces the random fault plan.
+    Conservation, stale-delivery and cache-occupancy invariants apply
+    unchanged; every scheduled churn batch must fire
+    ([churn-accounting]); completion-by-horizon is {e not} required
+    (a remap can leave a retransmission tail past the horizon), but
+    every flow must start and transport/metrics completion counters
+    must agree. *)
+val run_churn :
+  ?sched:Dessim.Engine.sched -> ?scheme:string -> seed:int -> unit -> outcome
+
 (** [run_seeds ~schemes ~seeds ()] — the cartesian product, in order. *)
 val run_seeds :
   ?sched:Dessim.Engine.sched ->

@@ -11,51 +11,52 @@ let configs ~total_hosts =
       if hosts_per_rack >= 1 then Some (pods, racks, hosts_per_rack) else None)
     [ 1; 2; 4; 8; 16 ]
 
+module Spec = Netsim.Scenario
+
 let scheme_names = [ "LocalLearning"; "GwCache"; "SwitchV2P" ]
+
+(* One topology size point as a scenario over a custom parameter set.
+   The gateway deployment stays constant across topology sizes (one
+   gateway pod, fixed replica count), as in the paper — GwCache's
+   per-switch cache size must not vary with the pod count. *)
+let scenario ?(cache_pct = 50) ?(total_hosts = 64) ~pods ~racks ~hosts_per_rack
+    () =
+  let total_vms = total_hosts * 8 in
+  let params =
+    {
+      (Topo.Params.scaled ~pods ~racks_per_pod:racks ~hosts_per_rack
+         ~vms_per_host:(max 1 (total_vms / (pods * racks * hosts_per_rack)))
+         ())
+      with
+      Topo.Params.gateway_pods = [ 0 ];
+      gateways_per_gateway_pod = 4;
+    }
+  in
+  let sl = Spec.Pct cache_pct in
+  Spec.make
+    ~name:(Printf.sprintf "fig10/%dpods" pods)
+    ~topo:(Spec.custom ~seed:42 params)
+    ~streams:[ Spec.stream Spec.Hadoop ]
+    [
+      Spec.scheme ~label:"NoCache" Spec.Nocache;
+      Spec.scheme ~label:"LocalLearning" (Spec.Locallearning sl);
+      Spec.scheme ~label:"GwCache" (Spec.Gwcache sl);
+      Spec.scheme ~label:"SwitchV2P" (Spec.switchv2p sl);
+    ]
 
 let run ?(cache_pct = 50) ?(total_hosts = 64) () =
   let pod_configs = configs ~total_hosts in
-  let total_vms = total_hosts * 8 in
   (* Every (topology size, scheme) pair — including each size's NoCache
      baseline — is an independent run; flatten the whole grid into one
      task list. *)
-  let config_tasks (pods, racks, hosts_per_rack) =
-    (* The gateway deployment stays constant across topology sizes (one
-       gateway pod, fixed replica count), as in the paper — GwCache's
-       per-switch cache size must not vary with the pod count. *)
-    let params =
-      {
-        (Topo.Params.scaled ~pods ~racks_per_pod:racks ~hosts_per_rack
-           ~vms_per_host:(max 1 (total_vms / (pods * racks * hosts_per_rack)))
-           ())
-        with
-        Topo.Params.gateway_pods = [ 0 ];
-        gateways_per_gateway_pod = 4;
-      }
-    in
-    let spec = Setup.spec_custom ~seed:42 params in
-    let flows = Setup.hadoop_trace (Setup.pooled spec) in
-    let until = Setup.horizon flows in
-    let task name mk_scheme =
-      ( Printf.sprintf "fig10/%dpods/%s" pods name,
-        fun () ->
-          let s = Setup.pooled spec in
-          Runner.run s
-            ~scheme:
-              (mk_scheme s.Setup.topo (Setup.cache_slots s ~pct:cache_pct))
-            ~flows ~migrations:[] ~until )
-    in
-    [
-      task "NoCache" (fun _ _ -> Schemes.Baselines.nocache ());
-      task "LocalLearning" (fun topo slots ->
-          Schemes.Baselines.locallearning ~topo ~total_slots:slots);
-      task "GwCache" (fun topo slots ->
-          Schemes.Baselines.gwcache ~topo ~total_slots:slots);
-      task "SwitchV2P" (fun topo slots ->
-          Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots);
-    ]
+  let results =
+    Parallel.map
+      (List.concat_map
+         (fun (pods, racks, hosts_per_rack) ->
+           Scenario.tasks
+             (scenario ~cache_pct ~total_hosts ~pods ~racks ~hosts_per_rack ()))
+         pod_configs)
   in
-  let results = Parallel.map (List.concat_map config_tasks pod_configs) in
   (* Regroup: 1 + |scheme_names| results per configuration, in order. *)
   let runs_per_config = 1 + List.length scheme_names in
   let per_pod =

@@ -12,5 +12,16 @@ type point = {
 
 type t = { series : (string * point array) list; pod_counts : int list }
 
+(** One topology-size point as a {!Netsim.Scenario} spec over a custom
+    parameter set; {!run} sweeps these specs over the pod-count axis. *)
+val scenario :
+  ?cache_pct:int ->
+  ?total_hosts:int ->
+  pods:int ->
+  racks:int ->
+  hosts_per_rack:int ->
+  unit ->
+  Netsim.Scenario.t
+
 val run : ?cache_pct:int -> ?total_hosts:int -> unit -> t
 val print : t -> unit

@@ -1,4 +1,5 @@
 module Time_ns = Dessim.Time_ns
+module Spec = Netsim.Scenario
 
 type trace_kind = Hadoop | Microbursts | Websearch | Video | Alibaba
 
@@ -18,12 +19,57 @@ let trace_name = function
   | Video -> "Video"
   | Alibaba -> "Alibaba"
 
-let trace_of setup = function
-  | Hadoop -> Setup.hadoop_trace setup
-  | Microbursts -> Setup.microbursts_trace setup
-  | Websearch -> Setup.websearch_trace setup
-  | Video -> Setup.video_trace setup
-  | Alibaba -> Setup.alibaba_trace setup
+let spec_trace = function
+  | Hadoop -> Spec.Hadoop
+  | Microbursts -> Spec.Microbursts
+  | Websearch -> Spec.Websearch
+  | Video -> Spec.Video
+  | Alibaba -> Spec.Alibaba
+
+(* The sweep's shape: one NoCache baseline, then per-scheme series
+   that are either swept across cache sizes or cache-independent
+   (fixed). Scheme-spec order in the scenario is exactly this task
+   order. *)
+let series_shape ~with_controller =
+  [
+    `Swept ("LocalLearning", fun sl -> Spec.Locallearning sl);
+    `Swept ("GwCache", fun sl -> Spec.Gwcache sl);
+    `Swept ("Bluebird", fun sl -> Spec.Bluebird sl);
+    `Fixed ("OnDemand", Spec.Ondemand);
+    `Fixed ("Direct", Spec.Direct);
+    `Swept ("SwitchV2P", fun sl -> Spec.switchv2p sl);
+  ]
+  @
+  if with_controller then
+    [
+      `Swept
+        ( "Controller",
+          fun sl -> Spec.Controller { slots = sl; interval = Time_ns.of_us 300 }
+        );
+    ]
+  else []
+
+let scenario ?(scale = `Small) ?(cache_pcts = [ 1; 10; 50; 200; 1500 ])
+    ?(with_controller = false) kind =
+  let family = match kind with Alibaba -> `FT16 | _ -> `FT8 in
+  let swept name mk =
+    List.map
+      (fun pct ->
+        Spec.scheme ~label:(Printf.sprintf "%s@%d%%" name pct) (mk (Spec.Pct pct)))
+      cache_pcts
+  in
+  let schemes =
+    Spec.scheme ~label:"NoCache" Spec.Nocache
+    :: List.concat_map
+         (function
+           | `Fixed (name, kind) -> [ Spec.scheme ~label:name kind ]
+           | `Swept (name, mk) -> swept name mk)
+         (series_shape ~with_controller)
+  in
+  Spec.make ~name:(trace_name kind)
+    ~topo:(Spec.preset family scale)
+    ~streams:[ Spec.stream (spec_trace kind) ]
+    schemes
 
 (* UDP traces have no flow-completion semantics comparable to TCP's;
    use mean packet latency as the paper's FCT proxy there. *)
@@ -44,67 +90,10 @@ let cell_of kind ~(nocache : Runner.result) (r : Runner.result) =
         ~v:r.Runner.mean_fpl;
   }
 
-let run ?(scale = `Small) ?(cache_pcts = [ 1; 10; 50; 200; 1500 ])
-    ?(with_controller = false) kind =
-  let spec =
-    match kind with
-    | Alibaba -> Setup.spec_ft16 scale
-    | _ -> Setup.spec_ft8 scale
-  in
-  (* Flows are immutable and deterministic in the spec's seed: generate
-     once here and share across workers. Topologies and schemes are
-     mutable; each task builds its own from the domain-local setup. *)
-  let flows = trace_of (Setup.pooled spec) kind in
-  let until = Setup.horizon flows in
-  let task name mk_scheme =
-    let full_name = trace_name kind ^ "/" ^ name in
-    ( full_name,
-      fun () ->
-        let setup = Setup.pooled spec in
-        Runner.run ~report_name:full_name setup ~scheme:(mk_scheme setup)
-          ~flows ~migrations:[] ~until )
-  in
-  let swept name make =
-    `Swept
-      ( name,
-        List.map
-          (fun pct ->
-            task
-              (Printf.sprintf "%s@%d%%" name pct)
-              (fun setup ->
-                make setup.Setup.topo (Setup.cache_slots setup ~pct)))
-          cache_pcts )
-  in
-  let fixed name make = `Fixed (name, task name (fun setup -> make setup.Setup.topo)) in
-  let series_spec =
-    [
-      swept "LocalLearning" (fun topo slots ->
-          Schemes.Baselines.locallearning ~topo ~total_slots:slots);
-      swept "GwCache" (fun topo slots ->
-          Schemes.Baselines.gwcache ~topo ~total_slots:slots);
-      swept "Bluebird" (fun topo slots ->
-          Schemes.Baselines.bluebird ~topo ~total_slots:slots ());
-      fixed "OnDemand" (fun _ -> Schemes.Baselines.ondemand ());
-      fixed "Direct" (fun _ -> Schemes.Baselines.direct ());
-      swept "SwitchV2P" (fun topo slots ->
-          Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots);
-    ]
-    @
-    if with_controller then
-      [
-        swept "Controller" (fun topo slots ->
-            Schemes.Controller.make ~topo ~total_slots:slots
-              ~interval:(Time_ns.of_us 300) ());
-      ]
-    else []
-  in
-  let tasks =
-    task "NoCache" (fun _ -> Schemes.Baselines.nocache ())
-    :: List.concat_map
-         (function `Fixed (_, t) -> [ t ] | `Swept (_, ts) -> ts)
-         series_spec
-  in
-  match Parallel.map tasks with
+let run ?scale ?(cache_pcts = [ 1; 10; 50; 200; 1500 ]) ?(with_controller = false)
+    kind =
+  let spec = scenario ?scale ~cache_pcts ~with_controller kind in
+  match Parallel.map (Scenario.tasks spec) with
   | [] -> assert false
   | nocache :: rest ->
       let rec split_at n xs =
@@ -116,8 +105,8 @@ let run ?(scale = `Small) ?(cache_pcts = [ 1; 10; 50; 200; 1500 ])
               (x :: a, b)
           | [] -> assert false
       in
-      let rec assemble specs rest =
-        match specs with
+      let rec assemble shape rest =
+        match shape with
         | [] ->
             assert (rest = []);
             []
@@ -127,12 +116,17 @@ let run ?(scale = `Small) ?(cache_pcts = [ 1; 10; 50; 200; 1500 ])
               Array.of_list
                 (List.map (fun _ -> cell_of kind ~nocache r) cache_pcts) )
             :: assemble tl rest
-        | `Swept (name, ts) :: tl ->
-            let rs, rest = split_at (List.length ts) rest in
+        | `Swept (name, _) :: tl ->
+            let rs, rest = split_at (List.length cache_pcts) rest in
             (name, Array.of_list (List.map (cell_of kind ~nocache) rs))
             :: assemble tl rest
       in
-      { kind; cache_pcts; nocache; series = assemble series_spec rest }
+      {
+        kind;
+        cache_pcts;
+        nocache;
+        series = assemble (series_shape ~with_controller) rest;
+      }
 
 let print t =
   let name = trace_name t.kind in

@@ -22,6 +22,18 @@ type t = {
   series : (string * cell array) list;
 }
 
+(** [scenario ?scale ?cache_pcts ?with_controller kind] — the whole
+    sweep as one declarative {!Netsim.Scenario} spec: the trace's
+    topology and workload, with one scheme alternative per (scheme,
+    cache size) point in task order. {!run} is exactly this spec
+    executed. *)
+val scenario :
+  ?scale:Setup.scale ->
+  ?cache_pcts:int list ->
+  ?with_controller:bool ->
+  trace_kind ->
+  Netsim.Scenario.t
+
 (** [run ?scale ?cache_pcts ?with_controller kind] executes the sweep.
     [with_controller] adds the (expensive) Controller baseline, as the
     paper does for WebSearch only. Alibaba uses the FT16 topology. *)

@@ -1,42 +1,35 @@
+module Spec = Netsim.Scenario
+
 type t = {
   setup : Setup.t;
   results : (string * Runner.result) list;
   gateway_pod : int;
 }
 
-let run ?(scale = `Small) ?(cache_pct = 50) () =
-  let spec = Setup.spec_ft8 scale in
-  let setup = Setup.pooled spec in
-  let topo = setup.Setup.topo in
-  let flows = Setup.hadoop_trace setup in
-  let until = Setup.horizon flows in
-  let task name mk_scheme =
-    ( "fig7_8/" ^ name,
-      fun () ->
-        let s = Setup.pooled spec in
-        let slots = Setup.cache_slots s ~pct:cache_pct in
-        Runner.run s ~scheme:(mk_scheme s.Setup.topo slots) ~flows
-          ~migrations:[] ~until )
-  in
-  let schemes =
+let scenario ?(scale = `Small) ?(cache_pct = 50) () =
+  let sl = Spec.Pct cache_pct in
+  Spec.make ~name:"fig7_8"
+    ~topo:(Spec.preset `FT8 scale)
+    ~streams:[ Spec.stream Spec.Hadoop ]
     [
-      ("NoCache", fun _ _ -> Schemes.Baselines.nocache ());
-      ( "LocalLearning",
-        fun topo slots -> Schemes.Baselines.locallearning ~topo ~total_slots:slots );
-      ("GwCache", fun topo slots -> Schemes.Baselines.gwcache ~topo ~total_slots:slots);
-      ( "SwitchV2P",
-        fun topo slots -> Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots );
-      ("Direct", fun _ _ -> Schemes.Baselines.direct ());
+      Spec.scheme ~label:"NoCache" Spec.Nocache;
+      Spec.scheme ~label:"LocalLearning" (Spec.Locallearning sl);
+      Spec.scheme ~label:"GwCache" (Spec.Gwcache sl);
+      Spec.scheme ~label:"SwitchV2P" (Spec.switchv2p sl);
+      Spec.scheme ~label:"Direct" Spec.Direct;
     ]
-  in
+
+let run ?scale ?cache_pct () =
+  let spec = scenario ?scale ?cache_pct () in
+  let setup = Scenario.realize spec in
   let results =
     List.map2
-      (fun (name, _) r -> (name, r))
-      schemes
-      (Parallel.map (List.map (fun (name, mk) -> task name mk) schemes))
+      (fun s r -> (Scenario.label spec s, r))
+      spec.Spec.schemes
+      (Parallel.map (Scenario.tasks spec))
   in
   let gateway_pod =
-    match (Topo.Topology.params topo).Topo.Params.gateway_pods with
+    match (Topo.Topology.params setup.Setup.topo).Topo.Params.gateway_pods with
     | p :: _ -> p
     | [] -> assert false
   in

@@ -8,6 +8,11 @@ type t = {
   gateway_pod : int;  (** the pod detailed in Figure 8 *)
 }
 
+(** The whole figure as one {!Netsim.Scenario} spec (five scheme
+    alternatives over the Hadoop FT8 workload); {!run} executes it. *)
+val scenario :
+  ?scale:Setup.scale -> ?cache_pct:int -> unit -> Netsim.Scenario.t
+
 val run : ?scale:Setup.scale -> ?cache_pct:int -> unit -> t
 
 val print : t -> unit

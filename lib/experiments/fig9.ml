@@ -5,48 +5,64 @@ type t = {
   series : (string * point array) list;
 }
 
+module Spec = Netsim.Scenario
+
+let scheme_shape sl =
+  [
+    ("NoCache", Spec.Nocache);
+    ("LocalLearning", Spec.Locallearning sl);
+    ("GwCache", Spec.Gwcache sl);
+    ("SwitchV2P", Spec.switchv2p sl);
+  ]
+
+(* Restricting the gateway fleet is a [Network.config] axis, so each
+   gateway count is its own scenario over the shared topology and
+   flows (one scheme list per scenario). *)
+let scenario ?(scale = `Small) ?(cache_pct = 50) ~gateways () =
+  Spec.make
+    ~name:(Printf.sprintf "fig9@%dgw" gateways)
+    ~topo:(Spec.preset `FT8 scale)
+    ~streams:[ Spec.stream Spec.Hadoop ]
+    ~gateways_used:gateways
+    (List.map
+       (fun (label, kind) -> Spec.scheme ~label kind)
+       (scheme_shape (Spec.Pct cache_pct)))
+
+let gateway_counts_of total_gw =
+  List.sort_uniq compare
+    (List.filter
+       (fun k -> k >= 1)
+       [ total_gw; total_gw / 2; total_gw / 4; max 1 (total_gw / 10) ])
+  |> List.rev
+
 let run ?(scale = `Small) ?(cache_pct = 50) () =
-  let spec = Setup.spec_ft8 scale in
-  let setup = Setup.pooled spec in
-  let flows = Setup.hadoop_trace setup in
-  let until = Setup.horizon flows in
+  let setup = Setup.pooled (Setup.spec_ft8 scale) in
   let total_gw = Array.length (Topo.Topology.gateways setup.Setup.topo) in
-  let gateway_counts =
-    List.sort_uniq compare
-      (List.filter
-         (fun k -> k >= 1)
-         [ total_gw; total_gw / 2; total_gw / 4; max 1 (total_gw / 10) ])
-    |> List.rev
+  let gateway_counts = gateway_counts_of total_gw in
+  let specs =
+    List.map (fun k -> (k, scenario ~scale ~cache_pct ~gateways:k ())) gateway_counts
   in
-  let task ~name ~k mk_scheme =
-    ( Printf.sprintf "fig9/%s@%dgw" name k,
-      fun () ->
-        let s = Setup.pooled spec in
-        let config =
-          { Netsim.Network.default_config with gateways_used = Some k }
-        in
-        Runner.run ~net_config:config s
-          ~scheme:(mk_scheme s.Setup.topo (Setup.cache_slots s ~pct:cache_pct))
-          ~flows ~migrations:[] ~until )
-  in
-  let schemes =
-    [
-      ("NoCache", fun _ _ -> Schemes.Baselines.nocache ());
-      ( "LocalLearning",
-        fun topo slots -> Schemes.Baselines.locallearning ~topo ~total_slots:slots );
-      ("GwCache", fun topo slots -> Schemes.Baselines.gwcache ~topo ~total_slots:slots);
-      ( "SwitchV2P",
-        fun topo slots -> Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots );
-    ]
+  let task_of k spec s =
+    ( Printf.sprintf "fig9/%s@%dgw" (Scenario.label spec s) k,
+      fun () -> Scenario.run_scheme spec s )
   in
   (* Baseline: NoCache with the full gateway fleet, then every
      (scheme, gateway count) pair — all independent runs. *)
+  let base_spec = scenario ~scale ~cache_pct ~gateways:total_gw () in
   let tasks =
-    task ~name:"base" ~k:total_gw (fun _ _ -> Schemes.Baselines.nocache ())
+    ("fig9/base", fun () -> Scenario.run_scheme base_spec (List.hd base_spec.Spec.schemes))
     :: List.concat_map
-         (fun (name, mk) ->
-           List.map (fun k -> task ~name ~k mk) gateway_counts)
-         schemes
+         (fun (name, _) ->
+           List.map
+             (fun (k, spec) ->
+               let s =
+                 List.find
+                   (fun s -> Scenario.label spec s = name)
+                   spec.Spec.schemes
+               in
+               task_of k spec s)
+             specs)
+         (scheme_shape (Spec.Pct cache_pct))
   in
   match Parallel.map tasks with
   | [] -> assert false
@@ -75,7 +91,7 @@ let run ?(scale = `Small) ?(cache_pct = 50) () =
             (name, Array.of_list (List.map2 point gateway_counts rs))
             :: chunk tl rest
       in
-      { gateway_counts; series = chunk schemes rest }
+      { gateway_counts; series = chunk (scheme_shape (Spec.Pct cache_pct)) rest }
 
 let print t =
   let header =

@@ -15,5 +15,15 @@ type t = {
   series : (string * point array) list;
 }
 
+(** One gateway-count point of the figure as a {!Netsim.Scenario} spec
+    ([gateways] restricts the fleet via the net config); {!run} sweeps
+    these specs over the fleet-size axis. *)
+val scenario :
+  ?scale:Setup.scale ->
+  ?cache_pct:int ->
+  gateways:int ->
+  unit ->
+  Netsim.Scenario.t
+
 val run : ?scale:Setup.scale -> ?cache_pct:int -> unit -> t
 val print : t -> unit

@@ -1,6 +1,4 @@
-module Rng = Dessim.Rng
-module Flow = Netcore.Flow
-module Vip = Netcore.Addr.Vip
+module Spec = Netsim.Scenario
 
 type row = {
   config : string;
@@ -12,84 +10,69 @@ type row = {
 
 type t = { rows : row list }
 
-(* Tenants are interleaved by VIP parity — both VPCs have VMs on every
-   server, as colocated tenants do. [remap] stretches a flow generated
-   over [0, half) onto even (tenant A) or odd (tenant B) VIPs. *)
-let remap ~parity ~id_base (f : Flow.t) =
-  Flow.make ~pkt_bytes:f.Flow.pkt_bytes ~id:(id_base + f.Flow.id)
-    ~src_vip:(Vip.of_int ((2 * Vip.to_int f.Flow.src_vip) + parity))
-    ~dst_vip:(Vip.of_int ((2 * Vip.to_int f.Flow.dst_vip) + parity))
-    ~size_bytes:f.Flow.size_bytes ~start:f.Flow.start f.Flow.proto
-
 let tenant_b_id_base = 1_000_000
 
-let run ?(scale = `Small) ?(cache_pct = 100) () =
-  let setup = Setup.ft8 scale in
-  let topo = setup.Setup.topo in
-  let num_vms = setup.Setup.num_vms in
-  let half = num_vms / 2 in
-  let slots = Setup.cache_slots setup ~pct:cache_pct in
-  (* Tenant A: steady, reuse-heavy workload over VIPs [0, half). *)
-  let tenant_a =
-    Workloads.Tracegen.hadoop (Rng.create setup.Setup.seed) ~num_vms:half
-      ~num_flows:(4 * half) ~load:0.15 ~agg_bps:setup.Setup.agg_bps
-    |> List.map (remap ~parity:0 ~id_base:0)
-  in
-  (* Tenant B: aggressive churn over [half, num_vms) — an order of
-     magnitude more flows than its fair share of traffic, constantly
-     rotating destinations. In a shared cache its insertions evict
-     tenant A's entries on every hash collision; a 50/50 partition
-     caps the damage. *)
-  let tenant_b =
-    Workloads.Tracegen.microbursts
-      (Rng.create (setup.Setup.seed + 1))
-      ~zipf_alpha:0.01 (* near-uniform: no reuse, maximal churn *)
-      ~num_vms:half ~num_flows:(40 * half)
-      ~horizon:(Dessim.Time_ns.of_ms 2)
-    |> List.map (remap ~parity:1 ~id_base:tenant_b_id_base)
-  in
-  let flows =
-    List.sort
-      (fun (a : Flow.t) b -> compare a.Flow.start b.Flow.start)
-      (tenant_a @ tenant_b)
-  in
-  let until = Setup.horizon flows in
-  let tenant_of (pkt : Netcore.Packet.t) =
-    Vip.to_int pkt.Netcore.Packet.dst_vip land 1
-  in
-  let run_config name partition =
-    let scheme =
-      Schemes.Switchv2p_scheme.make ?partition topo ~total_cache_slots:slots
-    in
-    let net_config =
-      { Netsim.Network.default_config with classify = Some tenant_of }
-    in
-    let net = Netsim.Network.create ~config:net_config topo ~scheme in
-    Netsim.Network.run net flows ~migrations:[] ~until;
-    let m = Netsim.Network.metrics net in
-    (* Tenant A's FCT: recompute over its flows only via a per-class
-       proxy is not tracked; use the class hit rate (the decisive
-       isolation signal) and the global mean FCT for context. *)
-    {
-      config = name;
-      tenant_a_hit = Netsim.Metrics.class_hit_rate m 0;
-      tenant_b_hit = Netsim.Metrics.class_hit_rate m 1;
-      tenant_a_fct = Netsim.Metrics.mean_fct m;
-      overall_hit = Netsim.Metrics.hit_rate m;
-    }
-  in
-  let partition shares =
-    Switchv2p.Partition.create_fn ~num_tenants:2 ~shares (fun vip ->
-        Vip.to_int vip land 1)
-  in
-  {
-    rows =
+(* Tenants are interleaved by VIP parity — both VPCs have VMs on every
+   server, as colocated tenants do. The spec's [Parity p] streams
+   generate over [0, half) and stretch onto even (tenant A) or odd
+   (tenant B) VIPs.
+
+   Tenant A: steady, reuse-heavy workload. Tenant B: aggressive churn
+   — an order of magnitude more flows than its fair share of traffic
+   (near-uniform Zipf: no reuse, maximal churn), constantly rotating
+   destinations. In a shared cache its insertions evict tenant A's
+   entries on every hash collision; a 50/50 partition caps the
+   damage. *)
+let scenario ?(scale = `Small) ?(cache_pct = 100) ?shares name =
+  Spec.make
+    ~name:("multitenant/" ^ name)
+    ~topo:(Spec.preset `FT8 scale)
+    ~streams:
       [
-        run_config "shared" None;
-        run_config "partitioned 50/50" (Some (partition [| 1.0; 1.0 |]));
-        run_config "partitioned 90/10" (Some (partition [| 9.0; 1.0 |]));
-      ];
-  }
+        Spec.stream ~rate:4.0 ~load:0.15 ~vips:(Spec.Parity 0) Spec.Hadoop;
+        Spec.stream ~rate:40.0 ~zipf_alpha:0.01 ~vips:(Spec.Parity 1)
+          ~seed_delta:1 ~id_base:tenant_b_id_base Spec.Microbursts;
+      ]
+    ~classify:Spec.Vip_parity
+    [
+      Spec.scheme ~label:"SwitchV2P"
+        (Spec.switchv2p ?shares (Spec.Pct cache_pct));
+    ]
+
+let run ?(scale = `Small) ?(cache_pct = 100) () =
+  let configs =
+    [
+      ("shared", None);
+      ("partitioned 50/50", Some [| 1.0; 1.0 |]);
+      ("partitioned 90/10", Some [| 9.0; 1.0 |]);
+    ]
+  in
+  let results =
+    Parallel.map
+      (List.concat_map
+         (fun (name, shares) ->
+           Scenario.tasks (scenario ~scale ~cache_pct ?shares name))
+         configs)
+  in
+  (* Tenant A's FCT: recomputing over its flows only via a per-class
+     proxy is not tracked; use the class hit rate (the decisive
+     isolation signal) and the global mean FCT for context. *)
+  let rows =
+    List.map2
+      (fun (name, _) (r : Runner.result) ->
+        let class_hit c =
+          Option.value ~default:0.0 (List.assoc_opt c r.Runner.class_hit_rates)
+        in
+        {
+          config = name;
+          tenant_a_hit = class_hit 0;
+          tenant_b_hit = class_hit 1;
+          tenant_a_fct = r.Runner.mean_fct;
+          overall_hit = r.Runner.hit_rate;
+        })
+      configs results
+  in
+  { rows }
 
 let print t =
   Report.table

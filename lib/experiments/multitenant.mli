@@ -18,5 +18,16 @@ type row = {
 
 type t = { rows : row list }
 
+(** One partition policy as a {!Netsim.Scenario} spec: two VIP-parity
+    tenant streams, [classify = Vip_parity], and a SwitchV2P scheme
+    carrying the optional share vector; {!run} executes the shared /
+    50-50 / 90-10 policies. *)
+val scenario :
+  ?scale:Setup.scale ->
+  ?cache_pct:int ->
+  ?shares:float array ->
+  string ->
+  Netsim.Scenario.t
+
 val run : ?scale:Setup.scale -> ?cache_pct:int -> unit -> t
 val print : t -> unit

@@ -1,5 +1,6 @@
 module Time_ns = Dessim.Time_ns
 module Fault = Dessim.Fault
+module Spec = Netsim.Scenario
 
 type t = {
   flows_started : int;
@@ -10,32 +11,34 @@ type t = {
   recovery_time_s : float option;
 }
 
-let run ?(scale = `Small) ?(cache_pct = 100) () =
-  let setup = Setup.ft8 scale in
-  let topo = setup.Setup.topo in
-  let slots = Setup.cache_slots setup ~pct:cache_pct in
-  let flows = Setup.hadoop_trace setup in
-  let until = Setup.horizon flows in
-  (* Reference run, no failures. *)
-  let reference =
-    Runner.run ~report_name:"resilience/reference" setup
-      ~scheme:(Schemes.Switchv2p_scheme.make topo ~total_cache_slots:slots)
-      ~flows ~migrations:[] ~until
+let base_scenario ~scale ~cache_pct ~name ~faults =
+  Spec.make ~name
+    ~topo:(Spec.preset `FT8 scale)
+    ~streams:[ Spec.stream Spec.Hadoop ]
+    ~faults
+    [ Spec.scheme ~label:"SwitchV2P" (Spec.switchv2p (Spec.Pct cache_pct)) ]
+
+let reference_scenario ?(scale = `Small) ?(cache_pct = 100) () =
+  base_scenario ~scale ~cache_pct ~name:"resilience/reference"
+    ~faults:Spec.No_faults
+
+let last_start_of flows =
+  List.fold_left
+    (fun acc (f : Netcore.Flow.t) -> max acc (Time_ns.to_ns f.Netcore.Flow.start))
+    0 flows
+
+(* Disturbed variant: a declarative fault plan wipes every spine and
+   core cache at mid-trace (half of the last flow's start time). The
+   plan is literal data in the spec, so the scenario file replays the
+   exact same wipe. *)
+let disturbed_scenario ?(scale = `Small) ?(cache_pct = 100) () =
+  let reference = reference_scenario ~scale ~cache_pct () in
+  let topo = (Scenario.realize reference).Setup.topo in
+  let half = Time_ns.of_ns (last_start_of (Spec.flows reference) / 2) in
+  let wiped =
+    Array.append (Topo.Topology.spines topo) (Topo.Topology.cores topo)
   in
-  (* Disturbed run: a declarative fault plan wipes every spine and
-     core cache at mid-trace (half of the last flow's start time). *)
-  let scheme, dp =
-    Schemes.Switchv2p_scheme.make_with_dataplane topo ~total_cache_slots:slots
-  in
-  let net = Netsim.Network.create topo ~scheme in
-  let last_start =
-    List.fold_left
-      (fun acc (f : Netcore.Flow.t) -> max acc (Time_ns.to_ns f.Netcore.Flow.start))
-      0 flows
-  in
-  let half = Time_ns.of_ns (last_start / 2) in
-  let wiped = Array.append (Topo.Topology.spines topo) (Topo.Topology.cores topo) in
-  Netsim.Network.install_faults net
+  let plan =
     {
       Fault.seed = 0;
       specs =
@@ -43,7 +46,41 @@ let run ?(scale = `Small) ?(cache_pct = 100) () =
           (Array.map
              (fun sw -> { Fault.at = half; action = Fault.Switch_fail sw })
              wiped);
-    };
+    }
+  in
+  base_scenario ~scale ~cache_pct ~name:"resilience/disturbed"
+    ~faults:(Spec.Literal plan)
+
+let run ?(scale = `Small) ?(cache_pct = 100) () =
+  let ref_spec = reference_scenario ~scale ~cache_pct () in
+  let setup = Scenario.realize ref_spec in
+  let topo = setup.Setup.topo in
+  let slots = Spec.cache_slots ref_spec (Spec.Pct cache_pct) in
+  let flows = Spec.flows ref_spec in
+  let until = Spec.horizon ref_spec ~flows in
+  (* Reference run, no failures. *)
+  let reference =
+    Scenario.run_scheme ~report_name:"resilience/reference" ref_spec
+      (List.hd ref_spec.Spec.schemes)
+  in
+  (* The disturbed run needs bespoke instrumentation (dataplane
+     occupancy, windowed hit-rate probes), so it drives the network
+     directly — from exactly the realization the spec defines. *)
+  let dist_spec = disturbed_scenario ~scale ~cache_pct () in
+  let scheme, dp =
+    Schemes.Switchv2p_scheme.make_with_dataplane topo ~total_cache_slots:slots
+  in
+  let net =
+    Netsim.Network.create ~config:(Spec.net_config dist_spec) topo ~scheme
+  in
+  let last_start = last_start_of flows in
+  let half = Time_ns.of_ns (last_start / 2) in
+  let wiped =
+    Array.append (Topo.Topology.spines topo) (Topo.Topology.cores topo)
+  in
+  Option.iter
+    (Netsim.Network.install_faults net)
+    (Spec.fault_plan dist_spec topo ~until);
   (* Windowed hit-rate probes measure the time until the fabric has
      re-taught itself: recovery = first post-failure window whose hit
      rate is within 0.05 of the undisturbed run's. *)

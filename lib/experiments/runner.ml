@@ -22,6 +22,7 @@ type result = {
   last_misdelivered_arrival : Time_ns.t option;
   reordering_events : int;
   extra : (string * float) list;
+  class_hit_rates : (int * float) list;
   bytes_by_pod : (int * int) array;
   bytes_by_switch : (int * int) array;
 }
@@ -117,6 +118,9 @@ let run ?net_config ?report_name ?faults (setup : Setup.t) ~scheme ~flows
       reordering_events =
         Netsim.Transport.reordering_events (Netsim.Network.transport net);
       extra = scheme.Netsim.Scheme.stats ();
+      class_hit_rates =
+        List.map (fun c -> (c, Netsim.Metrics.class_hit_rate m c))
+          (Netsim.Metrics.classes m);
       bytes_by_pod =
         Array.init pods (fun pod -> (pod, Netsim.Metrics.bytes_of_pod m pod));
       bytes_by_switch =
@@ -182,6 +186,9 @@ let run_sharded ?net_config ?faults ~shards (setup : Setup.t) ~make_scheme
       last_misdelivered_arrival = Netsim.Metrics.last_misdelivered_arrival m;
       reordering_events = Netsim.Parnet.reordering_events par;
       extra = [];
+      class_hit_rates =
+        List.map (fun c -> (c, Netsim.Metrics.class_hit_rate m c))
+          (Netsim.Metrics.classes m);
       bytes_by_pod =
         Array.init pods (fun pod -> (pod, Netsim.Metrics.bytes_of_pod m pod));
       bytes_by_switch =

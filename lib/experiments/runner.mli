@@ -24,6 +24,9 @@ type result = {
       (** data packets that arrived behind a higher sequence number
           (§4: SwitchV2P can reorder when caches are small) *)
   extra : (string * float) list;  (** scheme-specific counters *)
+  class_hit_rates : (int * float) list;
+      (** per-class (e.g. per-tenant) hit rates, ascending class id;
+          empty unless the network config installed a classifier *)
   bytes_by_pod : (int * int) array;  (** (pod, bytes) *)
   bytes_by_switch : (int * int) array;  (** (switch node id, bytes) *)
 }

@@ -21,33 +21,10 @@ let wrap params seed =
     seed;
   }
 
-let ft8 ?(seed = 42) = function
-  | `Paper -> wrap (Topo.Params.ft8_10k ()) seed
-  | `Small ->
-      wrap
-        (Topo.Params.scaled ~spines_per_pod:4 ~cores_per_group:4
-           ~gateways_per_gateway_pod:4 ~pods:8 ~racks_per_pod:4
-           ~hosts_per_rack:2 ~vms_per_host:12 ())
-        seed
-  | `Tiny ->
-      wrap
-        (Topo.Params.scaled ~pods:4 ~racks_per_pod:3 ~hosts_per_rack:2
-           ~vms_per_host:8 ())
-        seed
-
-let ft16 ?(seed = 42) = function
-  | `Paper -> wrap (Topo.Params.ft16_400k ()) seed
-  | `Small ->
-      wrap
-        (Topo.Params.scaled ~spines_per_pod:4 ~cores_per_group:4
-           ~gateways_per_gateway_pod:4 ~pods:8 ~racks_per_pod:8
-           ~hosts_per_rack:2 ~vms_per_host:8 ())
-        seed
-  | `Tiny ->
-      wrap
-        (Topo.Params.scaled ~pods:2 ~racks_per_pod:4 ~hosts_per_rack:2
-           ~vms_per_host:8 ())
-        seed
+(* The preset tables live in Netsim.Scenario so a committed scenario
+   file and the programmatic setup can never drift apart. *)
+let ft8 ?(seed = 42) scale = wrap (Netsim.Scenario.preset_params `FT8 scale) seed
+let ft16 ?(seed = 42) scale = wrap (Netsim.Scenario.preset_params `FT16 scale) seed
 
 let custom params ~seed = wrap params seed
 

@@ -297,6 +297,9 @@ let class_hit_rate t cls =
     let gw = table_get t.class_gateway cls in
     Float.max 0.0 (Float.min 1.0 (1.0 -. (float_of_int gw /. float_of_int sent)))
 
+let classes t =
+  List.sort compare (Hashtbl.fold (fun cls _ acc -> cls :: acc) t.class_sent [])
+
 let gateway_packets t = t.gateway_packets
 let packets_sent t = t.packets_sent
 let retransmits_sent t = t.retransmits

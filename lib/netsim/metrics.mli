@@ -83,6 +83,10 @@ val class_hit_rate : t -> int -> float
 (** [class_packets_sent t cls] — sent tenant packets in class [cls]. *)
 val class_packets_sent : t -> int -> int
 
+(** [classes t] — the classifier values observed so far, ascending;
+    empty when no classifier was installed or nothing was sent. *)
+val classes : t -> int list
+
 val gateway_packets : t -> int
 val packets_sent : t -> int
 

@@ -191,6 +191,13 @@ let parse_spec s =
         }
     | None -> fail "expected @TIME:ACTION in %S" s
 
+let spec_of_string s =
+  match parse_spec (String.trim s) with
+  | spec -> Ok spec
+  | exception Parse m -> Error m
+
+let spec_to_string s = Printf.sprintf "@%d:%s" s.at (action_to_string s.action)
+
 let of_string s =
   try
     match String.split_on_char ';' (String.trim s) with

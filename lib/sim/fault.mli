@@ -79,6 +79,13 @@ val to_string : plan -> string
 
 val of_string : string -> (plan, string) result
 
+(** One ["@T:ACTION"] segment, as printed by {!spec_to_string} — the
+    building block callers (the scenario layer, the [--faults] CLI)
+    use to report which segment of a plan failed to parse. *)
+val spec_of_string : string -> (spec, string) result
+
+val spec_to_string : spec -> string
+
 (** [of_string_exn s] is [of_string s], raising [Invalid_argument] on
     malformed input. *)
 val of_string_exn : string -> plan

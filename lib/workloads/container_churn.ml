@@ -1,0 +1,91 @@
+module Fault = Dessim.Fault
+module Time_ns = Dessim.Time_ns
+
+type kind = Cold_start | Serverless | Migration_storm
+
+type t = {
+  kind : kind;
+  rate : float;
+  start : Time_ns.t;
+  duration : Time_ns.t;
+  batch : int;
+}
+
+let kind_name = function
+  | Cold_start -> "cold_start"
+  | Serverless -> "serverless"
+  | Migration_storm -> "migration_storm"
+
+let kind_of_string = function
+  | "cold_start" -> Some Cold_start
+  | "serverless" -> Some Serverless
+  | "migration_storm" -> Some Migration_storm
+  | _ -> None
+
+let validate t =
+  let fail msg = invalid_arg ("Container_churn: " ^ msg) in
+  if (not (Float.is_finite t.rate)) || t.rate <= 0.0 then
+    fail "rate must be a positive finite mappings/sec";
+  if t.batch <= 0 then fail "batch must be positive";
+  if Time_ns.to_ns t.duration <= 0 then fail "duration must be positive";
+  if Time_ns.to_ns t.start < 0 then fail "start must be non-negative"
+
+let make ?(start = Time_ns.zero) ~kind ~rate ~duration ?(batch = 8) () =
+  let t = { kind; rate; start; duration; batch } in
+  validate t;
+  t
+
+(* The mapping budget of the whole episode: [rate] mappings/sec
+   sustained over [duration]. Every temporal envelope below spends
+   exactly this budget, so [sustained_rate] is envelope-independent. *)
+let total_mappings t =
+  max t.batch
+    (int_of_float (t.rate *. Time_ns.to_sec t.duration /. 1.0))
+
+let num_batches t = (total_mappings t + t.batch - 1) / t.batch
+
+(* Even spacing that lands the last batch inside the episode. *)
+let spread ~start ~span_ns ~n =
+  let gap = if n <= 1 then 0 else span_ns / n in
+  List.init n (fun i -> Time_ns.add start (Time_ns.of_ns (i * gap)))
+
+let batch_times t =
+  let n = num_batches t in
+  let span = Time_ns.to_ns t.duration in
+  match t.kind with
+  | Migration_storm ->
+      (* Constant-rate live-migration pressure across the window. *)
+      spread ~start:t.start ~span_ns:span ~n
+  | Cold_start ->
+      (* Mass cold-start: the whole budget lands in the first eighth
+         of the window (a deployment wave), then silence while the
+         fabric re-learns. *)
+      spread ~start:t.start ~span_ns:(max 1 (span / 8)) ~n
+  | Serverless ->
+      (* Burst arrivals: four equal bursts at the start of each
+         quarter-window, each burst compressed into 1/16 of the
+         window — bursty on short timescales, [rate] on average. *)
+      let quarter = span / 4 in
+      let per_burst = (n + 3) / 4 in
+      List.concat
+        (List.init 4 (fun q ->
+             let remaining = min per_burst (n - (q * per_burst)) in
+             if remaining <= 0 then []
+             else
+               spread
+                 ~start:(Time_ns.add t.start (Time_ns.of_ns (q * quarter)))
+                 ~span_ns:(max 1 (span / 16))
+                 ~n:remaining))
+
+let churn_specs t =
+  List.map (fun at -> { Fault.at; action = Fault.Churn t.batch }) (batch_times t)
+
+let end_time t = Time_ns.add t.start t.duration
+
+let sustained_rate t =
+  float_of_int (num_batches t * t.batch) /. Time_ns.to_sec t.duration
+
+let to_fields t =
+  Printf.sprintf "kind=%s rate=%h start_ns=%d duration_ns=%d batch=%d"
+    (kind_name t.kind) t.rate (Time_ns.to_ns t.start)
+    (Time_ns.to_ns t.duration) t.batch

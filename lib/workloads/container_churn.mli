@@ -1,0 +1,65 @@
+(** Container-overlay churn workloads (ONCache-style): endpoint
+    populations that mutate orders of magnitude faster than VM fleets.
+
+    A value of type {!t} describes one churn episode — a mapping-table
+    mutation budget of [rate] mappings/sec sustained over [duration] —
+    and compiles down to the existing fault-plan churn machinery as a
+    list of {!Dessim.Fault.Churn} specs ({!churn_specs}). The three
+    kinds differ only in temporal envelope:
+
+    - {!Cold_start}: a mass deployment wave — the whole budget lands
+      in the first eighth of the window, then silence.
+    - {!Serverless}: burst arrivals — four compressed bursts, one per
+      quarter-window.
+    - {!Migration_storm}: constant-rate live-migration pressure.
+
+    Victim selection, mapping rewrite and invalidation traffic are the
+    simulator's normal churn path ({!Netsim.Network.migrate_now} via
+    [Fault.Churn]), so DST invariants apply unchanged. *)
+
+type kind = Cold_start | Serverless | Migration_storm
+
+type t = private {
+  kind : kind;
+  rate : float;  (** sustained mappings/sec over the episode *)
+  start : Dessim.Time_ns.t;
+  duration : Dessim.Time_ns.t;
+  batch : int;  (** mappings remapped per churn event *)
+}
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+
+(** [make ~kind ~rate ~duration ()] — raises [Invalid_argument] on a
+    non-positive rate/batch/duration. *)
+val make :
+  ?start:Dessim.Time_ns.t ->
+  kind:kind ->
+  rate:float ->
+  duration:Dessim.Time_ns.t ->
+  ?batch:int ->
+  unit ->
+  t
+
+(** Mapping budget of the episode ([rate * duration], at least one
+    batch). *)
+val total_mappings : t -> int
+
+val num_batches : t -> int
+
+(** Event timestamps, deterministic in the spec (no RNG). *)
+val batch_times : t -> Dessim.Time_ns.t list
+
+(** The episode as fault-plan specs: one [Fault.Churn batch] per
+    {!batch_times} entry, in time order. *)
+val churn_specs : t -> Dessim.Fault.spec list
+
+val end_time : t -> Dessim.Time_ns.t
+
+(** Budget actually scheduled divided by [duration] (>= [rate] by at
+    most one batch of rounding). *)
+val sustained_rate : t -> float
+
+(** The spec's canonical key=value field list (hex floats, lossless) —
+    the scenario-file line body. *)
+val to_fields : t -> string

@@ -29,6 +29,20 @@ let invariants_remaining_schemes () =
   in
   report_failures (Dst.run_seeds ~schemes:rest ~seeds:[ 6; 7 ] ())
 
+(* Container-overlay churn episodes (cold-start, serverless bursts,
+   migration storms — the kind cycles with the seed) across >= 20
+   seeds: conservation, stale-delivery, occupancy and churn-batch
+   accounting must hold under sustained remapping pressure. *)
+let churn_invariants () =
+  report_failures (List.init 21 (fun seed -> Dst.run_churn ~seed ()))
+
+(* A churn run is as replayable as a fault run. *)
+let churn_replay_byte_identical () =
+  let a = Dst.run_churn ~seed:7 () in
+  let b = Dst.run_churn ~seed:7 () in
+  Alcotest.(check string) "churn transcript replay" a.Dst.transcript
+    b.Dst.transcript
+
 (* Replaying a seed must reproduce the run byte-identically — this is
    what makes a printed failing seed actionable. *)
 let replay_byte_identical () =
@@ -76,11 +90,15 @@ let () =
             invariants_default_schemes;
           Alcotest.test_case "remaining schemes, seeds 6-7" `Quick
             invariants_remaining_schemes;
+          Alcotest.test_case "container churn episodes, seeds 0-20" `Quick
+            churn_invariants;
         ] );
       ( "replay",
         [
           Alcotest.test_case "same seed, byte-identical transcript" `Quick
             replay_byte_identical;
+          Alcotest.test_case "churn run, byte-identical transcript" `Quick
+            churn_replay_byte_identical;
           Alcotest.test_case "heap vs wheel, byte-identical transcript" `Quick
             backends_byte_identical;
           Alcotest.test_case "plan text round-trip" `Quick plan_roundtrip;

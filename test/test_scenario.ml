@@ -1,0 +1,283 @@
+(* Scenario spec layer: lossless text round-trip (QCheck over
+   seed-derived random specs), committed-example fidelity and
+   validation, golden byte-identical replay of [run --scenario], and
+   fixed-shard-count replay determinism. *)
+
+module Spec = Netsim.Scenario
+module Scenario = Experiments.Scenario
+module Runner = Experiments.Runner
+module Fault = Dessim.Fault
+module Rng = Dessim.Rng
+module Time_ns = Dessim.Time_ns
+module Churn = Workloads.Container_churn
+
+let qtest = QCheck_alcotest.to_alcotest
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Random valid specs, derived from one integer through our own Rng
+   so the generator stays deterministic and shrinkable over ints.     *)
+
+let pick rng l = List.nth l (Rng.int rng (List.length l))
+
+let gen_stream rng parity =
+  let trace = pick rng Spec.[ Hadoop; Websearch; Alibaba; Microbursts; Video ] in
+  let rate = 0.5 +. (float_of_int (Rng.int rng 64) /. 2.0) in
+  let load = 0.05 +. (float_of_int (Rng.int rng 15) /. 20.0) in
+  let zipf_alpha =
+    if Rng.int rng 3 = 0 then
+      Some (0.01 +. (float_of_int (Rng.int rng 200) /. 100.0))
+    else None
+  in
+  let vips = match parity with None -> Spec.All | Some p -> Spec.Parity p in
+  Spec.stream ~rate ~load ?zipf_alpha ~vips ~seed_delta:(Rng.int rng 4)
+    ~id_base:(Rng.int rng 2 * 1_000_000)
+    trace
+
+let gen_slots rng =
+  if Rng.int rng 2 = 0 then Spec.Pct (Rng.int rng 200)
+  else Spec.Abs (Rng.int rng 5000)
+
+let gen_config rng =
+  Switchv2p.Config.make
+    ~p_learn:(1.0 /. float_of_int (1 + Rng.int rng 512))
+    ~learning_packets:(Rng.int rng 2 = 0)
+    ~spillover:(Rng.int rng 2 = 0)
+    ~promotion:(Rng.int rng 2 = 0)
+    ~source_learning:(Rng.int rng 2 = 0)
+    ~invalidations:(Rng.int rng 2 = 0)
+    ~ts_vector:(Rng.int rng 2 = 0)
+    ~allocation:
+      (pick rng
+         [
+           Switchv2p.Config.Uniform;
+           Switchv2p.Config.Tor_only;
+           Switchv2p.Config.Weighted
+             {
+               tor = 1.0 +. float_of_int (Rng.int rng 8);
+               spine = 1.0 +. float_of_int (Rng.int rng 8);
+               core = float_of_int (Rng.int rng 4);
+               gw_tor = 1.0;
+               gw_spine = 1.0;
+             };
+         ])
+    ()
+
+let gen_scheme rng ~classified =
+  let label =
+    match Rng.int rng 3 with
+    | 0 -> None
+    | 1 -> Some "plain"
+    | _ -> Some "label with spaces @50%"
+  in
+  let kind =
+    match Rng.int rng 10 with
+    | 0 -> Spec.Nocache
+    | 1 -> Spec.Direct
+    | 2 -> Spec.Ondemand
+    | 3 -> Spec.Hoverboard
+    | 4 -> Spec.Dht
+    | 5 -> Spec.Locallearning (gen_slots rng)
+    | 6 -> Spec.Gwcache (gen_slots rng)
+    | 7 -> Spec.Bluebird (gen_slots rng)
+    | 8 ->
+        Spec.Controller
+          {
+            slots = gen_slots rng;
+            interval = Time_ns.of_us (1 + Rng.int rng 500);
+          }
+    | _ ->
+        let shares =
+          if classified && Rng.int rng 2 = 0 then
+            Some
+              [|
+                1.0 +. float_of_int (Rng.int rng 9);
+                1.0 +. float_of_int (Rng.int rng 9);
+              |]
+          else None
+        in
+        Spec.switchv2p ~config:(gen_config rng) ?shares (gen_slots rng)
+  in
+  Spec.scheme ?label kind
+
+let spec_of_seed n =
+  let rng = Rng.create ((n * 0x5bd1e995) + 17) in
+  let family = pick rng [ `FT8; `FT16 ] in
+  let scale = pick rng [ `Tiny; `Small ] in
+  let topo =
+    if Rng.int rng 5 = 0 then
+      Spec.custom ~seed:(Rng.int rng 100) (Spec.preset_params family scale)
+    else Spec.preset ~seed:(Rng.int rng 100) family scale
+  in
+  let classified = Rng.int rng 2 = 0 in
+  let streams =
+    if classified then [ gen_stream rng (Some 0); gen_stream rng (Some 1) ]
+    else List.init (Rng.int rng 3) (fun _ -> gen_stream rng None)
+  in
+  let churn =
+    if Rng.int rng 3 = 0 then
+      Some
+        (Churn.make
+           ~start:(Time_ns.of_us (Rng.int rng 1000))
+           ~kind:(pick rng Churn.[ Cold_start; Serverless; Migration_storm ])
+           ~rate:(1.0 +. float_of_int (Rng.int rng 5000))
+           ~duration:(Time_ns.of_us (1 + Rng.int rng 20000))
+           ~batch:(1 + Rng.int rng 8) ())
+    else None
+  in
+  let faults =
+    match Rng.int rng 3 with
+    | 0 -> Spec.No_faults
+    | 1 -> Spec.Random (Rng.int rng 1000)
+    | _ ->
+        (* Literal plans stay topology-independent: churn actions are
+           the one kind whose target needs no node ids. *)
+        Spec.Literal
+          {
+            Fault.seed = Rng.int rng 100;
+            specs =
+              Fault.sort_specs
+                (Array.init (Rng.int rng 3) (fun i ->
+                     {
+                       Fault.at = Time_ns.of_us ((i + 1) * (1 + Rng.int rng 500));
+                       action = Fault.Churn (1 + Rng.int rng 8);
+                     }));
+          }
+  in
+  let sched =
+    pick rng
+      [
+        Spec.Sched_default;
+        Spec.Sched Dessim.Engine.Heap;
+        Spec.Sched Dessim.Engine.Wheel;
+      ]
+  in
+  let shards =
+    if Rng.int rng 2 = 0 then Spec.Shards_auto else Spec.Shards (1 + Rng.int rng 3)
+  in
+  let horizon =
+    if Rng.int rng 2 = 0 then Spec.Horizon_auto
+    else Spec.Horizon (Time_ns.of_ms (1 + Rng.int rng 100))
+  in
+  Spec.make
+    ~name:(pick rng [ "qc"; "qc spec"; "multitenant/qc 50/50" ])
+    ~topo ~streams ?churn ~faults ~seed:(Rng.int rng 10_000) ~sched ~shards
+    ~horizon
+    ?gateways_used:(if Rng.int rng 3 = 0 then Some 1 else None)
+    ~classify:(if classified then Spec.Vip_parity else Spec.No_classify)
+    (List.init (1 + Rng.int rng 3) (fun _ -> gen_scheme rng ~classified))
+
+let roundtrip_qcheck =
+  QCheck.Test.make ~count:300
+    ~name:"of_string (to_string t) = Ok t, and reprint is stable"
+    QCheck.(int_bound 1_000_000)
+    (fun n ->
+      let t = spec_of_seed n in
+      let s = Spec.to_string t in
+      match Spec.of_string s with
+      | Ok t' -> t' = t && String.equal (Spec.to_string t') s
+      | Error e ->
+          QCheck.Test.fail_reportf "parse failed: %s\nin:\n%s"
+            (Spec.error_to_string e) s)
+
+(* ------------------------------------------------------------------ *)
+(* Committed examples: all validate; the golden file is exactly what
+   its constructor prints, so the committed text cannot drift.        *)
+
+let examples_dir = "../examples/scenarios"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let golden_spec () =
+  Spec.make ~name:"golden_tiny"
+    ~topo:(Spec.preset `FT8 `Tiny)
+    ~streams:[ Spec.stream Spec.Hadoop ]
+    [
+      Spec.scheme ~label:"NoCache" Spec.Nocache;
+      Spec.scheme ~label:"SwitchV2P" (Spec.switchv2p (Spec.Pct 50));
+    ]
+
+let examples_validate () =
+  let files =
+    Sys.readdir examples_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".scn")
+    |> List.sort compare
+  in
+  checkb "at least six committed scenarios" true (List.length files >= 6);
+  List.iter
+    (fun f ->
+      match Spec.validate_file (Filename.concat examples_dir f) with
+      | Ok _ -> ()
+      | Error errs ->
+          Alcotest.failf "%s: %s" f
+            (String.concat "; " (List.map Spec.error_to_string errs)))
+    files
+
+let golden_file_matches_constructor () =
+  Alcotest.(check string)
+    "golden_tiny.scn is the constructor's canonical print"
+    (Spec.to_string (golden_spec ()))
+    (read_file (Filename.concat examples_dir "golden_tiny.scn"))
+
+(* ------------------------------------------------------------------ *)
+(* Golden replay: running the committed file reproduces the
+   programmatic run of the same spec, result-for-result.              *)
+
+let golden_replay () =
+  let file = Filename.concat examples_dir "golden_tiny.scn" in
+  match Scenario.run_file file with
+  | Error e -> Alcotest.failf "run_file: %s" (Spec.error_to_string e)
+  | Ok (spec, from_file) ->
+      let programmatic = Scenario.run (golden_spec ()) in
+      checkb "parsed spec equals constructor" true (spec = golden_spec ());
+      checkb "file replay = programmatic run, byte-identical results" true
+        (from_file = programmatic)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded scenarios: a fixed shard count replays deterministically,
+   and agrees with the single-shard run on flow outcomes.             *)
+
+let sharded_spec shards =
+  { (golden_spec ()) with Spec.shards = Spec.Shards shards }
+
+let sharded_replay_deterministic () =
+  let spec = sharded_spec 2 in
+  let s = List.nth spec.Spec.schemes 1 in
+  let a = Scenario.run_scheme spec s in
+  let b = Scenario.run_scheme spec s in
+  checkb "2-shard scenario run replays identically" true (a = b)
+
+let sharded_flow_outcomes_agree () =
+  let one = Scenario.run_scheme (sharded_spec 1) (List.nth (golden_spec ()).Spec.schemes 1) in
+  let two = Scenario.run_scheme (sharded_spec 2) (List.nth (golden_spec ()).Spec.schemes 1) in
+  checki "flows started" one.Runner.flows_started two.Runner.flows_started;
+  checki "flows completed" one.Runner.flows_completed two.Runner.flows_completed;
+  checki "drops (1-shard)" 0 one.Runner.packets_dropped;
+  checki "drops (2-shard)" 0 two.Runner.packets_dropped
+
+let () =
+  Alcotest.run "scenario"
+    [
+      ("roundtrip", [ qtest roundtrip_qcheck ]);
+      ( "examples",
+        [
+          Alcotest.test_case "all committed examples validate" `Quick
+            examples_validate;
+          Alcotest.test_case "golden file matches constructor" `Quick
+            golden_file_matches_constructor;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "run --scenario = programmatic run" `Quick
+            golden_replay;
+          Alcotest.test_case "2-shard replay deterministic" `Quick
+            sharded_replay_deterministic;
+          Alcotest.test_case "shard counts agree on flow outcomes" `Quick
+            sharded_flow_outcomes_agree;
+        ] );
+    ]
