@@ -42,6 +42,9 @@ let ft16_stats : (string * float) list ref = ref []
 (* Filled by [churn_bench]; written into BENCH_sweep.json. *)
 let churn_stats : (string * float) list ref = ref []
 
+(* Filled by [cachegeo]; written into BENCH_sweep.json. *)
+let cachegeo_frontier : Experiments.Cache_geometry.t option ref = ref None
+
 let time_it ~key name f =
   Parallel.reset_counters ();
   let t0 = Unix.gettimeofday () in
@@ -145,6 +148,33 @@ let write_sweep_json jobs =
         Printf.sprintf "  \"container_churn\": {%s},\n"
           (String.concat ", " fields)
   in
+  let cachegeo_json () =
+    match !cachegeo_frontier with
+    | None -> ""
+    | Some t ->
+        let module Cg = Experiments.Cache_geometry in
+        let point_json (p : Cg.point) =
+          Printf.sprintf
+            "    {\"geometry\": \"%s\", \"locality\": %.2f, \"cache_pct\": \
+             %d, \"slots\": %d, \"sram_bits\": %d, \"refs\": %d, \"hits\": \
+             %d, \"hit_rate\": %.6g}"
+            (json_escape p.Cg.geometry) p.Cg.locality p.Cg.cache_pct p.Cg.slots
+            p.Cg.sram_bits p.Cg.refs p.Cg.hits p.Cg.hit_rate
+        in
+        Printf.sprintf
+          "  \"cachegeo_frontier\": {\"geometries\": [%s], \"localities\": \
+           [%s], \"cache_pcts\": [%s], \"points\": [\n\
+           %s\n\
+          \  ]},\n"
+          (String.concat ", "
+             (List.map
+                (fun g -> Printf.sprintf "\"%s\"" (json_escape g))
+                t.Cg.geometries))
+          (String.concat ", "
+             (List.map (Printf.sprintf "%.2f") t.Cg.localities))
+          (String.concat ", " (List.map string_of_int t.Cg.cache_pcts))
+          (String.concat ",\n" (List.map point_json t.Cg.points))
+  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -159,12 +189,13 @@ let write_sweep_json jobs =
          %s\
          %s\
          %s\
+         %s\
         \  \"targets\": [\n\
          %s\n\
         \  ]\n\
          }\n"
         jobs (scale_name ()) total_wall (event_core_json ()) (scheme_json ())
-        (ft16_json ()) (churn_json ())
+        (ft16_json ()) (churn_json ()) (cachegeo_json ())
         (String.concat ",\n" (List.map target_json rs)));
   Printf.printf "\n[sweep report written to %s]\n%!" path
 
@@ -198,8 +229,44 @@ let resilience () =
 
 let dht () = Experiments.Dht_compare.print (Experiments.Dht_compare.run ~scale:!scale ())
 
+(* Regression gate for CI: with REPRO_CACHEGEO_HIT_FLOOR set, the
+   worst geometry's hit rate at the most favorable frontier corner
+   (highest locality, largest cache) must stay above the floor — a
+   geometry whose replay drops well below its peers there is broken,
+   not merely different. Off when unset. *)
 let cachegeo () =
-  Experiments.Cache_geometry.print (Experiments.Cache_geometry.run ~scale:!scale ())
+  let module Cg = Experiments.Cache_geometry in
+  let t = Cg.run ~scale:!scale () in
+  Cg.print t;
+  cachegeo_frontier := Some t;
+  match Sys.getenv_opt "REPRO_CACHEGEO_HIT_FLOOR" with
+  | None -> ()
+  | Some s ->
+      let floor = float_of_string s in
+      let best_locality = List.fold_left max neg_infinity t.Cg.localities in
+      let best_pct = List.fold_left max min_int t.Cg.cache_pcts in
+      let corner =
+        List.filter
+          (fun (p : Cg.point) ->
+            p.Cg.locality = best_locality && p.Cg.cache_pct = best_pct)
+          t.Cg.points
+      in
+      let worst =
+        List.fold_left
+          (fun acc (p : Cg.point) -> min acc p.Cg.hit_rate)
+          infinity corner
+      in
+      if corner = [] || worst < floor then begin
+        Printf.eprintf
+          "FAIL: cachegeo frontier corner (locality %.2f, %d%%) worst hit \
+           rate %.4f below floor %.4f\n"
+          best_locality best_pct worst floor;
+        exit 1
+      end
+      else
+        Printf.printf
+          "  [gate] frontier corner worst hit rate %.4f >= floor %.4f\n%!"
+          worst floor
 
 (* --- Event-core benchmark: forwarding-path throughput -------------- *)
 

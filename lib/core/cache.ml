@@ -145,6 +145,17 @@ let insert t ~admission vip pip =
     end
   end
 
+(* The entry an [insert ~admission:`All] for [vip] would evict right
+   now: the slot's occupant key, or -1 when the insert would be an
+   update or land on an empty line. Int-packed (no option) — the
+   TinyLFU admission front end calls this once per insert attempt. *)
+let victim_key t vip =
+  if t.n = 0 then -1
+  else
+    let i = slot_of t vip in
+    let key = t.keys.(i) in
+    if key = Vip.to_int vip then -1 else key
+
 let invalidate t vip ~stale =
   if t.n = 0 then false
   else begin

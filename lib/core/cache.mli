@@ -33,6 +33,14 @@ val create : slots:int -> t
 
 val slots : t -> int
 
+(** [mix v] is the fixed 31-bit hash every cache geometry shares,
+    standing in for the hardware CRC (bit-identical to a splitmix64
+    finalizer step, computed in native int limbs so the per-hop path
+    stays allocation-free). Exposed so {!Dleft} and {!Tinylfu} index
+    with the same function — way 0 of a d-left table must agree with
+    the direct-mapped slot for the d=1 equivalence to hold. *)
+val mix : int -> int
+
 val miss : int
 (** the (negative) sentinel {!lookup} returns on a miss *)
 
@@ -60,6 +68,13 @@ val access_bit : t -> Netcore.Addr.Vip.t -> bool option
 (** [insert t ~admission vip pip] attempts to install the mapping.
     A freshly admitted entry has its access bit clear. *)
 val insert : t -> admission:admission -> Netcore.Addr.Vip.t -> Netcore.Addr.Pip.t -> insert_result
+
+(** [victim_key t vip] is the key (as an int) that
+    [insert ~admission:`All t vip _] would evict right now, or [-1]
+    when that insert would be an update or fill an empty line.
+    Side-effect-free and allocation-free — the {!Tinylfu} admission
+    filter probes the victim's frequency before every insert. *)
+val victim_key : t -> Netcore.Addr.Vip.t -> int
 
 (** [invalidate t vip ~stale] removes the entry for [vip] if its
     current value equals [stale]; returns whether an entry was

@@ -9,6 +9,8 @@ type allocation =
       gw_spine : float;
     }
 
+type geometry = Geo_direct | Geo_dleft of int
+
 type t = {
   p_learn : float;
   learning_packets : bool;
@@ -18,6 +20,8 @@ type t = {
   invalidations : bool;
   ts_vector : bool;
   allocation : allocation;
+  geometry : geometry;
+  tinylfu : bool;
 }
 
 let default =
@@ -30,6 +34,8 @@ let default =
     invalidations = true;
     ts_vector = true;
     allocation = Uniform;
+    geometry = Geo_direct;
+    tinylfu = false;
   }
 
 let make ?(p_learn = default.p_learn)
@@ -37,7 +43,12 @@ let make ?(p_learn = default.p_learn)
     ?(spillover = default.spillover) ?(promotion = default.promotion)
     ?(source_learning = default.source_learning)
     ?(invalidations = default.invalidations) ?(ts_vector = default.ts_vector)
-    ?(tor_only = false) ?allocation () =
+    ?(tor_only = false) ?allocation ?(geometry = default.geometry)
+    ?(tinylfu = default.tinylfu) () =
+  (match geometry with
+  | Geo_dleft d when d <= 0 ->
+      invalid_arg "Config.make: d-left ways must be positive"
+  | Geo_dleft _ | Geo_direct -> ());
   let allocation =
     match allocation with
     | Some a -> a
@@ -52,4 +63,6 @@ let make ?(p_learn = default.p_learn)
     invalidations;
     ts_vector;
     allocation;
+    geometry;
+    tinylfu;
   }

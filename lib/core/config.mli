@@ -15,6 +15,13 @@ type allocation =
       (** per-role weights; a switch's share is its role weight
           normalized over all switches. Negative weights are invalid. *)
 
+(** Cache organization for every switch's V2P cache. [Geo_direct] is
+    the paper's direct-mapped single-access-bit design; [Geo_dleft d]
+    is a d-left table ([d] subtables, independent hashes — see
+    {!Dleft}). Each switch's slot share is rounded down to a multiple
+    of [d]. *)
+type geometry = Geo_direct | Geo_dleft of int
+
 type t = {
   p_learn : float;
       (** probability of emitting a learning packet per resolved packet
@@ -26,6 +33,10 @@ type t = {
   invalidations : bool;  (** §3.3 invalidation packets *)
   ts_vector : bool;  (** §3.3 timestamp vector rate limiting *)
   allocation : allocation;
+  geometry : geometry;  (** cache organization; the paper's is direct *)
+  tinylfu : bool;
+      (** wrap each cache in a {!Tinylfu} frequency-admission front
+          end (4-bit count-min sketch, admit-on-higher-estimate) *)
 }
 
 (** The paper's default configuration: everything on, P_learn = 0.005,
@@ -44,5 +55,7 @@ val make :
   ?ts_vector:bool ->
   ?tor_only:bool ->
   ?allocation:allocation ->
+  ?geometry:geometry ->
+  ?tinylfu:bool ->
   unit ->
   t

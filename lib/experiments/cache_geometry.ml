@@ -1,9 +1,45 @@
 module Flow = Netcore.Flow
 module Vip = Netcore.Addr.Vip
 module Pip = Netcore.Addr.Pip
+module Resources = P4model.Resources
 
-type row = { geometry : string; hit_rates : (int * float option) list }
-type t = { cache_pcts : int list; rows : row list }
+(* Cache-geometry frontier: hit rate vs. actual SRAM bits, per
+   geometry x locality x cache %. Each geometry's footprint is costed
+   through the per-stage [P4model.Resources] bit decomposition (tags +
+   values + replacement/sketch metadata), so points with the same slot
+   count but different metadata land at different x positions. *)
+
+type point = {
+  geometry : string;
+  locality : float;
+  cache_pct : int;
+  slots : int;
+  sram_bits : int;
+  refs : int;
+  hits : int;
+  hit_rate : float;
+}
+
+type t = {
+  geometries : string list;
+  localities : float list;
+  cache_pcts : int list;
+  points : point list;
+}
+
+let default_geometries =
+  [
+    "direct";
+    "dleft2";
+    "dleft4";
+    "2way-lru";
+    "4way-lru";
+    "direct+tinylfu";
+    "dleft4+tinylfu";
+  ]
+
+let default_localities = [ 0.1; 0.5; 0.9 ]
+let default_cache_pcts = [ 50; 200; 800 ]
 
 (* Reference stream per ToR: every flow generates [packet_count]
    touches of its destination VIP at the sender's ToR. Packets of
@@ -44,31 +80,62 @@ let streams_per_tor (setup : Setup.t) flows =
       (tor, ordered) :: acc)
     per_tor []
 
+(* One cache instance replaying a reference stream: [lookup] returns
+   hit/miss, inserting on miss; [used_slots]/[sram_bits] record what
+   the organization actually occupies at this per-ToR budget. *)
 type sim = {
-  name : string;
   lookup : Vip.t -> bool; (* true = hit; miss inserts *)
+  used_slots : int;
+  sram_bits : int;
 }
 
-let direct_sim ~slots =
-  let c = Switchv2p.Cache.create ~slots in
+let direct_sim ~slots ~tinylfu =
+  let base = Switchv2p.Cache.create ~slots in
+  let c =
+    if tinylfu then Switchv2p.Geo_cache.Lfu (Switchv2p.Tinylfu.create (Switchv2p.Tinylfu.Direct base))
+    else Switchv2p.Geo_cache.Direct base
+  in
+  let sketch = if tinylfu then Some (Resources.sketch_of_slots slots) else None in
   {
-    name = "direct-mapped";
     lookup =
       (fun vip ->
-        if Switchv2p.Cache.lookup c vip >= 0 then true
+        if Switchv2p.Geo_cache.lookup c vip >= 0 then true
         else begin
-          ignore (Switchv2p.Cache.insert c ~admission:`All vip (Pip.of_int 1));
+          ignore
+            (Switchv2p.Geo_cache.insert c ~admission:`All vip (Pip.of_int 1));
           false
         end);
+    used_slots = slots;
+    sram_bits = Resources.geometry_bits ~slots ?sketch Resources.G_direct;
   }
 
-let assoc_sim ~ways ~slots ~name =
-  (* Capacity rounded down to a multiple of the associativity; the
-     caller guarantees slots >= ways so capacities stay comparable. *)
+let dleft_sim ~d ~slots ~tinylfu =
+  (* Capacity rounded down to a multiple of the way count; the caller
+     skips organizations that do not fit at all. *)
+  let slots = slots - (slots mod d) in
+  let base = Switchv2p.Dleft.create ~d ~slots in
+  let c =
+    if tinylfu then Switchv2p.Geo_cache.Lfu (Switchv2p.Tinylfu.create (Switchv2p.Tinylfu.Dleft base))
+    else Switchv2p.Geo_cache.Dleft base
+  in
+  let sketch = if tinylfu then Some (Resources.sketch_of_slots slots) else None in
+  {
+    lookup =
+      (fun vip ->
+        if Switchv2p.Geo_cache.lookup c vip >= 0 then true
+        else begin
+          ignore
+            (Switchv2p.Geo_cache.insert c ~admission:`All vip (Pip.of_int 1));
+          false
+        end);
+    used_slots = slots;
+    sram_bits = Resources.geometry_bits ~slots ?sketch (Resources.G_dleft d);
+  }
+
+let assoc_sim ~ways ~slots =
   let slots = slots - (slots mod ways) in
   let c = Switchv2p.Assoc_cache.create ~ways ~slots in
   {
-    name;
     lookup =
       (fun vip ->
         if Switchv2p.Assoc_cache.lookup c vip >= 0 then true
@@ -76,72 +143,128 @@ let assoc_sim ~ways ~slots ~name =
           Switchv2p.Assoc_cache.insert c vip (Pip.of_int 1);
           false
         end);
+    used_slots = slots;
+    sram_bits = Resources.geometry_bits ~slots (Resources.G_assoc ways);
   }
 
-(* [None] when the organization does not fit in [slots] lines (a 4-way
-   cache needs at least 4). *)
+(* [None] when the organization does not fit in [slots] lines (a
+   4-way table needs at least 4). *)
 let geometry ~slots = function
-  | "direct-mapped" -> Some (direct_sim ~slots)
-  | "2-way LRU" -> if slots < 2 then None else Some (assoc_sim ~ways:2 ~slots ~name:"2-way LRU")
-  | "4-way LRU" -> if slots < 4 then None else Some (assoc_sim ~ways:4 ~slots ~name:"4-way LRU")
-  | "fully-assoc LRU" -> Some (assoc_sim ~ways:(max 1 slots) ~slots ~name:"fully-assoc LRU")
+  | "direct" -> Some (direct_sim ~slots ~tinylfu:false)
+  | "direct+tinylfu" -> Some (direct_sim ~slots ~tinylfu:true)
+  | "dleft2" ->
+      if slots < 2 then None else Some (dleft_sim ~d:2 ~slots ~tinylfu:false)
+  | "dleft4" ->
+      if slots < 4 then None else Some (dleft_sim ~d:4 ~slots ~tinylfu:false)
+  | "dleft4+tinylfu" ->
+      if slots < 4 then None else Some (dleft_sim ~d:4 ~slots ~tinylfu:true)
+  | "2way-lru" -> if slots < 2 then None else Some (assoc_sim ~ways:2 ~slots)
+  | "4way-lru" -> if slots < 4 then None else Some (assoc_sim ~ways:4 ~slots)
   | name -> invalid_arg ("Cache_geometry: unknown geometry " ^ name)
 
-let run ?(scale = `Small) ?(cache_pcts = [ 50; 200; 800 ]) () =
+let flows_per_vm = 8.0
+
+let locality_flows (setup : Setup.t) ~locality =
+  let rng = Dessim.Rng.create setup.Setup.seed in
+  Workloads.Locality_gen.flows rng ~num_vms:setup.Setup.num_vms
+    ~num_flows:
+      (int_of_float (flows_per_vm *. float_of_int setup.Setup.num_vms))
+    ~load:Setup.load ~agg_bps:setup.Setup.agg_bps ~locality
+
+let run ?(scale = `Small) ?(geometries = default_geometries)
+    ?(localities = default_localities) ?(cache_pcts = default_cache_pcts) () =
   let setup = Setup.ft8 scale in
-  let flows = Setup.hadoop_trace setup in
-  let streams = streams_per_tor setup flows in
   let num_tors = Array.length (Topo.Topology.tors setup.Setup.topo) in
-  let geometry_names =
-    [ "direct-mapped"; "2-way LRU"; "4-way LRU"; "fully-assoc LRU" ]
+  let points =
+    List.concat_map
+      (fun locality ->
+        let streams = streams_per_tor setup (locality_flows setup ~locality) in
+        List.concat_map
+          (fun name ->
+            List.filter_map
+              (fun pct ->
+                (* Same per-ToR share as the network experiments. *)
+                let per_tor_slots =
+                  max 1 (Setup.cache_slots setup ~pct / num_tors)
+                in
+                match geometry ~slots:per_tor_slots name with
+                | None -> None
+                | Some probe ->
+                    let hits = ref 0 and total = ref 0 in
+                    List.iter
+                      (fun (_tor, stream) ->
+                        (* Fresh cache per ToR, same organization. *)
+                        let g =
+                          Option.get (geometry ~slots:per_tor_slots name)
+                        in
+                        List.iter
+                          (fun vip ->
+                            incr total;
+                            if g.lookup vip then incr hits)
+                          stream)
+                      streams;
+                    Some
+                      {
+                        geometry = name;
+                        locality;
+                        cache_pct = pct;
+                        slots = probe.used_slots;
+                        sram_bits = probe.sram_bits;
+                        refs = !total;
+                        hits = !hits;
+                        hit_rate =
+                          (if !total = 0 then 0.0
+                           else float_of_int !hits /. float_of_int !total);
+                      })
+              cache_pcts)
+          geometries)
+      localities
   in
-  let rows =
-    List.map
-      (fun name ->
-        let hit_rates =
-          List.map
-            (fun pct ->
-              (* Same per-ToR share as the network experiments. *)
-              let per_tor_slots =
-                max 1 (Setup.cache_slots setup ~pct / num_tors)
-              in
-              match geometry ~slots:per_tor_slots name with
-              | None -> (pct, None)
-              | Some _ ->
-                  let hits = ref 0 and total = ref 0 in
-                  List.iter
-                    (fun (_tor, stream) ->
-                      let g =
-                        Option.get (geometry ~slots:per_tor_slots name)
-                      in
-                      List.iter
-                        (fun vip ->
-                          incr total;
-                          if g.lookup vip then incr hits)
-                        stream)
-                    streams;
-                  ( pct,
-                    if !total = 0 then Some 0.0
-                    else Some (float_of_int !hits /. float_of_int !total) ))
-            cache_pcts
-        in
-        { geometry = name; hit_rates })
-      geometry_names
+  { geometries; localities; cache_pcts; points }
+
+(* The same sweep point as a declarative scenario (PR-9 layer): a
+   Locality stream driving a SwitchV2P scheme whose config selects the
+   geometry. Validates by construction. *)
+let spec ?(scale = `Small) ?(locality = 0.5) ?(cache_pct = 50)
+    ?(geometry = Switchv2p.Config.Geo_direct) ?(tinylfu = false) () =
+  let module Spec = Netsim.Scenario in
+  let geo_name =
+    match geometry with
+    | Switchv2p.Config.Geo_direct -> "direct"
+    | Switchv2p.Config.Geo_dleft d -> Printf.sprintf "dleft%d" d
   in
-  { cache_pcts; rows }
+  let name =
+    Printf.sprintf "cachegeo/%s%s-l%03d-p%d" geo_name
+      (if tinylfu then "+tinylfu" else "")
+      (int_of_float (locality *. 100.0))
+      cache_pct
+  in
+  let scale : Spec.scale =
+    match scale with `Tiny -> `Tiny | `Small -> `Small | `Paper -> `Paper
+  in
+  Spec.make ~name
+    ~topo:(Spec.preset `FT8 scale)
+    ~streams:[ Spec.stream ~zipf_alpha:locality Spec.Locality ]
+    [
+      Spec.scheme ~label:"SwitchV2P"
+        (Spec.switchv2p
+           ~config:(Switchv2p.Config.make ~geometry ~tinylfu ())
+           (Spec.Pct cache_pct));
+    ]
 
 let print t =
   Report.table
     ~title:
-      "Cache geometry: per-ToR destination stream hit rate (Hadoop), by \
-       organization"
-    ~header:
-      ("geometry" :: List.map (fun p -> string_of_int p ^ "%") t.cache_pcts)
+      "Cache-geometry frontier: per-ToR locality-stream hit rate vs SRAM bits"
+    ~header:[ "geometry"; "locality"; "cache%"; "slots"; "SRAM kbits"; "hit rate" ]
     (List.map
-       (fun r ->
-         r.geometry
-         :: List.map
-              (fun (_, rate) ->
-                match rate with Some v -> Report.fpct v | None -> "-")
-              r.hit_rates)
-       t.rows)
+       (fun p ->
+         [
+           p.geometry;
+           Printf.sprintf "%.1f" p.locality;
+           string_of_int p.cache_pct;
+           string_of_int p.slots;
+           Printf.sprintf "%.1f" (float_of_int p.sram_bits /. 1024.0);
+           Report.fpct p.hit_rate;
+         ])
+       t.points)

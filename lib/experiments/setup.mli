@@ -56,6 +56,10 @@ val pooled : spec -> t
     the VIP space (the paper's cache-size axis). *)
 val cache_slots : t -> pct:int -> int
 
+(** The shared default network load (fraction of [agg_bps]) every
+    trace generator below runs at. *)
+val load : float
+
 (** Standard traces at a size proportional to the setup's VM count.
     [flows_per_vm] controls the reuse density (the paper's Hadoop has
     ~10 flows per destination VM). *)

@@ -30,7 +30,7 @@ type family = [ `FT8 | `FT16 ]
 type topo_arm = Preset of { family : family; scale : scale } | Custom of Params.t
 type topo_spec = { arm : topo_arm; topo_seed : int }
 
-type trace = Hadoop | Websearch | Alibaba | Microbursts | Video
+type trace = Hadoop | Websearch | Alibaba | Microbursts | Video | Locality
 type vips = All | Parity of int
 
 type stream = {
@@ -118,11 +118,17 @@ let default_rate = function
   | Alibaba -> 4.0
   | Microbursts -> 8.0
   | Video -> 64.0
+  | Locality -> 8.0
 
 let default_window = function
   | Microbursts -> Time_ns.of_ms 2
   | Video -> Time_ns.of_ms 5
-  | Hadoop | Websearch | Alibaba -> Time_ns.zero
+  | Hadoop | Websearch | Alibaba | Locality -> Time_ns.zero
+
+(* The locality trace reuses the stream's [zipf_alpha] slot as its
+   knob (both are "how skewed is destination reuse" scalars, and the
+   workload line stays uniform across traces). *)
+let default_locality = 0.5
 
 let default_load = 0.3
 
@@ -191,6 +197,7 @@ let trace_name = function
   | Alibaba -> "alibaba"
   | Microbursts -> "microbursts"
   | Video -> "video"
+  | Locality -> "locality"
 
 let trace_of_string = function
   | "hadoop" -> Some Hadoop
@@ -198,6 +205,7 @@ let trace_of_string = function
   | "alibaba" -> Some Alibaba
   | "microbursts" -> Some Microbursts
   | "video" -> Some Video
+  | "locality" -> Some Locality
   | _ -> None
 
 let scheme_kind_name = function
@@ -275,6 +283,11 @@ let scheme_line s =
       addf " invalidations=%b" c.Switchv2p.Config.invalidations;
       addf " ts_vector=%b" c.Switchv2p.Config.ts_vector;
       addf " allocation=%s" (allocation_to_string c.Switchv2p.Config.allocation);
+      addf " geometry=%s"
+        (match c.Switchv2p.Config.geometry with
+        | Switchv2p.Config.Geo_direct -> "direct"
+        | Switchv2p.Config.Geo_dleft d -> Printf.sprintf "dleft:%d" d);
+      addf " tinylfu=%b" c.Switchv2p.Config.tinylfu;
       Option.iter (fun sh -> addf " shares=%s" (floats_to_string sh)) shares);
   (* [label] consumes the rest of the line, so it always prints last. *)
   Option.iter (fun l -> addf " label=%s" l) s.label;
@@ -498,8 +511,8 @@ let parse_stream ~line toks =
   let f = fields_of ~line toks in
   let trace =
     parse_with ~line ~field:"trace"
-      "trace (hadoop|websearch|alibaba|microbursts|video)" trace_of_string
-      (req f "trace")
+      "trace (hadoop|websearch|alibaba|microbursts|video|locality)"
+      trace_of_string (req f "trace")
   in
   let rate = take_float f "rate" ~default:(default_rate trace) in
   let load = take_float f "load" ~default:default_load in
@@ -610,6 +623,24 @@ let parse_scheme ~line rest_of_line =
                       err ~line ~field:"allocation"
                         "expected uniform|tor_only|weighted:5-floats, got %S" v)
             in
+            let geometry =
+              match take f "geometry" with
+              | None | Some "direct" -> Switchv2p.Config.Geo_direct
+              | Some v -> (
+                  match String.index_opt v ':' with
+                  | Some i when String.sub v 0 i = "dleft" -> (
+                      match
+                        int_of_string_opt
+                          (String.sub v (i + 1) (String.length v - i - 1))
+                      with
+                      | Some w when w > 0 -> Switchv2p.Config.Geo_dleft w
+                      | Some _ | None ->
+                          err ~line ~field:"geometry"
+                            "d-left ways must be a positive integer, got %S" v)
+                  | _ ->
+                      err ~line ~field:"geometry"
+                        "expected direct|dleft:D, got %S" v)
+            in
             let config =
               {
                 Switchv2p.Config.p_learn =
@@ -630,6 +661,9 @@ let parse_scheme ~line rest_of_line =
                 ts_vector =
                   take_bool f "ts_vector" ~default:d.Switchv2p.Config.ts_vector;
                 allocation;
+                geometry;
+                tinylfu =
+                  take_bool f "tinylfu" ~default:d.Switchv2p.Config.tinylfu;
               }
             in
             let shares =
@@ -892,6 +926,13 @@ let semantic_errors t (pos : positions option) =
           if Time_ns.to_ns s.window <= 0 then
             add (p line (Some "window_ns") "window must be positive")
       | _ -> ());
+      (match (s.trace, s.zipf_alpha) with
+      | Locality, Some l when (not (Float.is_finite l)) || l < 0.0 || l > 1.0
+        ->
+          add
+            (p line (Some "zipf_alpha")
+               "locality knob (zipf_alpha) must be in [0,1]")
+      | _ -> ());
       if s.seed_delta < 0 then
         add (p line (Some "seed_delta") "seed_delta must be non-negative");
       if s.id_base < 0 then
@@ -1054,6 +1095,13 @@ let stream_flows t (s : stream) =
         Tracegen.video rng ~num_vms:gen_vms
           ~senders:(min (int_of_float s.rate) (gen_vms / 2))
           ~duration:s.window
+    | Locality ->
+        Workloads.Locality_gen.flows rng ~num_vms:gen_vms ~num_flows:count
+          ~load:s.load ~agg_bps
+          ~locality:
+            (match s.zipf_alpha with
+            | Some l -> l
+            | None -> default_locality)
   in
   match s.vips with
   | All -> List.map (shift_ids ~id_base:s.id_base) raw

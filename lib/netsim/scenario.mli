@@ -53,7 +53,12 @@ type topo_spec = {
   topo_seed : int;  (** seeds workload generation (the Setup seed) *)
 }
 
-type trace = Hadoop | Websearch | Alibaba | Microbursts | Video
+(** [Locality] is the Jain-style tunable-locality stream
+    ({!Workloads.Locality_gen}): Hadoop-shaped flows whose destination
+    reuse follows an LRU-stack model steered by a single knob carried
+    in the stream's [zipf_alpha] field (default 0.5; validated to
+    [0,1]). *)
+type trace = Hadoop | Websearch | Alibaba | Microbursts | Video | Locality
 
 (** Which VIPs a stream runs over. [Parity p] generates over half the
     VIP space and remaps VIP [v] to [2v + p] — the multitenant
@@ -66,7 +71,9 @@ type stream = {
       (** flows (alibaba: rpcs, video: senders) per VM of the
           stream's VIP set *)
   load : float;
-  zipf_alpha : float option;  (** alibaba / microbursts skew override *)
+  zipf_alpha : float option;
+      (** alibaba / microbursts skew override; locality knob for the
+          [Locality] trace *)
   window : Dessim.Time_ns.t;
       (** microbursts arrival window / video duration *)
   vips : vips;

@@ -132,6 +132,76 @@ let stage_estimate ~entries_per_switch kind =
     hash_bits;
   }
 
+(* ---- Exact SRAM bit costing per cache geometry ----------------- *)
+
+type geometry = G_direct | G_dleft of int | G_assoc of int
+
+type sketch = { rows : int; width : int }
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* Mirrors [Switchv2p.Tinylfu.create]'s defaults: 4 rows of the next
+   power of two >= max 16 (4 * slots) 4-bit counters. *)
+let sketch_of_slots slots =
+  if slots < 0 then invalid_arg "Resources.sketch_of_slots: negative slots";
+  { rows = 4; width = next_pow2 (max 16 (4 * slots)) }
+
+let geometry_name = function
+  | G_direct -> "direct"
+  | G_dleft d -> Printf.sprintf "dleft%d" d
+  | G_assoc w -> Printf.sprintf "%dway-lru" w
+
+(* Register line layout (the [bytes_per_entry] float above, in exact
+   bits): a 4B VIP tag and a 2B server index per line, plus per-line
+   replacement metadata — 1 access bit for direct-mapped and d-left
+   (the protocol's second-chance bit), ceil(log2 ways) recency-rank
+   bits for a [ways]-associative LRU set (1 way still needs its access
+   bit, so ways = 1 collapses to the 49-bit direct-mapped line). *)
+let key_bits = 32
+let value_bits = 16
+
+let ceil_log2 n =
+  let rec go b p = if p >= n then b else go (b + 1) (p * 2) in
+  go 0 1
+
+let metadata_bits_per_line = function
+  | G_direct -> 1
+  | G_dleft d ->
+      if d <= 0 then invalid_arg "Resources: d-left ways must be positive";
+      1
+  | G_assoc w ->
+      if w <= 0 then invalid_arg "Resources: assoc ways must be positive";
+      max 1 (ceil_log2 w)
+
+(* Per-stage-kind share of a geometry's SRAM bits, integers with no
+   rounding so the four shares re-sum to {!geometry_bits} exactly:
+   tags and values are read in the lookup stages; replacement metadata
+   and the admission sketch are written in the learn stages; classify
+   and emit hold no per-line state. *)
+let stage_bits ~slots ?sketch geometry kind =
+  if slots < 0 then invalid_arg "Resources.stage_bits: negative slots";
+  let meta = metadata_bits_per_line geometry in
+  let sketch_bits =
+    match sketch with
+    | None -> 0
+    | Some { rows; width } ->
+        if rows <= 0 || width <= 0 then
+          invalid_arg "Resources: sketch rows/width must be positive";
+        rows * width * 4
+  in
+  match kind with
+  | Classify | Emit -> 0
+  | Lookup -> slots * (key_bits + value_bits)
+  | Learn -> (slots * meta) + sketch_bits
+
+let geometry_bits ~slots ?sketch geometry =
+  List.fold_left
+    (fun acc kind -> acc + stage_bits ~slots ?sketch geometry kind)
+    0
+    [ Classify; Lookup; Learn; Emit ]
+
 let stage_kind_name = function
   | Classify -> "classify"
   | Lookup -> "lookup"

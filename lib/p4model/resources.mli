@@ -55,6 +55,45 @@ val stage_estimate : entries_per_switch:int -> stage_kind -> usage
 
 val stage_kind_name : stage_kind -> string
 
+(** {2 Exact SRAM bit costing per cache geometry}
+
+    The cache-geometry frontier plots hit rate against the {e actual}
+    SRAM footprint of each geometry, in bits: 32-bit VIP tags and
+    16-bit server indices per line, plus per-line replacement metadata
+    (1 access bit for direct-mapped and d-left; [ceil(log2 ways)]
+    recency-rank bits for a LRU set, floored at 1 so a 1-way set
+    collapses to the 49-bit direct-mapped line) and, when a TinyLFU
+    admission front end is attached, its count-min sketch
+    ([rows * width] 4-bit counters). All integers — no rounding — so
+    the per-stage shares re-sum exactly. *)
+
+(** A cache geometry for bit costing. [G_dleft d] is a [d]-way d-left
+    table; [G_assoc w] a [w]-way set-associative LRU. Line counts are
+    passed separately ([~slots] is the total across ways/sets). *)
+type geometry = G_direct | G_dleft of int | G_assoc of int
+
+(** TinyLFU sketch dimensions: [rows * width] 4-bit counters. *)
+type sketch = { rows : int; width : int }
+
+(** [sketch_of_slots slots] — the default sketch
+    [Switchv2p.Tinylfu.create] builds for a [slots]-line backing:
+    4 rows of the next power of two >= [max 16 (4 * slots)]. *)
+val sketch_of_slots : int -> sketch
+
+(** ["direct"], ["dleftD"], ["Wway-lru"] — frontier row labels. *)
+val geometry_name : geometry -> string
+
+(** [stage_bits ~slots ?sketch g kind] — [kind]'s share of the SRAM
+    bits: tags + values ([slots * 48]) in [Lookup]; replacement
+    metadata and the sketch in [Learn]; 0 in [Classify] and [Emit].
+    Raises [Invalid_argument] on negative [slots] or non-positive
+    ways/sketch dimensions. *)
+val stage_bits : slots:int -> ?sketch:sketch -> geometry -> stage_kind -> int
+
+(** [geometry_bits ~slots ?sketch g] — total SRAM bits; by
+    construction the sum of {!stage_bits} over the four kinds. *)
+val geometry_bits : slots:int -> ?sketch:sketch -> geometry -> int
+
 val pp : Format.formatter -> usage -> unit
 
 (** [rows u] renders the Table 6 layout as (resource, percent) rows. *)

@@ -1,0 +1,112 @@
+module Rng = Dessim.Rng
+module Flow = Netcore.Flow
+module Vip = Netcore.Addr.Vip
+
+(* Jain-style destination-locality model (DEC-TR-592, "A comparison of
+   hashing schemes..." lineage: the LRU-stack reference model): a
+   destination is either a re-reference — drawn from the LRU stack
+   with geometrically decaying probability over stack depth — or a
+   fresh uniform draw pushed onto the stack. One [locality] knob in
+   [0,1] controls both the re-reference probability and how sharply
+   the depth distribution concentrates at the top of the stack:
+
+     P(re-reference)     = locality
+     P(depth = k | re)  ~ (1-p)^k * p,  p = 0.1 + 0.85 * locality
+
+   locality = 0 is a uniform stream (no temporal locality beyond
+   chance); locality = 1 re-references almost exclusively the
+   most-recent destinations. The stack is move-to-front, so the model
+   is exactly the stack-distance characterization cache literature
+   uses, and measured stack-distance concentration is monotone in the
+   knob (a property the statistical test pins). *)
+
+let check_locality locality =
+  if not (Float.is_finite locality) || locality < 0.0 || locality > 1.0 then
+    invalid_arg "Locality_gen: locality must be in [0,1]"
+
+(* Mutable LRU stack of distinct ids, move-to-front, capped at
+   [universe] entries (ids are distinct so it never exceeds that). *)
+type stack = { mutable ids : int array; mutable len : int }
+
+let stack_create () = { ids = Array.make 64 (-1); len = 0 }
+
+let stack_find s id =
+  let rec go i = if i >= s.len then -1 else if s.ids.(i) = id then i else go (i + 1) in
+  go 0
+
+(* Move position [pos] to the front (pos < len). *)
+let stack_raise s pos =
+  let id = s.ids.(pos) in
+  Array.blit s.ids 0 s.ids 1 pos;
+  s.ids.(0) <- id
+
+let stack_push s id =
+  if s.len = Array.length s.ids then begin
+    let bigger = Array.make (2 * Array.length s.ids) (-1) in
+    Array.blit s.ids 0 bigger 0 s.len;
+    s.ids <- bigger
+  end;
+  Array.blit s.ids 0 s.ids 1 s.len;
+  s.ids.(0) <- id;
+  s.len <- s.len + 1
+
+(* Truncated-geometric stack depth in [0, len): success probability
+   [p] per level, retrying past the end (equivalently, geometric
+   conditioned on < len). Inverse-CDF, one uniform draw. *)
+let draw_depth rng ~p ~len =
+  let u = Rng.float rng in
+  (* CDF over [0,len): F(k) = (1 - q^(k+1)) / (1 - q^len), q = 1-p *)
+  let q = 1.0 -. p in
+  let qn = Float.pow q (float_of_int len) in
+  let x = 1.0 -. (u *. (1.0 -. qn)) in
+  let k = int_of_float (Float.log x /. Float.log q) in
+  if k < 0 then 0 else if k >= len then len - 1 else k
+
+(* A draw_dst closure over [0, universe): the reusable core both the
+   raw reference stream and the flow generator share. *)
+let make_draw rng ~universe ~locality =
+  check_locality locality;
+  if universe < 1 then invalid_arg "Locality_gen: universe must be positive";
+  let s = stack_create () in
+  let p = 0.1 +. (0.85 *. locality) in
+  fun () ->
+    if s.len > 0 && Rng.float rng < locality then begin
+      let depth = draw_depth rng ~p ~len:s.len in
+      stack_raise s depth;
+      s.ids.(0)
+    end
+    else begin
+      let id = Rng.int rng universe in
+      let pos = stack_find s id in
+      if pos >= 0 then stack_raise s pos else stack_push s id;
+      s.ids.(0)
+    end
+
+let references ?(num = 10_000) ~universe ~locality ~seed () =
+  let rng = Rng.create seed in
+  let draw = make_draw rng ~universe ~locality in
+  Array.init num (fun _ -> draw ())
+
+let flows rng ~num_vms ~num_flows ~load ~agg_bps ~locality =
+  let draw_dst = make_draw rng ~universe:num_vms ~locality in
+  Tracegen.tcp_flows rng ~num_vms ~num_flows ~load ~agg_bps
+    ~cdf:Flow_cdf.hadoop ~draw_dst
+
+(* Measured stack-distance concentration: replay [refs] through an LRU
+   stack and return the fraction of re-references (first touches are
+   excluded from the denominator) whose stack distance is < [top].
+   Monotone in the generator's locality knob. *)
+let concentration ?(top = 8) refs =
+  let s = stack_create () in
+  let re = ref 0 and near = ref 0 in
+  Array.iter
+    (fun id ->
+      let pos = stack_find s id in
+      if pos >= 0 then begin
+        incr re;
+        if pos < top then incr near;
+        stack_raise s pos
+      end
+      else stack_push s id)
+    refs;
+  if !re = 0 then 0.0 else float_of_int !near /. float_of_int !re

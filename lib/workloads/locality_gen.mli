@@ -1,0 +1,45 @@
+(** Jain-style tunable-locality reference generator (the DEC-TR-592
+    LRU-stack / working-set model).
+
+    Destinations come from a move-to-front LRU stack: with probability
+    [locality] a re-reference is drawn at a truncated-geometrically
+    distributed stack depth (success probability [0.1 + 0.85 *
+    locality], so higher knob values concentrate nearer the top);
+    otherwise a uniform fresh draw is pushed. [locality = 0] is a
+    uniform stream; [locality = 1] re-references almost exclusively
+    the most recent destinations.
+
+    Fully deterministic in the seed: a fixed seed yields a
+    byte-identical stream (the golden test), and measured
+    stack-distance concentration ({!concentration}) is monotone in the
+    knob (the statistical test). *)
+
+(** [references ~universe ~locality ~seed ()] — [num] (default 10000)
+    destination ids in [0, universe). Raises [Invalid_argument] if
+    [locality] is outside [0,1] or [universe < 1]. *)
+val references :
+  ?num:int -> universe:int -> locality:float -> seed:int -> unit -> int array
+
+(** [make_draw rng ~universe ~locality] — the underlying destination
+    sampler, shaped for {!Tracegen}'s [draw_dst] hooks. Stateful: each
+    call advances the stack. *)
+val make_draw : Dessim.Rng.t -> universe:int -> locality:float -> unit -> int
+
+(** [flows rng ~num_vms ~num_flows ~load ~agg_bps ~locality] — TCP
+    flows with the Hadoop size CDF and Poisson arrivals (the same
+    reference-stream shape as the Hadoop replay), destinations drawn
+    from the locality model. Same flow-list contract as {!Tracegen}. *)
+val flows :
+  Dessim.Rng.t ->
+  num_vms:int ->
+  num_flows:int ->
+  load:float ->
+  agg_bps:float ->
+  locality:float ->
+  Netcore.Flow.t list
+
+(** [concentration ?top refs] — replay [refs] through an LRU stack and
+    return the fraction of re-references at stack distance < [top]
+    (default 8). First touches are excluded from the denominator;
+    0.0 when there are no re-references. *)
+val concentration : ?top:int -> int array -> float

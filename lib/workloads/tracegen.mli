@@ -9,6 +9,21 @@
 
 type t = Netcore.Flow.t list
 
+(** [tcp_flows rng ~num_vms ~num_flows ~load ~agg_bps ~cdf ~draw_dst]
+    — the shared TCP generator behind {!hadoop} / {!websearch}:
+    Poisson arrivals at [load], sizes sampled from [cdf], destinations
+    from the [draw_dst] hook (self-flows redrawn). Exposed so other
+    destination models ({!Locality_gen}) emit the same flow shape. *)
+val tcp_flows :
+  Dessim.Rng.t ->
+  num_vms:int ->
+  num_flows:int ->
+  load:float ->
+  agg_bps:float ->
+  cdf:Dessim.Dist.Empirical.t ->
+  draw_dst:(unit -> int) ->
+  t
+
 (** Hadoop-like: short TCP flows, high cross-flow destination reuse
     (many more flows than destination VMs; uniform source and
     destination draws, as in the paper). *)

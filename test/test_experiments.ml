@@ -209,21 +209,37 @@ let test_report_csv () =
     "a,b\n1,plain\n2,\"with,comma\"\n3,\"with\"\"quote\"\n" out
 
 let test_cache_geometry_shape () =
-  let t = Experiments.Cache_geometry.run ~scale:`Tiny ~cache_pcts:[ 400 ] () in
-  let rate name =
-    let row =
-      List.find
-        (fun r -> r.Experiments.Cache_geometry.geometry = name)
-        t.Experiments.Cache_geometry.rows
-    in
-    match row.Experiments.Cache_geometry.hit_rates with
-    | [ (_, Some v) ] -> v
-    | _ -> Alcotest.fail "expected one measured point"
+  let t =
+    Experiments.Cache_geometry.run ~scale:`Tiny ~localities:[ 0.5 ]
+      ~cache_pcts:[ 400 ] ()
   in
-  (* More associativity never hurts at equal capacity. *)
-  checkb "full-assoc >= direct" true
-    (rate "fully-assoc LRU" +. 1e-9 >= rate "direct-mapped");
-  checkb "rates sane" true (rate "direct-mapped" > 0.0)
+  let point name =
+    match
+      List.find_opt
+        (fun p -> p.Experiments.Cache_geometry.geometry = name)
+        t.Experiments.Cache_geometry.points
+    with
+    | Some p -> p
+    | None -> Alcotest.fail ("missing frontier point for " ^ name)
+  in
+  let rate name = (point name).Experiments.Cache_geometry.hit_rate in
+  checkb "rates sane" true (rate "direct" > 0.0);
+  List.iter
+    (fun name ->
+      let p = point name in
+      checkb (name ^ " hit rate in [0,1]") true
+        (p.Experiments.Cache_geometry.hit_rate >= 0.0
+        && p.Experiments.Cache_geometry.hit_rate <= 1.0);
+      checkb
+        (name ^ " sram bits positive")
+        true
+        (p.Experiments.Cache_geometry.sram_bits > 0))
+    t.Experiments.Cache_geometry.geometries;
+  (* The sketch costs bits: tinylfu points sit strictly to the right
+     of their base geometry at equal slots. *)
+  checkb "tinylfu costs sketch bits" true
+    ((point "direct+tinylfu").Experiments.Cache_geometry.sram_bits
+    > (point "direct").Experiments.Cache_geometry.sram_bits)
 
 let test_dht_compare_shape () =
   let t = Experiments.Dht_compare.run ~scale:`Tiny () in

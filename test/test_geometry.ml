@@ -1,0 +1,522 @@
+(* Tests for the cache-geometry frontier's new organizations: the
+   d-left table, the TinyLFU admission front end and the Geo_cache
+   dispatcher.
+
+   The load-bearing properties:
+   - degenerate equivalences: a d = 1 d-left table IS the
+     direct-mapped cache, and an always-admit TinyLFU wrapper IS its
+     backing — byte-for-byte on hit/miss/eviction sequences, packed
+     lookup encodings and counters;
+   - differential model checks: every geometry agrees with a reference
+     Hashtbl model on randomized op sequences (cached values are never
+     stale, occupancy follows the insert/invalidate ledger, hit + miss
+     counters account for every lookup);
+   - count-min sketch invariants: estimates never undercount (within a
+     sample period) and saturate at 15. *)
+
+module Cache = Switchv2p.Cache
+module Dleft = Switchv2p.Dleft
+module Tinylfu = Switchv2p.Tinylfu
+module Geo = Switchv2p.Geo_cache
+module Config = Switchv2p.Config
+module Vip = Netcore.Addr.Vip
+module Pip = Netcore.Addr.Pip
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let vip = Vip.of_int
+let pip = Pip.of_int
+
+(* --- Dleft unit tests --- *)
+
+let test_dleft_create_validation () =
+  Alcotest.check_raises "zero ways"
+    (Invalid_argument "Dleft.create: d must be positive") (fun () ->
+      ignore (Dleft.create ~d:0 ~slots:8));
+  Alcotest.check_raises "ways must divide"
+    (Invalid_argument "Dleft.create: d must divide slots") (fun () ->
+      ignore (Dleft.create ~d:3 ~slots:8));
+  Alcotest.check_raises "negative slots"
+    (Invalid_argument "Dleft.create: negative slots") (fun () ->
+      ignore (Dleft.create ~d:2 ~slots:(-2)))
+
+let test_dleft_lookup_after_insert () =
+  let c = Dleft.create ~d:4 ~slots:64 in
+  (match Dleft.insert c ~admission:`All (vip 1) (pip 10) with
+  | Cache.Inserted None -> ()
+  | _ -> Alcotest.fail "expected clean insert");
+  let r = Dleft.lookup c (vip 1) in
+  checkb "hit" true (r <> Dleft.miss);
+  checki "value" 10 (Pip.to_int (Dleft.hit_pip r));
+  checkb "fresh entry bit clear" false (Dleft.hit_bit r);
+  let r2 = Dleft.lookup c (vip 1) in
+  checkb "second hit sees bit" true (Dleft.hit_bit r2);
+  checki "hits" 2 (Dleft.hits c);
+  checki "ways" 4 (Dleft.ways c);
+  checki "slots" 64 (Dleft.slots c)
+
+(* Find [n] keys that collide with key 0 in every way of [c]'s shape
+   (so each insert must either fill another way or evict). *)
+let colliding_keys ~d ~sub n =
+  let way_slots v =
+    List.init d (fun i ->
+        (i, Cache.mix (v lxor (i * 0x27220A95)) mod sub))
+  in
+  let target = way_slots 0 in
+  let rec go v acc =
+    if List.length acc = n then List.rev acc
+    else if v > 1_000_000 then Alcotest.fail "not enough collisions"
+    else if way_slots v = target then go (v + 1) (v :: acc)
+    else go (v + 1) acc
+  in
+  go 1 []
+
+let test_dleft_fills_ways_before_evicting () =
+  let d = 3 and sub = 8 in
+  let c = Dleft.create ~d ~slots:(d * sub) in
+  ignore (Dleft.insert c ~admission:`All (vip 0) (pip 100));
+  let ks = colliding_keys ~d ~sub (d - 1) in
+  (* Each full-collision key lands in a fresh way: no eviction until
+     all d ways of the bucket are valid. *)
+  List.iter
+    (fun k ->
+      match Dleft.insert c ~admission:`All (vip k) (pip k) with
+      | Cache.Inserted None -> ()
+      | _ -> Alcotest.fail "expected empty-way fill")
+    ks;
+  checki "all ways occupied" d (Dleft.occupancy c);
+  List.iter
+    (fun k -> checkb "resident" true (Dleft.peek c (vip k) <> None))
+    (0 :: ks)
+
+let test_dleft_admission_and_victims () =
+  let d = 2 and sub = 8 in
+  let c = Dleft.create ~d ~slots:(d * sub) in
+  let ks = colliding_keys ~d ~sub 3 in
+  let k0 = List.nth ks 0 and k1 = List.nth ks 1 and k2 = List.nth ks 2 in
+  ignore (Dleft.insert c ~admission:`All (vip k0) (pip 1));
+  ignore (Dleft.insert c ~admission:`All (vip k1) (pip 2));
+  (* Both access bits set: conservative admission must reject. Order
+     matters — k1's lookup probes (and conflict-clears) k0's way-0
+     line on the way to way 1, so touch k1 first, then k0, whose
+     lookup stops at way 0. *)
+  ignore (Dleft.lookup c (vip k1));
+  ignore (Dleft.lookup c (vip k0));
+  checkb "A-bit-clear rejects when all set" true
+    (Dleft.insert c ~admission:`A_bit_clear (vip k2) (pip 3) = Cache.Rejected);
+  checki "rejection counted" 1 (Dleft.rejections c);
+  (* `All falls back to way 0's occupant; victim_key agrees with the
+     eviction the insert then reports. *)
+  let victim = Dleft.victim_key c (vip k2) in
+  checkb "victim is a resident collider" true (victim = k0 || victim = k1);
+  (match Dleft.insert c ~admission:`All (vip k2) (pip 3) with
+  | Cache.Inserted (Some (evicted, _)) ->
+      checki "victim_key predicted the eviction" victim (Vip.to_int evicted)
+  | _ -> Alcotest.fail "expected eviction");
+  (* A conflict probe cleared k1's bit on the way: now A_bit_clear can
+     admit into a clear-bit way. *)
+  checkb "no victim for resident key" true (Dleft.victim_key c (vip k2) = -1)
+
+let test_dleft_invalidate_and_clear () =
+  let c = Dleft.create ~d:2 ~slots:16 in
+  ignore (Dleft.insert c ~admission:`All (vip 1) (pip 10));
+  checkb "wrong stale keeps entry" false
+    (Dleft.invalidate c (vip 1) ~stale:(pip 99));
+  checkb "matching stale removes" true
+    (Dleft.invalidate c (vip 1) ~stale:(pip 10));
+  checki "occupancy" 0 (Dleft.occupancy c);
+  ignore (Dleft.insert c ~admission:`All (vip 2) (pip 20));
+  Dleft.clear c;
+  checki "cleared" 0 (Dleft.occupancy c);
+  checki "counters preserved" 2 (Dleft.insertions c)
+
+let test_dleft_zero_slots () =
+  let c = Dleft.create ~d:1 ~slots:0 in
+  checkb "always miss" true (Dleft.lookup c (vip 1) = Dleft.miss);
+  checkb "insert rejected" true
+    (Dleft.insert c ~admission:`All (vip 1) (pip 1) = Cache.Rejected);
+  checkb "no victim" true (Dleft.victim_key c (vip 1) = -1)
+
+(* --- Degenerate equivalence: d = 1 d-left IS the direct cache --- *)
+
+(* Way 0 hashes with Cache.mix unseeded, so on ANY op sequence the two
+   must agree byte-for-byte: packed lookup results (value and access
+   bit), insert results including eviction payloads, invalidations,
+   victim probes, and all five counters. *)
+let dleft1_equiv_direct_qcheck =
+  QCheck.Test.make ~name:"d=1 d-left equals direct-mapped" ~count:300
+    QCheck.(
+      list
+        (pair (int_bound 3) (pair bool (pair (int_bound 200) (int_bound 1000)))))
+    (fun ops ->
+      let slots = 16 in
+      let dm = Cache.create ~slots in
+      let dl = Dleft.create ~d:1 ~slots in
+      let same_insert_result a b =
+        match (a, b) with
+        | Cache.Inserted None, Cache.Inserted None -> true
+        | Cache.Inserted (Some (va, pa)), Cache.Inserted (Some (vb, pb)) ->
+            Vip.equal va vb && Pip.equal pa pb
+        | Cache.Updated, Cache.Updated -> true
+        | Cache.Rejected, Cache.Rejected -> true
+        | _ -> false
+      in
+      List.for_all
+        (fun (op, (flag, (k, v))) ->
+          let agree =
+            match op with
+            | 0 ->
+                let admission = if flag then `All else `A_bit_clear in
+                same_insert_result
+                  (Cache.insert dm ~admission (vip k) (pip v))
+                  (Dleft.insert dl ~admission (vip k) (pip v))
+            | 1 -> Cache.lookup dm (vip k) = Dleft.lookup dl (vip k)
+            | 2 ->
+                Cache.invalidate dm (vip k) ~stale:(pip v)
+                = Dleft.invalidate dl (vip k) ~stale:(pip v)
+            | _ -> Cache.victim_key dm (vip k) = Dleft.victim_key dl (vip k)
+          in
+          agree
+          && Cache.hits dm = Dleft.hits dl
+          && Cache.misses dm = Dleft.misses dl
+          && Cache.occupancy dm = Dleft.occupancy dl
+          && Cache.insertions dm = Dleft.insertions dl
+          && Cache.evictions dm = Dleft.evictions dl
+          && Cache.rejections dm = Dleft.rejections dl)
+        ops)
+
+(* --- Degenerate equivalence: always-admit TinyLFU IS its backing --- *)
+
+(* The sketch still counts, but never vetoes: every operation must
+   delegate unchanged. Run the same ops through a bare cache and a
+   wrapped twin and compare everything observable. *)
+let lfu_always_admit_equiv_direct_qcheck =
+  QCheck.Test.make ~name:"always-admit TinyLFU equals direct backing"
+    ~count:300
+    QCheck.(
+      list
+        (pair (int_bound 2) (pair bool (pair (int_bound 200) (int_bound 1000)))))
+    (fun ops ->
+      let slots = 16 in
+      let bare = Cache.create ~slots in
+      let wrapped =
+        Tinylfu.create ~always_admit:true (Tinylfu.Direct (Cache.create ~slots))
+      in
+      List.for_all
+        (fun (op, (flag, (k, v))) ->
+          let agree =
+            match op with
+            | 0 ->
+                let admission = if flag then `All else `A_bit_clear in
+                Cache.insert bare ~admission (vip k) (pip v)
+                = Tinylfu.insert wrapped ~admission (vip k) (pip v)
+            | 1 -> Cache.lookup bare (vip k) = Tinylfu.lookup wrapped (vip k)
+            | _ ->
+                Cache.invalidate bare (vip k) ~stale:(pip v)
+                = Tinylfu.invalidate wrapped (vip k) ~stale:(pip v)
+          in
+          agree
+          && Cache.hits bare = Tinylfu.hits wrapped
+          && Cache.misses bare = Tinylfu.misses wrapped
+          && Cache.occupancy bare = Tinylfu.occupancy wrapped
+          && Cache.rejections bare = Tinylfu.rejections wrapped
+          && Tinylfu.denied wrapped = 0)
+        ops)
+
+let lfu_always_admit_equiv_dleft_qcheck =
+  QCheck.Test.make ~name:"always-admit TinyLFU equals d-left backing"
+    ~count:300
+    QCheck.(
+      list
+        (pair (int_bound 2) (pair bool (pair (int_bound 200) (int_bound 1000)))))
+    (fun ops ->
+      let d = 2 and slots = 16 in
+      let bare = Dleft.create ~d ~slots in
+      let wrapped =
+        Tinylfu.create ~always_admit:true
+          (Tinylfu.Dleft (Dleft.create ~d ~slots))
+      in
+      List.for_all
+        (fun (op, (flag, (k, v))) ->
+          let agree =
+            match op with
+            | 0 ->
+                let admission = if flag then `All else `A_bit_clear in
+                Dleft.insert bare ~admission (vip k) (pip v)
+                = Tinylfu.insert wrapped ~admission (vip k) (pip v)
+            | 1 -> Dleft.lookup bare (vip k) = Tinylfu.lookup wrapped (vip k)
+            | _ ->
+                Dleft.invalidate bare (vip k) ~stale:(pip v)
+                = Tinylfu.invalidate wrapped (vip k) ~stale:(pip v)
+          in
+          agree
+          && Dleft.hits bare = Tinylfu.hits wrapped
+          && Dleft.misses bare = Tinylfu.misses wrapped
+          && Dleft.occupancy bare = Tinylfu.occupancy wrapped)
+        ops)
+
+let lfu_always_admit_equiv_assoc_qcheck =
+  QCheck.Test.make ~name:"always-admit TinyLFU equals assoc backing"
+    ~count:300
+    QCheck.(list (pair bool (pair (int_bound 200) (int_bound 1000))))
+    (fun ops ->
+      let module Assoc = Switchv2p.Assoc_cache in
+      let bare = Assoc.create ~ways:2 ~slots:16 in
+      let wrapped =
+        Tinylfu.create ~always_admit:true
+          (Tinylfu.Assoc (Assoc.create ~ways:2 ~slots:16))
+      in
+      List.for_all
+        (fun (is_insert, (k, v)) ->
+          if is_insert then begin
+            let present = Assoc.peek bare (vip k) <> None in
+            Assoc.insert bare (vip k) (pip v);
+            let r = Tinylfu.insert wrapped ~admission:`All (vip k) (pip v) in
+            (* No eviction payload from the LRU backing: the wrapper
+               only classifies update-vs-insert. *)
+            (match r with
+            | Cache.Inserted None -> not present
+            | Cache.Updated -> present
+            | _ -> false)
+            && Assoc.occupancy bare = Tinylfu.occupancy wrapped
+          end
+          else
+            Assoc.lookup bare (vip k) = Tinylfu.lookup wrapped (vip k)
+            && Assoc.hits bare = Tinylfu.hits wrapped
+            && Assoc.misses bare = Tinylfu.misses wrapped)
+        ops)
+
+(* --- Differential model tests --- *)
+
+(* Reference model: the ground-truth mapping table plus an explicit
+   ledger of what each insert/invalidate result implies. For every
+   geometry and any op sequence:
+   - a cached value is never stale (peek agrees with the last insert
+     for that key);
+   - occupancy tracks the ledger (+1 clean insert, -1 eviction or
+     invalidation) and never exceeds capacity;
+   - every lookup lands in exactly one of hits/misses;
+   - insertions/evictions/rejections count exactly the results that
+     reported them. *)
+(* The model is the ground-truth mapping table (a Hashtbl) plus an
+   explicit ledger derived from each result; the check pins the exact
+   occupancy/counter arithmetic alongside value freshness. *)
+let differential_ledger geo_name make =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s ledger invariants" geo_name)
+    ~count:200
+    QCheck.(
+      list
+        (pair (int_bound 2) (pair bool (pair (int_bound 60) (int_bound 1000)))))
+    (fun ops ->
+      let c : Geo.t = make () in
+      let truth : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      let occ = ref (Geo.occupancy c) in
+      let ins = ref (Geo.insertions c)
+      and evs = ref (Geo.evictions c)
+      and rejs = ref (Geo.rejections c) in
+      let lookups = ref 0 in
+      let hits0 = Geo.hits c and misses0 = Geo.misses c in
+      let ok = ref true in
+      List.iter
+        (fun (op, (flag, (k, v))) ->
+          match op with
+          | 0 -> begin
+              Hashtbl.replace truth k v;
+              let admission = if flag then `All else `A_bit_clear in
+              (match Geo.insert c ~admission (vip k) (pip v) with
+              | Cache.Inserted None ->
+                  incr occ;
+                  incr ins
+              | Cache.Inserted (Some (ev, _)) ->
+                  incr ins;
+                  incr evs;
+                  (* the evicted key is gone *)
+                  if Geo.peek c (Vip.of_int (Vip.to_int ev)) <> None then
+                    ok := Vip.to_int ev = k
+              | Cache.Updated -> ()
+              | Cache.Rejected -> incr rejs);
+              if Geo.occupancy c <> !occ then ok := false
+            end
+          | 1 ->
+              incr lookups;
+              let r = Geo.lookup c (vip k) in
+              if r <> Cache.miss then begin
+                match Hashtbl.find_opt truth k with
+                | Some tv -> if Pip.to_int (Cache.hit_pip r) <> tv then ok := false
+                | None -> ok := false
+              end
+          | _ ->
+              let removed = Geo.invalidate c (vip k) ~stale:(pip v) in
+              if removed then begin
+                decr occ;
+                if Hashtbl.find_opt truth k <> Some v then ok := false
+              end;
+              if Geo.occupancy c <> !occ then ok := false)
+        ops;
+      !ok
+      && Geo.occupancy c = !occ
+      && Geo.occupancy c <= Geo.slots c
+      && Geo.insertions c = !ins
+      && Geo.evictions c = !evs
+      && Geo.rejections c >= !rejs
+      && Geo.hits c - hits0 + (Geo.misses c - misses0) = !lookups)
+
+let geo_direct () = Geo.create Config.Geo_direct ~tinylfu:false ~slots:16
+let geo_dleft2 () = Geo.create (Config.Geo_dleft 2) ~tinylfu:false ~slots:16
+let geo_dleft4 () = Geo.create (Config.Geo_dleft 4) ~tinylfu:false ~slots:16
+let geo_direct_lfu () = Geo.create Config.Geo_direct ~tinylfu:true ~slots:16
+let geo_dleft_lfu () = Geo.create (Config.Geo_dleft 2) ~tinylfu:true ~slots:16
+
+(* --- TinyLFU sketch invariants --- *)
+
+let test_sketch_never_undercounts () =
+  (* Within one sample period, count-min estimates are upper bounds:
+     touching a key k times reads back at least min(k, 15). *)
+  let t =
+    Tinylfu.create ~sample:1_000_000 (Tinylfu.Direct (Cache.create ~slots:8))
+  in
+  for k = 1 to 30 do
+    ignore (Tinylfu.lookup t (vip 7))
+    |> ignore;
+    let e = Tinylfu.estimate_vip t (vip 7) in
+    checkb "estimate >= true count (sat 15)" true (e >= min k 15);
+    checkb "estimate <= 15" true (e <= 15)
+  done
+
+let test_sketch_halving () =
+  let t =
+    Tinylfu.create ~sample:8 (Tinylfu.Direct (Cache.create ~slots:8))
+  in
+  for _ = 1 to 7 do
+    ignore (Tinylfu.lookup t (vip 3))
+  done;
+  let before = Tinylfu.estimate_vip t (vip 3) in
+  ignore (Tinylfu.lookup t (vip 3));
+  (* 8th touch triggers the halving *)
+  checki "one halving" 1 (Tinylfu.halvings t);
+  checkb "estimate halved" true
+    (Tinylfu.estimate_vip t (vip 3) <= (before + 1) / 2)
+
+let test_lfu_admission_filters_cold_candidate () =
+  let slots = 8 in
+  let backing = Cache.create ~slots in
+  let t = Tinylfu.create ~sample:1_000_000 (Tinylfu.Direct backing) in
+  (* Find two keys sharing a slot so the second insert needs eviction. *)
+  let k0 = 0 in
+  let rec collider v =
+    if v > 100_000 then Alcotest.fail "no collision"
+    else if
+      Cache.mix v mod slots = Cache.mix k0 mod slots && v <> k0
+    then v
+    else collider (v + 1)
+  in
+  let k1 = collider 1 in
+  ignore (Tinylfu.insert t ~admission:`All (vip k0) (pip 1));
+  (* Make k0 hot. *)
+  for _ = 1 to 10 do
+    ignore (Tinylfu.lookup t (vip k0))
+  done;
+  (* Cold k1 must be denied: its estimate cannot exceed hot k0's. *)
+  checkb "cold candidate denied" true
+    (Tinylfu.insert t ~admission:`All (vip k1) (pip 2) = Cache.Rejected);
+  checki "denied counted" 1 (Tinylfu.denied t);
+  checkb "occupant survives" true (Tinylfu.peek t (vip k0) <> None);
+  (* Now make k1 hotter than k0 and retry: admitted. *)
+  for _ = 1 to 30 do
+    ignore (Tinylfu.lookup t (vip k1))
+  done;
+  (match Tinylfu.insert t ~admission:`All (vip k1) (pip 2) with
+  | Cache.Inserted (Some (ev, _)) -> checki "evicts the cold key" k0 (Vip.to_int ev)
+  | _ -> Alcotest.fail "expected hot candidate admitted");
+  checkb "new entry resident" true (Tinylfu.peek t (vip k1) <> None)
+
+let test_lfu_update_and_empty_bypass_filter () =
+  let t = Tinylfu.create (Tinylfu.Direct (Cache.create ~slots:8)) in
+  (* Empty-line fills never consult the filter... *)
+  (match Tinylfu.insert t ~admission:`All (vip 1) (pip 1) with
+  | Cache.Inserted None -> ()
+  | _ -> Alcotest.fail "expected fill");
+  (* ...nor do updates of a resident key. *)
+  (match Tinylfu.insert t ~admission:`All (vip 1) (pip 2) with
+  | Cache.Updated -> ()
+  | _ -> Alcotest.fail "expected update");
+  checki "nothing denied" 0 (Tinylfu.denied t)
+
+(* --- Geo_cache dispatcher --- *)
+
+let test_geo_dispatch_shapes () =
+  let d = Geo.create Config.Geo_direct ~tinylfu:false ~slots:10 in
+  checki "direct keeps slots" 10 (Geo.slots d);
+  let l = Geo.create (Config.Geo_dleft 4) ~tinylfu:false ~slots:10 in
+  checki "dleft rounds to multiple of d" 8 (Geo.slots l);
+  let lfu = Geo.create (Config.Geo_dleft 2) ~tinylfu:true ~slots:10 in
+  checki "wrapped dleft slots" 10 (Geo.slots lfu);
+  checkb "direct unwraps" true
+    (match Geo.direct_exn d with _ -> true);
+  Alcotest.check_raises "dleft does not unwrap"
+    (Invalid_argument "Geo_cache.direct_exn: d-left cache") (fun () ->
+      ignore (Geo.direct_exn l))
+
+let test_geo_ops_roundtrip () =
+  List.iter
+    (fun make ->
+      let c : Geo.t = make () in
+      (match Geo.insert c ~admission:`All (vip 5) (pip 50) with
+      | Cache.Inserted None -> ()
+      | _ -> Alcotest.fail "expected clean insert");
+      let r = Geo.lookup c (vip 5) in
+      checkb "hit" true (r <> Cache.miss);
+      checki "value" 50 (Pip.to_int (Cache.hit_pip r));
+      checkb "peek" true (Geo.peek c (vip 5) = Some (pip 50));
+      Geo.clear c;
+      checki "cleared" 0 (Geo.occupancy c))
+    [ geo_direct; geo_dleft2; geo_dleft4; geo_direct_lfu; geo_dleft_lfu ]
+
+let () =
+  Alcotest.run "switchv2p-geometry"
+    [
+      ( "dleft",
+        [
+          Alcotest.test_case "create validation" `Quick
+            test_dleft_create_validation;
+          Alcotest.test_case "lookup after insert" `Quick
+            test_dleft_lookup_after_insert;
+          Alcotest.test_case "fills ways before evicting" `Quick
+            test_dleft_fills_ways_before_evicting;
+          Alcotest.test_case "admission and victims" `Quick
+            test_dleft_admission_and_victims;
+          Alcotest.test_case "invalidate and clear" `Quick
+            test_dleft_invalidate_and_clear;
+          Alcotest.test_case "zero slots" `Quick test_dleft_zero_slots;
+          QCheck_alcotest.to_alcotest dleft1_equiv_direct_qcheck;
+        ] );
+      ( "tinylfu",
+        [
+          Alcotest.test_case "sketch never undercounts" `Quick
+            test_sketch_never_undercounts;
+          Alcotest.test_case "sketch halving" `Quick test_sketch_halving;
+          Alcotest.test_case "filters cold candidate" `Quick
+            test_lfu_admission_filters_cold_candidate;
+          Alcotest.test_case "update/empty bypass filter" `Quick
+            test_lfu_update_and_empty_bypass_filter;
+          QCheck_alcotest.to_alcotest lfu_always_admit_equiv_direct_qcheck;
+          QCheck_alcotest.to_alcotest lfu_always_admit_equiv_dleft_qcheck;
+          QCheck_alcotest.to_alcotest lfu_always_admit_equiv_assoc_qcheck;
+        ] );
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest (differential_ledger "direct" geo_direct);
+          QCheck_alcotest.to_alcotest (differential_ledger "dleft2" geo_dleft2);
+          QCheck_alcotest.to_alcotest (differential_ledger "dleft4" geo_dleft4);
+          QCheck_alcotest.to_alcotest
+            (differential_ledger "direct+tinylfu" geo_direct_lfu);
+          QCheck_alcotest.to_alcotest
+            (differential_ledger "dleft2+tinylfu" geo_dleft_lfu);
+        ] );
+      ( "geo_cache",
+        [
+          Alcotest.test_case "dispatch shapes" `Quick test_geo_dispatch_shapes;
+          Alcotest.test_case "ops roundtrip" `Quick test_geo_ops_roundtrip;
+        ] );
+    ]

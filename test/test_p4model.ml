@@ -57,6 +57,92 @@ let test_rows_layout () =
     ]
     (List.map fst rows)
 
+let checkib = Alcotest.check Alcotest.int
+
+(* Geometry bit costing: integer arithmetic with no rounding — the
+   per-stage shares must re-sum to the whole exactly (the same
+   consistency contract as the stage_estimate decomposition). *)
+let test_geometry_bits_resum_exact () =
+  let kinds = [ R.Classify; R.Lookup; R.Learn; R.Emit ] in
+  List.iter
+    (fun (slots, sketch, g) ->
+      let total = R.geometry_bits ~slots ?sketch g in
+      let sum =
+        List.fold_left
+          (fun acc k -> acc + R.stage_bits ~slots ?sketch g k)
+          0 kinds
+      in
+      checkib (R.geometry_name g ^ " re-sums exactly") total sum)
+    [
+      (0, None, R.G_direct);
+      (96, None, R.G_direct);
+      (96, None, R.G_dleft 4);
+      (96, None, R.G_assoc 4);
+      (96, Some (R.sketch_of_slots 96), R.G_direct);
+      (1024, Some { R.rows = 4; width = 4096 }, R.G_dleft 2);
+    ]
+
+(* ways = 1 / d = 1 collapse to the direct-mapped baseline: the
+   degenerate organizations ARE the direct cache, so they must cost
+   exactly its 49 bits per line, stage by stage. *)
+let test_geometry_bits_degenerate_collapse () =
+  let kinds = [ R.Classify; R.Lookup; R.Learn; R.Emit ] in
+  let slots = 128 in
+  checkib "49 bits per direct line" (slots * 49)
+    (R.geometry_bits ~slots R.G_direct);
+  List.iter
+    (fun g ->
+      List.iter
+        (fun k ->
+          checkib
+            (R.geometry_name g ^ " stage matches direct")
+            (R.stage_bits ~slots R.G_direct k)
+            (R.stage_bits ~slots g k))
+        kinds)
+    [ R.G_dleft 1; R.G_assoc 1 ]
+
+let test_geometry_bits_structure () =
+  let slots = 64 in
+  (* Tags + values in Lookup, metadata in Learn, nothing elsewhere. *)
+  checkib "lookup holds tags+values" (slots * 48)
+    (R.stage_bits ~slots R.G_direct R.Lookup);
+  checkib "learn holds the access bit" slots
+    (R.stage_bits ~slots R.G_direct R.Learn);
+  checkib "classify holds no lines" 0
+    (R.stage_bits ~slots R.G_direct R.Classify);
+  checkib "emit holds no lines" 0 (R.stage_bits ~slots R.G_direct R.Emit);
+  (* d-left costs the same SRAM as direct at equal lines: its price is
+     hash units, not bits. *)
+  checkib "dleft same bits as direct"
+    (R.geometry_bits ~slots R.G_direct)
+    (R.geometry_bits ~slots (R.G_dleft 4));
+  (* LRU rank bits grow with associativity. *)
+  checkib "4-way charges 2 rank bits" (slots * 2)
+    (R.stage_bits ~slots (R.G_assoc 4) R.Learn);
+  (* The sketch lands in Learn: rows * width * 4 bits. *)
+  let sketch = { R.rows = 4; width = 256 } in
+  checkib "sketch bits in learn"
+    ((slots * 1) + (4 * 256 * 4))
+    (R.stage_bits ~slots ~sketch R.G_direct R.Learn);
+  (* Default sketch sizing mirrors Tinylfu.create. *)
+  let s = R.sketch_of_slots 96 in
+  checkib "default rows" 4 s.R.rows;
+  checkib "default width is next pow2 of 4*slots" 512 s.R.width
+
+let test_geometry_bits_validation () =
+  Alcotest.check_raises "negative slots"
+    (Invalid_argument "Resources.stage_bits: negative slots") (fun () ->
+      ignore (R.stage_bits ~slots:(-1) R.G_direct R.Lookup));
+  Alcotest.check_raises "zero ways"
+    (Invalid_argument "Resources: assoc ways must be positive") (fun () ->
+      ignore (R.geometry_bits ~slots:8 (R.G_assoc 0)));
+  Alcotest.check_raises "bad sketch"
+    (Invalid_argument "Resources: sketch rows/width must be positive")
+    (fun () ->
+      ignore
+        (R.stage_bits ~slots:8 ~sketch:{ R.rows = 0; width = 16 } R.G_direct
+           R.Learn))
+
 let () =
   Alcotest.run "p4model"
     [
@@ -68,5 +154,15 @@ let () =
           Alcotest.test_case "bounds" `Quick test_bounds;
           Alcotest.test_case "max entries fit" `Quick test_max_entries_fit;
           Alcotest.test_case "row layout" `Quick test_rows_layout;
+        ] );
+      ( "geometry_bits",
+        [
+          Alcotest.test_case "re-sums exactly" `Quick
+            test_geometry_bits_resum_exact;
+          Alcotest.test_case "degenerate collapse" `Quick
+            test_geometry_bits_degenerate_collapse;
+          Alcotest.test_case "stage structure" `Quick
+            test_geometry_bits_structure;
+          Alcotest.test_case "validation" `Quick test_geometry_bits_validation;
         ] );
     ]

@@ -62,6 +62,14 @@ let gen_config rng =
                gw_spine = 1.0;
              };
          ])
+    ~geometry:
+      (pick rng
+         [
+           Switchv2p.Config.Geo_direct;
+           Switchv2p.Config.Geo_dleft 2;
+           Switchv2p.Config.Geo_dleft (1 + Rng.int rng 8);
+         ])
+    ~tinylfu:(Rng.int rng 2 = 0)
     ()
 
 let gen_scheme rng ~classified =

@@ -258,6 +258,63 @@ let test_stats_unsorted_input () =
   Alcotest.check (Alcotest.float 1e-9) "positive distance" 100e-6
     stats.Workloads.Trace_stats.mean_reuse_distance
 
+(* --- locality generator (Locality_gen) --- *)
+
+module Locality = Workloads.Locality_gen
+
+(* Fixed seed -> byte-identical stream, pinned as a golden prefix. A
+   change here means the generator's arithmetic changed and every
+   cachegeo frontier number silently moved. *)
+let test_locality_golden_stream () =
+  let refs = Locality.references ~num:16 ~universe:64 ~locality:0.7 ~seed:7 () in
+  Alcotest.check
+    (Alcotest.array Alcotest.int)
+    "golden stream"
+    [| 39; 39; 58; 58; 39; 58; 39; 39; 33; 39; 39; 35; 51; 59; 59; 59 |]
+    refs
+
+let test_locality_deterministic () =
+  let a = Locality.references ~universe:300 ~locality:0.4 ~seed:123 () in
+  let b = Locality.references ~universe:300 ~locality:0.4 ~seed:123 () in
+  checkb "same seed, same stream" true (a = b);
+  let c = Locality.references ~universe:300 ~locality:0.4 ~seed:124 () in
+  checkb "different seed differs" true (a <> c);
+  checkb "ids in range" true (Array.for_all (fun r -> r >= 0 && r < 300) a)
+
+(* The statistical pin: measured stack-distance concentration is
+   monotone in the knob. Measured values at these settings are ~0.02 /
+   0.31 / 0.62 / 0.92, so strict ordering has wide margins. *)
+let test_locality_concentration_monotone () =
+  let conc l =
+    Locality.concentration
+      (Locality.references ~num:20_000 ~universe:500 ~locality:l ~seed:11 ())
+  in
+  let c0 = conc 0.0 and c3 = conc 0.3 and c6 = conc 0.6 and c9 = conc 0.9 in
+  checkb "0.0 < 0.3" true (c0 < c3);
+  checkb "0.3 < 0.6" true (c3 < c6);
+  checkb "0.6 < 0.9" true (c6 < c9);
+  checkb "uniform stream barely concentrates" true (c0 < 0.1);
+  checkb "high knob concentrates heavily" true (c9 > 0.8)
+
+let test_locality_flows_shape () =
+  let flows =
+    Locality.flows (rng ()) ~num_vms ~num_flows:200 ~load:0.3 ~agg_bps
+      ~locality:0.8
+  in
+  checki "count" 200 (List.length flows);
+  checkb "no self flows" true (no_self_flows flows);
+  checkb "sorted" true (sorted_by_start flows);
+  checkb "unique ids" true (unique_ids flows);
+  checkb "vips in range" true (vips_in_range flows)
+
+let test_locality_validation () =
+  Alcotest.check_raises "knob above 1"
+    (Invalid_argument "Locality_gen: locality must be in [0,1]") (fun () ->
+      ignore (Locality.references ~universe:10 ~locality:1.5 ~seed:1 ()));
+  Alcotest.check_raises "empty universe"
+    (Invalid_argument "Locality_gen: universe must be positive") (fun () ->
+      ignore (Locality.references ~universe:0 ~locality:0.5 ~seed:1 ()))
+
 (* --- trace I/O --- *)
 
 let test_io_roundtrip () =
@@ -336,6 +393,15 @@ let () =
           Alcotest.test_case "reuse fraction" `Quick test_stats_reuse_fraction;
           Alcotest.test_case "empty trace" `Quick test_stats_empty;
           Alcotest.test_case "unsorted input" `Quick test_stats_unsorted_input;
+        ] );
+      ( "locality",
+        [
+          Alcotest.test_case "golden stream" `Quick test_locality_golden_stream;
+          Alcotest.test_case "deterministic" `Quick test_locality_deterministic;
+          Alcotest.test_case "concentration monotone" `Quick
+            test_locality_concentration_monotone;
+          Alcotest.test_case "flow shape" `Quick test_locality_flows_shape;
+          Alcotest.test_case "validation" `Quick test_locality_validation;
         ] );
       ( "io",
         [
